@@ -1,0 +1,42 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+Every benchmark file regenerates one artifact of the paper. They share
+one :class:`RunCache` across the whole session because the figures
+overlap heavily (Figures 7, 8 and 10 reuse the same baseline runs), and
+one set of :class:`RunOptions` sized so the full suite finishes in a few
+minutes while still showing the paper's shapes.
+
+Scale note: the paper simulated billions of instructions; these runs
+replay tens of thousands of memory operations per processor. Absolute
+numbers differ — EXPERIMENTS.md records the full-size results produced
+with ``python -m repro.harness all``.
+"""
+
+import pytest
+
+from repro.harness.experiments import RunOptions
+from repro.harness.runcache import RunCache
+
+#: One execution per benchmark: these are regeneration harnesses, not
+#: micro-benchmarks, so statistical repetition only wastes wall-clock.
+BENCH_KWARGS = dict(rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def cache():
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def options():
+    return RunOptions(
+        ops_per_processor=10_000,
+        seeds=2,
+        warmup_fraction=0.4,
+        region_sizes=(256, 512, 1024),
+    )
+
+
+def run_once(benchmark, func):
+    """Run *func* exactly once under pytest-benchmark's timer."""
+    return benchmark.pedantic(func, **BENCH_KWARGS)

@@ -1,0 +1,36 @@
+"""Beyond the paper: per-ingredient ablations of the CGCT design.
+
+Not a reproduction of a published figure — this quantifies how much
+each design ingredient (self-invalidation, empty-region replacement,
+the two-bit snoop response, line-response visibility) contributes, and
+how the RegionScout alternative (Section 2) compares.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _avoided(cell: str) -> float:
+    return float(cell.split("%")[0]) / 100.0
+
+
+def test_ablations(benchmark, options, cache):
+    result = run_once(benchmark,
+                      lambda: run_experiment("ablations", options, cache))
+    print()
+    print(result.render())
+
+    by_variant = {row[0]: row for row in result.rows}
+    full = by_variant["CGCT (full)"]
+    one_bit = by_variant["one-bit response"]
+    scout = by_variant["RegionScout"]
+
+    for column in range(1, len(result.headers)):
+        # The one-bit variant loses the externally-clean optimisation:
+        # never better than the full protocol.
+        assert _avoided(one_bit[column]) <= _avoided(full[column]) + 0.01
+        # RegionScout's imprecise filter avoids strictly less.
+        assert _avoided(scout[column]) < _avoided(full[column])
+        # But RegionScout still beats doing nothing on most workloads.
+    assert any(_avoided(scout[c]) > 0.0 for c in range(1, len(result.headers)))

@@ -1,0 +1,25 @@
+"""Beyond the paper: the Section 6 future-work features, measured."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _avoided(cell: str) -> float:
+    return float(cell.split("%")[0]) / 100.0
+
+
+def test_section6_extensions(benchmark, options, cache):
+    result = run_once(benchmark,
+                      lambda: run_experiment("extensions", options, cache))
+    print()
+    print(result.render())
+
+    by_variant = {row[0]: row for row in result.rows}
+    base = by_variant["CGCT (as evaluated)"]
+    region_prefetch = by_variant["+ region-state prefetch"]
+
+    # Region-state prefetch targets first-touch broadcasts: the avoided
+    # fraction must not fall on any workload.
+    for column in range(1, len(result.headers)):
+        assert _avoided(region_prefetch[column]) >= _avoided(base[column]) - 0.01

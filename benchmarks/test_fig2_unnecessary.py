@@ -1,0 +1,44 @@
+"""Figure 2: unnecessary broadcasts in the conventional system.
+
+Paper shape: average around two-thirds of all broadcasts unnecessary,
+SPECint-rate at the top (~94 %), TPC-H at the bottom (~15 %), with data
+reads/writes the largest category.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%")) / 100.0
+
+
+def test_fig2_unnecessary_broadcasts(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("fig2", options, cache))
+    print()
+    print(result.render())
+
+    by_bench = {row[0]: row for row in result.rows}
+    average = _pct(by_bench["AVERAGE"][1])
+    fractions = {
+        name: _pct(row[1]) for name, row in by_bench.items() if name != "AVERAGE"
+    }
+
+    # Shape: a large majority of broadcasts are unnecessary on average
+    # (paper: 67 %), with a wide spread (paper: 15-94 %).
+    assert 0.5 < average < 0.95
+    assert max(fractions.values()) > 0.9
+    assert min(fractions.values()) < 0.55
+
+    # Extremes land on the right workloads.
+    assert fractions["specint2000rate"] == max(fractions.values())
+    assert fractions["tpc-h"] == min(fractions.values())
+
+    # Data reads/writes are the dominant category for most workloads.
+    data_dominant = sum(
+        1 for name, row in by_bench.items()
+        if name != "AVERAGE" and _pct(row[2]) >= max(
+            _pct(row[3]), _pct(row[4]), _pct(row[5]))
+    )
+    assert data_dominant >= 5

@@ -1,0 +1,25 @@
+"""Figure 6: memory request latency scenarios (exact reproduction)."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+#: Paper's worked totals in system cycles, per scenario name.
+PAPER_TOTALS = {
+    "Snoop Own Memory": 25.0,
+    "Directly Access Own Memory": 18.1,
+    "Snoop Same-Data Switch Memory": 25.0,
+    "Directly Access Same-Data Switch Memory": 20.0,
+    "Snoop Same-Board Memory": 30.0,
+    "Directly Access Same-Board Memory": 27.0,
+    "Snoop Remote Memory": 35.0,
+    "Directly Access Remote Memory": 34.0,
+}
+
+
+def test_fig6_latency_scenarios(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("fig6", options, cache))
+    print()
+    print(result.render())
+    measured = {row[0]: float(row[2]) for row in result.rows}
+    assert measured == PAPER_TOTALS

@@ -1,0 +1,29 @@
+"""Figure 9: half-size RCA (8K entries) versus full size (16K).
+
+Paper shape: halving the RCA costs only about one percentage point of
+the average run-time reduction.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _mean_pct(cell: str) -> float:
+    return float(cell.split("%")[0].replace("+", "")) / 100.0
+
+
+def test_fig9_half_size_rca(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("fig9", options, cache))
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    full_avg = _mean_pct(rows["AVERAGE"][1])
+    half_avg = _mean_pct(rows["AVERAGE"][2])
+
+    # Both configurations still clearly win over the baseline.
+    assert full_avg > 0.03
+    assert half_avg > 0.03
+    # Halving the array costs little (paper: ~1 percentage point).
+    assert abs(full_avg - half_avg) < 0.03

@@ -1,0 +1,31 @@
+"""Beyond the paper: scalability from 4 to 16 processors.
+
+Section 5.3 argues CGCT improves scalability by halving the load on the
+ordered address interconnect; this experiment extrapolates by actually
+growing the machine.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_scaling(benchmark, options, cache):
+    result = run_once(benchmark,
+                      lambda: run_experiment("scaling", options, cache))
+    print()
+    print(result.render())
+
+    rows = {row[0]: row for row in result.rows}
+    assert set(rows) == {4, 8, 16}
+
+    # Baseline broadcast traffic grows with processor count...
+    base_traffic = [float(rows[p][1]) for p in (4, 8, 16)]
+    assert base_traffic[0] < base_traffic[2]
+    # ...and CGCT cuts it at every size.
+    for p in (4, 8, 16):
+        assert float(rows[p][2]) < float(rows[p][1])
+    # Bus queuing per broadcast explodes with size in the baseline,
+    # which is why CGCT's run-time benefit grows with scale.
+    queue = [float(rows[p][3]) for p in (4, 8, 16)]
+    assert queue[0] < queue[2]

@@ -1,0 +1,43 @@
+"""Section 3.2 / 5.2 statistics: RCA evictions and inclusion cost.
+
+Paper values: with 512 B regions and empty-preferring replacement,
+65.1 % of evicted regions are empty (17.2 % one line, 5.1 % two); the
+mean lines cached per region is 2.8-5; and the inclusion-induced L2
+miss-ratio increase is ≈1.2 %.
+"""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%")) / 100.0
+
+
+def test_sec32_rca_eviction_statistics(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("sec32", options, cache))
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        name = row[0]
+        mean_lines = float(row[4])
+        miss_increase = _pct(row[5])
+        # Mean lines cached per region in (or near) the paper's 2.8-5 band.
+        assert 1.0 < mean_lines < 8.0, name
+        # Inclusion cost stays small (paper: ≈1.2 %).
+        assert miss_increase < 0.08, name
+
+    # Across the suite, evicted regions skew toward empty/nearly empty,
+    # which is what makes the empty-preferring policy cheap. At this
+    # reduced scale the RCA barely replaces at all (a handful of victims
+    # per workload), so the bar is set loosely; the full-scale runs in
+    # EXPERIMENTS.md show the sharper skew.
+    shallow = [
+        _pct(row[1]) + _pct(row[2]) + _pct(row[3])
+        for row in result.rows
+        if any(_pct(row[i]) > 0 for i in (1, 2, 3))
+    ]
+    if shallow:  # short runs may see almost no replacement at all
+        assert sum(shallow) / len(shallow) > 0.35

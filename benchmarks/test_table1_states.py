@@ -1,0 +1,18 @@
+"""Table 1: region protocol states."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table1_region_states(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("table1", options, cache))
+    print()
+    print(result.render())
+    assert len(result.rows) == 7
+    by_state = {row[0].split()[0]: row[3] for row in result.rows}
+    assert by_state["Invalid"] == "Yes"
+    assert by_state["Clean-Invalid"] == "No"
+    assert by_state["Dirty-Invalid"] == "No"
+    assert by_state["Clean-Clean"] == "For Modifiable Copy"
+    assert by_state["Dirty-Dirty"] == "Yes"

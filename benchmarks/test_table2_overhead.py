@@ -1,0 +1,22 @@
+"""Table 2: RCA storage overhead (must match the paper exactly)."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table2_storage_overhead(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("table2", options, cache))
+    print()
+    print(result.render())
+    assert len(result.rows) == 9
+    by_config = {row[0]: row for row in result.rows}
+    # The paper's headline numbers: 16K entries cost 5.9 % of the cache,
+    # halved (8K) costs 3.0 %.
+    assert by_config["16K-Entries, 512-Byte Regions"][9] == "5.9%"
+    assert by_config["8K-Entries, 512-Byte Regions"][9] == "3.0%"
+    assert by_config["4K-Entries, 512-Byte Regions"][9] == "1.6%"
+    # Total bits per set: 76 / 73 / 71 for 4K / 8K / 16K entries.
+    assert by_config["4K-Entries, 256-Byte Regions"][7] == 76
+    assert by_config["8K-Entries, 256-Byte Regions"][7] == 73
+    assert by_config["16K-Entries, 256-Byte Regions"][7] == 71

@@ -1,0 +1,17 @@
+"""Table 3: simulation parameters, printed from the live configuration."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table3_simulation_parameters(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("table3", options, cache))
+    print()
+    print(result.render())
+    values = dict((row[0], row[1]) for row in result.rows)
+    assert values["Processor clock"] == "1.5 GHz"
+    assert values["L2 cache"].startswith("1MB 2-way")
+    assert values["RCA organisation"] == "8192 sets, 2-way"
+    assert values["Coherence protocols"] == "Write-invalidate MOESI (L2), MSI (L1)"
+    assert "160" in values["Snoop latency"]

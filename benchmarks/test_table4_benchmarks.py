@@ -1,0 +1,18 @@
+"""Table 4: the benchmark suite."""
+
+from repro.harness.experiments import run_experiment
+
+from benchmarks.conftest import run_once
+
+
+def test_table4_benchmark_suite(benchmark, options, cache):
+    result = run_once(benchmark, lambda: run_experiment("table4", options, cache))
+    print()
+    print(result.render())
+    assert len(result.rows) == 9
+    categories = [row[0] for row in result.rows]
+    assert categories.count("Scientific") == 3
+    assert categories.count("Web") == 3
+    assert "OLTP" in categories
+    assert "Decision Support" in categories
+    assert "Multiprogramming" in categories

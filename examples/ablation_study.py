@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Ablation and extension study driven through the experiment API.
+
+Shows how to use the harness programmatically: run the design-ablation,
+Section 6 extension, and energy experiments on a chosen workload set and
+print their tables. This is the "what actually matters in CGCT?" tour:
+
+* How much does self-invalidation buy on migratory data?
+* What does the scaled-back one-bit snoop response cost?
+* How close does RegionScout get with a fraction of the storage?
+* Do the paper's future-work ideas (prefetch filtering, DRAM-speculation
+  filtering, region-state prefetch, owner prediction) pay off?
+
+Run:  python examples/ablation_study.py [ops_per_processor]
+"""
+
+import dataclasses
+import sys
+
+from repro import SystemConfig, build_benchmark, run_workload
+from repro.harness.experiments import RunOptions, run_experiment
+from repro.harness.runcache import RunCache
+
+
+def owner_prediction_mini_study(ops: int) -> None:
+    """Owner prediction is not part of the registered experiments yet —
+    drive it directly as an example of ad-hoc configuration studies."""
+    print("\n== owner prediction on migratory data (barnes) ==")
+    trace = build_benchmark("barnes", ops_per_processor=ops)
+    base = run_workload(SystemConfig.paper_baseline(), trace,
+                        warmup_fraction=0.4)
+    plain = run_workload(SystemConfig.paper_cgct(512), trace,
+                         warmup_fraction=0.4)
+    predicted_cfg = dataclasses.replace(
+        SystemConfig.paper_cgct(512), owner_prediction=True)
+    predicted = run_workload(predicted_cfg, trace, warmup_fraction=0.4)
+    print(f"  CGCT:            run-time {plain.runtime_reduction_over(base):+.1%}, "
+          f"avoided {plain.fraction_avoided():.1%}")
+    print(f"  + owner predict: run-time {predicted.runtime_reduction_over(base):+.1%}, "
+          f"avoided {predicted.fraction_avoided():.1%}")
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 15_000
+    options = RunOptions(
+        ops_per_processor=ops,
+        seeds=1,
+        benchmarks=("barnes", "tpc-w", "specweb99"),
+    )
+    cache = RunCache()
+    for experiment_id in ("ablations", "extensions", "energy"):
+        result = run_experiment(experiment_id, options, cache)
+        print(result.render())
+        print()
+    owner_prediction_mini_study(ops)
+
+
+if __name__ == "__main__":
+    main()

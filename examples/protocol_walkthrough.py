@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Protocol walkthrough: watch the Region Coherence Array think.
+
+Replays the paper's Section 1.1 narrative — and a few more scenarios —
+on a real two-chip machine, printing each processor's region state after
+every access. No workload generator, no statistics: just the protocol.
+
+Run:  python examples/protocol_walkthrough.py
+"""
+
+from repro.system.machine import Machine, RequestPath
+from repro.system.config import SystemConfig, TimingParameters
+from repro.rca.states import RegionState
+
+ADDRESS = 0x4_2000  # some line; its 512B region is ADDRESS >> 9
+
+
+def build_machine() -> Machine:
+    import dataclasses
+
+    config = dataclasses.replace(
+        SystemConfig.paper_cgct(region_bytes=512),
+        prefetch_enabled=False,
+        timing=TimingParameters(perturbation_cycles=0),
+    )
+    return Machine(config)
+
+
+def show(machine: Machine, label: str) -> None:
+    region = machine.geometry.region_of(ADDRESS)
+    states = []
+    for node in machine.nodes:
+        entry = node.region_entry(region)
+        states.append(entry.state.value if entry else "I")
+    counts = []
+    for node in machine.nodes:
+        entry = node.region_entry(region)
+        counts.append(entry.line_count if entry else 0)
+    print(f"  {label:<46s} region states: "
+          + "  ".join(f"P{i}:{s}({c})" for i, (s, c) in
+                      enumerate(zip(states, counts))))
+
+
+def main() -> None:
+    machine = Machine.__new__(Machine)  # placate linters; rebuilt below
+    machine = build_machine()
+    now = [0]
+
+    def step(description, action):
+        action(now[0])
+        now[0] += 10_000
+        show(machine, description)
+
+    print("Scenario 1 — the paper's Section 1.1 example:")
+    print("  Processor A (P0) loads; nobody else caches the region.\n")
+    step("P0 load (miss, broadcast, region exclusive)",
+         lambda t: machine.load(0, ADDRESS, t))
+    step("P0 load of the NEXT line (direct to memory!)",
+         lambda t: machine.load(0, ADDRESS + 64, t))
+    step("P0 store to a third line (direct, silent DI)",
+         lambda t: machine.store(0, ADDRESS + 128, t))
+
+    print("\nScenario 2 — a reader appears on the other chip:")
+    step("P2 loads P0's line (c2c; P0's region downgrades)",
+         lambda t: machine.load(2, ADDRESS, t))
+    step("P0 ifetches in the region (externally clean: direct)",
+         lambda t: machine.ifetch(0, ADDRESS + 192, t))
+    step("P0 stores to the shared line (UPGRADE broadcast)",
+         lambda t: machine.store(0, ADDRESS, t))
+
+    print("\nScenario 3 — migratory data and self-invalidation:")
+    step("P2 stores, taking one of P0's four lines",
+         lambda t: machine.store(2, ADDRESS, t))
+    step("P1 takes every cached line (P0's three, P2's one)",
+         lambda t: [machine.store(1, ADDRESS + o, t)
+                    for o in (64, 128, 192, 0)])
+    step("P1 touches one more line: empty peers self-invalidate",
+         lambda t: machine.store(1, ADDRESS + 256, t))
+    step("P1 now owns the region exclusively (direct)",
+         lambda t: machine.load(1, ADDRESS + 320, t))
+
+    print("\nPath counts for the whole walkthrough:")
+    for (request, path), count in sorted(
+        machine.request_paths.items(), key=lambda kv: str(kv[0])
+    ):
+        print(f"  {request.value:12s} {path.value:12s} {count}")
+
+    direct = sum(n for (r, p), n in machine.request_paths.items()
+                 if p is RequestPath.DIRECT)
+    print(f"\n{direct} requests went straight to memory without a broadcast.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Region-size sweep (Figures 7 and 8 in miniature).
+
+For a chosen workload, sweeps the region size over 256 B / 512 B / 1 KB
+(plus line-grain 64 B as a degenerate reference) and reports, per size:
+the fraction of broadcasts avoided, the run-time reduction, and the RCA
+occupancy statistics that explain the trade-off — bigger regions reach
+farther per entry but suffer more region-grain false sharing.
+
+Run:  python examples/region_size_sweep.py [benchmark] [ops_per_processor]
+"""
+
+import sys
+
+from repro import SystemConfig, build_benchmark, run_workload
+from repro.harness.render import render_table
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "specweb99"
+    ops = int(sys.argv[2]) if len(sys.argv) > 2 else 20_000
+
+    print(f"workload: {name} ({ops} ops/processor)\n")
+    workload = build_benchmark(name, ops_per_processor=ops)
+    base = run_workload(SystemConfig.paper_baseline(), workload,
+                        warmup_fraction=0.4)
+    print(f"baseline: {base.cycles:,} cycles, "
+          f"{base.stats.total_external} external requests, "
+          f"{base.fraction_unnecessary():.1%} unnecessary (oracle)\n")
+
+    rows = []
+    for region_bytes in (64, 256, 512, 1024):
+        cgct = run_workload(
+            SystemConfig.paper_cgct(region_bytes=region_bytes), workload,
+            warmup_fraction=0.4,
+        )
+        rows.append([
+            f"{region_bytes}B",
+            f"{cgct.fraction_avoided():.1%}",
+            f"{cgct.runtime_reduction_over(base):+.1%}",
+            f"{cgct.rca_mean_line_count:.2f}",
+            cgct.rca_self_invalidations,
+            cgct.l2_region_forced_evictions,
+        ])
+    print(render_table(
+        ["Region", "Avoided", "Run-time", "Lines/region",
+         "Self-invalidations", "Forced L2 evictions"],
+        rows,
+    ))
+    print("\nThe paper finds 512B the sweet spot: small regions waste RCA")
+    print("reach, large ones amplify region-grain false sharing (Sec. 5.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Broadcast-traffic study (Figure 10 in miniature).
+
+Runs every benchmark on the baseline and the 512 B CGCT system and
+plots (in ASCII) the average and peak broadcasts per 100 K cycles —
+the scalability argument of Section 5.3: CGCT cuts both the average
+and the worst-case load on the address interconnect by more than half
+for broadcast-bound workloads.
+
+Run:  python examples/traffic_study.py [ops_per_processor]
+"""
+
+import sys
+
+from repro import SystemConfig, benchmark_names, build_benchmark, run_workload
+from repro.harness.render import render_bar
+
+
+def main() -> None:
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+    baseline_cfg = SystemConfig.paper_baseline()
+    cgct_cfg = SystemConfig.paper_cgct(512)
+
+    print(f"{ops} ops/processor, 40% warm-up; bars scaled to the busiest "
+          "baseline.\n")
+    results = []
+    for name in benchmark_names():
+        workload = build_benchmark(name, ops_per_processor=ops)
+        base = run_workload(baseline_cfg, workload, warmup_fraction=0.4)
+        cgct = run_workload(cgct_cfg, workload, warmup_fraction=0.4)
+        results.append((name, base, cgct))
+        print(f"  {name} done", flush=True)
+
+    scale = max(base.broadcasts_per_window() for _n, base, _c in results)
+    print(f"\n{'benchmark':16s} {'broadcasts / 100K cycles':>25s}")
+    for name, base, cgct in results:
+        base_avg = base.broadcasts_per_window()
+        cgct_avg = cgct.broadcasts_per_window()
+        print(f"{name:16s} baseline {base_avg:7.0f} "
+              f"{render_bar(base_avg / scale, 32)}")
+        print(f"{'':16s} cgct-512 {cgct_avg:7.0f} "
+              f"{render_bar(cgct_avg / scale, 32)}")
+
+    print(f"\n{'benchmark':16s} {'peak window':>12s} {'baseline -> cgct':>20s}")
+    for name, base, cgct in results:
+        ratio = (base.traffic_peak_per_window /
+                 max(1, cgct.traffic_peak_per_window))
+        print(f"{name:16s} {base.traffic_peak_per_window:>6} -> "
+              f"{cgct.traffic_peak_per_window:<6}  ({ratio:.1f}x lower)")
+
+    total_base = sum(b.broadcasts_per_window() for _n, b, _c in results)
+    total_cgct = sum(c.broadcasts_per_window() for _n, _b, c in results)
+    print(f"\nsuite-average traffic reduction: "
+          f"{1 - total_cgct / total_base:.1%}")
+
+
+if __name__ == "__main__":
+    main()

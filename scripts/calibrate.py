@@ -1,0 +1,41 @@
+"""Calibration sweep: run every benchmark baseline vs CGCT-512B and
+print the Figure 2 / 7 / 8 / 10 headline numbers against targets."""
+import sys
+import time
+
+from repro import SystemConfig, run_workload, build_benchmark, benchmark_names
+from repro.system.machine import OracleCategory
+
+TARGETS = {  # paper-shape targets: unnecessary fraction, runtime reduction
+    "ocean": (0.72, 0.06), "raytrace": (0.80, 0.05), "barnes": (0.40, 0.02),
+    "specint2000rate": (0.94, 0.05), "specweb99": (0.75, 0.07),
+    "specjbb2000": (0.70, 0.06), "tpc-w": (0.85, 0.14),
+    "tpc-b": (0.65, 0.08), "tpc-h": (0.17, 0.01),
+}
+
+def main():
+    ops = int(sys.argv[1]) if len(sys.argv) > 1 else 60_000
+    names = sys.argv[2:] or benchmark_names()
+    unnecs, rrs = [], []
+    for name in names:
+        t0 = time.time()
+        trace = build_benchmark(name, ops_per_processor=ops)
+        base = run_workload(SystemConfig.paper_baseline(), trace, warmup_fraction=0.4)
+        cgct = run_workload(SystemConfig.paper_cgct(512), trace, warmup_fraction=0.4)
+        unnec = base.fraction_unnecessary()
+        rr = cgct.runtime_reduction_over(base)
+        unnecs.append(unnec); rrs.append(rr)
+        tu, tr = TARGETS[name]
+        cats = " ".join(
+            f"{c.name[:2]}={base.category_fraction(c, of='unnecessary'):.2f}"
+            for c in OracleCategory
+        )
+        print(f"{name:16s} unnec={unnec:.3f} (t{tu:.2f}) rr={rr:+.3f} (t{tr:.2f}) "
+              f"avoided={cgct.fraction_avoided():.3f} [{cats}] "
+              f"traffic={base.broadcasts_per_window():.0f}->{cgct.broadcasts_per_window():.0f} "
+              f"({time.time()-t0:.0f}s)", flush=True)
+    print(f"MEAN unnec={sum(unnecs)/len(unnecs):.3f} (paper 0.67) "
+          f"rr={sum(rrs)/len(rrs):+.3f} (paper 0.088)")
+
+if __name__ == "__main__":
+    main()

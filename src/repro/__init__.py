@@ -1,0 +1,65 @@
+"""Coarse-Grain Coherence Tracking — ISCA 2005 reproduction.
+
+Reimplementation of Cantin, Lipasti & Smith, "Improving Multiprocessor
+Performance with Coarse-Grain Coherence Tracking" (ISCA 2005): a
+broadcast-based multiprocessor memory-system simulator whose processors
+carry Region Coherence Arrays, plus the workloads, oracle analysis, and
+experiment harness needed to regenerate every table and figure in the
+paper's evaluation.
+
+Quick start::
+
+    from repro import SystemConfig, run_workload, build_benchmark
+
+    trace = build_benchmark("tpc-w", ops_per_processor=20_000)
+    base = run_workload(SystemConfig.paper_baseline(), trace)
+    cgct = run_workload(SystemConfig.paper_cgct(region_bytes=512), trace)
+    print(f"run-time reduction: {cgct.runtime_reduction_over(base):.1%}")
+"""
+
+from repro.rca import (
+    RegionCoherenceArray,
+    RegionProtocol,
+    RegionSnoopResponse,
+    RegionState,
+)
+from repro.system.config import CoreParameters, SystemConfig, TimingParameters
+from repro.system.machine import Machine, OracleCategory, RequestPath
+from repro.system.simulator import RunResult, Simulator, run_workload
+from repro.workloads import (
+    BENCHMARKS,
+    MultiTrace,
+    SyntheticWorkload,
+    Trace,
+    TraceOp,
+    WorkloadProfile,
+    benchmark_names,
+    build_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "CoreParameters",
+    "Machine",
+    "MultiTrace",
+    "OracleCategory",
+    "RegionCoherenceArray",
+    "RegionProtocol",
+    "RegionSnoopResponse",
+    "RegionState",
+    "RequestPath",
+    "RunResult",
+    "Simulator",
+    "SyntheticWorkload",
+    "SystemConfig",
+    "TimingParameters",
+    "Trace",
+    "TraceOp",
+    "WorkloadProfile",
+    "benchmark_names",
+    "build_benchmark",
+    "run_workload",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis: oracle classification, storage overhead, derived metrics.
+
+* :mod:`repro.analysis.overhead` — the Table 2 storage-overhead model.
+* :mod:`repro.analysis.oracle` — standalone oracle sweeps over traces
+  (Figure 2 without a timing run).
+* :mod:`repro.analysis.metrics` — aggregation across runs and seeds:
+  speedups with confidence intervals, traffic summaries, category stacks.
+"""
+
+from repro.analysis.latency import LatencyBreakdown, latency_breakdown
+from repro.analysis.metrics import (
+    CategoryStack,
+    MultiSeedResult,
+    aggregate_seeds,
+    category_stack,
+)
+from repro.analysis.oracle import OracleProfile, oracle_profile
+from repro.analysis.overhead import OverheadRow, overhead_row, table2_rows
+
+__all__ = [
+    "CategoryStack",
+    "LatencyBreakdown",
+    "MultiSeedResult",
+    "OracleProfile",
+    "OverheadRow",
+    "aggregate_seeds",
+    "category_stack",
+    "latency_breakdown",
+    "oracle_profile",
+    "overhead_row",
+    "table2_rows",
+]

@@ -1,0 +1,142 @@
+"""Coherence-energy proxy (the paper's Section 6 power discussion).
+
+Section 6: "by reducing network activity [17], tag array lookups
+[15, 18], and DRAM accesses, power can be saved." This module turns the
+machine's event counters into that accounting. It is a *proxy*, not a
+circuit model: each event class gets a relative weight (defaults loosely
+follow the CACTI-era ratios used by the Jetty and RegionScout papers —
+a DRAM access costs an order of magnitude more than a tag probe), and
+reports are meant for *comparisons between configurations of the same
+machine*, never absolute joules.
+
+Event classes counted:
+
+* **address messages** — broadcast deliveries (one per receiving node)
+  plus point-to-point direct/targeted requests;
+* **tag lookups** — snoop-induced L2 tag probes at remote nodes (the
+  cost Jetty attacks; RegionScout's CRH and CGCT's reduced broadcasts
+  both shrink it);
+* **RCA lookups** — the region arrays are small but not free; CGCT pays
+  one per external request locally plus one per remote node snooped;
+* **DRAM accesses** — reads (including wasted speculative ones) and
+  write-backs;
+* **data transfers** — cache-to-cache or memory-to-cache line movements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.system.machine import Machine
+
+
+def _default_weights() -> Dict[str, float]:
+    return {
+        "address_message": 1.0,
+        "tag_lookup": 2.0,
+        "rca_lookup": 0.5,
+        "dram_access": 20.0,
+        "data_transfer": 4.0,
+    }
+
+
+@dataclass(frozen=True)
+class EnergyWeights:
+    """Relative energy per event class (dimensionless units)."""
+
+    weights: Dict[str, float] = field(default_factory=_default_weights)
+
+    def __post_init__(self) -> None:
+        missing = set(_default_weights()) - set(self.weights)
+        if missing:
+            raise ValueError(f"missing energy weights: {sorted(missing)}")
+        bad = [k for k, v in self.weights.items() if v < 0]
+        if bad:
+            raise ValueError(f"negative energy weights: {bad}")
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Event counts and the weighted proxy total for one run."""
+
+    address_messages: int
+    tag_lookups: int
+    rca_lookups: int
+    dram_accesses: int
+    data_transfers: int
+    weighted_total: float
+
+    def savings_over(self, baseline: "EnergyReport") -> float:
+        """Fractional proxy-energy saving versus *baseline*."""
+        if baseline.weighted_total <= 0:
+            return 0.0
+        return 1.0 - self.weighted_total / baseline.weighted_total
+
+    def as_rows(self):
+        """Rows for the plain-text table renderer."""
+        return [
+            ["address messages", self.address_messages],
+            ["tag lookups", self.tag_lookups],
+            ["RCA lookups", self.rca_lookups],
+            ["DRAM accesses", self.dram_accesses],
+            ["data transfers", self.data_transfers],
+            ["weighted total", f"{self.weighted_total:.0f}"],
+        ]
+
+
+def energy_report(
+    machine: Machine, weights: EnergyWeights = EnergyWeights()
+) -> EnergyReport:
+    """Build the coherence-energy proxy from a machine's counters.
+
+    Must be called after a run (counters are cumulative since the last
+    ``reset_stats``).
+    """
+    nodes = machine.nodes
+    others = max(0, len(nodes) - 1)
+    broadcasts = machine.bus.broadcasts
+    point_to_point = (
+        machine.stats.total_directs
+        + machine.targeted_hits
+        + machine.targeted_misses
+    )
+    address_messages = broadcasts * others + point_to_point
+
+    tag_lookups = sum(node.l2.snoop_probes for node in nodes)
+
+    rca_lookups = 0
+    if machine.config.cgct_enabled:
+        # One local lookup per external request + one per remote RCA per
+        # broadcast (the piggybacked region snoop).
+        rca_lookups = sum(
+            node.rca.hits + node.rca.misses for node in nodes
+        ) + broadcasts * others
+
+    # mc.reads only counts accesses whose data was used; speculative
+    # reads that a cache-to-cache transfer made useless still burned a
+    # DRAM access — the waste the Section 6 filter eliminates.
+    dram_accesses = (
+        sum(mc.reads + mc.writes for mc in machine.controllers)
+        + machine.dram_speculative_wasted
+    )
+    data_transfers = machine.c2c_transfers + sum(
+        mc.reads for mc in machine.controllers
+    )
+
+    w = weights.weights
+    total = (
+        address_messages * w["address_message"]
+        + tag_lookups * w["tag_lookup"]
+        + rca_lookups * w["rca_lookup"]
+        + dram_accesses * w["dram_access"]
+        + data_transfers * w["data_transfer"]
+    )
+    return EnergyReport(
+        address_messages=address_messages,
+        tag_lookups=tag_lookups,
+        rca_lookups=rca_lookups,
+        dram_accesses=dram_accesses,
+        data_transfers=data_transfers,
+        weighted_total=total,
+    )

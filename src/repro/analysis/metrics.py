@@ -1,0 +1,106 @@
+"""Aggregation of run results across seeds and categories.
+
+The paper averages several perturbed runs per configuration and reports
+95 % confidence intervals (Section 4). :func:`aggregate_seeds` performs
+that aggregation for any metric derived from :class:`RunResult` pairs;
+:func:`category_stack` produces the per-category stacked fractions of
+Figures 2 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.common.stats import ConfidenceInterval, confidence_interval
+from repro.system.machine import OracleCategory
+from repro.system.simulator import RunResult
+
+#: Figure 2/7 stack order: write-backs ride on top in the paper's plots.
+STACK_ORDER = [
+    OracleCategory.DATA,
+    OracleCategory.IFETCH,
+    OracleCategory.DCB,
+    OracleCategory.WRITEBACK,
+]
+
+
+@dataclass(frozen=True)
+class CategoryStack:
+    """Per-category fractions of external requests (one stacked bar)."""
+
+    workload: str
+    fractions: Dict[OracleCategory, float]
+
+    @property
+    def total(self) -> float:
+        """Sum of the per-category fractions."""
+        return sum(self.fractions.values())
+
+    def as_rows(self) -> List[tuple]:
+        """(category-name, fraction) in the paper's stack order."""
+        return [(c.value, self.fractions[c]) for c in STACK_ORDER]
+
+
+def category_stack(result: RunResult, of: str) -> CategoryStack:
+    """Build the Figure 2 (``of="unnecessary"``) or Figure 7
+    (``of="avoided"``) stack for one run."""
+    return CategoryStack(
+        workload=result.workload,
+        fractions={c: result.category_fraction(c, of=of) for c in STACK_ORDER},
+    )
+
+
+@dataclass(frozen=True)
+class MultiSeedResult:
+    """A metric aggregated over several perturbed runs."""
+
+    workload: str
+    metric: str
+    interval: ConfidenceInterval
+
+    @property
+    def mean(self) -> float:
+        """The aggregated sample mean."""
+        return self.interval.mean
+
+
+def aggregate_seeds(
+    results: Sequence[RunResult],
+    metric: Callable[[RunResult], float],
+    metric_name: str,
+    confidence: float = 0.95,
+) -> MultiSeedResult:
+    """Aggregate one metric over same-workload runs with different seeds."""
+    if not results:
+        raise ValueError("aggregate_seeds() requires at least one run")
+    workloads = {r.workload for r in results}
+    if len(workloads) != 1:
+        raise ValueError(f"mixed workloads in aggregation: {workloads}")
+    samples = [metric(r) for r in results]
+    return MultiSeedResult(
+        workload=results[0].workload,
+        metric=metric_name,
+        interval=confidence_interval(samples, confidence),
+    )
+
+
+def runtime_reduction_interval(
+    baselines: Sequence[RunResult],
+    candidates: Sequence[RunResult],
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """CI of run-time reduction across paired seeds (Figures 8 and 9).
+
+    Seeds are paired positionally: ``candidates[i]`` against
+    ``baselines[i]``, matching the paper's method of perturbing both
+    systems identically and comparing run times.
+    """
+    if len(baselines) != len(candidates):
+        raise ValueError(
+            f"{len(baselines)} baseline runs vs {len(candidates)} candidate runs"
+        )
+    reductions = [
+        c.runtime_reduction_over(b) for b, c in zip(baselines, candidates)
+    ]
+    return confidence_interval(reductions, confidence)

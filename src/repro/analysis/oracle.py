@@ -1,0 +1,68 @@
+"""Oracle broadcast analysis (Figure 2).
+
+Figure 2 asks: with *oracle knowledge* of every other cache, which
+broadcasts could have been skipped? The machine classifies every
+broadcast as it happens (it has the combined snoop result in hand —
+exactly the oracle's information), so the profile falls out of a
+baseline run. This module packages that as a standalone analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.system.config import SystemConfig
+from repro.system.machine import OracleCategory
+from repro.system.simulator import RunResult, run_workload
+from repro.workloads.trace import MultiTrace
+
+
+@dataclass(frozen=True)
+class OracleProfile:
+    """Per-workload unnecessary-broadcast profile (one Figure 2 bar)."""
+
+    workload: str
+    total_requests: int
+    unnecessary_fraction: float
+    by_category: Dict[OracleCategory, float]
+
+    def category(self, category: OracleCategory) -> float:
+        """This category's fraction of external requests."""
+        return self.by_category[category]
+
+
+def oracle_profile(
+    workload: MultiTrace,
+    config: Optional[SystemConfig] = None,
+    seed: int = 0,
+    warmup_fraction: float = 0.4,
+) -> OracleProfile:
+    """Run the conventional system and classify every broadcast.
+
+    The supplied *config* must be a baseline (every request broadcasts,
+    so the classifier sees every request); by default the paper's
+    baseline is used.
+    """
+    if config is None:
+        config = SystemConfig.paper_baseline()
+    if config.cgct_enabled:
+        raise ValueError(
+            "oracle_profile() needs a baseline config: with CGCT enabled, "
+            "avoided requests never reach the classifier"
+        )
+    result = run_workload(config, workload, seed=seed, warmup_fraction=warmup_fraction)
+    return profile_from_result(result)
+
+
+def profile_from_result(result: RunResult) -> OracleProfile:
+    """Extract the oracle profile from an already-completed baseline run."""
+    return OracleProfile(
+        workload=result.workload,
+        total_requests=result.stats.total_external,
+        unnecessary_fraction=result.fraction_unnecessary(),
+        by_category={
+            c: result.category_fraction(c, of="unnecessary")
+            for c in OracleCategory
+        },
+    )

@@ -1,0 +1,138 @@
+"""Table 2: storage overhead of the Region Coherence Array.
+
+The paper sizes the RCA against a 1 MB, 2-way, 64 B-line L2 cache in a
+system with ≥40-bit physical addresses (UltraSparc-IV-class, Section
+3.2). Per cache *set* the L2 stores, for each of the two ways, a 21-bit
+tag, 3 bits of state and 8 bytes of ECC, plus one shared LRU bit and
+8 bits of tag/state ECC — 23 bytes per set (Section 3.2's arithmetic).
+
+An RCA entry stores a region tag, 3 bits of region state, a line count
+(log2 of lines-per-region + 1 bits), a 6-bit memory-controller ID; per
+set there is an LRU bit and ECC over tags and state. This module
+reproduces every row of Table 2 from those first principles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+#: Fixed design point of Section 3.2.
+PHYSICAL_ADDRESS_BITS = 40
+CACHE_BYTES = 1 << 20
+CACHE_WAYS = 2
+LINE_BYTES = 64
+CACHE_SETS = CACHE_BYTES // (LINE_BYTES * CACHE_WAYS)  # 8192
+LINE_STATE_BITS = 3
+LINE_ECC_BYTES = 8  # ECC over the 64-byte data of one line
+MEM_CNTRL_ID_BITS = 6
+REGION_STATE_BITS = 3
+
+
+def _cache_tag_bits() -> int:
+    """Tag bits for one L2 line: address − set index − line offset."""
+    return (
+        PHYSICAL_ADDRESS_BITS
+        - int(math.log2(CACHE_SETS))
+        - int(math.log2(LINE_BYTES))
+    )
+
+
+def cache_bits_per_set() -> int:
+    """Total L2 bits per set: 2 ways of (tag+state+data ECC), LRU, tag ECC.
+
+    Section 3.2: "for a total of 23 bytes per set" of tag-side storage
+    (excluding the data arrays themselves).
+    """
+    per_way = _cache_tag_bits() + LINE_STATE_BITS + 8 * LINE_ECC_BYTES
+    return CACHE_WAYS * per_way + 1 + 8  # + LRU bit + tag/state ECC
+
+
+def cache_tag_side_bits_per_set() -> int:
+    """L2 tag-side bits per set (tags, state, LRU, tag ECC; no data ECC)."""
+    per_way = _cache_tag_bits() + LINE_STATE_BITS
+    return CACHE_WAYS * per_way + 1 + 8
+
+
+@dataclass(frozen=True)
+class OverheadRow:
+    """One row of Table 2."""
+
+    entries: int
+    region_bytes: int
+    address_tag_bits: int
+    state_bits: int
+    line_count_bits: int
+    mem_cntrl_id_bits: int
+    lru_bits: int
+    ecc_bits: int
+    total_bits_per_set: int
+    tag_space_overhead: float
+    cache_space_overhead: float
+
+    @property
+    def label(self) -> str:
+        """Human-readable configuration label (Table 2 row name)."""
+        return f"{self.entries // 1024}K-Entries, {self.region_bytes}-Byte Regions"
+
+
+def overhead_row(entries: int, region_bytes: int, ways: int = 2) -> OverheadRow:
+    """Compute one Table 2 row from first principles.
+
+    ``entries`` is the total RCA entry count (sets × ways); the paper
+    evaluates 4 K, 8 K and 16 K entries with 256 B / 512 B / 1 KB regions.
+    """
+    if entries % ways:
+        raise ValueError(f"entries ({entries}) must divide into {ways} ways")
+    sets = entries // ways
+    if sets & (sets - 1):
+        raise ValueError(f"RCA sets ({sets}) must be a power of two")
+    if region_bytes & (region_bytes - 1) or region_bytes < LINE_BYTES:
+        raise ValueError(f"bad region size {region_bytes}")
+
+    set_index_bits = int(math.log2(sets))
+    region_offset_bits = int(math.log2(region_bytes))
+    tag_bits = PHYSICAL_ADDRESS_BITS - set_index_bits - region_offset_bits
+    lines_per_region = region_bytes // LINE_BYTES
+    # The count must represent 0..lines_per_region inclusive.
+    line_count_bits = int(math.log2(lines_per_region)) + 1
+
+    payload_per_way = (
+        tag_bits + REGION_STATE_BITS + line_count_bits + MEM_CNTRL_ID_BITS
+    )
+    lru_bits = 1
+    # ECC: one bit per 8 payload bits per set, matching the paper's 8–9
+    # bit values for the evaluated design points.
+    ecc_bits = math.ceil(ways * payload_per_way / 8)
+    total = ways * payload_per_way + lru_bits + ecc_bits
+
+    rca_total_bits = sets * total
+    # "Tag space" in Table 2 is the cache's whole non-data array — tags,
+    # state, LRU and ECC *including* the 8 B/line data ECC (the paper's
+    # "23 bytes per set").
+    tag_space = CACHE_SETS * cache_bits_per_set()
+    cache_space = CACHE_BYTES * 8 + CACHE_SETS * cache_bits_per_set()
+
+    return OverheadRow(
+        entries=entries,
+        region_bytes=region_bytes,
+        address_tag_bits=tag_bits,
+        state_bits=REGION_STATE_BITS,
+        line_count_bits=line_count_bits,
+        mem_cntrl_id_bits=MEM_CNTRL_ID_BITS,
+        lru_bits=lru_bits,
+        ecc_bits=ecc_bits,
+        total_bits_per_set=total,
+        tag_space_overhead=rca_total_bits / tag_space,
+        cache_space_overhead=rca_total_bits / cache_space,
+    )
+
+
+def table2_rows() -> List[OverheadRow]:
+    """All nine rows of Table 2, in the paper's order."""
+    rows = []
+    for entries in (4096, 8192, 16384):
+        for region_bytes in (256, 512, 1024):
+            rows.append(overhead_row(entries, region_bytes))
+    return rows

@@ -1,0 +1,179 @@
+"""L1 instruction/data caches (MSI, write-back).
+
+The L1s exist to (a) filter the request stream seen by the L2 + RCA and
+(b) provide the 1-cycle hit latency of Table 3. They are kept inclusive in
+the L2 by back-invalidation, so all external coherence is resolved at the
+L2: a store that completes sets the line MODIFIED in *both* levels (the
+modification is reflected in the L2's coherence state immediately, which
+is equivalent to an L2 that tracks "modified above" and keeps the snoop
+path single-level).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.coherence.line_states import L1State
+from repro.memory.geometry import Geometry
+
+
+class _L1Line:
+    __slots__ = ("line", "state")
+
+    def __init__(self, line: int, state: L1State) -> None:
+        self.line = line
+        self.state = state
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"_L1Line(line={self.line:#x}, state={self.state.value})"
+
+
+class L1Cache:
+    """One first-level cache (instruction or data).
+
+    Parameters
+    ----------
+    geometry:
+        Shared address geometry (line size).
+    size_bytes / ways:
+        Capacity and associativity; Table 3 uses a 32 KB 4-way I-cache and
+        a 64 KB 4-way D-cache with 64 B lines.
+    name:
+        Diagnostic label ("l1i"/"l1d").
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        size_bytes: int,
+        ways: int,
+        name: str = "l1",
+    ) -> None:
+        self.geometry = geometry
+        num_sets = size_bytes // (geometry.line_bytes * ways)
+        self._array: SetAssociativeArray[_L1Line] = SetAssociativeArray(
+            num_sets, ways, name=name
+        )
+        self.name = name
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.back_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index(self, line: int) -> tuple:
+        return line & (self._array.num_sets - 1), line >> (
+            self._array.num_sets.bit_length() - 1
+        )
+
+    # ------------------------------------------------------------------
+    # Processor side
+    # ------------------------------------------------------------------
+    def lookup(self, address: int, write: bool = False) -> bool:
+        """Try to satisfy an access; returns True on a hit.
+
+        A write hit requires the MODIFIED state; a SHARED copy counts as a
+        miss for writes (the node escalates to the L2/upgrade path).
+        """
+        line = self.geometry.line_of(address)
+        set_index, tag = self._index(line)
+        entry = self._array.lookup(set_index, tag)
+        if entry is None:
+            self.misses += 1
+            return False
+        if write and not entry.state.is_writable:
+            self.misses += 1
+            return False
+        self.hits += 1
+        return True
+
+    def state_of(self, address: int) -> L1State:
+        """Current MSI state of the line containing *address*."""
+        line = self.geometry.line_of(address)
+        set_index, tag = self._index(line)
+        entry = self._array.lookup(set_index, tag, touch=False)
+        return entry.state if entry is not None else L1State.INVALID
+
+    def fill(self, address: int, writable: bool) -> Optional[int]:
+        """Install the line containing *address*.
+
+        Returns the line number of an evicted line (so the node can tell
+        the L2 the L1 copy is gone), or ``None``. L1 victims never need a
+        data write-back of their own: the modification is already
+        reflected in the inclusive L2's state.
+        """
+        line = self.geometry.line_of(address)
+        set_index, tag = self._index(line)
+        state = L1State.MODIFIED if writable else L1State.SHARED
+        existing = self._array.lookup(set_index, tag)
+        if existing is not None:
+            existing.state = state
+            return None
+        evicted_line: Optional[int] = None
+        victim = self._array.victim(set_index)
+        if victim is not None:
+            victim_tag, victim_entry = victim
+            self._array.remove(set_index, victim_tag)
+            evicted_line = victim_entry.line
+            self.evictions += 1
+        self._array.insert(set_index, tag, _L1Line(line, state))
+        return evicted_line
+
+    def upgrade(self, address: int) -> None:
+        """Promote a SHARED copy to MODIFIED after an upgrade completes."""
+        line = self.geometry.line_of(address)
+        set_index, tag = self._index(line)
+        entry = self._array.lookup(set_index, tag)
+        if entry is not None:
+            entry.state = L1State.MODIFIED
+
+    # ------------------------------------------------------------------
+    # L2 side (inclusion)
+    # ------------------------------------------------------------------
+    def back_invalidate(self, line: int) -> bool:
+        """Drop the copy of *line* (L2 eviction or external invalidation).
+
+        Returns True if a copy was present.
+        """
+        set_index, tag = self._index(line)
+        entry = self._array.lookup(set_index, tag, touch=False)
+        if entry is None:
+            return False
+        self._array.remove(set_index, tag)
+        self.back_invalidations += 1
+        return True
+
+    def downgrade(self, line: int) -> None:
+        """Demote a MODIFIED copy to SHARED (external read snoop)."""
+        set_index, tag = self._index(line)
+        entry = self._array.lookup(set_index, tag, touch=False)
+        if entry is not None:
+            entry.state = L1State.SHARED
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the array."""
+        return self._array.num_sets
+
+    @property
+    def ways(self) -> int:
+        """Associativity."""
+        return self._array.ways
+
+    def resident_lines(self):
+        """Yield the line numbers currently cached (for invariant checks)."""
+        for _set_index, _tag, entry in self._array:
+            yield entry.line
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters (state is preserved)."""
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.back_invalidations = 0

@@ -1,0 +1,158 @@
+"""Sectored (sub-blocked) cache model — the Section 2 contrast.
+
+The paper positions CGCT against sectored caches: both amortise tag
+storage over multiple lines, but "the partitioning of a cache into
+sectors can increase the miss rate significantly for some applications
+because of increased internal fragmentation" [7, 8, 9]. CGCT avoids the
+problem by keeping region state *beside* the cache instead of
+restructuring it.
+
+This module makes that argument measurable: a functional (miss-ratio
+only) model of a sectored cache, where ``lines_per_sector`` contiguous
+lines share one tag and each keeps only a valid bit. With one line per
+sector it degenerates to a conventional cache, so the same class serves
+as the baseline for the comparison, and the ``sectored`` experiment
+reports the miss-ratio inflation per workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+
+
+class _Sector:
+    __slots__ = ("sector", "valid")
+
+    def __init__(self, sector: int, lines_per_sector: int) -> None:
+        self.sector = sector
+        self.valid = [False] * lines_per_sector
+
+
+class SectoredCache:
+    """Functional sectored cache: hit/miss accounting only.
+
+    Parameters
+    ----------
+    geometry:
+        Supplies the line size.
+    size_bytes:
+        Data capacity (the comparison holds data capacity constant; the
+        sectored organisation needs ~1/``lines_per_sector`` of the tags).
+    ways:
+        Associativity (of sectors).
+    lines_per_sector:
+        Lines sharing one tag; 1 = conventional cache.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        size_bytes: int = 1 << 20,
+        ways: int = 2,
+        lines_per_sector: int = 8,
+    ) -> None:
+        if lines_per_sector <= 0 or lines_per_sector & (lines_per_sector - 1):
+            raise ConfigurationError(
+                f"lines_per_sector must be a power of two, got {lines_per_sector}"
+            )
+        self.geometry = geometry
+        self.lines_per_sector = lines_per_sector
+        sector_bytes = geometry.line_bytes * lines_per_sector
+        num_sets = size_bytes // (sector_bytes * ways)
+        if num_sets <= 0:
+            raise ConfigurationError(
+                f"cache of {size_bytes} B cannot hold {ways}-way "
+                f"{sector_bytes} B sectors"
+            )
+        self._array: SetAssociativeArray[_Sector] = SetAssociativeArray(
+            num_sets, ways, name="sectored"
+        )
+        self._offset_bits = (
+            geometry.line_offset_bits + lines_per_sector.bit_length() - 1
+        )
+        self.accesses = 0
+        self.line_misses = 0    # sector present, line invalid
+        self.sector_misses = 0  # tag miss: allocate a fresh sector
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _decompose(self, address: int):
+        sector = address >> self._offset_bits
+        line_in_sector = (
+            address >> self.geometry.line_offset_bits
+        ) & (self.lines_per_sector - 1)
+        set_index = sector & (self._array.num_sets - 1)
+        tag = sector >> (self._array.num_sets.bit_length() - 1)
+        return sector, line_in_sector, set_index, tag
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the array."""
+        return self._array.num_sets
+
+    @property
+    def tags(self) -> int:
+        """Tag entries — the storage sectoring exists to save."""
+        return self._array.num_sets * self._array.ways
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> bool:
+        """Reference the line containing *address*; True on a hit."""
+        self.accesses += 1
+        sector, line_in_sector, set_index, tag = self._decompose(address)
+        entry = self._array.lookup(set_index, tag)
+        if entry is not None:
+            if entry.valid[line_in_sector]:
+                return True
+            entry.valid[line_in_sector] = True
+            self.line_misses += 1
+            return False
+        victim = self._array.victim(set_index)
+        if victim is not None:
+            # Evicting a sector discards every line it held — the
+            # fragmentation cost of sharing one tag.
+            self._array.remove(set_index, victim[0])
+        fresh = _Sector(sector, self.lines_per_sector)
+        fresh.valid[line_in_sector] = True
+        self._array.insert(set_index, tag, fresh)
+        self.sector_misses += 1
+        return False
+
+    def run(self, addresses: Iterable[int]) -> float:
+        """Feed an address stream; returns the miss ratio."""
+        for address in addresses:
+            self.access(int(address))
+        return self.miss_ratio
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    @property
+    def misses(self) -> int:
+        """Total misses (sector + line)."""
+        return self.line_misses + self.sector_misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses (0.0 before any access)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def utilization(self) -> float:
+        """Valid lines / allocated lines: 1 − internal fragmentation."""
+        allocated = 0
+        valid = 0
+        for _s, _t, entry in self._array:
+            allocated += self.lines_per_sector
+            valid += sum(entry.valid)
+        if allocated == 0:
+            return 1.0
+        return valid / allocated

@@ -1,0 +1,27 @@
+"""Line-grain coherence: request vocabulary, MOESI/MSI states, snooping.
+
+This is the *conventional* protocol layer of the paper's system — the
+write-invalidate MOESI protocol the Region Coherence Array supplements
+(Section 1.1). Nothing in this package knows about regions.
+"""
+
+from repro.coherence.line_states import L1State, LineState
+from repro.coherence.requests import RequestType
+from repro.coherence.snoop import LineSnoopResponse, SnoopResult, combine_line_responses
+from repro.coherence.moesi import (
+    fill_state_for,
+    snoop_transition,
+    state_permits,
+)
+
+__all__ = [
+    "L1State",
+    "LineState",
+    "RequestType",
+    "LineSnoopResponse",
+    "SnoopResult",
+    "combine_line_responses",
+    "fill_state_for",
+    "snoop_transition",
+    "state_permits",
+]

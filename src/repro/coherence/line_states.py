@@ -1,0 +1,62 @@
+"""Cache-line coherence states.
+
+The paper's system keeps write-invalidate MOESI at the L2 (the level the
+Region Coherence Array sits beside) and MSI in the L1s (Table 3).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """MOESI state of an L2 line."""
+
+    MODIFIED = "M"
+    OWNED = "O"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether this is a valid (non-INVALID) state."""
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """Whether this copy differs from memory and must be written back."""
+        return self in (LineState.MODIFIED, LineState.OWNED)
+
+    @property
+    def is_writable(self) -> bool:
+        """Whether a store may complete against this copy with no request."""
+        return self is LineState.MODIFIED
+
+    @property
+    def can_silently_modify(self) -> bool:
+        """Whether a store needs no external request (E upgrades silently)."""
+        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
+
+    @property
+    def supplies_on_snoop(self) -> bool:
+        """Whether this copy sources data on a remote read (M/O ownership)."""
+        return self in (LineState.MODIFIED, LineState.OWNED)
+
+
+class L1State(enum.Enum):
+    """MSI state of an L1 line (the I-cache only uses S and I)."""
+
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        """Whether this is a valid (non-INVALID) state."""
+        return self is not L1State.INVALID
+
+    @property
+    def is_writable(self) -> bool:
+        """Whether a store may complete against this copy."""
+        return self is L1State.MODIFIED

@@ -1,0 +1,125 @@
+"""Write-invalidate MOESI protocol tables.
+
+Pure functions describing the conventional protocol of the paper's system
+(Table 3: "Write-Invalidate MOESI (L2)"). Three questions are answered:
+
+* :func:`state_permits` — can a request complete against a held copy
+  without any external action?
+* :func:`fill_state_for` — what state does a requestor install after its
+  request completes, given the combined snoop result?
+* :func:`snoop_transition` — how does a *remote* agent's copy react to a
+  snooped request, and does it supply data / write back?
+
+Keeping these as tables (rather than burying the transitions in the cache
+model) lets the test suite enumerate the protocol exhaustively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.coherence.line_states import LineState
+from repro.coherence.requests import RequestType
+from repro.coherence.snoop import SnoopResult
+from repro.common.errors import ProtocolError
+
+
+def state_permits(state: LineState, request: RequestType) -> bool:
+    """Whether a held copy in *state* satisfies *request* with no request.
+
+    READ/IFETCH/PREFETCH are satisfied by any valid copy. Writes need M,
+    or E (which upgrades to M silently). UPGRADE/DCB requests by
+    definition act on the coherence fabric, so they are never "satisfied"
+    here — the caller decides whether an external request is needed from
+    the line and region state together.
+    """
+    if request in (RequestType.READ, RequestType.IFETCH, RequestType.PREFETCH):
+        return state.is_valid
+    if request in (RequestType.RFO, RequestType.PREFETCH_EX):
+        return state.can_silently_modify
+    return False
+
+
+def fill_state_for(request: RequestType, snoop: SnoopResult) -> LineState:
+    """State the requestor installs once *request* completes.
+
+    Follows MOESI fill rules:
+
+    * READ/PREFETCH: EXCLUSIVE when no other agent holds a copy, else
+      SHARED (MIPS/Sun-style E-on-miss).
+    * IFETCH: SHARED — instruction lines are treated as shared-clean, the
+      common case the paper describes.
+    * RFO/UPGRADE/DCBZ: MODIFIED (write-invalidate).
+    * PREFETCH_EX: EXCLUSIVE — a clean modifiable copy staged for a store.
+    * DCBF/DCBI/WRITEBACK leave nothing cached: INVALID.
+    """
+    if request in (RequestType.READ, RequestType.PREFETCH):
+        return LineState.SHARED if snoop.shared else LineState.EXCLUSIVE
+    if request is RequestType.IFETCH:
+        return LineState.SHARED
+    if request in (RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ):
+        return LineState.MODIFIED
+    if request is RequestType.PREFETCH_EX:
+        return LineState.EXCLUSIVE
+    if request in (RequestType.DCBF, RequestType.DCBI, RequestType.WRITEBACK):
+        return LineState.INVALID
+    raise ProtocolError(f"no fill state defined for {request}")
+
+
+@dataclass(frozen=True)
+class SnoopAction:
+    """Outcome of snooping one remote copy.
+
+    Attributes
+    ----------
+    next_state:
+        The remote copy's state after the snoop.
+    supplies_data:
+        The remote agent sources the line to the requestor.
+    writes_back:
+        The remote agent pushes its dirty data to memory (DCBF, or an
+        invalidation of a dirty copy whose data the requestor does not
+        want).
+    """
+
+    next_state: LineState
+    supplies_data: bool = False
+    writes_back: bool = False
+
+
+#: Requests that leave remote readable copies intact.
+_READ_LIKE = (RequestType.READ, RequestType.IFETCH, RequestType.PREFETCH)
+
+
+def snoop_transition(state: LineState, request: RequestType) -> SnoopAction:
+    """How a remote copy in *state* reacts to a snooped *request*.
+
+    Read-like snoops demote M→O / E→S and the owner supplies data.
+    Invalidating snoops kill the copy; a dirty owner forwards data to the
+    requestor when the requestor wants it (RFO), or writes it back to
+    memory when it does not (DCBZ, DCBF, DCBI, UPGRADE-of-stale-owner).
+    Write-backs are castouts addressed to memory and never disturb other
+    caches.
+    """
+    if state is LineState.INVALID or request is RequestType.WRITEBACK:
+        return SnoopAction(next_state=state)
+
+    if request in _READ_LIKE:
+        if state is LineState.MODIFIED:
+            return SnoopAction(LineState.OWNED, supplies_data=True)
+        if state is LineState.OWNED:
+            return SnoopAction(LineState.OWNED, supplies_data=True)
+        if state is LineState.EXCLUSIVE:
+            return SnoopAction(LineState.SHARED)
+        return SnoopAction(LineState.SHARED)  # S stays S
+
+    if request.invalidates_others:
+        dirty = state.is_dirty
+        wants_data = request.wants_data  # RFO / PREFETCH_EX take the data
+        return SnoopAction(
+            LineState.INVALID,
+            supplies_data=dirty and wants_data,
+            writes_back=dirty and not wants_data and request is not RequestType.DCBI,
+        )
+
+    raise ProtocolError(f"no snoop transition defined for {state} on {request}")

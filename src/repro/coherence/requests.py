@@ -1,0 +1,112 @@
+"""Memory request vocabulary.
+
+The request mix follows the paper's Figure 2 categories for a PowerPC/AIX
+system: ordinary data reads and writes (including prefetches), write-backs,
+instruction fetches, and the Data Cache Block (DCB) operations — most
+importantly DCBZ, which AIX uses to zero newly-allocated physical pages.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RequestType(enum.Enum):
+    """A memory request as seen below the L1 caches."""
+
+    #: Demand data-load miss: wants a readable copy.
+    READ = "read"
+    #: Demand store miss: read-for-ownership, wants a modifiable copy.
+    RFO = "rfo"
+    #: Store hit on a shared copy: invalidate other copies, no data needed.
+    UPGRADE = "upgrade"
+    #: Instruction fetch miss: wants a readable (typically shared) copy.
+    IFETCH = "ifetch"
+    #: Castout of a dirty line to memory.
+    WRITEBACK = "writeback"
+    #: Data Cache Block Zero: allocate a zeroed modifiable line, no data read.
+    DCBZ = "dcbz"
+    #: Data Cache Block Flush: push dirty data to memory, invalidate copies.
+    DCBF = "dcbf"
+    #: Data Cache Block Invalidate: discard all cached copies.
+    DCBI = "dcbi"
+    #: Hardware stream prefetch for a readable copy (Power4-style).
+    PREFETCH = "prefetch"
+    #: Exclusive prefetch for an expected store (MIPS R10000-style).
+    PREFETCH_EX = "prefetch_ex"
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def is_demand(self) -> bool:
+        """Whether a processor instruction is stalled on this request."""
+        return self in (
+            RequestType.READ,
+            RequestType.RFO,
+            RequestType.UPGRADE,
+            RequestType.IFETCH,
+        )
+
+    @property
+    def is_prefetch(self) -> bool:
+        """Whether this is a hardware prefetch request."""
+        return self in (RequestType.PREFETCH, RequestType.PREFETCH_EX)
+
+    @property
+    def is_dcb(self) -> bool:
+        """Whether this is a Data Cache Block operation."""
+        return self in (RequestType.DCBZ, RequestType.DCBF, RequestType.DCBI)
+
+    @property
+    def wants_data(self) -> bool:
+        """Whether the requestor needs the memory line's current contents.
+
+        DCBZ allocates a zeroed line, upgrades already hold the data, and
+        DCBF/DCBI/WRITEBACK move or drop data rather than fetch it.
+        """
+        return self in (
+            RequestType.READ,
+            RequestType.RFO,
+            RequestType.IFETCH,
+            RequestType.PREFETCH,
+            RequestType.PREFETCH_EX,
+        )
+
+    @property
+    def wants_modifiable(self) -> bool:
+        """Whether the requestor must end with write permission.
+
+        These are the requests Table 1's "Broadcast Needed? — For
+        Modifiable Copy" rows gate on in the CC/DC region states.
+        """
+        return self in (
+            RequestType.RFO,
+            RequestType.UPGRADE,
+            RequestType.DCBZ,
+            RequestType.PREFETCH_EX,
+        )
+
+    @property
+    def invalidates_others(self) -> bool:
+        """Whether remote copies must be invalidated when this completes."""
+        return self in (
+            RequestType.RFO,
+            RequestType.UPGRADE,
+            RequestType.DCBZ,
+            RequestType.DCBF,
+            RequestType.DCBI,
+            RequestType.PREFETCH_EX,
+        )
+
+    @property
+    def allocates_line(self) -> bool:
+        """Whether completing this request leaves a copy in the local cache."""
+        return self in (
+            RequestType.READ,
+            RequestType.RFO,
+            RequestType.IFETCH,
+            RequestType.DCBZ,
+            RequestType.PREFETCH,
+            RequestType.PREFETCH_EX,
+        )

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the CGCT reproduction.
+
+Every error raised by the library derives from :class:`CGCTError` so callers
+can catch library failures without also catching programming errors.
+"""
+
+
+class CGCTError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(CGCTError):
+    """An invalid or inconsistent configuration value was supplied.
+
+    Raised eagerly at construction time (e.g. a non-power-of-two region
+    size, a region smaller than a cache line, or a topology that does not
+    hold the requested number of processors) so simulations never start
+    with parameters the model cannot honour.
+    """
+
+
+class ProtocolError(CGCTError):
+    """A coherence or region-protocol invariant was violated.
+
+    This always indicates a bug in the protocol implementation (or a
+    hand-built state that the protocol could never reach), never a user
+    input problem: the protocol tables are closed over their state space.
+    """
+
+
+class SimulationError(CGCTError):
+    """The simulator reached an inconsistent runtime state.
+
+    Examples: a trace record referencing an address outside the configured
+    physical address space, or a processor clock moving backwards.
+    """

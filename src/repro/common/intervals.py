@@ -1,0 +1,85 @@
+"""Windowed event counting.
+
+Figure 10 of the paper reports broadcast traffic two ways: the run-length
+average (total broadcasts / total cycles, scaled to a 100 000-cycle window)
+and the *peak* — the largest count observed in any single 100 000-cycle
+interval. :class:`IntervalCounter` maintains both online.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict
+
+
+class IntervalCounter:
+    """Counts events bucketed into fixed-width time windows.
+
+    Parameters
+    ----------
+    window:
+        Window width in cycles. The paper uses 100 000 CPU cycles.
+    """
+
+    def __init__(self, window: int = 100_000) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self.total = 0
+        self._last_time = 0
+
+    def record(self, time: int, count: int = 1) -> None:
+        """Record *count* events at cycle *time*."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        self._buckets[time // self.window] += count
+        self.total += count
+        if time > self._last_time:
+            self._last_time = time
+
+    @property
+    def last_time(self) -> int:
+        """Largest timestamp seen so far (cycles)."""
+        return self._last_time
+
+    def peak(self) -> int:
+        """Largest event count in any single window (0 if empty)."""
+        if not self._buckets:
+            return 0
+        return max(self._buckets.values())
+
+    def average_per_window(self, end_time: int = 0, start_time: int = 0) -> float:
+        """Average events per window over the run.
+
+        ``end_time`` overrides the run length; by default the largest
+        recorded timestamp is used. ``start_time`` discounts a warm-up
+        prefix. Matches the paper's "broadcasts per 100,000 cycles"
+        metric: ``total / cycles * window``.
+        """
+        horizon = max(end_time, self._last_time) - start_time
+        if horizon <= 0:
+            return 0.0
+        return self.total / horizon * self.window
+
+    def series(self) -> Dict[int, int]:
+        """Dense window-index → count mapping from window 0 to the last."""
+        if not self._buckets:
+            return {}
+        last = max(self._buckets)
+        return {i: self._buckets.get(i, 0) for i in range(last + 1)}
+
+    def merge(self, other: "IntervalCounter") -> "IntervalCounter":
+        """Combine two counters with identical window widths."""
+        if other.window != self.window:
+            raise ValueError(
+                f"cannot merge counters with windows {self.window} and {other.window}"
+            )
+        merged = IntervalCounter(self.window)
+        for bucket, count in self._buckets.items():
+            merged._buckets[bucket] += count
+        for bucket, count in other._buckets.items():
+            merged._buckets[bucket] += count
+        merged.total = self.total + other.total
+        merged._last_time = max(self._last_time, other._last_time)
+        return merged

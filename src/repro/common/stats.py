@@ -1,0 +1,155 @@
+"""Summary statistics for multi-run experiments.
+
+The paper reports 95 % confidence intervals over several perturbed runs of
+each benchmark (Section 4, following Alameldeen et al.). This module
+provides the small amount of statistics the harness needs: streaming
+mean/variance accumulation, Student-t confidence intervals, and geometric
+means for speedup aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from scipy import stats as _scipy_stats
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def low(self) -> float:
+        """Lower bound of the interval."""
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        """Upper bound of the interval."""
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether *value* lies inside the interval (inclusive)."""
+        return self.low <= value <= self.high
+
+    def overlaps(self, other: "ConfidenceInterval") -> bool:
+        """Whether two intervals share any point."""
+        return self.low <= other.high and other.low <= self.high
+
+    def __str__(self) -> str:  # pragma: no cover - formatting only
+        return f"{self.mean:.4g} ± {self.half_width:.2g} ({self.confidence:.0%}, n={self.n})"
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of *samples*.
+
+    With a single sample the half-width is zero (there is nothing to
+    estimate dispersion from); the harness flags such results as
+    single-run. Raises :class:`ValueError` on an empty sequence.
+    """
+    if not samples:
+        raise ValueError("confidence_interval() requires at least one sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    n = len(samples)
+    mean = sum(samples) / n
+    if n == 1:
+        return ConfidenceInterval(mean=mean, half_width=0.0, confidence=confidence, n=1)
+    variance = sum((x - mean) ** 2 for x in samples) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = float(_scipy_stats.t.ppf((1.0 + confidence) / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=mean, half_width=t_crit * sem, confidence=confidence, n=n
+    )
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional aggregate for speedup ratios.
+
+    Raises :class:`ValueError` for empty input or non-positive values
+    (a non-positive speedup is always a caller bug).
+    """
+    log_sum = 0.0
+    count = 0
+    for value in values:
+        if value <= 0.0:
+            raise ValueError(f"geometric_mean requires positive values, got {value}")
+        log_sum += math.log(value)
+        count += 1
+    if count == 0:
+        raise ValueError("geometric_mean() requires at least one value")
+    return math.exp(log_sum / count)
+
+
+@dataclass
+class RunningStat:
+    """Streaming mean / variance / extrema accumulator (Welford).
+
+    Used by the simulator for per-request latency statistics where storing
+    every sample would be wasteful.
+    """
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Fold many samples into the accumulator."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Unbiased sample variance; zero until two samples exist."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStat") -> "RunningStat":
+        """Return a new accumulator equivalent to seeing both sample sets."""
+        if other.count == 0:
+            return RunningStat(
+                self.count, self.mean, self._m2, self.minimum, self.maximum
+            )
+        if self.count == 0:
+            return RunningStat(
+                other.count, other.mean, other._m2, other.minimum, other.maximum
+            )
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / count
+        mins: List[float] = [
+            m for m in (self.minimum, other.minimum) if m is not None
+        ]
+        maxs: List[float] = [
+            m for m in (self.maximum, other.maximum) if m is not None
+        ]
+        return RunningStat(count, mean, m2, min(mins), max(maxs))

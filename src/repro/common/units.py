@@ -1,0 +1,61 @@
+"""Clock-domain and unit conversions.
+
+The paper's system (Table 3) runs 1.5 GHz processors over a 150 MHz
+Fireplane-like interconnect, i.e. exactly ten CPU cycles per system cycle.
+All simulator arithmetic is carried out in integer CPU cycles; these helpers
+convert the paper's published latencies (given variously in nanoseconds,
+system cycles, and CPU cycles) into that common currency.
+"""
+
+from __future__ import annotations
+
+#: CPU clock frequency assumed by the paper's evaluation (Table 3).
+CPU_CLOCK_HZ = 1_500_000_000
+
+#: Interconnect ("system") clock frequency (Table 3).
+SYSTEM_CLOCK_HZ = 150_000_000
+
+#: Ratio between the two clock domains; Table 3's latencies rely on this
+#: being integral (1.5 GHz / 150 MHz = 10).
+CPU_CYCLES_PER_SYSTEM_CYCLE = CPU_CLOCK_HZ // SYSTEM_CLOCK_HZ
+
+#: Nanoseconds per CPU cycle (2/3 ns at 1.5 GHz), kept as a rational pair to
+#: avoid floating-point drift in round trips.
+_NS_NUMER = 1_000_000_000
+_NS_DENOM = CPU_CLOCK_HZ
+
+
+def system_cycles(n: int) -> int:
+    """Convert *n* interconnect cycles to CPU cycles.
+
+    >>> system_cycles(16)   # the paper's 106 ns snoop latency
+    160
+    """
+    return n * CPU_CYCLES_PER_SYSTEM_CYCLE
+
+
+def cpu_cycles(n: int) -> int:
+    """Identity conversion, for call sites that want explicit units.
+
+    >>> cpu_cycles(12)      # the paper's 12-cycle L2 latency
+    12
+    """
+    return n
+
+
+def nanoseconds(ns: float) -> int:
+    """Convert nanoseconds to the nearest whole CPU cycle.
+
+    >>> nanoseconds(106)    # Table 3: snoop latency 106 ns = 16 system cycles
+    159
+    """
+    return round(ns * _NS_DENOM / _NS_NUMER)
+
+
+def to_nanoseconds(cycles: int) -> float:
+    """Convert CPU cycles back to nanoseconds (for reporting).
+
+    >>> round(to_nanoseconds(160), 1)
+    106.7
+    """
+    return cycles * _NS_NUMER / _NS_DENOM

@@ -1,0 +1,38 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+* :mod:`repro.harness.runcache` — memoised simulation runs shared
+  between experiments (Figures 7–10 reuse the same baselines).
+* :mod:`repro.harness.render` — plain-text table/bar rendering.
+* :mod:`repro.harness.experiments` — one function per paper artifact,
+  registered by ID (``fig2`` … ``fig10``, ``table1`` … ``table4``,
+  ``sec32``).
+* ``python -m repro.harness <experiment-id>`` — command-line entry.
+"""
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    RunOptions,
+    run_experiment,
+)
+from repro.harness.export import (
+    result_to_dict,
+    result_to_markdown,
+    save_results_json,
+    save_results_markdown,
+)
+from repro.harness.render import render_table
+from repro.harness.runcache import RunCache
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "RunCache",
+    "RunOptions",
+    "render_table",
+    "result_to_dict",
+    "result_to_markdown",
+    "run_experiment",
+    "save_results_json",
+    "save_results_markdown",
+]

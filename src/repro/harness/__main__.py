@@ -1,0 +1,84 @@
+"""Command-line entry: ``python -m repro.harness <experiment> [...]``.
+
+Examples::
+
+    python -m repro.harness fig2
+    python -m repro.harness fig8 --ops 100000 --seeds 3
+    python -m repro.harness all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.harness.experiments import EXPERIMENTS, RunOptions, run_experiment
+from repro.harness.runcache import RunCache
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument("--ops", type=int, default=60_000,
+                        help="memory operations per processor (default 60000)")
+    parser.add_argument("--seeds", type=int, default=2,
+                        help="perturbed runs per configuration (default 2)")
+    parser.add_argument("--warmup", type=float, default=0.4,
+                        help="warm-up fraction of each trace (default 0.4)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="restrict to these workloads")
+    parser.add_argument("--quick", action="store_true",
+                        help="small traces, one seed, three workloads")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="also write all results to PATH as JSON")
+    parser.add_argument("--markdown", metavar="PATH", default=None,
+                        help="also write all results to PATH as Markdown")
+    args = parser.parse_args(argv)
+
+    options = RunOptions(
+        ops_per_processor=args.ops,
+        seeds=args.seeds,
+        warmup_fraction=args.warmup,
+    )
+    if args.benchmarks:
+        options = RunOptions(
+            ops_per_processor=options.ops_per_processor,
+            seeds=options.seeds,
+            warmup_fraction=options.warmup_fraction,
+            benchmarks=tuple(args.benchmarks),
+        )
+    if args.quick:
+        options = options.quick()
+
+    wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    cache = RunCache()
+    results = []
+    for experiment_id in wanted:
+        started = time.time()
+        result = run_experiment(experiment_id, options, cache)
+        results.append(result)
+        print(result.render())
+        print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+    if args.json:
+        from repro.harness.export import save_results_json
+
+        save_results_json(results, args.json)
+        print(f"[results written to {args.json}]")
+    if args.markdown:
+        from repro.harness.export import save_results_markdown
+
+        save_results_markdown(results, args.markdown)
+        print(f"[results written to {args.markdown}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

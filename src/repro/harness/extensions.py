@@ -1,0 +1,279 @@
+"""Beyond-the-paper experiments: ablations, Section 6 features, scaling.
+
+These are not reproductions of published figures — they answer the
+questions the paper raises but does not evaluate:
+
+* ``ablations`` — how much each design ingredient of CGCT matters:
+  self-invalidation (Section 3.1), the empty-region replacement
+  preference (Section 3.2), the two-bit snoop response (Section 3.4),
+  line-response visibility (Section 3.1), and the RegionScout
+  alternative (Section 2).
+* ``extensions`` — the Section 6 future-work features implemented here:
+  region-filtered prefetching, DRAM-speculation filtering, and
+  region-state prefetch.
+* ``scaling`` — broadcast traffic and CGCT benefit as the machine grows
+  from 4 to 8 to 16 processors (the scalability argument of Section 5.3
+  extrapolated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List
+
+from repro.harness.experiments import ExperimentResult, RunOptions
+from repro.harness.runcache import RunCache
+from repro.interconnect.topology import Topology
+from repro.system.config import SystemConfig
+from repro.system.simulator import run_workload
+from repro.workloads.benchmarks import get_profile
+from repro.workloads.generator import SyntheticWorkload
+
+#: Workloads that stress the mechanisms differently: migratory-heavy,
+#: broadcast-bound, and sharing-light.
+ABLATION_WORKLOADS = ("barnes", "tpc-w", "specweb99")
+
+
+def _ablation_configs() -> Dict[str, SystemConfig]:
+    full = SystemConfig.paper_cgct(512)
+    return {
+        "CGCT (full)": full,
+        "no self-invalidation": replace(full, self_invalidation=False),
+        "plain-LRU replacement": replace(full, prefer_empty_victims=False),
+        "one-bit response": replace(full, two_bit_response=False),
+        "line response hidden": replace(full, line_response_visible=False),
+        "RegionScout": replace(
+            SystemConfig.paper_baseline(), regionscout_enabled=True
+        ),
+    }
+
+
+def ablations(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Per-ingredient ablation of the CGCT design."""
+    baseline = SystemConfig.paper_baseline()
+    rows: List[List] = []
+    workloads = [w for w in ABLATION_WORKLOADS if w in options.benchmarks] or \
+        list(options.benchmarks)[:2]
+    for label, config in _ablation_configs().items():
+        row = [label]
+        for name in workloads:
+            base = cache.run(name, baseline, options.ops_per_processor,
+                             warmup_fraction=options.warmup_fraction)
+            run = cache.run(name, config, options.ops_per_processor,
+                            warmup_fraction=options.warmup_fraction)
+            row.append(
+                f"{run.fraction_avoided():.1%} / "
+                f"{run.runtime_reduction_over(base):+.1%}"
+            )
+        rows.append(row)
+    return ExperimentResult(
+        "ablations", "CGCT design ablations (avoided / run-time reduction)",
+        ["Variant"] + list(workloads), rows,
+        notes=["Self-invalidation matters most for migratory workloads "
+               "(barnes); the one-bit response costs the direct i-fetch "
+               "path; RegionScout trades >4x less storage for reduced "
+               "effectiveness (Section 2's claim)."],
+    )
+
+
+def extensions(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Section 6 future-work features, measured."""
+    base_cfg = SystemConfig.paper_cgct(512)
+    variants = {
+        "CGCT (as evaluated)": base_cfg,
+        "+ prefetch region filter": replace(
+            base_cfg, prefetch_region_filter=True),
+        "+ DRAM speculation filter": replace(
+            base_cfg, dram_speculation_filter=True),
+        "+ region-state prefetch": replace(
+            base_cfg, region_state_prefetch=True),
+        "+ all three": replace(
+            base_cfg, prefetch_region_filter=True,
+            dram_speculation_filter=True, region_state_prefetch=True),
+    }
+    baseline = SystemConfig.paper_baseline()
+    rows: List[List] = []
+    workloads = [w for w in ABLATION_WORKLOADS if w in options.benchmarks] or \
+        list(options.benchmarks)[:2]
+    for label, config in variants.items():
+        row = [label]
+        for name in workloads:
+            base = cache.run(name, baseline, options.ops_per_processor,
+                             warmup_fraction=options.warmup_fraction)
+            run = cache.run(name, config, options.ops_per_processor,
+                            warmup_fraction=options.warmup_fraction)
+            row.append(
+                f"{run.fraction_avoided():.1%} / "
+                f"{run.runtime_reduction_over(base):+.1%}"
+            )
+        rows.append(row)
+    return ExperimentResult(
+        "extensions",
+        "Section 6 extensions (avoided / run-time reduction)",
+        ["Variant"] + list(workloads), rows,
+        notes=["The DRAM filter trades occasional serial-DRAM misses for "
+               "avoided speculative accesses (an energy proxy); region-"
+               "state prefetch targets the ~4 % of requests whose region "
+               "state was invalid (Section 6)."],
+    )
+
+
+def _topology_for(processors: int) -> Topology:
+    if processors == 4:
+        return Topology()
+    if processors == 8:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=1)
+    if processors == 16:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=2)
+    raise ValueError(f"no topology defined for {processors} processors")
+
+
+def scaling(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Broadcast traffic and CGCT benefit versus machine size."""
+    workload_name = "tpc-w" if "tpc-w" in options.benchmarks else options.benchmarks[0]
+    profile = get_profile(workload_name)
+    rows: List[List] = []
+    for processors in (4, 8, 16):
+        topology = _topology_for(processors)
+        workload = SyntheticWorkload(profile, num_processors=processors).build(
+            seed=0, ops_per_processor=options.ops_per_processor
+        )
+        base_cfg = replace(SystemConfig.paper_baseline(), topology=topology)
+        cgct_cfg = replace(SystemConfig.paper_cgct(512), topology=topology)
+        base = run_workload(base_cfg, workload,
+                            warmup_fraction=options.warmup_fraction)
+        cgct = run_workload(cgct_cfg, workload,
+                            warmup_fraction=options.warmup_fraction)
+        rows.append([
+            processors,
+            f"{base.broadcasts_per_window():.0f}",
+            f"{cgct.broadcasts_per_window():.0f}",
+            f"{base.bus_queue_cycles / max(1, base.stats.total_broadcasts):.1f}",
+            f"{cgct.fraction_avoided():.1%}",
+            f"{cgct.runtime_reduction_over(base):+.1%}",
+        ])
+    return ExperimentResult(
+        "scaling",
+        f"Scalability on {workload_name}: 4 → 16 processors",
+        ["Processors", "Bcast/100K (base)", "Bcast/100K (CGCT)",
+         "Queue cycles/bcast (base)", "Avoided", "Run-time reduction"],
+        rows,
+        notes=["Broadcast traffic and per-broadcast queuing grow with "
+               "processor count while the ordered address network does "
+               "not; CGCT removes a constant large fraction of that load "
+               "(Section 5.3's argument). Whether the *run-time* benefit "
+               "also grows depends on how close the baseline is to bus "
+               "saturation: broadcast-bound workloads (ocean) gain "
+               "dramatically at 16 processors, latency-bound ones "
+               "(tpc-w) see the gain diluted by growing necessary "
+               "cache-to-cache traffic."],
+    )
+
+
+def energy(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Coherence-energy proxy (Section 6's power discussion).
+
+    Runs each workload on the baseline, CGCT, and CGCT with the DRAM
+    speculation filter, and reports the event counts the paper says
+    cost power — network messages, tag lookups, DRAM accesses — plus a
+    weighted proxy total. RCA lookups are charged against CGCT, probing
+    Section 6's caveat that "the additional logic may cancel out some of
+    that savings."
+    """
+    from repro.analysis.energy import energy_report
+    from repro.system.simulator import Simulator
+    from repro.workloads.benchmarks import build_benchmark
+
+    configs = {
+        "baseline": SystemConfig.paper_baseline(),
+        "baseline + Jetty": replace(
+            SystemConfig.paper_baseline(), jetty_enabled=True
+        ),
+        "CGCT 512B": SystemConfig.paper_cgct(512),
+        "CGCT + DRAM filter": replace(
+            SystemConfig.paper_cgct(512), dram_speculation_filter=True
+        ),
+    }
+    workloads = [w for w in ABLATION_WORKLOADS if w in options.benchmarks] or \
+        list(options.benchmarks)[:2]
+    rows: List[List] = []
+    for name in workloads:
+        trace = build_benchmark(name, ops_per_processor=options.ops_per_processor)
+        reports = {}
+        for label, config in configs.items():
+            simulator = Simulator(config)
+            simulator.run(trace, warmup_fraction=options.warmup_fraction)
+            reports[label] = energy_report(simulator.machine)
+        base = reports["baseline"]
+        for label, report in reports.items():
+            rows.append([
+                name, label,
+                report.address_messages, report.tag_lookups,
+                report.rca_lookups, report.dram_accesses,
+                f"{report.weighted_total:.0f}",
+                f"{report.savings_over(base):+.1%}" if label != "baseline" else "-",
+            ])
+    return ExperimentResult(
+        "energy",
+        "Coherence-energy proxy (events and weighted total)",
+        ["Benchmark", "Config", "Addr msgs", "Tag lookups", "RCA lookups",
+         "DRAM", "Proxy total", "Saving"],
+        rows,
+        notes=["A comparison proxy, not joules: weights in "
+               "repro.analysis.energy. Jetty (Section 2) only filters "
+               "tag lookups — broadcasts and DRAM are untouched; CGCT "
+               "saves messages and lookups but pays for RCA lookups "
+               "(Section 6's trade-off); the DRAM filter additionally "
+               "trims wasted speculative DRAM reads."],
+    )
+
+
+def sectored(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Sectored-cache miss-ratio contrast (Section 2's related work).
+
+    Feeds each benchmark's data-reference stream through a conventional
+    1 MB 2-way cache and through sectored organisations of the same data
+    capacity, quantifying the miss-ratio inflation that motivates CGCT's
+    choice to keep region state *beside* the cache rather than sector it.
+    """
+    import numpy as np
+
+    from repro.cache.sectored import SectoredCache
+    from repro.memory.geometry import Geometry
+    from repro.workloads.trace import TraceOp
+
+    geometry = Geometry()
+    data_ops = (int(TraceOp.LOAD), int(TraceOp.STORE), int(TraceOp.DCBZ))
+    rows: List[List] = []
+    workloads = [w for w in ABLATION_WORKLOADS if w in options.benchmarks] or \
+        list(options.benchmarks)[:2]
+    for name in workloads:
+        trace = cache.trace(name, options.ops_per_processor).per_processor[0]
+        mask = np.isin(trace.ops, data_ops)
+        addresses = trace.addresses[mask].tolist()
+        conventional = SectoredCache(geometry, lines_per_sector=1)
+        base_ratio = conventional.run(addresses)
+        row = [name, f"{base_ratio:.2%}", conventional.tags]
+        for lines_per_sector in (4, 8):
+            sectored_cache = SectoredCache(
+                geometry, lines_per_sector=lines_per_sector)
+            ratio = sectored_cache.run(addresses)
+            inflation = ratio / base_ratio - 1 if base_ratio else 0.0
+            row.append(
+                f"{ratio:.2%} ({inflation:+.0%}, "
+                f"util {sectored_cache.utilization():.0%})"
+            )
+        rows.append(row)
+    return ExperimentResult(
+        "sectored",
+        "Sectored-cache miss ratios (same data capacity)",
+        ["Benchmark", "Conventional", "Tags",
+         "4 lines/sector", "8 lines/sector"],
+        rows,
+        notes=["Section 2: sectoring saves tags but inflates miss ratio "
+               "through internal fragmentation — CGCT gets coarse-grain "
+               "tracking without restructuring the cache. 'util' is the "
+               "fraction of allocated sector lines actually valid."],
+    )

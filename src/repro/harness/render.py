@@ -1,0 +1,48 @@
+"""Plain-text rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render an aligned ASCII table (headers + separator + rows)."""
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(parts: Sequence[str]) -> str:
+        """One aligned output line."""
+        return "  ".join(part.ljust(width) for part, width in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_bar(fraction: float, width: int = 40, fill: str = "#") -> str:
+    """A horizontal bar for quick visual comparison in terminals."""
+    fraction = max(0.0, min(1.0, fraction))
+    filled = round(fraction * width)
+    return fill * filled + "." * (width - filled)
+
+
+def render_stacked_bar(
+    fractions: Sequence[float], width: int = 40, fills: str = "#+xo*"
+) -> str:
+    """A stacked horizontal bar; each segment uses the next fill char."""
+    out: List[str] = []
+    used = 0
+    for i, fraction in enumerate(fractions):
+        segment = round(max(0.0, fraction) * width)
+        segment = min(segment, width - used)
+        out.append(fills[i % len(fills)] * segment)
+        used += segment
+    out.append("." * (width - used))
+    return "".join(out)

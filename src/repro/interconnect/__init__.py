@@ -1,0 +1,15 @@
+"""Fireplane-like interconnect model.
+
+:mod:`repro.interconnect.topology` describes the machine's physical
+hierarchy (cores → chips → data switches → boards) and the distance class
+between any processor and any memory controller. The latency constants of
+Table 3, composed exactly as Figure 6 composes them, live in
+:mod:`repro.interconnect.latency`. The ordered broadcast address bus —
+the resource CGCT relieves — is :mod:`repro.interconnect.bus`.
+"""
+
+from repro.interconnect.bus import BroadcastBus
+from repro.interconnect.latency import LatencyModel, LatencyScenario
+from repro.interconnect.topology import Distance, Topology
+
+__all__ = ["BroadcastBus", "Distance", "LatencyModel", "LatencyScenario", "Topology"]

@@ -1,0 +1,114 @@
+"""The unordered data network (Table 3's per-processor bandwidth).
+
+Data transfers — cache fills from memory, cache-to-cache lines,
+write-backs — travel over a point-to-point data network separate from
+the broadcast address interconnect (the decoupling Section 1 builds on).
+Table 3 gives its bandwidth as 2.4 GB/s per processor: 16 bytes per
+150 MHz system cycle, so one 64-byte line occupies a processor's link
+for four system cycles.
+
+The model keeps one ingress link per processor (fills compete at the
+receiver) and one egress link per memory controller. As with the other
+resources, a transfer arriving at a busy link queues; the paper's claim
+that "it is easier to add bandwidth to an unordered data network than a
+global broadcast network" shows up as how rarely these links saturate
+compared to the address bus.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.resources import OccupiedResource
+from repro.common.units import system_cycles
+
+
+class DataNetwork:
+    """Per-processor and per-controller data links.
+
+    Parameters
+    ----------
+    num_processors / num_controllers:
+        Machine shape.
+    line_bytes:
+        Transfer unit (one cache line).
+    bytes_per_system_cycle:
+        Link bandwidth (Table 3: 16 B per system cycle = 2.4 GB/s).
+    """
+
+    def __init__(
+        self,
+        num_processors: int,
+        num_controllers: int,
+        line_bytes: int = 64,
+        bytes_per_system_cycle: int = 16,
+    ) -> None:
+        if bytes_per_system_cycle <= 0:
+            raise ValueError("bytes_per_system_cycle must be positive")
+        occupancy = system_cycles(
+            max(1, -(-line_bytes // bytes_per_system_cycle))  # ceil division
+        )
+        self.occupancy_cycles = occupancy
+        self.processor_links: List[OccupiedResource] = [
+            OccupiedResource(occupancy, name=f"data-link-p{p}")
+            for p in range(num_processors)
+        ]
+        self.controller_links: List[OccupiedResource] = [
+            OccupiedResource(occupancy, name=f"data-link-mc{m}")
+            for m in range(num_controllers)
+        ]
+        self.transfers = 0
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def acquire_processor_link(self, processor: int, ready: int) -> int:
+        """Claim *processor*'s ingress link at *ready*; returns the start.
+
+        The caller adds the distance-class critical-word latency to the
+        returned start time; the link itself stays busy for one full
+        line's occupancy (bandwidth), which is what creates queuing.
+        """
+        start = self.processor_links[processor].acquire(ready)
+        self.transfers += 1
+        return start
+
+    def acquire_controller_link(self, controller: int, ready: int) -> int:
+        """Claim *controller*'s ingress link (write-back data)."""
+        start = self.controller_links[controller].acquire(ready)
+        self.transfers += 1
+        return start
+
+    def deliver_to_processor(self, processor: int, ready: int) -> int:
+        """Send one line to *processor*; returns when its link frees.
+
+        ``ready`` is when the data is available at the source; the
+        returned time is when the line has fully arrived (link queuing +
+        one line's worth of occupancy).
+        """
+        return self.acquire_processor_link(processor, ready) + self.occupancy_cycles
+
+    def deliver_to_controller(self, controller: int, ready: int) -> int:
+        """Send one write-back line to *controller*."""
+        return self.acquire_controller_link(controller, ready) + self.occupancy_cycles
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def processor_utilization(self, processor: int, horizon: int) -> float:
+        """Link utilisation for one processor over the horizon."""
+        return self.processor_links[processor].utilization(horizon)
+
+    def total_queued_cycles(self) -> int:
+        """Cycles transfers spent waiting for busy links."""
+        return sum(link.queued_cycles for link in self.processor_links) + sum(
+            link.queued_cycles for link in self.controller_links
+        )
+
+    def reset(self) -> None:
+        """Forget all state and counters."""
+        for link in self.processor_links:
+            link.reset()
+        for link in self.controller_links:
+            link.reset()
+        self.transfers = 0

@@ -1,0 +1,13 @@
+"""Physical memory substrate.
+
+Provides the address geometry shared by every cache/RCA structure
+(:mod:`repro.memory.geometry`), the machine's physical address map with
+home-memory-controller interleaving (:mod:`repro.memory.address_map`), and
+the DRAM / memory-controller occupancy model (:mod:`repro.memory.dram`).
+"""
+
+from repro.memory.address_map import AddressMap
+from repro.memory.dram import MemoryController
+from repro.memory.geometry import Geometry
+
+__all__ = ["AddressMap", "Geometry", "MemoryController"]

@@ -1,0 +1,99 @@
+"""Physical address → home memory controller mapping.
+
+Section 5.1 of the paper points out that, with the multitude of DRAM
+configurations in real systems, processors cannot easily compute which
+memory controller owns a physical address — which is why conventional
+systems broadcast even write-backs. CGCT sidesteps this by *recording* a
+memory-controller ID (6 bits in Table 2) in each region's state when the
+region is first snooped, so later requests (including write-backs) can be
+routed directly.
+
+The simulator still needs a ground-truth mapping; :class:`AddressMap`
+provides one: addresses interleave across the machine's memory controllers
+at a configurable granularity (one OS page by default, mirroring
+board-level interleaving). Because the interleave unit is never smaller
+than a region, a region always has a single well-defined home — the
+property the 6-bit Mem-Cntrl ID field of Table 2 relies on.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+
+
+class AddressMap:
+    """Interleaved mapping from physical addresses to memory controllers.
+
+    Parameters
+    ----------
+    geometry:
+        Shared address geometry.
+    num_controllers:
+        Number of memory controllers in the machine (one per processor
+        chip in the UltraSparc-IV-like system of the paper).
+    interleave_bytes:
+        Contiguity unit: consecutive units of this many bytes round-robin
+        across controllers. Must be a power of two, and at least as large
+        as the region size so each region has one home controller.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        num_controllers: int,
+        interleave_bytes: int = 4096,
+    ) -> None:
+        if num_controllers <= 0:
+            raise ConfigurationError(
+                f"num_controllers must be positive, got {num_controllers}"
+            )
+        if interleave_bytes & (interleave_bytes - 1) or interleave_bytes <= 0:
+            raise ConfigurationError(
+                f"interleave_bytes must be a power of two, got {interleave_bytes}"
+            )
+        if interleave_bytes < geometry.region_bytes:
+            raise ConfigurationError(
+                f"interleave_bytes ({interleave_bytes}) must be >= region size "
+                f"({geometry.region_bytes}) so every region has one home controller"
+            )
+        self.geometry = geometry
+        self.num_controllers = num_controllers
+        self.interleave_bytes = interleave_bytes
+        self._shift = interleave_bytes.bit_length() - 1
+
+    def home_of(self, address: int) -> int:
+        """Memory controller ID owning *address*."""
+        if not self.geometry.contains(address):
+            raise ValueError(
+                f"address {address:#x} outside {self.geometry.physical_address_bits}"
+                "-bit physical address space"
+            )
+        return (address >> self._shift) % self.num_controllers
+
+    def home_of_region(self, region: int) -> int:
+        """Memory controller ID owning region number *region*.
+
+        Well-defined because the interleave unit is >= the region size.
+        """
+        return self.home_of(region << self.geometry.region_offset_bits)
+
+    def addresses_homed_at(self, controller: int, count: int, start: int = 0):
+        """Yield *count* interleave-unit base addresses homed at *controller*.
+
+        Utility for tests and workload generators that want memory local
+        to (or remote from) a particular chip.
+        """
+        if not 0 <= controller < self.num_controllers:
+            raise ValueError(
+                f"controller {controller} out of range 0..{self.num_controllers - 1}"
+            )
+        unit = self.interleave_bytes
+        first_index = (start // unit // self.num_controllers) * self.num_controllers
+        address = (first_index + controller) * unit
+        produced = 0
+        while produced < count and self.geometry.contains(address):
+            if address >= start:
+                yield address
+                produced += 1
+            address += self.num_controllers * unit

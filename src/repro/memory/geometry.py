@@ -1,0 +1,180 @@
+"""Address geometry: lines, regions, and pages.
+
+A single :class:`Geometry` instance is shared by the caches, the Region
+Coherence Array, the workload generators, and the analysis code so that
+everyone agrees on what "the region containing address X" means. The paper
+uses 64-byte cache lines, power-of-two region sizes of 256 B / 512 B / 1 KB,
+4 KB operating-system pages (relevant for the AIX DCBZ page-zeroing
+behaviour), and a 40-bit physical address space (Section 3.2's
+UltraSparc-IV sizing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Immutable description of the machine's address geometry.
+
+    Parameters
+    ----------
+    line_bytes:
+        Cache line size; the coherence unit. The paper uses 64 B.
+    region_bytes:
+        Region size for Coarse-Grain Coherence Tracking; must be a
+        power-of-two multiple of ``line_bytes``. The paper evaluates
+        256 B, 512 B, and 1024 B.
+    page_bytes:
+        Operating-system page size (4 KB on AIX/PowerPC), used by the
+        workload generator's DCBZ page-zeroing model.
+    physical_address_bits:
+        Width of a physical address; addresses outside this range are
+        rejected by the simulator.
+    """
+
+    line_bytes: int = 64
+    region_bytes: int = 512
+    page_bytes: int = 4096
+    physical_address_bits: int = 40
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("line_bytes", self.line_bytes),
+            ("region_bytes", self.region_bytes),
+            ("page_bytes", self.page_bytes),
+        ):
+            if not _is_power_of_two(value):
+                raise ConfigurationError(f"{label} must be a power of two, got {value}")
+        if self.region_bytes < self.line_bytes:
+            raise ConfigurationError(
+                f"region_bytes ({self.region_bytes}) must be >= line_bytes "
+                f"({self.line_bytes})"
+            )
+        if self.page_bytes < self.line_bytes:
+            raise ConfigurationError(
+                f"page_bytes ({self.page_bytes}) must be >= line_bytes "
+                f"({self.line_bytes})"
+            )
+        if not 20 <= self.physical_address_bits <= 64:
+            raise ConfigurationError(
+                "physical_address_bits must be in [20, 64], got "
+                f"{self.physical_address_bits}"
+            )
+        # Hot derived widths, precomputed once (this object sits on the
+        # simulator's per-access path). The frozen dataclass forbids
+        # ordinary assignment, hence object.__setattr__.
+        object.__setattr__(self, "_line_bits", self.line_bytes.bit_length() - 1)
+        object.__setattr__(self, "_region_bits", self.region_bytes.bit_length() - 1)
+        object.__setattr__(self, "_page_bits", self.page_bytes.bit_length() - 1)
+        object.__setattr__(
+            self, "_lines_per_region", self.region_bytes // self.line_bytes
+        )
+        object.__setattr__(self, "_max_address", 1 << self.physical_address_bits)
+
+    # ------------------------------------------------------------------
+    # Derived widths
+    # ------------------------------------------------------------------
+    @property
+    def line_offset_bits(self) -> int:
+        """Bits selecting a byte within a line."""
+        return self._line_bits
+
+    @property
+    def region_offset_bits(self) -> int:
+        """Bits selecting a byte within a region."""
+        return self._region_bits
+
+    @property
+    def page_offset_bits(self) -> int:
+        """Bits selecting a byte within a page."""
+        return self._page_bits
+
+    @property
+    def lines_per_region(self) -> int:
+        """Number of cache lines in one region (8 for 512 B / 64 B)."""
+        return self._lines_per_region
+
+    @property
+    def lines_per_page(self) -> int:
+        """Cache lines per OS page."""
+        return self.page_bytes // self.line_bytes
+
+    @property
+    def regions_per_page(self) -> int:
+        """Regions per OS page; at least 1 even for region > page setups."""
+        return max(1, self.page_bytes // self.region_bytes)
+
+    @property
+    def max_address(self) -> int:
+        """One past the largest legal physical address."""
+        return self._max_address
+
+    # ------------------------------------------------------------------
+    # Address decomposition
+    # ------------------------------------------------------------------
+    def line_of(self, address: int) -> int:
+        """Line number (address / line size) containing *address*."""
+        return address >> self._line_bits
+
+    def line_base(self, address: int) -> int:
+        """Byte address of the start of the line containing *address*."""
+        return address & ~(self.line_bytes - 1)
+
+    def region_of(self, address: int) -> int:
+        """Region number containing *address*."""
+        return address >> self._region_bits
+
+    def region_base(self, address: int) -> int:
+        """Byte address of the start of the region containing *address*."""
+        return address & ~(self.region_bytes - 1)
+
+    def page_of(self, address: int) -> int:
+        """Page number containing *address*."""
+        return address >> self.page_offset_bits
+
+    def page_base(self, address: int) -> int:
+        """Byte address of the start of the containing page."""
+        return address & ~(self.page_bytes - 1)
+
+    def region_of_line(self, line: int) -> int:
+        """Region number containing line number *line*."""
+        return line >> (self._region_bits - self._line_bits)
+
+    def line_index_in_region(self, address: int) -> int:
+        """Position (0-based) of the line containing *address* in its region."""
+        return (address >> self._line_bits) & (self._lines_per_region - 1)
+
+    def lines_in_region(self, region: int) -> range:
+        """Line numbers covered by region number *region*."""
+        first = region << (self.region_offset_bits - self.line_offset_bits)
+        return range(first, first + self.lines_per_region)
+
+    def region_addresses(self, region: int) -> range:
+        """Line-aligned byte addresses covered by region number *region*."""
+        base = region << self.region_offset_bits
+        return range(base, base + self.region_bytes, self.line_bytes)
+
+    def contains(self, address: int) -> bool:
+        """Whether *address* is a legal physical address."""
+        return 0 <= address < self._max_address
+
+    def with_region_bytes(self, region_bytes: int) -> "Geometry":
+        """Copy of this geometry with a different region size.
+
+        Used by the region-size sweeps (Figures 7 and 8): everything but
+        the region size stays fixed.
+        """
+        return Geometry(
+            line_bytes=self.line_bytes,
+            region_bytes=region_bytes,
+            page_bytes=self.page_bytes,
+            physical_address_bits=self.physical_address_bits,
+        )

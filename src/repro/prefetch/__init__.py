@@ -1,0 +1,11 @@
+"""Hardware prefetching (Table 3).
+
+The paper's processors use IBM Power4-style stream prefetching (8
+streams, 5-line runahead) combined with MIPS R10000-style exclusive
+prefetching for streams created by stores. Both are modelled by
+:class:`repro.prefetch.stream.StreamPrefetcher`.
+"""
+
+from repro.prefetch.stream import PrefetchCandidate, StreamPrefetcher
+
+__all__ = ["PrefetchCandidate", "StreamPrefetcher"]

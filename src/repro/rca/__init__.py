@@ -1,0 +1,27 @@
+"""Coarse-Grain Coherence Tracking — the paper's contribution.
+
+* :mod:`repro.rca.states` — the seven region states of Table 1.
+* :mod:`repro.rca.response` — the Region-Clean / Region-Dirty snoop
+  response bits (Section 3.4) and their combining.
+* :mod:`repro.rca.protocol` — the region protocol transitions of
+  Figures 3–5, as pure functions over the state space.
+* :mod:`repro.rca.array` — the Region Coherence Array structure itself
+  (Section 3.2): set-associative storage, per-region line counts,
+  empty-region-preferring replacement, memory-controller IDs.
+"""
+
+from repro.rca.array import RegionCoherenceArray, RegionEntry
+from repro.rca.protocol import RegionProtocol
+from repro.rca.response import RegionSnoopResponse, combine_region_responses
+from repro.rca.states import ExternalPart, LocalPart, RegionState
+
+__all__ = [
+    "ExternalPart",
+    "LocalPart",
+    "RegionCoherenceArray",
+    "RegionEntry",
+    "RegionProtocol",
+    "RegionSnoopResponse",
+    "RegionState",
+    "combine_region_responses",
+]

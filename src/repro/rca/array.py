@@ -1,0 +1,287 @@
+"""The Region Coherence Array structure (Section 3.2).
+
+A set-associative array, organised like the L2 tags (8 K sets × 2 ways in
+the paper's main configuration), holding per-region entries:
+
+* the region's coherence state (:class:`~repro.rca.states.RegionState`),
+* a **line count** of how many of the region's lines are resident in the
+  L2 — incremented on allocations, decremented on invalidations — which
+  powers both self-invalidation and empty-region-preferring replacement,
+* the region's home **memory-controller ID**, recorded from the first
+  snoop so write-backs and direct requests can be routed without
+  broadcasting (Section 5.1).
+
+Inclusion discipline (Section 3.2): every line resident in the cache has
+a region entry here, so evicting a region entry first requires evicting
+its resident lines from the cache. The array cannot reach into the cache,
+so eviction is a two-step conversation with the owning node:
+:meth:`RegionCoherenceArray.victim_for` names the region that must leave,
+the node flushes its lines (decrementing the count via
+:meth:`line_removed`), then calls :meth:`evict` and :meth:`insert`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.common.errors import ProtocolError
+from repro.memory.geometry import Geometry
+from repro.rca.states import RegionState
+
+
+class RegionEntry:
+    """One tracked region.
+
+    ``owner_hint`` supports the Section 6 owner-prediction extension: the
+    processor most recently observed taking modifiable copies of the
+    region's lines, i.e. the best guess at who owns its dirty data. It is
+    advisory only — a wrong hint costs a probe, never correctness.
+    """
+
+    __slots__ = ("region", "state", "line_count", "home_mc", "owner_hint")
+
+    def __init__(
+        self,
+        region: int,
+        state: RegionState,
+        home_mc: int,
+        line_count: int = 0,
+    ) -> None:
+        self.region = region
+        self.state = state
+        self.line_count = line_count
+        self.home_mc = home_mc
+        self.owner_hint: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return (
+            f"RegionEntry(region={self.region:#x}, state={self.state.value}, "
+            f"line_count={self.line_count}, home_mc={self.home_mc})"
+        )
+
+
+class RegionCoherenceArray:
+    """Set-associative storage for region coherence state.
+
+    Parameters
+    ----------
+    geometry:
+        Shared address geometry (provides the region index space).
+    num_sets / ways:
+        Organisation; the paper's default matches the L2 tags (8192 sets,
+        2-way ⇒ 16 K entries), with the half-size variant (4096 sets) for
+        Figure 9.
+    """
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        num_sets: int = 8192,
+        ways: int = 2,
+        name: str = "rca",
+        prefer_empty_victims: bool = True,
+    ) -> None:
+        self.geometry = geometry
+        self._array: SetAssociativeArray[RegionEntry] = SetAssociativeArray(
+            num_sets, ways, name=name
+        )
+        self._set_bits = num_sets.bit_length() - 1
+        self.name = name
+        #: Section 3.2 replacement preference; False is the plain-LRU
+        #: ablation.
+        self.prefer_empty_victims = prefer_empty_victims
+        # Statistics
+        self.hits = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
+        self.self_invalidations = 0
+        #: line_count at eviction → occurrences (Section 3.2 reports
+        #: 65.1 % / 17.2 % / 5.1 % for counts 0 / 1 / 2 with 512 B regions).
+        self.eviction_line_counts: Counter = Counter()
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def _index(self, region: int) -> tuple:
+        return region & (self._array.num_sets - 1), region >> self._set_bits
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets in the array."""
+        return self._array.num_sets
+
+    @property
+    def ways(self) -> int:
+        """Associativity."""
+        return self._array.ways
+
+    @property
+    def num_entries(self) -> int:
+        """Total entries (sets x ways)."""
+        return self._array.num_sets * self._array.ways
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, region: int) -> Optional[RegionEntry]:
+        """Processor-side lookup; counts hit/miss and touches LRU."""
+        set_index, tag = self._index(region)
+        entry = self._array.lookup(set_index, tag)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def probe(self, region: int) -> Optional[RegionEntry]:
+        """Snoop-side lookup: no stats, no LRU movement."""
+        set_index, tag = self._index(region)
+        return self._array.lookup(set_index, tag, touch=False)
+
+    # ------------------------------------------------------------------
+    # Allocation / eviction (two-step, see module docstring)
+    # ------------------------------------------------------------------
+    def victim_for(self, region: int) -> Optional[RegionEntry]:
+        """Region entry that must be evicted before *region* can be inserted.
+
+        Returns ``None`` when a way is free. Preference order (Section
+        3.2): the least-recently-used entry with **no cached lines**,
+        else plain LRU.
+        """
+        set_index, _tag = self._index(region)
+        if not self._array.needs_victim(set_index):
+            return None
+        prefer = (lambda e: e.line_count == 0) if self.prefer_empty_victims else None
+        chosen = self._array.victim(set_index, prefer=prefer)
+        assert chosen is not None  # needs_victim was True
+        return chosen[1]
+
+    def evict(self, region: int) -> RegionEntry:
+        """Remove a region entry (its cached lines must already be gone).
+
+        Raises :class:`ProtocolError` if lines are still counted — the
+        caller forgot to flush the cache first, which would break the
+        inclusion property external snoops rely on.
+        """
+        set_index, tag = self._index(region)
+        entry = self._array.lookup(set_index, tag, touch=False)
+        if entry is None:
+            raise KeyError(f"{self.name}: region {region:#x} not tracked")
+        if entry.line_count != 0:
+            raise ProtocolError(
+                f"evicting region {region:#x} with {entry.line_count} cached "
+                "lines would break region⊇cache inclusion"
+            )
+        self._array.remove(set_index, tag)
+        self.evictions += 1
+        return entry
+
+    def note_eviction_line_count(self, line_count: int) -> None:
+        """Record the pre-flush line count of a replacement victim.
+
+        Called by the node *before* it flushes the victim's lines, so the
+        Section 3.2 histogram reflects how full victims were when chosen.
+        """
+        self.eviction_line_counts[line_count] += 1
+
+    def insert(self, region: int, state: RegionState, home_mc: int) -> RegionEntry:
+        """Install a new region entry (a way must be free)."""
+        if not state.is_valid:
+            raise ValueError("cannot insert a region in the INVALID state")
+        set_index, tag = self._index(region)
+        entry = RegionEntry(region, state, home_mc)
+        self._array.insert(set_index, tag, entry)
+        self.allocations += 1
+        return entry
+
+    def invalidate(self, region: int) -> Optional[RegionEntry]:
+        """Self-invalidation: drop an entry whose line count reached zero."""
+        set_index, tag = self._index(region)
+        entry = self._array.lookup(set_index, tag, touch=False)
+        if entry is None:
+            return None
+        if entry.line_count != 0:
+            raise ProtocolError(
+                f"self-invalidating region {region:#x} with "
+                f"{entry.line_count} cached lines"
+            )
+        self._array.remove(set_index, tag)
+        self.self_invalidations += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Line-count maintenance (driven by L2 callbacks)
+    # ------------------------------------------------------------------
+    def line_allocated(self, line: int) -> None:
+        """An L2 line belonging to a tracked region was installed."""
+        entry = self.probe(self.geometry.region_of_line(line))
+        if entry is None:
+            raise ProtocolError(
+                f"L2 allocated line {line:#x} with no region entry; "
+                "region⊇cache inclusion violated"
+            )
+        entry.line_count += 1
+        if entry.line_count > self.geometry.lines_per_region:
+            raise ProtocolError(
+                f"region {entry.region:#x} line count {entry.line_count} exceeds "
+                f"{self.geometry.lines_per_region} lines per region"
+            )
+
+    def line_removed(self, line: int) -> None:
+        """An L2 line belonging to a tracked region left the cache."""
+        entry = self.probe(self.geometry.region_of_line(line))
+        if entry is None:
+            raise ProtocolError(
+                f"L2 removed line {line:#x} with no region entry; "
+                "line counts are out of sync"
+            )
+        if entry.line_count == 0:
+            raise ProtocolError(
+                f"region {entry.region:#x} line count would go negative"
+            )
+        entry.line_count -= 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def entries(self):
+        """Yield every resident :class:`RegionEntry`."""
+        for _set_index, _tag, entry in self._array:
+            yield entry
+
+    def __len__(self) -> int:
+        return len(self._array)
+
+    def mean_line_count(self, nonzero_only: bool = True) -> float:
+        """Average lines cached per tracked region.
+
+        Section 5.2 reports 2.8–5 across the workloads (512 B regions);
+        ``nonzero_only`` excludes regions whose lines have all left.
+        """
+        counts = [
+            e.line_count
+            for e in self.entries()
+            if e.line_count > 0 or not nonzero_only
+        ]
+        if not counts:
+            return 0.0
+        return sum(counts) / len(counts)
+
+    def eviction_fraction_with_count(self, line_count: int) -> float:
+        """Fraction of replacement victims that held *line_count* lines."""
+        total = sum(self.eviction_line_counts.values())
+        if total == 0:
+            return 0.0
+        return self.eviction_line_counts[line_count] / total
+
+    def reset_stats(self) -> None:
+        """Zero the statistics counters (state is preserved)."""
+        self.hits = 0
+        self.misses = 0
+        self.allocations = 0
+        self.evictions = 0
+        self.self_invalidations = 0
+        self.eviction_line_counts.clear()

@@ -1,0 +1,133 @@
+"""RegionScout (Moshovos, ISCA 2005) — the paper's closest comparator.
+
+Section 2 describes RegionScout as a concurrently-proposed technique
+that, like CGCT, avoids sending snoop requests for non-shared regions —
+but with *imprecise* structures that need far less storage, at the cost
+of effectiveness. It is implemented here as an alternative snoop filter
+so the trade-off can be measured (see the ``ablation`` experiments).
+
+Two structures per node:
+
+* **CRH (Cached Region Hash)** — a small array of counters indexed by a
+  hash of the region number, counting locally cached lines per hash
+  bucket. A zero counter *proves* no line of any region hashing there is
+  cached (superset encoding: collisions cause false "present" answers,
+  never false "absent"), so a node can answer "region not present"
+  without probing its tags.
+* **NSRT (Not-Shared-Region Table)** — a tiny tagged table of regions
+  whose last broadcast found no remote copies. A hit lets the next miss
+  in the region go directly to memory. Any observed external broadcast
+  to the region invalidates the entry, which keeps the filter coherent:
+  a region can only enter someone's NSRT via a broadcast everyone saw.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+
+_HASH_MULTIPLIER = 0x9E3779B97F4A7C15
+_U64 = (1 << 64) - 1
+
+
+class CachedRegionHash:
+    """Counting filter over locally cached regions (superset encoding)."""
+
+    def __init__(self, geometry: Geometry, entries: int = 256) -> None:
+        if entries <= 0 or entries & (entries - 1):
+            raise ConfigurationError(
+                f"CRH entries must be a positive power of two, got {entries}"
+            )
+        self.geometry = geometry
+        self.entries = entries
+        self._counts = [0] * entries
+        self._shift = 64 - (entries.bit_length() - 1)
+
+    def _index(self, region: int) -> int:
+        return ((region * _HASH_MULTIPLIER) & _U64) >> self._shift
+
+    def line_allocated(self, line: int) -> None:
+        """A line of the region was cached: bump its counter."""
+        region = self.geometry.region_of_line(line)
+        self._counts[self._index(region)] += 1
+
+    def line_removed(self, line: int) -> None:
+        """A line of the region left the cache: drop its counter."""
+        region = self.geometry.region_of_line(line)
+        index = self._index(region)
+        if self._counts[index] == 0:
+            raise ValueError(
+                f"CRH underflow for region {region:#x}: counts out of sync"
+            )
+        self._counts[index] -= 1
+
+    def may_cache_region(self, region: int) -> bool:
+        """False proves nothing of the region is cached; True is a maybe."""
+        return self._counts[self._index(region)] > 0
+
+    @property
+    def storage_bits(self) -> int:
+        """Rough storage cost: one byte-wide counter per entry."""
+        return self.entries * 8
+
+
+class NonSharedRegionTable:
+    """Tiny LRU table of regions known unshared at their last broadcast."""
+
+    def __init__(self, entries: int = 16) -> None:
+        if entries <= 0:
+            raise ConfigurationError(f"NSRT entries must be positive: {entries}")
+        self.entries = entries
+        self._table: "OrderedDict[int, None]" = OrderedDict()
+        self.records = 0
+        self.invalidations = 0
+
+    def record(self, region: int) -> None:
+        """Remember that no other node cached *region* at the broadcast."""
+        if region in self._table:
+            self._table.move_to_end(region)
+            return
+        while len(self._table) >= self.entries:
+            self._table.popitem(last=False)
+        self._table[region] = None
+        self.records += 1
+
+    def contains(self, region: int) -> bool:
+        """Whether the region is currently claimed non-shared."""
+        present = region in self._table
+        if present:
+            self._table.move_to_end(region)
+        return present
+
+    def invalidate(self, region: int) -> None:
+        """An external broadcast touched *region*: forget the claim."""
+        if region in self._table:
+            del self._table[region]
+            self.invalidations += 1
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class RegionScout:
+    """Per-node RegionScout state: one CRH + one NSRT."""
+
+    def __init__(
+        self,
+        geometry: Geometry,
+        crh_entries: int = 256,
+        nsrt_entries: int = 16,
+    ) -> None:
+        self.crh = CachedRegionHash(geometry, crh_entries)
+        self.nsrt = NonSharedRegionTable(nsrt_entries)
+        #: Tag lookups skipped because the CRH proved non-residence
+        #: (the Jetty-style filtering benefit).
+        self.tag_probes_filtered = 0
+
+    @property
+    def storage_bits(self) -> int:
+        # NSRT: ~31-bit region tags + valid bit.
+        """Approximate storage cost of the structure in bits."""
+        return self.crh.storage_bits + self.nsrt.entries * 32

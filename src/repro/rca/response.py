@@ -1,0 +1,81 @@
+"""Region snoop-response bits (Section 3.4).
+
+Two bits ride on every conventional snoop response: **Region Clean** (the
+responding processor holds unmodified lines of the region) and **Region
+Dirty** (it may hold modified lines). The interconnect ORs the bits from
+every processor except the requestor; the combined pair tells the
+requestor the external letter of its new region state:
+
+=============  =============  =====================
+Region Clean   Region Dirty   External part
+=============  =============  =====================
+0              0              NONE  (exclusive!)
+1              0              CLEAN
+don't care     1              DIRTY
+=============  =============  =====================
+
+Section 3.4 also sketches a scaled-back single-bit variant ("region
+cached externally") supporting only exclusive / not-exclusive / invalid
+region tracking; :meth:`RegionSnoopResponse.collapsed` provides it and the
+protocol can run in that mode (see ``RegionProtocol(two_bit=False)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.rca.states import ExternalPart
+
+
+@dataclass(frozen=True)
+class RegionSnoopResponse:
+    """One processor's (or the combined) region response bits."""
+
+    clean: bool = False
+    dirty: bool = False
+
+    @property
+    def cached(self) -> bool:
+        """Whether any line of the region is cached by the responder(s)."""
+        return self.clean or self.dirty
+
+    @property
+    def external_part(self) -> ExternalPart:
+        """External letter implied by the combined bits."""
+        if self.dirty:
+            return ExternalPart.DIRTY
+        if self.clean:
+            return ExternalPart.CLEAN
+        return ExternalPart.NONE
+
+    def collapsed(self) -> "RegionSnoopResponse":
+        """Single-bit variant: any cached copy reports as dirty.
+
+        Collapsing clean→dirty is the conservative direction: the
+        requestor loses only the externally-clean optimisation (direct
+        instruction fetches), never correctness.
+        """
+        if self.cached:
+            return RegionSnoopResponse(clean=False, dirty=True)
+        return RegionSnoopResponse()
+
+    def __or__(self, other: "RegionSnoopResponse") -> "RegionSnoopResponse":
+        return RegionSnoopResponse(
+            clean=self.clean or other.clean,
+            dirty=self.dirty or other.dirty,
+        )
+
+
+#: The all-zeros response: no processor caches lines of the region.
+NO_COPIES = RegionSnoopResponse()
+
+
+def combine_region_responses(
+    responses: Iterable[RegionSnoopResponse],
+) -> RegionSnoopResponse:
+    """OR the per-processor region bits into the combined response."""
+    combined = NO_COPIES
+    for response in responses:
+        combined = combined | response
+    return combined

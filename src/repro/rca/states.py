@@ -1,0 +1,175 @@
+"""The seven region coherence states (Table 1).
+
+A valid region state is a pair of letters. The first letter summarises
+the *local* processor's lines in the region (Clean = unmodified copies
+only, Dirty = may have modified copies); the second summarises *other*
+processors' lines (Invalid = no cached copies, Clean = unmodified copies
+only, Dirty = may have modified copies). INVALID means the processor
+caches nothing from the region and knows nothing about others.
+
+The classification properties encode Table 1's "Broadcast Needed?"
+column:
+
+* ``is_exclusive`` (CI, DI) — no other processor caches lines of the
+  region; no request needs a broadcast.
+* ``is_externally_clean`` (CC, DC) — others hold only unmodified copies;
+  reads of shared copies (instruction fetches) can skip the broadcast,
+  requests for modifiable copies cannot.
+* ``is_externally_dirty`` (CD, DD) — others may hold modified copies;
+  every request must broadcast.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+from repro.coherence.requests import RequestType
+
+
+class LocalPart(enum.Enum):
+    """First letter: the local processor's lines in the region."""
+
+    CLEAN = "C"
+    DIRTY = "D"
+
+
+class ExternalPart(enum.Enum):
+    """Second letter: other processors' lines in the region.
+
+    Ordered by "dirtiness": knowledge only moves from NONE toward DIRTY
+    between snoop responses (downgrades), and is refreshed wholesale by a
+    new combined snoop response (upgrades, Figure 4).
+    """
+
+    NONE = "I"
+    CLEAN = "C"
+    DIRTY = "D"
+
+    def worse_of(self, other: "ExternalPart") -> "ExternalPart":
+        """The more conservative (dirtier) of two external summaries."""
+        order = (ExternalPart.NONE, ExternalPart.CLEAN, ExternalPart.DIRTY)
+        return self if order.index(self) >= order.index(other) else other
+
+
+class RegionState(enum.Enum):
+    """Stable region protocol states (Table 1)."""
+
+    INVALID = "I"
+    CLEAN_INVALID = "CI"
+    CLEAN_CLEAN = "CC"
+    CLEAN_DIRTY = "CD"
+    DIRTY_INVALID = "DI"
+    DIRTY_CLEAN = "DC"
+    DIRTY_DIRTY = "DD"
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def is_valid(self) -> bool:
+        """Whether this is a valid (non-INVALID) state."""
+        return self is not RegionState.INVALID
+
+    @property
+    def parts(self) -> Tuple[LocalPart, ExternalPart]:
+        """Decompose a valid state into (local, external) letters."""
+        if not self.is_valid:
+            raise ValueError("INVALID region state has no parts")
+        return _PARTS[self]
+
+    @property
+    def local_part(self) -> LocalPart:
+        """First letter: the local processor's summary."""
+        return self.parts[0]
+
+    @property
+    def external_part(self) -> ExternalPart:
+        """Second letter: other processors' summary."""
+        return self.parts[1]
+
+    @staticmethod
+    def from_parts(local: LocalPart, external: ExternalPart) -> "RegionState":
+        """Compose a valid state from its two letters."""
+        return RegionState(local.value + external.value)
+
+    # ------------------------------------------------------------------
+    # Table 1 classification
+    # ------------------------------------------------------------------
+    @property
+    def is_exclusive(self) -> bool:
+        """CI or DI: no other processor caches lines from the region."""
+        return self in (RegionState.CLEAN_INVALID, RegionState.DIRTY_INVALID)
+
+    @property
+    def is_externally_clean(self) -> bool:
+        """CC or DC: others hold unmodified copies only."""
+        return self in (RegionState.CLEAN_CLEAN, RegionState.DIRTY_CLEAN)
+
+    @property
+    def is_externally_dirty(self) -> bool:
+        """CD or DD: others may hold modified copies."""
+        return self in (RegionState.CLEAN_DIRTY, RegionState.DIRTY_DIRTY)
+
+    # ------------------------------------------------------------------
+    # The broadcast decision (Table 1 "Broadcast Needed?")
+    # ------------------------------------------------------------------
+    def needs_broadcast(self, request: RequestType) -> bool:
+        """Whether *request* must be broadcast given this region state.
+
+        * INVALID: everything broadcasts — the processor must acquire
+          region permissions and inform other processors (Section 3.2).
+        * Exclusive (CI/DI): nothing broadcasts.
+        * Externally clean (CC/DC): only reads of shared copies skip the
+          broadcast. Per Section 3.1's closing discussion, the evaluated
+          protocol broadcasts demand loads (they may return exclusive
+          copies); instruction fetches go direct. Write-backs go direct
+          in any valid state because the region records its home memory
+          controller (Section 5.1).
+        * Externally dirty (CD/DD): everything but write-backs broadcasts.
+        """
+        return _NEEDS_BROADCAST[self, request]
+
+    def _needs_broadcast_uncached(self, request: RequestType) -> bool:
+        """Reference implementation backing the memoised table."""
+        if self is RegionState.INVALID:
+            return True
+        if request is RequestType.WRITEBACK:
+            return False
+        if self.is_exclusive:
+            return False
+        if self.is_externally_clean:
+            return request is not RequestType.IFETCH
+        return True
+
+    def completes_without_request(self, request: RequestType) -> bool:
+        """Whether *request* finishes with no external message at all.
+
+        In an exclusive region, upgrades and DCB operations touch no other
+        cache and move no data, so they complete immediately
+        (Section 1.2: "can be completed immediately without an external
+        request").
+        """
+        if not self.is_exclusive:
+            return False
+        return request in (
+            RequestType.UPGRADE,
+            RequestType.DCBZ,
+            RequestType.DCBF,
+            RequestType.DCBI,
+        )
+
+
+#: Memoised (local, external) decomposition — hot in the simulator loop.
+_PARTS = {
+    state: (LocalPart(state.value[0]), ExternalPart(state.value[1]))
+    for state in RegionState
+    if state is not RegionState.INVALID
+}
+
+#: Memoised Table 1 broadcast decision over the full (state, request) space.
+_NEEDS_BROADCAST = {
+    (state, request): state._needs_broadcast_uncached(request)
+    for state in RegionState
+    for request in RequestType
+}

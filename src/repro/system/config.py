@@ -1,0 +1,243 @@
+"""Simulation parameters — Table 3 as code.
+
+:class:`SystemConfig` collects every knob the simulator honours, with the
+paper's evaluated system as defaults: a four-processor, 1.5 GHz PowerPC
+SMP over a 150 MHz Fireplane-like interconnect, 1 MB 2-way L2s, and (when
+CGCT is enabled) a Region Coherence Array organised like the L2 tags.
+
+:class:`CoreParameters` records the processor-front-end rows of Table 3
+(pipeline depth, branch predictor, issue width, …). The memory-system
+model does not consume them — the trace gap cycles stand in for the core
+— but they are part of the paper's parameter table, so the Table 3
+reproduction prints them from here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.common.errors import ConfigurationError
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import Topology
+from repro.memory.geometry import Geometry
+
+
+@dataclass(frozen=True)
+class CoreParameters:
+    """Processor-core rows of Table 3 (reporting only)."""
+
+    clock_hz: int = 1_500_000_000
+    pipeline_stages: int = 15
+    fetch_queue_size: int = 16
+    btb_sets: int = 4096
+    btb_ways: int = 4
+    branch_predictor: str = "16K-entry Gshare"
+    return_address_stack: int = 8
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    issue_window: int = 32
+    rob_entries: int = 64
+    load_store_queue: int = 32
+    int_alu: int = 2
+    int_mult: int = 1
+    fp_alu: int = 1
+    fp_mult: int = 1
+    memory_ports: int = 1
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """Timing knobs beyond the raw latency constants.
+
+    Attributes
+    ----------
+    store_stall_fraction:
+        Fraction of a store miss's latency charged to the processor.
+        Stores retire through a store queue and overlap with later work,
+        but sequential consistency (Table 3) keeps them from being free;
+        0.4 approximates the partial overlap of the paper's out-of-order
+        cores. Loads and instruction fetches stall fully.
+    bus_occupancy_system_cycles:
+        Address-bus slots: one broadcast may start per this many system
+        cycles.
+    mc_occupancy_cpu_cycles:
+        Memory-controller channel occupancy per read access, in CPU
+        cycles. A few cycles approximates a banked DDR controller that
+        overlaps accesses; write-backs drain through a write buffer and
+        do not occupy the read channel.
+    perturbation_cycles:
+        Magnitude of the uniform random delay added to each memory
+        request, following Alameldeen et al.'s methodology for exploring
+        the space of timing races (Section 4). Zero disables it.
+    """
+
+    store_stall_fraction: float = 0.4
+    bus_occupancy_system_cycles: int = 1
+    mc_occupancy_cpu_cycles: int = 5
+    perturbation_cycles: int = 20
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.store_stall_fraction <= 1.0:
+            raise ConfigurationError(
+                "store_stall_fraction must be in [0, 1], got "
+                f"{self.store_stall_fraction}"
+            )
+        if self.bus_occupancy_system_cycles <= 0:
+            raise ConfigurationError("bus_occupancy_system_cycles must be positive")
+        if self.mc_occupancy_cpu_cycles < 0:
+            raise ConfigurationError("mc_occupancy_cpu_cycles must be >= 0")
+        if self.perturbation_cycles < 0:
+            raise ConfigurationError("perturbation_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full machine configuration (Table 3 defaults).
+
+    The two headline switches:
+
+    * ``cgct_enabled`` — False gives the conventional broadcast baseline;
+      True adds a Region Coherence Array per processor.
+    * ``geometry.region_bytes`` + ``rca_sets`` — the region size and RCA
+      organisation sweeps of Figures 7–9.
+    """
+
+    geometry: Geometry = field(default_factory=Geometry)
+    topology: Topology = field(default_factory=Topology)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    timing: TimingParameters = field(default_factory=TimingParameters)
+    core: CoreParameters = field(default_factory=CoreParameters)
+
+    # Cache hierarchy (Table 3)
+    l1i_bytes: int = 32 * 1024
+    l1i_ways: int = 4
+    l1d_bytes: int = 64 * 1024
+    l1d_ways: int = 4
+    l2_bytes: int = 1 << 20
+    l2_ways: int = 2
+
+    # Coarse-Grain Coherence Tracking
+    cgct_enabled: bool = False
+    rca_sets: int = 8192
+    rca_ways: int = 2
+    #: Two-bit Region-Clean/Region-Dirty response (Section 3.4); False
+    #: selects the scaled-back one-bit variant.
+    two_bit_response: bool = True
+    #: Whether the combined line snoop response is visible to the region
+    #: protocol, letting observers distinguish shared from exclusive
+    #: reads (Section 3.1's "important case").
+    line_response_visible: bool = True
+    #: Ablation: disable Section 3.1's self-invalidation of regions whose
+    #: line count reached zero (the migratory-data rescue).
+    self_invalidation: bool = True
+    #: Ablation: disable Section 3.2's replacement preference for regions
+    #: with no cached lines (plain LRU instead).
+    prefer_empty_victims: bool = True
+
+    # Section 6 extensions (off by default — not part of the evaluated
+    # system, provided for the paper's future-work studies)
+    #: Drop hardware prefetches into externally-dirty regions ("the
+    #: region coherence state can indicate when lines may be externally
+    #: dirty and hence may not be good candidates for prefetching").
+    prefetch_region_filter: bool = False
+    #: Skip the speculative snoop-overlapped DRAM access when the region
+    #: state says other caches may own the data ("avoid unnecessary DRAM
+    #: accesses in systems that start the DRAM access in parallel with
+    #: the snoop"); saved accesses are counted, and requests that turn
+    #: out to need memory pay the full serial DRAM latency.
+    dram_speculation_filter: bool = False
+    #: Piggyback a region snoop for the *next* region onto every
+    #: region-acquiring broadcast ("prefetching the global region state,
+    #: going after the 4% of requests for which a broadcast is
+    #: unnecessary, but the region state was Invalid").
+    region_state_prefetch: bool = False
+
+    #: Owner prediction for cache-to-cache transfers ("the region state
+    #: can also indicate where cached copies of data may exist"): reads
+    #: in externally-dirty regions probe the predicted owner point-to-
+    #: point before falling back to a broadcast.
+    owner_prediction: bool = False
+
+    # Related-work comparator (Section 2): Jetty's counting-Bloom snoop
+    # filter. Saves tag lookups on incoming snoops; avoids no broadcasts.
+    # Composable with either the baseline or CGCT.
+    jetty_enabled: bool = False
+    #: Counting-Bloom buckets per hash function. Must be on the order of
+    #: the cache's line population (16 K lines for the 1 MB L2) or the
+    #: filter saturates and proves nothing.
+    jetty_entries: int = 16384
+
+    # Related-work comparator (Section 2): RegionScout's imprecise
+    # NSRT/CRH filter instead of an RCA. Mutually exclusive with CGCT.
+    # The CRH is sized like the cache's line population (one counter per
+    # potential resident line-region) so it does not saturate; the NSRT
+    # stays deliberately tiny — that is RegionScout's storage bargain.
+    regionscout_enabled: bool = False
+    regionscout_crh_entries: int = 16384
+    regionscout_nsrt_entries: int = 32
+
+    # Prefetching (Table 3)
+    prefetch_enabled: bool = True
+    prefetch_streams: int = 8
+    prefetch_runahead: int = 5
+
+    # Memory layout
+    interleave_bytes: int = 4096
+
+    # Traffic accounting (Figure 10)
+    traffic_window: int = 100_000
+
+    def __post_init__(self) -> None:
+        if self.rca_sets <= 0 or self.rca_ways <= 0:
+            raise ConfigurationError("RCA organisation must be positive")
+        if self.l2_bytes % (self.geometry.line_bytes * self.l2_ways):
+            raise ConfigurationError("L2 size must divide into line-sized ways")
+        if self.cgct_enabled and self.regionscout_enabled:
+            raise ConfigurationError(
+                "CGCT and RegionScout are alternative mechanisms; enable "
+                "at most one"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def num_processors(self) -> int:
+        """Total processors in the machine."""
+        return self.topology.num_processors
+
+    @property
+    def rca_entries(self) -> int:
+        """Total RCA entries (sets x ways)."""
+        return self.rca_sets * self.rca_ways
+
+    # ------------------------------------------------------------------
+    # Named configurations from the paper
+    # ------------------------------------------------------------------
+    @staticmethod
+    def paper_baseline() -> "SystemConfig":
+        """The conventional broadcast system of Section 4."""
+        return SystemConfig(cgct_enabled=False)
+
+    @staticmethod
+    def paper_cgct(
+        region_bytes: int = 512, rca_sets: Optional[int] = None
+    ) -> "SystemConfig":
+        """CGCT system with the given region size and RCA organisation.
+
+        ``rca_sets`` defaults to 8192 (same organisation as the L2 tags);
+        Figure 9's half-size variant passes 4096.
+        """
+        base = SystemConfig.paper_baseline()
+        return replace(
+            base,
+            cgct_enabled=True,
+            geometry=base.geometry.with_region_bytes(region_bytes),
+            rca_sets=rca_sets if rca_sets is not None else 8192,
+        )
+
+    def with_region_bytes(self, region_bytes: int) -> "SystemConfig":
+        """Copy of this config with a different region size."""
+        return replace(self, geometry=self.geometry.with_region_bytes(region_bytes))

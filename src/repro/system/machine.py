@@ -1,0 +1,995 @@
+"""The memory system: request routing, snooping, latencies, accounting.
+
+This module implements the paper's Figure 1 datapath. Every processor
+access flows:
+
+1. **L1** (1 cycle on a hit);
+2. **L2 ∥ RCA** (12 cycles on an L2 hit with sufficient permission; the
+   region state is read in parallel);
+3. an **external request**, which CGCT routes three ways:
+
+   * *no request at all* — upgrades and DCB operations in an exclusive
+     region complete immediately (Section 1.2);
+   * *direct* — the request goes straight to the home memory controller
+     over the data network, paying the Figure 6 direct latencies;
+   * *broadcast* — the conventional path: arbitrate for the address bus,
+     snoop every other processor's L2 tags **and RCA**, combine the line
+     and region responses, and source data from the owning cache or from
+     memory (DRAM overlapped with the snoop, Fireplane-style).
+
+The baseline system is the same machine with ``cgct_enabled=False``:
+every external request broadcasts, including write-backs.
+
+Every broadcast is also classified by the **oracle** (Figure 2): would it
+have been necessary given perfect knowledge of other caches? The
+categories follow the paper — data reads/writes (including prefetches),
+write-backs, instruction fetches, and DCB operations.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.coherence.line_states import LineState
+from repro.coherence.moesi import fill_state_for
+from repro.coherence.requests import RequestType
+from repro.coherence.snoop import (
+    LineSnoopResponse,
+    SnoopResult,
+    combine_line_responses,
+)
+from repro.common.intervals import IntervalCounter
+from repro.common.rng import derive_seed
+from repro.common.stats import RunningStat
+from repro.common.units import system_cycles
+from repro.interconnect.bus import BroadcastBus
+from repro.interconnect.network import DataNetwork
+from repro.memory.address_map import AddressMap
+from repro.memory.dram import MemoryController
+from repro.rca.response import RegionSnoopResponse, combine_region_responses
+from repro.rca.states import LocalPart, RegionState
+from repro.system.config import SystemConfig
+from repro.system.node import PendingWriteback, ProcessorNode
+
+
+class RequestPath(enum.Enum):
+    """How an access was satisfied."""
+
+    L1_HIT = "l1_hit"
+    L2_HIT = "l2_hit"
+    NO_REQUEST = "no_request"
+    DIRECT = "direct"
+    #: Owner-prediction extension: point-to-point probe of the predicted
+    #: owner succeeded; no broadcast was needed.
+    TARGETED = "targeted"
+    BROADCAST = "broadcast"
+
+
+class OracleCategory(enum.Enum):
+    """Figure 2's stacked-bar categories."""
+
+    DATA = "data_read_write"
+    WRITEBACK = "writeback"
+    IFETCH = "ifetch"
+    DCB = "dcb"
+
+
+_CATEGORY_OF: Dict[RequestType, OracleCategory] = {
+    RequestType.READ: OracleCategory.DATA,
+    RequestType.RFO: OracleCategory.DATA,
+    RequestType.UPGRADE: OracleCategory.DATA,
+    RequestType.PREFETCH: OracleCategory.DATA,
+    RequestType.PREFETCH_EX: OracleCategory.DATA,
+    RequestType.IFETCH: OracleCategory.IFETCH,
+    RequestType.WRITEBACK: OracleCategory.WRITEBACK,
+    RequestType.DCBZ: OracleCategory.DCB,
+    RequestType.DCBF: OracleCategory.DCB,
+    RequestType.DCBI: OracleCategory.DCB,
+}
+
+
+@dataclass(frozen=True)
+class AccessOutcome:
+    """Result of one processor access (for tests and tracing)."""
+
+    path: RequestPath
+    latency: int
+    request: Optional[RequestType] = None
+
+
+@dataclass
+class ExternalRequestStats:
+    """Counts of external requests by routing and by oracle category."""
+
+    broadcasts: Dict[OracleCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in OracleCategory}
+    )
+    directs: Dict[OracleCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in OracleCategory}
+    )
+    no_requests: Dict[OracleCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in OracleCategory}
+    )
+    unnecessary_broadcasts: Dict[OracleCategory, int] = field(
+        default_factory=lambda: {c: 0 for c in OracleCategory}
+    )
+
+    @property
+    def total_broadcasts(self) -> int:
+        """External requests that went over the address bus."""
+        return sum(self.broadcasts.values())
+
+    @property
+    def total_directs(self) -> int:
+        """External requests sent point-to-point."""
+        return sum(self.directs.values())
+
+    @property
+    def total_no_requests(self) -> int:
+        """Requests completed with no external message."""
+        return sum(self.no_requests.values())
+
+    @property
+    def total_external(self) -> int:
+        """All external requests, however routed."""
+        return self.total_broadcasts + self.total_directs + self.total_no_requests
+
+    @property
+    def total_unnecessary(self) -> int:
+        """Broadcasts the oracle says were avoidable."""
+        return sum(self.unnecessary_broadcasts.values())
+
+    def avoided(self, category: OracleCategory) -> int:
+        """Requests in *category* that skipped the broadcast."""
+        return self.directs[category] + self.no_requests[category]
+
+    @property
+    def total_avoided(self) -> int:
+        """Directs plus no-request completions."""
+        return self.total_directs + self.total_no_requests
+
+
+class Machine:
+    """The multiprocessor memory system (baseline or CGCT)."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.config = config
+        self.geometry = config.geometry
+        self.topology = config.topology
+        self.latency = config.latency
+        self.address_map = AddressMap(
+            self.geometry,
+            num_controllers=self.topology.num_memory_controllers,
+            interleave_bytes=config.interleave_bytes,
+        )
+        self.nodes = [
+            ProcessorNode(p, config) for p in range(self.topology.num_processors)
+        ]
+        self.bus = BroadcastBus(
+            occupancy_cycles=system_cycles(config.timing.bus_occupancy_system_cycles),
+            window=config.traffic_window,
+        )
+        self.controllers = [
+            MemoryController(
+                mc,
+                dram_cycles=self.latency.dram_cycles,
+                dram_overlapped_cycles=self.latency.dram_overlapped_cycles,
+                occupancy_cycles=config.timing.mc_occupancy_cpu_cycles,
+            )
+            for mc in range(self.topology.num_memory_controllers)
+        ]
+        self.network = DataNetwork(
+            num_processors=self.topology.num_processors,
+            num_controllers=self.topology.num_memory_controllers,
+            line_bytes=self.geometry.line_bytes,
+        )
+        self._perturb = random.Random(derive_seed(seed, "perturbation"))
+        self._perturb_magnitude = config.timing.perturbation_cycles
+        # Accounting
+        self.stats = ExternalRequestStats()
+        self.demand_latency = RunningStat()
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.queue_cycles = 0
+        #: (RequestType, RequestPath) → count; fine-grained diagnostics.
+        self.request_paths: Counter = Counter()
+        #: (RequestType, RequestPath) → RunningStat of external latency.
+        self.path_latency: Dict[Tuple[RequestType, RequestPath], RunningStat] = {}
+        # Section 6 extension counters
+        self.prefetches_filtered = 0
+        self.dram_speculative_started = 0
+        self.dram_speculative_wasted = 0
+        self.dram_speculation_avoided = 0
+        self.dram_speculation_late = 0
+        self.region_prefetches = 0
+        self.targeted_hits = 0
+        self.targeted_misses = 0
+        #: Cache-to-cache transfers (owner supplied the data).
+        self.c2c_transfers = 0
+        #: Optional coherence event log (see attach_event_log).
+        self.event_log = None
+
+    # ------------------------------------------------------------------
+    # Processor-facing operations
+    # ------------------------------------------------------------------
+    def load(self, proc: int, address: int, now: int) -> int:
+        """Demand data load; returns processor stall cycles."""
+        node = self.nodes[proc]
+        if node.l1d.lookup(address, write=False):
+            self.l1_hits += 1
+            return self.latency.l1_hit_cycles
+        latency = self._l2_data_access(proc, address, now, is_store=False)
+        self.demand_latency.add(latency)
+        return latency
+
+    def store(self, proc: int, address: int, now: int) -> int:
+        """Demand store; returns processor stall cycles (partial overlap)."""
+        node = self.nodes[proc]
+        if node.l1d.lookup(address, write=True):
+            self.l1_hits += 1
+            return self.latency.l1_hit_cycles
+        latency = self._l2_data_access(proc, address, now, is_store=True)
+        self.demand_latency.add(latency)
+        return max(
+            self.latency.l1_hit_cycles,
+            int(latency * self.config.timing.store_stall_fraction),
+        )
+
+    def ifetch(self, proc: int, address: int, now: int) -> int:
+        """Instruction fetch; returns processor stall cycles."""
+        node = self.nodes[proc]
+        if node.l1i.lookup(address):
+            self.l1_hits += 1
+            return self.latency.l1_hit_cycles
+        line = self.geometry.line_of(address)
+        entry = node.l2.lookup(address)
+        if entry is not None:
+            self.l2_hits += 1
+            node.l1i.fill(address, writable=False)
+            latency = self.latency.l2_hit_cycles
+        else:
+            outcome = self._external_request(
+                proc, RequestType.IFETCH, address, now, fill_l1i=True
+            )
+            latency = self.latency.l2_hit_cycles + outcome.latency
+        self.demand_latency.add(latency)
+        return latency
+
+    def dcbz(self, proc: int, address: int, now: int) -> int:
+        """Data Cache Block Zero: allocate a zeroed, modifiable line."""
+        node = self.nodes[proc]
+        entry = node.l2.lookup(address)
+        external = 0
+        if entry is not None and entry.state.can_silently_modify:
+            node.l2.set_state(self.geometry.line_of(address), LineState.MODIFIED)
+            node.l1d.fill(address, writable=True)
+            self.l2_hits += 1
+        else:
+            outcome = self._external_request(
+                proc, RequestType.DCBZ, address, now, fill_l1d=True, l1_writable=True
+            )
+            external = outcome.latency
+        latency = self.latency.l2_hit_cycles + external
+        return max(
+            self.latency.l1_hit_cycles,
+            int(latency * self.config.timing.store_stall_fraction),
+        )
+
+    def dcbf(self, proc: int, address: int, now: int) -> int:
+        """Data Cache Block Flush: push dirty data to memory everywhere."""
+        return self._dcb_kill(proc, RequestType.DCBF, address, now)
+
+    def dcbi(self, proc: int, address: int, now: int) -> int:
+        """Data Cache Block Invalidate: discard all cached copies."""
+        return self._dcb_kill(proc, RequestType.DCBI, address, now)
+
+    def _dcb_kill(
+        self, proc: int, request: RequestType, address: int, now: int
+    ) -> int:
+        node = self.nodes[proc]
+        line = self.geometry.line_of(address)
+        local = node.l2.peek(line)
+        if local is not None:
+            dirty = local.state.is_dirty
+            node.l2.invalidate(line)
+            node.l1d.back_invalidate(line)
+            node.l1i.back_invalidate(line)
+            if dirty and request is RequestType.DCBF:
+                self._emit_writeback(
+                    proc, node.route_writeback_for_line(line), now
+                )
+        outcome = self._external_request(proc, request, address, now)
+        latency = self.latency.l2_hit_cycles + outcome.latency
+        return max(
+            self.latency.l1_hit_cycles,
+            int(latency * self.config.timing.store_stall_fraction),
+        )
+
+    # ------------------------------------------------------------------
+    # L2 ∥ RCA data path
+    # ------------------------------------------------------------------
+    def _l2_data_access(
+        self, proc: int, address: int, now: int, is_store: bool
+    ) -> int:
+        """Data access below the L1; returns the full demand latency."""
+        node = self.nodes[proc]
+        line = self.geometry.line_of(address)
+        entry = node.l2.lookup(address)
+        was_miss = entry is None
+        external = 0
+        if entry is not None:
+            self.l2_hits += 1
+            if not is_store:
+                node.l1d.fill(address, writable=False)
+            elif entry.state.can_silently_modify:
+                node.l2.set_state(line, LineState.MODIFIED)
+                node.l1d.fill(address, writable=True)
+            else:
+                # SHARED/OWNED copy: upgrade (invalidate other copies).
+                outcome = self._external_request(
+                    proc, RequestType.UPGRADE, address, now
+                )
+                external = outcome.latency
+                node.l1d.fill(address, writable=True)
+        else:
+            request = RequestType.RFO if is_store else RequestType.READ
+            outcome = self._external_request(
+                proc,
+                request,
+                address,
+                now,
+                fill_l1d=True,
+                l1_writable=is_store,
+            )
+            external = outcome.latency
+        self._run_prefetcher(proc, line, is_store, was_miss, now)
+        return self.latency.l2_hit_cycles + external
+
+    def _run_prefetcher(
+        self, proc: int, line: int, is_store: bool, was_miss: bool, now: int
+    ) -> None:
+        node = self.nodes[proc]
+        if node.prefetcher is None:
+            return
+        candidates = node.prefetcher.observe_access(line, is_store, was_miss)
+        for candidate in candidates:
+            if node.caches_line(candidate.line):
+                continue
+            address = candidate.line << self.geometry.line_offset_bits
+            if not self.geometry.contains(address):
+                continue
+            if self.config.prefetch_region_filter and node.rca is not None:
+                # Section 6: externally-dirty regions make poor prefetch
+                # targets — the data is probably in another cache and
+                # would be stolen back.
+                entry = node.rca.probe(
+                    self.geometry.region_of_line(candidate.line))
+                if entry is not None and entry.state.is_externally_dirty:
+                    self.prefetches_filtered += 1
+                    continue
+            request = (
+                RequestType.PREFETCH_EX if candidate.exclusive else RequestType.PREFETCH
+            )
+            # Prefetches are non-blocking: effects and resource occupancy
+            # are applied, the latency is not charged to the processor.
+            self._external_request(proc, request, address, now)
+
+    # ------------------------------------------------------------------
+    # External requests
+    # ------------------------------------------------------------------
+    def _external_request(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        now: int,
+        fill_l1d: bool = False,
+        fill_l1i: bool = False,
+        l1_writable: bool = False,
+    ) -> AccessOutcome:
+        """Route one external request; apply all coherence effects.
+
+        Returns the outcome with the external latency (beyond the L2
+        access the caller already charged). A small uniform jitter is
+        added to external requests (Alameldeen-style perturbation) so
+        repeated runs with different seeds explore different timing
+        interleavings; the jitter is charged as latency.
+        """
+        jitter = 0
+        if self._perturb_magnitude:
+            jitter = self._perturb.randint(0, self._perturb_magnitude)
+            now += jitter
+        node = self.nodes[proc]
+        category = _CATEGORY_OF[request]
+        region = self.geometry.region_of(address)
+
+        entry = None
+        state = RegionState.INVALID
+        if node.rca is not None:
+            entry = node.rca.lookup(region)
+            if entry is not None:
+                state = entry.state
+
+        if state.completes_without_request(request):
+            self.stats.no_requests[category] += 1
+            self.request_paths[request, RequestPath.NO_REQUEST] += 1
+            self._apply_local_fill(
+                proc, request, address,
+                fill_state=fill_state_for(request, SnoopResult(shared=False)),
+                region_response=None,
+                fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+                now=now,
+            )
+            self._log_event(now, proc, request, RequestPath.NO_REQUEST, address, 0)
+            return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
+
+        if node.rca is not None and not state.needs_broadcast(request):
+            latency = self._direct_request(proc, request, address, entry, now)
+            self.stats.directs[category] += 1
+            self.request_paths[request, RequestPath.DIRECT] += 1
+            self._note_latency(request, RequestPath.DIRECT, latency)
+            synthetic = SnoopResult(shared=not state.is_exclusive)
+            self._apply_local_fill(
+                proc, request, address,
+                fill_state=fill_state_for(request, synthetic),
+                region_response=None,
+                fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+                now=now,
+            )
+            self._log_event(now, proc, request, RequestPath.DIRECT, address, latency)
+            return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
+
+        # RegionScout alternative (Section 2): an NSRT hit proves no other
+        # node caches lines of the region — route like a CGCT exclusive.
+        if (
+            node.regionscout is not None
+            and request is not RequestType.WRITEBACK
+            and node.regionscout.nsrt.contains(region)
+        ):
+            synthetic = SnoopResult(shared=False)
+            if request in (RequestType.UPGRADE, RequestType.DCBZ,
+                           RequestType.DCBF, RequestType.DCBI):
+                self.stats.no_requests[category] += 1
+                self.request_paths[request, RequestPath.NO_REQUEST] += 1
+                self._apply_local_fill(
+                    proc, request, address,
+                    fill_state=fill_state_for(request, synthetic),
+                    region_response=None,
+                    fill_l1d=fill_l1d, fill_l1i=fill_l1i,
+                    l1_writable=l1_writable, now=now,
+                )
+                self._log_event(now, proc, request, RequestPath.NO_REQUEST,
+                                address, 0)
+                return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
+            latency = self._direct_request(proc, request, address, None, now)
+            self.stats.directs[category] += 1
+            self.request_paths[request, RequestPath.DIRECT] += 1
+            self._note_latency(request, RequestPath.DIRECT, latency)
+            self._apply_local_fill(
+                proc, request, address,
+                fill_state=fill_state_for(request, synthetic),
+                region_response=None,
+                fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+                now=now,
+            )
+            self._log_event(now, proc, request, RequestPath.DIRECT, address,
+                            latency)
+            return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
+
+        # Owner-prediction extension (Section 6): a read into an
+        # externally-dirty region first probes the predicted owner
+        # point-to-point; on a hit the broadcast is skipped entirely.
+        probe_penalty = 0
+        if (
+            self.config.owner_prediction
+            and entry is not None
+            and state.is_externally_dirty
+            and entry.owner_hint is not None
+            and entry.owner_hint != proc
+            and request in (RequestType.READ, RequestType.IFETCH,
+                            RequestType.PREFETCH)
+        ):
+            predicted_owner = entry.owner_hint
+            targeted = self._targeted_request(
+                proc, request, address, entry, now,
+                fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+            )
+            if targeted is not None:
+                return AccessOutcome(
+                    targeted.path, targeted.latency + jitter, request
+                )
+            # Wrong prediction: pay the probe's round trip, then broadcast.
+            distance = self.topology.processor_distance(proc, predicted_owner)
+            probe_penalty = 2 * self.latency.direct_request_cycles[distance]
+
+        latency = self._broadcast_request(
+            proc, request, address, now + probe_penalty,
+            fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+        )
+        latency += probe_penalty
+        self.request_paths[request, RequestPath.BROADCAST] += 1
+        self._note_latency(request, RequestPath.BROADCAST, latency)
+        self._log_event(now, proc, request, RequestPath.BROADCAST, address, latency)
+        return AccessOutcome(RequestPath.BROADCAST, latency + jitter, request)
+
+    def _note_latency(
+        self, request: RequestType, path: RequestPath, latency: int
+    ) -> None:
+        stat = self.path_latency.get((request, path))
+        if stat is None:
+            stat = self.path_latency[(request, path)] = RunningStat()
+        stat.add(latency)
+
+    def _direct_request(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        entry,
+        now: int,
+    ) -> int:
+        """Send a request straight to the home memory controller."""
+        home = entry.home_mc if entry is not None else self.address_map.home_of(address)
+        distance = self.topology.distance(proc, home)
+        controller = self.controllers[home]
+        arrive = now + self.latency.direct_request_cycles[distance]
+        if request is RequestType.WRITEBACK:
+            controller.write_back(self.network.acquire_controller_link(home, arrive))
+            return 0  # castouts never stall the processor
+        if not request.wants_data:
+            return 0
+        ready = controller.access_direct(arrive)
+        start = self.network.acquire_processor_link(proc, ready)
+        done = start + self.latency.transfer_cycles[distance]
+        return done - now
+
+    def _broadcast_request(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        now: int,
+        fill_l1d: bool = False,
+        fill_l1i: bool = False,
+        l1_writable: bool = False,
+    ) -> int:
+        """The conventional snooping path, plus region-response handling."""
+        node = self.nodes[proc]
+        line = self.geometry.line_of(address)
+        region = self.geometry.region_of(address)
+        category = _CATEGORY_OF[request]
+
+        grant = self.bus.broadcast(now)
+        self.queue_cycles += grant - now
+        snoop_done = grant + self.latency.snoop_cycles
+
+        # Phase 1: line snoops everywhere else. RegionScout nodes first
+        # consult their CRH — a zero count proves non-residence, skipping
+        # the tag probe entirely (the Jetty-style filtering benefit) —
+        # and drop any NSRT claim on the region another node is touching.
+        remote_cached_before = {
+            q.proc_id: q.caches_line(line) for q in self.nodes if q.proc_id != proc
+        }
+        responses = []
+        remote_region_free = True
+        for other in self.nodes:
+            if other.proc_id == proc:
+                continue
+            if other.regionscout is not None:
+                other.regionscout.nsrt.invalidate(region)
+                if not other.regionscout.crh.may_cache_region(region):
+                    other.regionscout.tag_probes_filtered += 1
+                    responses.append((other.proc_id, LineSnoopResponse()))
+                    continue
+                remote_region_free = False
+            # Jetty (Section 2): a counting-Bloom proof of absence lets
+            # the node answer the snoop without touching its tags.
+            if other.jetty is not None and not other.jetty.may_cache_line(line):
+                responses.append((other.proc_id, LineSnoopResponse()))
+                continue
+            response, wrote_back = other.snoop_line(line, request)
+            responses.append((other.proc_id, response))
+            if wrote_back:
+                home = self.address_map.home_of(address)
+                self.controllers[home].write_back(snoop_done)
+        combined = combine_line_responses(responses)
+
+        # RegionScout: a broadcast that found the region in no remote CRH
+        # records it as globally non-shared.
+        if (
+            node.regionscout is not None
+            and remote_region_free
+            and request is not RequestType.WRITEBACK
+        ):
+            node.regionscout.nsrt.record(region)
+
+        # Oracle classification (Figure 2): was this broadcast necessary?
+        if self._broadcast_unnecessary(request, combined):
+            self.stats.unnecessary_broadcasts[category] += 1
+        self.stats.broadcasts[category] += 1
+
+        # Phase 2: region snoops (CGCT only).
+        region_response: Optional[RegionSnoopResponse] = None
+        if node.rca is not None:
+            fills_exclusive = self._requestor_fills_exclusive(request, combined)
+            collected = []
+            for other in self.nodes:
+                if other.proc_id == proc:
+                    continue
+                hint = self._exclusivity_hint(
+                    fills_exclusive, remote_cached_before[other.proc_id]
+                )
+                collected.append(
+                    other.snoop_region(region, request, hint, requestor=proc)
+                )
+            region_response = combine_region_responses(collected)
+            if not self.config.two_bit_response:
+                region_response = region_response.collapsed()
+
+        # Latency: supplier cache, memory, or address-only.
+        latency = self._broadcast_latency(
+            proc, request, address, now, grant, snoop_done, combined,
+            requestor_region_state=self._requestor_region_state(node, region),
+        )
+
+        # Section 6: piggyback a region-state prefetch for the adjacent
+        # region onto this broadcast.
+        if node.rca is not None and self.config.region_state_prefetch:
+            self._prefetch_region_state(node, region + 1)
+
+        # Local effects.
+        fill_state = fill_state_for(request, combined)
+        self._apply_local_fill(
+            proc, request, address,
+            fill_state=fill_state,
+            region_response=region_response,
+            fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+            now=now,
+        )
+        # Remember who owned the region's dirty data (owner prediction).
+        if node.rca is not None and combined.owned and combined.supplier is not None:
+            updated = node.rca.probe(region)
+            if updated is not None:
+                updated.owner_hint = combined.supplier
+        return latency
+
+    def _targeted_request(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        entry,
+        now: int,
+        fill_l1d: bool = False,
+        fill_l1i: bool = False,
+        l1_writable: bool = False,
+    ) -> Optional[AccessOutcome]:
+        """Probe the predicted owner point-to-point (Section 6 extension).
+
+        Only non-invalidating reads are eligible (invalidating requests
+        must reach every cache). A hit sources the data cache-to-cache
+        without a broadcast; a miss clears the hint and returns ``None``
+        so the caller falls back to the conventional path. Either way the
+        probe's line snoop is an ordinary coherent snoop — a wrong probe
+        may demote the target's copy, which is conservative, not wrong.
+        """
+        owner = entry.owner_hint
+        target = self.nodes[owner]
+        line = self.geometry.line_of(address)
+        region = self.geometry.region_of(address)
+        distance = self.topology.processor_distance(proc, owner)
+        response, _wrote_back = target.snoop_line(line, request)
+        if not response.supplied:
+            self.targeted_misses += 1
+            entry.owner_hint = None
+            return None
+        self.targeted_hits += 1
+        self.c2c_transfers += 1
+        target.snoop_region(
+            region, request, requestor_fills_exclusive=False, requestor=proc
+        )
+        latency = (
+            self.latency.direct_request_cycles[distance]
+            + self.latency.cache_access_cycles
+            + self.latency.transfer_cycles[distance]
+        )
+        category = _CATEGORY_OF[request]
+        self.stats.directs[category] += 1
+        self.request_paths[request, RequestPath.TARGETED] += 1
+        self._note_latency(request, RequestPath.TARGETED, latency)
+        self._apply_local_fill(
+            proc, request, address,
+            fill_state=fill_state_for(request, SnoopResult(shared=True)),
+            region_response=None,
+            fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+            now=now,
+        )
+        self._log_event(now, proc, request, RequestPath.TARGETED, address, latency)
+        return AccessOutcome(RequestPath.TARGETED, latency, request)
+
+    @staticmethod
+    def _requestor_region_state(node, region: int) -> RegionState:
+        entry = node.rca.probe(region) if node.rca is not None else None
+        return entry.state if entry is not None else RegionState.INVALID
+
+    def _broadcast_latency(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        now: int,
+        grant: int,
+        snoop_done: int,
+        combined: SnoopResult,
+        requestor_region_state: RegionState = RegionState.INVALID,
+    ) -> int:
+        if request is RequestType.WRITEBACK:
+            home = self.address_map.home_of(address)
+            self.controllers[home].write_back(snoop_done)
+            return 0
+        if not request.wants_data:
+            return snoop_done - now
+
+        # The Fireplane baseline launches DRAM speculatively, overlapped
+        # with the snoop. The Section 6 extension consults the region
+        # state first: an externally-dirty region predicts a cache will
+        # supply, so DRAM is not started (saving the access), at the cost
+        # of a full serial DRAM latency when the prediction is wrong.
+        speculate = True
+        if (
+            self.config.dram_speculation_filter
+            and requestor_region_state.is_externally_dirty
+        ):
+            speculate = False
+        if speculate:
+            self.dram_speculative_started += 1
+
+        if combined.supplier is not None:
+            self.c2c_transfers += 1
+            if speculate:
+                self.dram_speculative_wasted += 1
+            else:
+                self.dram_speculation_avoided += 1
+            distance = self.topology.processor_distance(proc, combined.supplier)
+            ready = snoop_done + self.latency.cache_access_cycles
+            start = self.network.acquire_processor_link(proc, ready)
+            done = start + self.latency.transfer_cycles[distance]
+            return done - now
+        home = self.address_map.home_of(address)
+        distance = self.topology.distance(proc, home)
+        if speculate:
+            ready = self.controllers[home].access_snooped(snoop_done)
+        else:
+            self.dram_speculation_late += 1
+            ready = self.controllers[home].access_direct(snoop_done)
+        start = self.network.acquire_processor_link(proc, ready)
+        done = start + self.latency.transfer_cycles[distance]
+        return done - now
+
+    def _prefetch_region_state(self, node, region: int) -> None:
+        """Allocate a free-way region entry from a piggybacked snoop.
+
+        The piggybacked snoop is a *real* region acquisition: every other
+        node downgrades (a future reader may appear) or self-invalidates
+        an empty entry, exactly as for a demand broadcast. A non-mutating
+        probe would let two processors prefetch the same region as
+        CLEAN_INVALID simultaneously and later both take silently
+        modifiable copies — a single-owner violation.
+        """
+        base = region << self.geometry.region_offset_bits
+        if not self.geometry.contains(base):
+            return
+        if node.rca.probe(region) is not None:
+            return
+        if node.rca.victim_for(region) is not None:
+            return  # never evict real state for a prefetch
+        responses = []
+        for other in self.nodes:
+            if other.proc_id == node.proc_id:
+                continue
+            responses.append(
+                other.snoop_region(
+                    region, RequestType.PREFETCH, requestor_fills_exclusive=False
+                )
+            )
+        combined = combine_region_responses(responses)
+        if not self.config.two_bit_response:
+            combined = combined.collapsed()
+        state = RegionState.from_parts(LocalPart.CLEAN, combined.external_part)
+        node.rca.insert(region, state, self.address_map.home_of_region(region))
+        self.region_prefetches += 1
+
+    @staticmethod
+    def _broadcast_unnecessary(request: RequestType, combined: SnoopResult) -> bool:
+        """Oracle: could this broadcast have been skipped (Figure 2)?
+
+        * Write-backs never need other processors.
+        * Instruction fetches only need a broadcast when a remote cache
+          owns a dirty copy — otherwise memory's copy is good.
+        * Everything else (data reads/writes, prefetches, upgrades, DCB
+          ops) is unnecessary exactly when no remote cache holds a copy.
+        """
+        if request is RequestType.WRITEBACK:
+            return True
+        if request is RequestType.IFETCH:
+            return not combined.owned
+        return not combined.shared
+
+    @staticmethod
+    def _requestor_fills_exclusive(
+        request: RequestType, combined: SnoopResult
+    ) -> Optional[bool]:
+        """Whether a read-like request ends with an exclusive copy."""
+        if request in (RequestType.READ, RequestType.PREFETCH):
+            return not combined.shared
+        if request is RequestType.IFETCH:
+            return False  # ifetches fill SHARED
+        return None  # irrelevant for invalidating requests
+
+    def _exclusivity_hint(
+        self, fills_exclusive: Optional[bool], observer_cached_line: bool
+    ) -> Optional[bool]:
+        """What one observer knows about the requestor's fill state.
+
+        Section 3.1: known when the combined line response is visible to
+        the region protocol, or when the observer itself caches the line
+        (in which case the requestor cannot be exclusive).
+        """
+        if self.config.line_response_visible:
+            return fills_exclusive
+        if observer_cached_line:
+            return False if fills_exclusive is not None else None
+        return None
+
+    # ------------------------------------------------------------------
+    # Local fills and region-state maintenance
+    # ------------------------------------------------------------------
+    def _apply_local_fill(
+        self,
+        proc: int,
+        request: RequestType,
+        address: int,
+        fill_state: LineState,
+        region_response: Optional[RegionSnoopResponse],
+        fill_l1d: bool,
+        fill_l1i: bool,
+        l1_writable: bool,
+        now: int,
+    ) -> None:
+        node = self.nodes[proc]
+        line = self.geometry.line_of(address)
+        region = self.geometry.region_of(address)
+
+        # Region state first: inclusion requires the entry to exist before
+        # the L2 fill's allocation callback fires.
+        if node.rca is not None and request is not RequestType.WRITEBACK:
+            entry = node.rca.probe(region)
+            current = entry.state if entry is not None else RegionState.INVALID
+            new_state = node.protocol.after_local_request(
+                current, request, fill_state, region_response
+            )
+            if entry is not None:
+                entry.state = new_state
+            elif new_state.is_valid and request.allocates_line:
+                home = self.address_map.home_of_region(region)
+                _entry, writebacks = node.allocate_region(region, new_state, home)
+                for writeback in writebacks:
+                    self._emit_writeback(proc, writeback, now)
+
+        if request is RequestType.UPGRADE:
+            node.l2.set_state(line, LineState.MODIFIED)
+            if fill_l1d or node.l1d.state_of(address).is_valid:
+                node.l1d.upgrade(address)
+            return
+        if not request.allocates_line:
+            return
+        writebacks = node.fill_line(
+            address, fill_state,
+            fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+        )
+        for writeback in writebacks:
+            self._emit_writeback(proc, writeback, now)
+
+    def _emit_writeback(
+        self, proc: int, writeback: PendingWriteback, now: int
+    ) -> None:
+        """Send a castout to memory: direct when routable, else broadcast."""
+        address = writeback.line << self.geometry.line_offset_bits
+        if writeback.home_mc is not None:
+            distance = self.topology.distance(proc, writeback.home_mc)
+            arrive = now + self.latency.direct_request_cycles[distance]
+            start = self.network.acquire_controller_link(writeback.home_mc, arrive)
+            self.controllers[writeback.home_mc].write_back(start)
+            self.stats.directs[OracleCategory.WRITEBACK] += 1
+            return
+        grant = self.bus.broadcast(now)
+        snoop_done = grant + self.latency.snoop_cycles
+        home = self.address_map.home_of(address)
+        start = self.network.acquire_controller_link(home, snoop_done)
+        self.controllers[home].write_back(start)
+        self.stats.broadcasts[OracleCategory.WRITEBACK] += 1
+        self.stats.unnecessary_broadcasts[OracleCategory.WRITEBACK] += 1
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_event_log(self, log) -> None:
+        """Record every resolved external request into *log*.
+
+        Pass an :class:`repro.system.eventlog.EventLog`; pass ``None``
+        to detach.
+        """
+        self.event_log = log
+
+    def _log_event(self, now, proc, request, path, address, latency) -> None:
+        if self.event_log is not None:
+            self.event_log.record(now, proc, request, address, path.value, latency)
+
+    # ------------------------------------------------------------------
+    # Run-level metrics
+    # ------------------------------------------------------------------
+    def broadcasts_performed(self) -> int:
+        """Broadcasts issued on the address bus so far."""
+        return self.bus.broadcasts
+
+    def reset_stats(self) -> None:
+        """Zero every counter while preserving all architectural state.
+
+        Used at the end of the warm-up phase (Section 4: "cache
+        checkpoints were included to warm the caches prior to
+        simulation"): caches, RCAs and resource queues keep their state,
+        only the measurements restart.
+        """
+        self.stats = ExternalRequestStats()
+        self.demand_latency = RunningStat()
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.queue_cycles = 0
+        self.request_paths = Counter()
+        self.path_latency = {}
+        self.prefetches_filtered = 0
+        self.dram_speculative_started = 0
+        self.dram_speculative_wasted = 0
+        self.dram_speculation_avoided = 0
+        self.dram_speculation_late = 0
+        self.region_prefetches = 0
+        self.targeted_hits = 0
+        self.targeted_misses = 0
+        self.c2c_transfers = 0
+        self.network.transfers = 0
+        self.bus.broadcasts = 0
+        self.bus.traffic = IntervalCounter(self.bus.traffic.window)
+        for node in self.nodes:
+            node.l1i.reset_stats()
+            node.l1d.reset_stats()
+            node.l2.reset_stats()
+            if node.rca is not None:
+                node.rca.reset_stats()
+
+    def check_coherence_invariants(self) -> None:
+        """Global single-writer/multiple-reader check (tests/debugging)."""
+        owners: Dict[int, List[Tuple[int, LineState]]] = {}
+        for node in self.nodes:
+            for line, state in node.l2.resident_lines():
+                owners.setdefault(line, []).append((node.proc_id, state))
+        for line, holders in owners.items():
+            exclusive = [
+                (p, s)
+                for p, s in holders
+                if s in (LineState.MODIFIED, LineState.EXCLUSIVE)
+            ]
+            if exclusive and len(holders) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: exclusive copy coexists with others: {holders}"
+                )
+            dirty = [(p, s) for p, s in holders if s.is_dirty]
+            if len(dirty) > 1:
+                raise AssertionError(
+                    f"line {line:#x}: multiple dirty copies: {holders}"
+                )
+        for node in self.nodes:
+            node.check_inclusion()

@@ -1,0 +1,239 @@
+"""Event-ordered multiprocessor simulation and its results.
+
+The :class:`Simulator` interleaves the per-processor trace replays by
+timestamp: at every step the processor with the earliest next operation
+issues it, so cross-processor coherence interactions happen in a single
+global time order and runs are deterministic for a given seed. The
+perturbation jitter (Section 4 / Alameldeen et al.) varies that order
+between seeds; experiments average several seeds and report 95 %
+confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.system.config import SystemConfig
+from repro.system.machine import ExternalRequestStats, Machine, OracleCategory
+from repro.system.processor import TraceProcessor
+from repro.workloads.trace import MultiTrace
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Everything the experiments need from one simulation run."""
+
+    workload: str
+    config: SystemConfig
+    seed: int
+    per_processor_cycles: List[int]
+    per_processor_stalls: List[int]
+    per_processor_gaps: List[int]
+    stats: ExternalRequestStats
+    broadcasts: int
+    traffic_average_per_window: float
+    traffic_peak_per_window: int
+    l1_hits: int
+    l2_hits: int
+    l2_misses: int
+    l2_region_forced_evictions: int
+    demand_latency_mean: float
+    bus_queue_cycles: int
+    rca_mean_line_count: Optional[float] = None
+    rca_eviction_fractions: Dict[int, float] = field(default_factory=dict)
+    rca_self_invalidations: int = 0
+    rca_allocations: int = 0
+
+    # ------------------------------------------------------------------
+    # Headline metrics
+    # ------------------------------------------------------------------
+    @property
+    def cycles(self) -> int:
+        """Run time: the last processor to finish defines it."""
+        return max(self.per_processor_cycles)
+
+    @property
+    def total_external_requests(self) -> int:
+        """All external requests, however routed."""
+        return self.stats.total_external
+
+    def fraction_unnecessary(self) -> float:
+        """Figure 2: share of external requests whose broadcast was
+        unnecessary (meaningful for baseline runs, where every external
+        request broadcasts)."""
+        total = self.stats.total_external
+        if total == 0:
+            return 0.0
+        return self.stats.total_unnecessary / total
+
+    def fraction_avoided(self) -> float:
+        """Figure 7: share of external requests CGCT handled without a
+        broadcast (sent direct, or completed with no request at all)."""
+        total = self.stats.total_external
+        if total == 0:
+            return 0.0
+        return self.stats.total_avoided / total
+
+    def category_fraction(self, category: OracleCategory, *, of: str) -> float:
+        """Per-category share of external requests.
+
+        ``of`` selects the numerator: ``"unnecessary"`` (Figure 2 stack)
+        or ``"avoided"`` (Figure 7 stack).
+        """
+        total = self.stats.total_external
+        if total == 0:
+            return 0.0
+        if of == "unnecessary":
+            return self.stats.unnecessary_broadcasts[category] / total
+        if of == "avoided":
+            return self.stats.avoided(category) / total
+        raise ValueError(f"of must be 'unnecessary' or 'avoided', got {of!r}")
+
+    def broadcasts_per_window(self) -> float:
+        """Figure 10: average broadcasts per traffic window (100 K cycles)."""
+        return self.traffic_average_per_window
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Baseline cycles / our cycles (>1 means we are faster)."""
+        if self.cycles == 0:
+            raise SimulationError("run completed in zero cycles")
+        return baseline.cycles / self.cycles
+
+    def runtime_reduction_over(self, baseline: "RunResult") -> float:
+        """Figure 8/9's metric: fractional reduction in run time."""
+        if baseline.cycles == 0:
+            raise SimulationError("baseline completed in zero cycles")
+        return 1.0 - self.cycles / baseline.cycles
+
+
+class Simulator:
+    """Builds a machine and replays a multiprocessor trace on it."""
+
+    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+        self.machine = Machine(config, seed=seed)
+
+    def run(
+        self,
+        workload: MultiTrace,
+        validate: bool = True,
+        warmup_fraction: float = 0.0,
+    ) -> RunResult:
+        """Replay *workload* to completion and collect the results.
+
+        ``warmup_fraction`` replays that prefix of every processor's
+        trace to warm caches and RCAs (the paper starts from cache
+        checkpoints, Section 4), then resets all statistics; cycles and
+        counters in the result cover only the measured portion.
+        """
+        if workload.num_processors != self.config.num_processors:
+            raise SimulationError(
+                f"workload has {workload.num_processors} traces but the "
+                f"machine has {self.config.num_processors} processors"
+            )
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise SimulationError(
+                f"warmup_fraction must be in [0, 1), got {warmup_fraction}"
+            )
+        if validate:
+            workload.validate(self.config.geometry)
+        processors = [
+            TraceProcessor(p, trace, self.machine)
+            for p, trace in enumerate(workload.per_processor)
+        ]
+        measure_from = 0
+        if warmup_fraction > 0.0:
+            targets = [int(len(p.trace) * warmup_fraction) for p in processors]
+            self._run_until(processors, targets)
+            self.machine.reset_stats()
+            measure_from = max(p.clock for p in processors)
+            for p in processors:
+                p.stall_cycles = 0
+                p.gap_cycles = 0
+        start_clocks = [p.clock for p in processors]
+        self._run_until(processors, [len(p.trace) for p in processors])
+        return self._collect(workload.name, processors, start_clocks, measure_from)
+
+    @staticmethod
+    def _run_until(processors: List[TraceProcessor], targets: List[int]) -> None:
+        """Step processors in timestamp order until each reaches its target."""
+        active = [p for p in processors if p.index < targets[p.proc_id]]
+        while active:
+            # Earliest next issue time goes first; ties break by ID, which
+            # keeps runs deterministic.
+            soonest = min(active, key=lambda p: p.next_time)
+            soonest.step()
+            if soonest.done or soonest.index >= targets[soonest.proc_id]:
+                active.remove(soonest)
+
+    def _collect(
+        self,
+        name: str,
+        processors: List[TraceProcessor],
+        start_clocks: List[int],
+        measure_from: int,
+    ) -> RunResult:
+        machine = self.machine
+        l2_misses = sum(n.l2.misses for n in machine.nodes)
+        region_forced = sum(n.l2.region_forced_evictions for n in machine.nodes)
+        rca_mean = None
+        rca_fracs: Dict[int, float] = {}
+        rca_self_inv = 0
+        rca_allocs = 0
+        if self.config.cgct_enabled:
+            line_counts = [n.rca.mean_line_count() for n in machine.nodes]
+            rca_mean = sum(line_counts) / len(line_counts)
+            total_evictions = sum(
+                sum(n.rca.eviction_line_counts.values()) for n in machine.nodes
+            )
+            if total_evictions:
+                merged: Dict[int, int] = {}
+                for node in machine.nodes:
+                    for count, occurrences in node.rca.eviction_line_counts.items():
+                        merged[count] = merged.get(count, 0) + occurrences
+                rca_fracs = {
+                    count: occurrences / total_evictions
+                    for count, occurrences in sorted(merged.items())
+                }
+            rca_self_inv = sum(n.rca.self_invalidations for n in machine.nodes)
+            rca_allocs = sum(n.rca.allocations for n in machine.nodes)
+        end_time = max(p.clock for p in processors) if processors else 0
+        return RunResult(
+            workload=name,
+            config=self.config,
+            seed=self.seed,
+            per_processor_cycles=[
+                p.clock - start for p, start in zip(processors, start_clocks)
+            ],
+            per_processor_stalls=[p.stall_cycles for p in processors],
+            per_processor_gaps=[p.gap_cycles for p in processors],
+            stats=machine.stats,
+            broadcasts=machine.bus.broadcasts,
+            traffic_average_per_window=machine.bus.traffic.average_per_window(
+                end_time, start_time=measure_from
+            ),
+            traffic_peak_per_window=machine.bus.traffic.peak(),
+            l1_hits=machine.l1_hits,
+            l2_hits=machine.l2_hits,
+            l2_misses=l2_misses,
+            l2_region_forced_evictions=region_forced,
+            demand_latency_mean=machine.demand_latency.mean,
+            bus_queue_cycles=machine.queue_cycles,
+            rca_mean_line_count=rca_mean,
+            rca_eviction_fractions=rca_fracs,
+            rca_self_invalidations=rca_self_inv,
+            rca_allocations=rca_allocs,
+        )
+
+
+def run_workload(
+    config: SystemConfig,
+    workload: MultiTrace,
+    seed: int = 0,
+    warmup_fraction: float = 0.0,
+) -> RunResult:
+    """One-shot convenience: build a simulator, run, return the result."""
+    return Simulator(config, seed=seed).run(workload, warmup_fraction=warmup_fraction)

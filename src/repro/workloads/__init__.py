@@ -1,0 +1,46 @@
+"""Workloads: trace format, synthetic generator engine, benchmark suite.
+
+The paper drives its simulator with checkpoints of commercial, scientific
+and multiprogrammed workloads on AIX (Table 4). Those checkpoints are not
+available, so this package generates *synthetic* traces whose sharing
+behaviour, spatial locality, request mix and phase structure are tuned to
+each benchmark's published profile (see DESIGN.md §2 for the
+substitution argument).
+
+* :mod:`repro.workloads.trace` — the trace record format.
+* :mod:`repro.workloads.generator` — the generator engine (region pools,
+  spatial runs, migratory/producer-consumer sharing, DCBZ page zeroing).
+* :mod:`repro.workloads.benchmarks` — the nine Table 4 workload profiles.
+* :mod:`repro.workloads.microbench` — analytically-predictable patterns
+  (streaming, ping-pong, producer/consumer, region false sharing).
+* :mod:`repro.workloads.validation` — trace statistics for profile
+  authors.
+"""
+
+from repro.workloads import microbench
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    get_profile,
+)
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+from repro.workloads.trace import MultiTrace, Trace, TraceOp
+from repro.workloads.validation import WorkloadStats, trace_stats, workload_stats
+
+__all__ = [
+    "BENCHMARKS",
+    "MultiTrace",
+    "SyntheticWorkload",
+    "Trace",
+    "TraceOp",
+    "WorkloadProfile",
+    "WorkloadStats",
+    "benchmark_names",
+    "build_benchmark",
+    "get_profile",
+    "microbench",
+    "trace_stats",
+    "workload_stats",
+]

@@ -1,0 +1,155 @@
+"""Microbenchmark workloads with analytically-known behaviour.
+
+Unlike the Table 4 stand-ins (statistical profiles of real workloads),
+these are *deliberately simple* access patterns whose interaction with
+Coarse-Grain Coherence Tracking can be predicted on paper — useful for
+testing, teaching, and isolating one mechanism at a time:
+
+* :func:`streaming` — every processor sweeps its own array once.
+  CGCT converts all but one broadcast per region.
+* :func:`ping_pong` — two processors alternately write one line.
+  Pure migratory pathology: CGCT can avoid nothing at steady state
+  (every request finds the line dirty in the other cache), but
+  self-invalidation keeps the region from poisoning its neighbours.
+* :func:`producer_consumer` — one writer, N readers, phase-separated.
+  Exercises externally-clean states and upgrades.
+* :func:`false_region_sharing` — processors touch disjoint lines that
+  interleave within regions. The canonical worst case for large
+  regions: every region is multi-processor even though no line is.
+* :func:`uniform_random` — uniformly random lines from a shared pool;
+  a stress test with minimal locality for the RCA to exploit.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.rng import make_rng
+from repro.workloads.trace import MultiTrace, Trace, TraceOp
+
+LINE = 64
+
+
+def _trace(records, name: str) -> Trace:
+    return Trace.from_records(records, name=name)
+
+
+def streaming(
+    num_processors: int = 4,
+    lines_per_processor: int = 512,
+    gap: int = 4,
+    base: int = 0x10_0000,
+    stride_per_processor: int = 0x10_0000,
+) -> MultiTrace:
+    """Each processor sweeps a private contiguous array once."""
+    traces = []
+    for proc in range(num_processors):
+        start = base + proc * stride_per_processor
+        records = [
+            (TraceOp.LOAD, start + i * LINE, gap)
+            for i in range(lines_per_processor)
+        ]
+        traces.append(_trace(records, f"streaming.p{proc}"))
+    return MultiTrace(per_processor=traces, name="streaming")
+
+
+def ping_pong(
+    iterations: int = 200,
+    gap: int = 50,
+    address: int = 0x50_0000,
+    processors=(0, 1),
+    num_processors: int = 4,
+) -> MultiTrace:
+    """Two processors alternately store to one line (lock-like)."""
+    a, b = processors
+    records: List[List] = [[] for _ in range(num_processors)]
+    # Interleave in time via gaps: each hit of the ball is one store.
+    for i in range(iterations):
+        owner = a if i % 2 == 0 else b
+        records[owner].append((TraceOp.STORE, address, 2 * gap))
+    traces = [
+        _trace(recs, f"ping_pong.p{p}") for p, recs in enumerate(records)
+    ]
+    return MultiTrace(per_processor=traces, name="ping_pong")
+
+
+def producer_consumer(
+    num_processors: int = 4,
+    lines: int = 128,
+    gap: int = 4,
+    base: int = 0x60_0000,
+) -> MultiTrace:
+    """Processor 0 writes a buffer; the others read it afterwards.
+
+    Consumers' gaps delay them past the producer's writes (phase
+    separation by timing, not synchronisation).
+    """
+    producer = [
+        (TraceOp.STORE, base + i * LINE, gap) for i in range(lines)
+    ]
+    traces = [_trace(producer, "producer_consumer.p0")]
+    producer_span = lines * (gap + 300)  # generous: every store may miss
+    for proc in range(1, num_processors):
+        records = [(TraceOp.LOAD, base, producer_span)]
+        records += [
+            (TraceOp.LOAD, base + i * LINE, gap) for i in range(1, lines)
+        ]
+        traces.append(_trace(records, f"producer_consumer.p{proc}"))
+    return MultiTrace(per_processor=traces, name="producer_consumer")
+
+
+def false_region_sharing(
+    num_processors: int = 4,
+    blocks: int = 64,
+    parcel_bytes: int = 256,
+    gap: int = 4,
+    base: int = 0x70_0000,
+) -> MultiTrace:
+    """Disjoint per-processor parcels interleaved within larger blocks.
+
+    Each ``num_processors × parcel_bytes`` block is carved into one
+    parcel per processor; processor *p* sweeps parcel *p* of every
+    block. No line is ever shared, but any region larger than a parcel
+    covers several processors' data:
+
+    * regions ≤ ``parcel_bytes``: every region is single-processor —
+      CGCT avoids all but one broadcast per region;
+    * regions ≥ ``num_processors × parcel_bytes``: every region is
+      touched by everyone — CGCT can avoid (almost) nothing.
+    """
+    block_bytes = num_processors * parcel_bytes
+    lines_per_parcel = parcel_bytes // LINE
+    traces = []
+    for proc in range(num_processors):
+        records = []
+        for block in range(blocks):
+            parcel = base + block * block_bytes + proc * parcel_bytes
+            for i in range(lines_per_parcel):
+                records.append((TraceOp.LOAD, parcel + i * LINE, gap))
+                records.append((TraceOp.STORE, parcel + i * LINE, gap))
+        traces.append(_trace(records, f"false_region_sharing.p{proc}"))
+    return MultiTrace(per_processor=traces, name="false_region_sharing")
+
+
+def uniform_random(
+    num_processors: int = 4,
+    ops_per_processor: int = 2000,
+    pool_lines: int = 4096,
+    store_fraction: float = 0.3,
+    gap: int = 4,
+    base: int = 0x80_0000,
+    seed: int = 0,
+) -> MultiTrace:
+    """Uniformly random lines from one shared pool (worst-case locality)."""
+    traces = []
+    for proc in range(num_processors):
+        rng = make_rng(seed, "uniform_random", proc)
+        lines = rng.integers(0, pool_lines, size=ops_per_processor)
+        stores = rng.random(size=ops_per_processor) < store_fraction
+        records = [
+            (TraceOp.STORE if store else TraceOp.LOAD,
+             base + int(line) * LINE, gap)
+            for line, store in zip(lines, stores)
+        ]
+        traces.append(_trace(records, f"uniform_random.p{proc}"))
+    return MultiTrace(per_processor=traces, name="uniform_random")

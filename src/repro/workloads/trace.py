@@ -1,0 +1,178 @@
+"""Trace record format.
+
+A trace is three parallel NumPy arrays per processor: the operation, the
+byte address, and the *gap* — CPU cycles of non-memory work the processor
+performs before issuing the operation. Gaps are how the timing model
+represents the core's compute throughput without simulating a pipeline:
+execution time = Σ gaps + Σ memory stalls.
+
+Workloads can be persisted with :meth:`MultiTrace.save` /
+:meth:`MultiTrace.load` (compressed ``.npz``), so expensive generated
+traces — or traces converted from external tools — can be replayed
+without regeneration.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.memory.geometry import Geometry
+
+
+class TraceOp(enum.IntEnum):
+    """Processor-level memory operations (what a pipeline emits)."""
+
+    LOAD = 0
+    STORE = 1
+    IFETCH = 2
+    DCBZ = 3
+    DCBF = 4
+    DCBI = 5
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One processor's memory-operation stream."""
+
+    ops: np.ndarray
+    addresses: np.ndarray
+    gaps: np.ndarray
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        if not (len(self.ops) == len(self.addresses) == len(self.gaps)):
+            raise SimulationError(
+                f"trace {self.name}: array lengths differ "
+                f"({len(self.ops)}, {len(self.addresses)}, {len(self.gaps)})"
+            )
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def validate(self, geometry: Geometry) -> None:
+        """Check every record is legal for *geometry*; raise if not."""
+        if len(self) == 0:
+            return
+        if self.ops.min() < 0 or self.ops.max() > max(TraceOp):
+            raise SimulationError(f"trace {self.name}: unknown op code")
+        if self.addresses.min() < 0:
+            raise SimulationError(f"trace {self.name}: negative address")
+        if int(self.addresses.max()) >= geometry.max_address:
+            raise SimulationError(
+                f"trace {self.name}: address {int(self.addresses.max()):#x} "
+                f"outside the {geometry.physical_address_bits}-bit space"
+            )
+        if self.gaps.min() < 0:
+            raise SimulationError(f"trace {self.name}: negative gap")
+
+    def head(self, n: int) -> "Trace":
+        """First *n* records (for scaled-down benchmark runs)."""
+        return Trace(
+            ops=self.ops[:n],
+            addresses=self.addresses[:n],
+            gaps=self.gaps[:n],
+            name=self.name,
+        )
+
+    @staticmethod
+    def from_records(
+        records: Sequence, name: str = "trace"
+    ) -> "Trace":
+        """Build a trace from ``(op, address, gap)`` tuples (tests, examples)."""
+        if records:
+            ops, addresses, gaps = zip(*records)
+        else:
+            ops, addresses, gaps = (), (), ()
+        return Trace(
+            ops=np.array([int(op) for op in ops], dtype=np.uint8),
+            addresses=np.array(addresses, dtype=np.uint64),
+            gaps=np.array(gaps, dtype=np.uint32),
+            name=name,
+        )
+
+    @staticmethod
+    def concatenate(traces: Sequence["Trace"], name: str = "trace") -> "Trace":
+        """Join several traces end-to-end (phase assembly)."""
+        if not traces:
+            return Trace.from_records([], name=name)
+        return Trace(
+            ops=np.concatenate([t.ops for t in traces]),
+            addresses=np.concatenate([t.addresses for t in traces]),
+            gaps=np.concatenate([t.gaps for t in traces]),
+            name=name,
+        )
+
+
+@dataclass(frozen=True)
+class MultiTrace:
+    """One trace per processor, plus the workload's identity."""
+
+    per_processor: List[Trace]
+    name: str = "workload"
+
+    @property
+    def num_processors(self) -> int:
+        """Total processors in the machine."""
+        return len(self.per_processor)
+
+    def __len__(self) -> int:
+        return sum(len(t) for t in self.per_processor)
+
+    def validate(self, geometry: Geometry) -> None:
+        """Check every record against the geometry; raise if illegal."""
+        for trace in self.per_processor:
+            trace.validate(geometry)
+
+    def scaled(self, ops_per_processor: int) -> "MultiTrace":
+        """Truncate every processor's trace (scaled-down benchmark runs)."""
+        return MultiTrace(
+            per_processor=[t.head(ops_per_processor) for t in self.per_processor],
+            name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the workload to a compressed ``.npz`` file."""
+        arrays = {}
+        for index, trace in enumerate(self.per_processor):
+            arrays[f"ops_{index}"] = trace.ops
+            arrays[f"addresses_{index}"] = trace.addresses
+            arrays[f"gaps_{index}"] = trace.gaps
+        meta = json.dumps({
+            "name": self.name,
+            "num_processors": self.num_processors,
+            "trace_names": [t.name for t in self.per_processor],
+        })
+        arrays["meta"] = np.array(meta)
+        np.savez_compressed(Path(path), **arrays)
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> "MultiTrace":
+        """Read a workload previously written by :meth:`save`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            try:
+                meta = json.loads(str(data["meta"]))
+            except KeyError:
+                raise SimulationError(
+                    f"{path}: not a saved MultiTrace (missing metadata)"
+                ) from None
+            traces = []
+            for index in range(meta["num_processors"]):
+                traces.append(
+                    Trace(
+                        ops=data[f"ops_{index}"],
+                        addresses=data[f"addresses_{index}"],
+                        gaps=data[f"gaps_{index}"],
+                        name=meta["trace_names"][index],
+                    )
+                )
+        return MultiTrace(per_processor=traces, name=meta["name"])

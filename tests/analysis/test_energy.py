@@ -1,0 +1,85 @@
+"""Coherence-energy proxy accounting."""
+
+import pytest
+
+from repro.analysis.energy import EnergyWeights, energy_report
+from repro.system.machine import Machine
+
+from tests.conftest import make_config
+
+
+def drive(machine, n=12):
+    for i in range(n):
+        machine.load(0, 0x10000 + i * 64, now=i * 1000)
+    # One shared line for a cache-to-cache transfer.
+    machine.store(1, 0x90000, now=n * 1000)
+    machine.load(0, 0x90000, now=(n + 1) * 1000)
+
+
+class TestEventCounting:
+    def test_baseline_counts(self):
+        machine = Machine(make_config(cgct=False))
+        drive(machine)
+        report = energy_report(machine)
+        # Every external request broadcast to 3 other nodes.
+        assert report.address_messages == machine.bus.broadcasts * 3
+        assert report.rca_lookups == 0
+        assert report.tag_lookups > 0
+        assert report.data_transfers > 0
+
+    def test_cgct_shifts_messages_to_point_to_point(self):
+        base = Machine(make_config(cgct=False))
+        cgct = Machine(make_config(cgct=True, rca_sets=1024))
+        drive(base)
+        drive(cgct)
+        report_base = energy_report(base)
+        report_cgct = energy_report(cgct)
+        assert report_cgct.address_messages < report_base.address_messages
+        assert report_cgct.tag_lookups < report_base.tag_lookups
+        assert report_cgct.rca_lookups > 0
+
+    def test_wasted_speculative_dram_counted(self):
+        machine = Machine(make_config(cgct=False))
+        machine.store(1, 0x90000, now=0)
+        machine.load(0, 0x90000, now=1000)  # c2c; speculative DRAM wasted
+        report = energy_report(machine)
+        assert machine.dram_speculative_wasted >= 1
+        assert report.dram_accesses >= machine.dram_speculative_wasted
+
+    def test_savings_over(self):
+        base = Machine(make_config(cgct=False))
+        cgct = Machine(make_config(cgct=True, rca_sets=1024))
+        drive(base)
+        drive(cgct)
+        saving = energy_report(cgct).savings_over(energy_report(base))
+        assert -1.0 < saving < 1.0
+
+    def test_rows_render(self):
+        machine = Machine(make_config(cgct=False))
+        drive(machine)
+        rows = energy_report(machine).as_rows()
+        assert len(rows) == 6
+
+
+class TestWeights:
+    def test_missing_weight_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            EnergyWeights(weights={"tag_lookup": 1.0})
+
+    def test_negative_weight_rejected(self):
+        weights = dict(
+            address_message=1.0, tag_lookup=-1.0, rca_lookup=0.5,
+            dram_access=20.0, data_transfer=4.0,
+        )
+        with pytest.raises(ValueError, match="negative"):
+            EnergyWeights(weights=weights)
+
+    def test_custom_weights_change_total(self):
+        machine = Machine(make_config(cgct=False))
+        drive(machine)
+        light = energy_report(machine)
+        heavy_dram = EnergyWeights(weights={
+            **EnergyWeights().weights, "dram_access": 200.0,
+        })
+        heavy = energy_report(machine, heavy_dram)
+        assert heavy.weighted_total > light.weighted_total

@@ -1,0 +1,71 @@
+"""Per-path latency breakdown extraction."""
+
+import pytest
+
+from repro.analysis.latency import latency_breakdown
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def machine():
+    machine = Machine(make_config(cgct=True, rca_sets=1024))
+    machine.load(0, 0x1000, now=0)        # broadcast
+    machine.load(0, 0x1040, now=1000)     # direct
+    machine.load(0, 0x1080, now=2000)     # direct
+    return machine
+
+
+def test_rows_cover_observed_paths(machine):
+    breakdown = latency_breakdown(machine)
+    kinds = {(row.request, row.path) for row in breakdown.rows}
+    assert ("read", "broadcast") in kinds
+    assert ("read", "direct") in kinds
+
+
+def test_counts_and_means(machine):
+    breakdown = latency_breakdown(machine)
+    direct = [r for r in breakdown.rows if r.path == "direct"][0]
+    assert direct.count == 2
+    # 0x1000 is homed at the other chip's controller (page-interleaved):
+    # direct same-switch = 20 + 160 + 20 = 200 cycles.
+    assert direct.mean_cycles == pytest.approx(200.0)
+    assert direct.min_cycles <= direct.mean_cycles <= direct.max_cycles
+
+
+def test_rows_sorted_by_contribution(machine):
+    breakdown = latency_breakdown(machine)
+    totals = [row.total_cycles for row in breakdown.rows]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_aggregates(machine):
+    breakdown = latency_breakdown(machine)
+    assert breakdown.total_external_cycles() == pytest.approx(250 + 2 * 200)
+    assert breakdown.mean_external_latency() == pytest.approx(
+        (250 + 2 * 200) / 3)
+
+
+def test_by_path_filter(machine):
+    breakdown = latency_breakdown(machine)
+    assert len(breakdown.by_path(RequestPath.DIRECT)) == 1
+    assert breakdown.by_path(RequestPath.NO_REQUEST) == []
+
+
+def test_table_rows_renderable(machine):
+    from repro.harness.render import render_table
+
+    breakdown = latency_breakdown(machine)
+    text = render_table(
+        ["request", "path", "n", "mean", "min", "max"],
+        breakdown.as_table_rows(),
+    )
+    assert "read" in text and "direct" in text
+
+
+def test_empty_machine():
+    machine = Machine(make_config(cgct=False))
+    breakdown = latency_breakdown(machine)
+    assert breakdown.rows == []
+    assert breakdown.mean_external_latency() == 0.0

@@ -1,0 +1,71 @@
+"""Aggregation metrics: category stacks, CIs over seeds."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    STACK_ORDER,
+    aggregate_seeds,
+    category_stack,
+    runtime_reduction_interval,
+)
+from repro.system.machine import OracleCategory
+from repro.system.simulator import run_workload
+
+from tests.conftest import loads, make_config, multitrace
+
+
+def small_run(cgct, seed=0, perturbation=0):
+    workload = multitrace([
+        loads([0x100000 * (p + 1) + i * 64 for i in range(24)], gap=5)
+        for p in range(4)
+    ])
+    config = make_config(cgct=cgct, perturbation=perturbation)
+    return run_workload(config, workload, seed=seed)
+
+
+def test_category_stack_fractions_sum_to_total():
+    result = small_run(cgct=False)
+    stack = category_stack(result, of="unnecessary")
+    assert stack.total == pytest.approx(result.fraction_unnecessary())
+    assert set(stack.fractions) == set(STACK_ORDER)
+
+
+def test_category_stack_rows_in_paper_order():
+    result = small_run(cgct=False)
+    rows = category_stack(result, of="unnecessary").as_rows()
+    assert [name for name, _f in rows] == [c.value for c in STACK_ORDER]
+
+
+def test_aggregate_seeds():
+    results = [small_run(cgct=False, seed=s, perturbation=20) for s in range(3)]
+    agg = aggregate_seeds(results, lambda r: float(r.cycles), "cycles")
+    assert agg.workload == results[0].workload
+    assert agg.interval.n == 3
+    assert min(r.cycles for r in results) <= agg.mean <= max(r.cycles for r in results)
+
+
+def test_aggregate_seeds_rejects_mixed_workloads():
+    a = small_run(cgct=False)
+    b = small_run(cgct=False)
+    object.__setattr__(b, "workload", "other")
+    with pytest.raises(ValueError):
+        aggregate_seeds([a, b], lambda r: 1.0, "x")
+
+
+def test_aggregate_seeds_rejects_empty():
+    with pytest.raises(ValueError):
+        aggregate_seeds([], lambda r: 1.0, "x")
+
+
+def test_runtime_reduction_interval_pairs_seeds():
+    bases = [small_run(cgct=False, seed=s, perturbation=20) for s in range(2)]
+    cands = [small_run(cgct=True, seed=s, perturbation=20) for s in range(2)]
+    ci = runtime_reduction_interval(bases, cands)
+    assert ci.n == 2
+    assert -1.0 < ci.mean < 1.0
+
+
+def test_runtime_reduction_interval_length_mismatch():
+    base = [small_run(cgct=False)]
+    with pytest.raises(ValueError):
+        runtime_reduction_interval(base, [])

@@ -1,0 +1,55 @@
+"""Standalone oracle profiles (Figure 2 analysis)."""
+
+import pytest
+
+from repro.analysis.oracle import oracle_profile, profile_from_result
+from repro.system.machine import OracleCategory
+from repro.system.simulator import run_workload
+
+from tests.conftest import loads, make_config, multitrace, stores
+
+
+def private_workload():
+    return multitrace([
+        loads([0x100000 * (p + 1) + i * 64 for i in range(16)], gap=2)
+        for p in range(4)
+    ], name="private")
+
+
+def shared_workload():
+    addresses = [0x500000 + i * 64 for i in range(16)]
+    return multitrace([loads(addresses, gap=2) for _ in range(4)],
+                      name="shared")
+
+
+def test_private_workload_is_all_unnecessary():
+    profile = oracle_profile(private_workload(), config=make_config(cgct=False),
+                             warmup_fraction=0.0)
+    assert profile.unnecessary_fraction == 1.0
+    assert profile.workload == "private"
+
+
+def test_shared_workload_is_mostly_necessary():
+    profile = oracle_profile(shared_workload(), config=make_config(cgct=False),
+                             warmup_fraction=0.0)
+    # First toucher of each line is unnecessary, the other three necessary.
+    assert profile.unnecessary_fraction == pytest.approx(0.25)
+
+
+def test_categories_partition_the_total():
+    profile = oracle_profile(private_workload(), config=make_config(cgct=False),
+                             warmup_fraction=0.0)
+    assert sum(profile.by_category.values()) == pytest.approx(
+        profile.unnecessary_fraction)
+
+
+def test_rejects_cgct_config():
+    with pytest.raises(ValueError):
+        oracle_profile(private_workload(), config=make_config(cgct=True))
+
+
+def test_profile_from_result():
+    result = run_workload(make_config(cgct=False), private_workload())
+    profile = profile_from_result(result)
+    assert profile.total_requests == result.stats.total_external
+    assert profile.category(OracleCategory.DATA) > 0

@@ -1,0 +1,69 @@
+"""Table 2 storage-overhead model, row by row against the paper."""
+
+import pytest
+
+from repro.analysis.overhead import (
+    OverheadRow,
+    cache_bits_per_set,
+    overhead_row,
+    table2_rows,
+)
+
+#: (entries, region) → paper's (tag, count, total bits, tag %, cache %).
+PAPER_TABLE2 = {
+    (4096, 256): (21, 3, 76, 0.102, 0.016),
+    (4096, 512): (20, 4, 76, 0.102, 0.016),
+    (4096, 1024): (19, 5, 76, 0.102, 0.016),
+    (8192, 256): (20, 3, 73, 0.196, 0.030),
+    (8192, 512): (19, 4, 73, 0.196, 0.030),
+    (8192, 1024): (18, 5, 73, 0.196, 0.030),
+    (16384, 256): (19, 3, 71, 0.382, 0.059),
+    (16384, 512): (18, 4, 71, 0.382, 0.059),
+    (16384, 1024): (17, 5, 71, 0.382, 0.059),
+}
+
+
+@pytest.mark.parametrize("entries,region", sorted(PAPER_TABLE2))
+def test_row_matches_paper(entries, region):
+    tag, count, total, tag_pct, cache_pct = PAPER_TABLE2[(entries, region)]
+    row = overhead_row(entries, region)
+    assert row.address_tag_bits == tag
+    assert row.line_count_bits == count
+    assert row.total_bits_per_set == total
+    assert row.state_bits == 3
+    assert row.mem_cntrl_id_bits == 6
+    assert row.lru_bits == 1
+    # Percentages match to within rounding of the paper's arithmetic.
+    assert row.tag_space_overhead == pytest.approx(tag_pct, abs=0.003)
+    assert row.cache_space_overhead == pytest.approx(cache_pct, abs=0.001)
+
+
+def test_table2_has_nine_rows_in_order():
+    rows = table2_rows()
+    assert len(rows) == 9
+    assert [(r.entries, r.region_bytes) for r in rows] == sorted(PAPER_TABLE2)
+
+
+def test_cache_set_is_23_bytes():
+    # Section 3.2: "for a total of 23 bytes per set".
+    assert cache_bits_per_set() in (184, 185)
+
+
+def test_labels():
+    assert overhead_row(16384, 512).label == "16K-Entries, 512-Byte Regions"
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        overhead_row(1000, 512)      # not divisible into power-of-two sets
+    with pytest.raises(ValueError):
+        overhead_row(4096, 100)      # bad region size
+    with pytest.raises(ValueError):
+        overhead_row(4095, 512, ways=2)  # odd entry count
+
+
+def test_half_size_rca_halves_overhead():
+    full = overhead_row(16384, 512)
+    half = overhead_row(8192, 512)
+    ratio = half.cache_space_overhead / full.cache_space_overhead
+    assert 0.45 < ratio < 0.55

@@ -1,0 +1,106 @@
+"""L1 cache behaviour (MSI, write-back, back-invalidation)."""
+
+import pytest
+
+from repro.cache.l1 import L1Cache
+from repro.coherence.line_states import L1State
+from repro.memory.geometry import Geometry
+
+
+@pytest.fixture
+def l1():
+    # 4 KB, 4-way, 64 B lines ⇒ 16 sets.
+    return L1Cache(Geometry(), size_bytes=4096, ways=4, name="l1test")
+
+
+def test_geometry_of_sets(l1):
+    assert l1.num_sets == 16
+    assert l1.ways == 4
+
+
+class TestLookups:
+    def test_cold_miss(self, l1):
+        assert not l1.lookup(0x1000)
+        assert l1.misses == 1
+
+    def test_hit_after_fill(self, l1):
+        l1.fill(0x1000, writable=False)
+        assert l1.lookup(0x1000)
+        assert l1.hits == 1
+
+    def test_hit_anywhere_in_line(self, l1):
+        l1.fill(0x1000, writable=False)
+        assert l1.lookup(0x103F)
+
+    def test_write_to_shared_copy_misses(self, l1):
+        l1.fill(0x1000, writable=False)
+        assert not l1.lookup(0x1000, write=True)
+
+    def test_write_to_modified_copy_hits(self, l1):
+        l1.fill(0x1000, writable=True)
+        assert l1.lookup(0x1000, write=True)
+
+    def test_state_of(self, l1):
+        assert l1.state_of(0x1000) is L1State.INVALID
+        l1.fill(0x1000, writable=False)
+        assert l1.state_of(0x1000) is L1State.SHARED
+        l1.fill(0x1000, writable=True)
+        assert l1.state_of(0x1000) is L1State.MODIFIED
+
+
+class TestFills:
+    def test_refill_upgrades_in_place(self, l1):
+        l1.fill(0x1000, writable=False)
+        assert l1.fill(0x1000, writable=True) is None
+        assert l1.state_of(0x1000) is L1State.MODIFIED
+
+    def test_eviction_returns_victim_line(self, l1):
+        geom = l1.geometry
+        # Five lines mapping to set 0 (stride = sets * line).
+        stride = l1.num_sets * geom.line_bytes
+        for i in range(4):
+            assert l1.fill(i * stride, writable=False) is None
+        victim = l1.fill(4 * stride, writable=False)
+        assert victim == geom.line_of(0)  # LRU
+        assert l1.evictions == 1
+
+    def test_upgrade(self, l1):
+        l1.fill(0x1000, writable=False)
+        l1.upgrade(0x1000)
+        assert l1.state_of(0x1000) is L1State.MODIFIED
+
+    def test_upgrade_of_absent_line_is_noop(self, l1):
+        l1.upgrade(0x1000)
+        assert l1.state_of(0x1000) is L1State.INVALID
+
+
+class TestInclusionSide:
+    def test_back_invalidate_present(self, l1):
+        l1.fill(0x1000, writable=True)
+        assert l1.back_invalidate(l1.geometry.line_of(0x1000))
+        assert l1.state_of(0x1000) is L1State.INVALID
+        assert l1.back_invalidations == 1
+
+    def test_back_invalidate_absent(self, l1):
+        assert not l1.back_invalidate(99)
+        assert l1.back_invalidations == 0
+
+    def test_downgrade(self, l1):
+        l1.fill(0x1000, writable=True)
+        l1.downgrade(l1.geometry.line_of(0x1000))
+        assert l1.state_of(0x1000) is L1State.SHARED
+
+    def test_resident_lines(self, l1):
+        l1.fill(0x1000, writable=False)
+        l1.fill(0x2000, writable=True)
+        geom = l1.geometry
+        assert set(l1.resident_lines()) == {
+            geom.line_of(0x1000), geom.line_of(0x2000)
+        }
+
+
+def test_reset_stats(l1):
+    l1.lookup(0x0)
+    l1.fill(0x0, writable=False)
+    l1.reset_stats()
+    assert l1.hits == l1.misses == l1.evictions == 0

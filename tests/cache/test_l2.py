@@ -1,0 +1,159 @@
+"""L2 cache behaviour: MOESI storage, write-backs, region eviction."""
+
+import pytest
+
+from repro.cache.l2 import L2Cache
+from repro.coherence.line_states import LineState
+from repro.memory.geometry import Geometry
+
+
+@pytest.fixture
+def geom():
+    return Geometry()
+
+
+@pytest.fixture
+def l2(geom):
+    # 8 KB, 2-way ⇒ 64 sets: small enough to force evictions easily.
+    return L2Cache(geom, size_bytes=8192, ways=2, name="l2test")
+
+
+class TestBasics:
+    def test_cold_miss(self, l2):
+        assert l2.lookup(0x1000) is None
+        assert l2.misses == 1
+
+    def test_fill_then_hit(self, l2):
+        l2.fill(0x1000, LineState.EXCLUSIVE)
+        entry = l2.lookup(0x1000)
+        assert entry is not None
+        assert entry.state is LineState.EXCLUSIVE
+        assert l2.hits == 1
+
+    def test_fill_invalid_rejected(self, l2):
+        with pytest.raises(ValueError):
+            l2.fill(0x1000, LineState.INVALID)
+
+    def test_refill_changes_state_in_place(self, l2):
+        l2.fill(0x1000, LineState.SHARED)
+        assert l2.fill(0x1000, LineState.MODIFIED) is None
+        assert l2.peek(l2.geometry.line_of(0x1000)).state is LineState.MODIFIED
+
+    def test_set_state(self, l2, geom):
+        l2.fill(0x1000, LineState.SHARED)
+        l2.set_state(geom.line_of(0x1000), LineState.MODIFIED)
+        assert l2.peek(geom.line_of(0x1000)).state is LineState.MODIFIED
+
+    def test_set_state_missing_raises(self, l2):
+        with pytest.raises(KeyError):
+            l2.set_state(42, LineState.MODIFIED)
+
+    def test_set_state_to_invalid_rejected(self, l2, geom):
+        l2.fill(0x1000, LineState.SHARED)
+        with pytest.raises(ValueError):
+            l2.set_state(geom.line_of(0x1000), LineState.INVALID)
+
+    def test_invalidate(self, l2, geom):
+        l2.fill(0x1000, LineState.MODIFIED)
+        assert l2.invalidate(geom.line_of(0x1000)) is LineState.MODIFIED
+        assert l2.invalidate(geom.line_of(0x1000)) is None
+
+
+class TestEvictions:
+    def _conflicting_addresses(self, l2, count):
+        stride = l2.num_sets * l2.geometry.line_bytes
+        return [i * stride for i in range(count)]
+
+    def test_clean_victim_needs_no_writeback(self, l2):
+        a, b, c = self._conflicting_addresses(l2, 3)
+        l2.fill(a, LineState.SHARED)
+        l2.fill(b, LineState.SHARED)
+        victim = l2.fill(c, LineState.SHARED)
+        assert victim is not None
+        assert victim.line == l2.geometry.line_of(a)
+        assert not victim.needs_writeback
+        assert l2.writebacks == 0
+
+    def test_dirty_victim_needs_writeback(self, l2):
+        a, b, c = self._conflicting_addresses(l2, 3)
+        l2.fill(a, LineState.MODIFIED)
+        l2.fill(b, LineState.SHARED)
+        victim = l2.fill(c, LineState.SHARED)
+        assert victim.needs_writeback
+        assert l2.writebacks == 1
+
+    def test_owned_victim_needs_writeback(self, l2):
+        a, b, c = self._conflicting_addresses(l2, 3)
+        l2.fill(a, LineState.OWNED)
+        l2.fill(b, LineState.SHARED)
+        assert l2.fill(c, LineState.SHARED).needs_writeback
+
+
+class TestCallbacks:
+    def test_allocation_and_removal_callbacks(self, geom):
+        events = []
+        l2 = L2Cache(
+            geom, size_bytes=8192, ways=2,
+            on_line_allocated=lambda line: events.append(("alloc", line)),
+            on_line_removed=lambda line: events.append(("remove", line)),
+        )
+        l2.fill(0x1000, LineState.SHARED)
+        l2.invalidate(geom.line_of(0x1000))
+        assert events == [
+            ("alloc", geom.line_of(0x1000)),
+            ("remove", geom.line_of(0x1000)),
+        ]
+
+    def test_victim_removal_fires_before_new_allocation(self, geom):
+        events = []
+        l2 = L2Cache(
+            geom, size_bytes=8192, ways=2,
+            on_line_allocated=lambda line: events.append(("alloc", line)),
+            on_line_removed=lambda line: events.append(("remove", line)),
+        )
+        stride = l2.num_sets * geom.line_bytes
+        l2.fill(0, LineState.SHARED)
+        l2.fill(stride, LineState.SHARED)
+        l2.fill(2 * stride, LineState.SHARED)
+        kinds = [kind for kind, _line in events]
+        assert kinds == ["alloc", "alloc", "remove", "alloc"]
+
+
+class TestSnoops:
+    def test_snoop_probe_counts(self, l2, geom):
+        l2.fill(0x1000, LineState.SHARED)
+        assert l2.snoop_probe(geom.line_of(0x1000)) is not None
+        assert l2.snoop_probe(geom.line_of(0x2000)) is None
+        assert l2.snoop_probes == 2
+        assert l2.snoop_hits == 1
+
+    def test_snoop_probe_does_not_count_demand_stats(self, l2, geom):
+        l2.fill(0x1000, LineState.SHARED)
+        hits, misses = l2.hits, l2.misses
+        l2.snoop_probe(geom.line_of(0x1000))
+        assert (l2.hits, l2.misses) == (hits, misses)
+
+
+class TestRegionSupport:
+    def test_resident_lines_of_region(self, l2, geom):
+        base = 0x4000  # region-aligned
+        l2.fill(base, LineState.SHARED)
+        l2.fill(base + 64, LineState.MODIFIED)
+        l2.fill(base + 4096, LineState.SHARED)  # different region
+        region = geom.region_of(base)
+        lines = {e.line for e in l2.resident_lines_of_region(region)}
+        assert lines == {geom.line_of(base), geom.line_of(base + 64)}
+
+    def test_evict_region_removes_all_and_counts(self, l2, geom):
+        base = 0x4000
+        l2.fill(base, LineState.MODIFIED)
+        l2.fill(base + 64, LineState.SHARED)
+        evicted = l2.evict_region(geom.region_of(base))
+        assert len(evicted) == 2
+        assert l2.region_forced_evictions == 2
+        assert sum(e.needs_writeback for e in evicted) == 1
+        assert l2.resident_lines_of_region(geom.region_of(base)) == []
+
+    def test_evict_empty_region_is_noop(self, l2, geom):
+        assert l2.evict_region(123) == []
+        assert l2.region_forced_evictions == 0

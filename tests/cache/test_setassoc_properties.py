@@ -1,0 +1,98 @@
+"""Property-based tests: the set-associative array against a model.
+
+A reference model (dict of recency-ordered lists) replays random
+operation sequences; the array must agree on membership, occupancy and
+victim choice at every step.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import SetAssociativeArray
+
+NUM_SETS = 4
+WAYS = 2
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "lookup", "remove", "evict_lru"]),
+        st.integers(0, NUM_SETS - 1),
+        st.integers(0, 7),  # tag
+    ),
+    max_size=80,
+)
+
+
+class _Model:
+    """Recency-ordered reference implementation."""
+
+    def __init__(self):
+        self.sets = [OrderedDict() for _ in range(NUM_SETS)]
+
+    def insert(self, s, tag):
+        if tag in self.sets[s] or len(self.sets[s]) >= WAYS:
+            return False
+        self.sets[s][tag] = f"v{s}:{tag}"
+        return True
+
+    def lookup(self, s, tag):
+        if tag not in self.sets[s]:
+            return None
+        self.sets[s].move_to_end(tag)
+        return self.sets[s][tag]
+
+    def remove(self, s, tag):
+        return self.sets[s].pop(tag, None)
+
+    def lru(self, s):
+        if len(self.sets[s]) < WAYS:
+            return None
+        return next(iter(self.sets[s]))
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops)
+def test_array_agrees_with_model(sequence):
+    array = SetAssociativeArray(NUM_SETS, WAYS)
+    model = _Model()
+    for op, s, tag in sequence:
+        if op == "insert":
+            if model.insert(s, tag):
+                array.insert(s, tag, f"v{s}:{tag}")
+        elif op == "lookup":
+            assert array.lookup(s, tag) == model.lookup(s, tag)
+        elif op == "remove":
+            expected = model.remove(s, tag)
+            if expected is None:
+                assert array.lookup(s, tag, touch=False) is None
+            else:
+                assert array.remove(s, tag) == expected
+        elif op == "evict_lru":
+            expected = model.lru(s)
+            victim = array.victim(s)
+            if expected is None:
+                assert victim is None
+            else:
+                assert victim[0] == expected
+    # Final state identical.
+    for s in range(NUM_SETS):
+        assert dict(array.set_contents(s)) == dict(model.sets[s])
+        assert array.occupancy(s) == len(model.sets[s])
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.integers(0, 31), min_size=1, max_size=60))
+def test_fill_stream_never_exceeds_capacity(tags):
+    """Insert-with-eviction keeps every set at or under its way count."""
+    array = SetAssociativeArray(NUM_SETS, WAYS)
+    for tag in tags:
+        s = tag % NUM_SETS
+        key = tag // NUM_SETS
+        if array.lookup(s, key) is not None:
+            continue
+        victim = array.victim(s)
+        if victim is not None:
+            array.remove(s, victim[0])
+        array.insert(s, key, tag)
+        assert array.occupancy(s) <= WAYS

@@ -1,0 +1,39 @@
+"""MOESI / MSI state-classification properties."""
+
+from repro.coherence.line_states import L1State, LineState
+
+
+def test_validity():
+    assert not LineState.INVALID.is_valid
+    for state in (LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE,
+                  LineState.SHARED):
+        assert state.is_valid
+
+
+def test_dirty_states_are_m_and_o():
+    assert {s for s in LineState if s.is_dirty} == {
+        LineState.MODIFIED, LineState.OWNED,
+    }
+
+
+def test_only_modified_is_writable():
+    assert {s for s in LineState if s.is_writable} == {LineState.MODIFIED}
+
+
+def test_silent_modification_from_m_and_e():
+    assert {s for s in LineState if s.can_silently_modify} == {
+        LineState.MODIFIED, LineState.EXCLUSIVE,
+    }
+
+
+def test_owner_supplies_on_snoop():
+    assert {s for s in LineState if s.supplies_on_snoop} == {
+        LineState.MODIFIED, LineState.OWNED,
+    }
+
+
+def test_l1_states():
+    assert L1State.MODIFIED.is_writable
+    assert not L1State.SHARED.is_writable
+    assert not L1State.INVALID.is_valid
+    assert L1State.SHARED.is_valid

@@ -1,0 +1,149 @@
+"""MOESI protocol tables: fills, permissions, snoop transitions."""
+
+import pytest
+
+from repro.coherence.line_states import LineState
+from repro.coherence.moesi import (
+    SnoopAction,
+    fill_state_for,
+    snoop_transition,
+    state_permits,
+)
+from repro.coherence.requests import RequestType
+from repro.coherence.snoop import SnoopResult
+
+READ_LIKE = (RequestType.READ, RequestType.IFETCH, RequestType.PREFETCH)
+VALID = (LineState.MODIFIED, LineState.OWNED, LineState.EXCLUSIVE,
+         LineState.SHARED)
+
+
+class TestStatePermits:
+    def test_reads_satisfied_by_any_valid_copy(self):
+        for state in VALID:
+            for request in READ_LIKE:
+                assert state_permits(state, request)
+
+    def test_reads_not_satisfied_by_invalid(self):
+        for request in READ_LIKE:
+            assert not state_permits(LineState.INVALID, request)
+
+    def test_writes_need_silent_modifiability(self):
+        assert state_permits(LineState.MODIFIED, RequestType.RFO)
+        assert state_permits(LineState.EXCLUSIVE, RequestType.RFO)
+        assert not state_permits(LineState.SHARED, RequestType.RFO)
+        assert not state_permits(LineState.OWNED, RequestType.RFO)
+
+    def test_upgrades_and_dcb_never_satisfied_locally(self):
+        for state in VALID:
+            assert not state_permits(state, RequestType.UPGRADE)
+            assert not state_permits(state, RequestType.DCBZ)
+
+
+class TestFillStates:
+    def test_read_fills_exclusive_when_unshared(self):
+        assert fill_state_for(RequestType.READ, SnoopResult()) is LineState.EXCLUSIVE
+
+    def test_read_fills_shared_when_shared(self):
+        result = SnoopResult(shared=True)
+        assert fill_state_for(RequestType.READ, result) is LineState.SHARED
+
+    def test_ifetch_always_fills_shared(self):
+        assert fill_state_for(RequestType.IFETCH, SnoopResult()) is LineState.SHARED
+
+    def test_write_requests_fill_modified(self):
+        for request in (RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ):
+            assert fill_state_for(request, SnoopResult()) is LineState.MODIFIED
+
+    def test_exclusive_prefetch_fills_exclusive(self):
+        assert (
+            fill_state_for(RequestType.PREFETCH_EX, SnoopResult(shared=True))
+            is LineState.EXCLUSIVE
+        )
+
+    def test_kill_requests_leave_nothing(self):
+        for request in (RequestType.DCBF, RequestType.DCBI, RequestType.WRITEBACK):
+            assert fill_state_for(request, SnoopResult()) is LineState.INVALID
+
+
+class TestSnoopTransitions:
+    def test_invalid_copy_unaffected(self):
+        for request in RequestType:
+            action = snoop_transition(LineState.INVALID, request)
+            assert action.next_state is LineState.INVALID
+            assert not action.supplies_data
+
+    def test_writeback_never_disturbs_remote_copies(self):
+        for state in VALID:
+            action = snoop_transition(state, RequestType.WRITEBACK)
+            assert action.next_state is state
+
+    def test_read_demotes_modified_to_owned_and_supplies(self):
+        action = snoop_transition(LineState.MODIFIED, RequestType.READ)
+        assert action == SnoopAction(LineState.OWNED, supplies_data=True)
+
+    def test_read_keeps_owned_supplying(self):
+        action = snoop_transition(LineState.OWNED, RequestType.READ)
+        assert action == SnoopAction(LineState.OWNED, supplies_data=True)
+
+    def test_read_demotes_exclusive_to_shared_silently(self):
+        action = snoop_transition(LineState.EXCLUSIVE, RequestType.READ)
+        assert action == SnoopAction(LineState.SHARED)
+
+    def test_read_leaves_shared(self):
+        action = snoop_transition(LineState.SHARED, RequestType.READ)
+        assert action.next_state is LineState.SHARED
+
+    def test_rfo_invalidates_and_owner_forwards(self):
+        action = snoop_transition(LineState.MODIFIED, RequestType.RFO)
+        assert action.next_state is LineState.INVALID
+        assert action.supplies_data
+        assert not action.writes_back
+
+    def test_rfo_invalidates_clean_without_data(self):
+        for state in (LineState.EXCLUSIVE, LineState.SHARED):
+            action = snoop_transition(state, RequestType.RFO)
+            assert action.next_state is LineState.INVALID
+            assert not action.supplies_data
+
+    def test_dcbz_pushes_dirty_data_to_memory(self):
+        # The requestor zeroes the line: it does not want the data, but
+        # the model conservatively writes the dirty copy back.
+        action = snoop_transition(LineState.MODIFIED, RequestType.DCBZ)
+        assert action.next_state is LineState.INVALID
+        assert not action.supplies_data
+        assert action.writes_back
+
+    def test_dcbf_flushes_dirty_to_memory(self):
+        action = snoop_transition(LineState.OWNED, RequestType.DCBF)
+        assert action.writes_back
+        assert action.next_state is LineState.INVALID
+
+    def test_dcbi_discards_dirty_data(self):
+        action = snoop_transition(LineState.MODIFIED, RequestType.DCBI)
+        assert action.next_state is LineState.INVALID
+        assert not action.writes_back  # invalidate = data intentionally lost
+
+    def test_upgrade_invalidates_stale_sharers(self):
+        action = snoop_transition(LineState.SHARED, RequestType.UPGRADE)
+        assert action.next_state is LineState.INVALID
+
+    def test_prefetch_behaves_like_read(self):
+        for state in VALID:
+            assert (
+                snoop_transition(state, RequestType.PREFETCH)
+                == snoop_transition(state, RequestType.READ)
+            )
+
+    def test_exclusive_prefetch_behaves_like_rfo(self):
+        for state in VALID:
+            assert (
+                snoop_transition(state, RequestType.PREFETCH_EX)
+                == snoop_transition(state, RequestType.RFO)
+            )
+
+    def test_closure_over_state_space(self):
+        # Every (state, request) pair must yield a defined action.
+        for state in LineState:
+            for request in RequestType:
+                action = snoop_transition(state, request)
+                assert isinstance(action, SnoopAction)

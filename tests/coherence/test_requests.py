@@ -1,0 +1,70 @@
+"""Request-type classification properties."""
+
+from repro.coherence.requests import RequestType
+
+
+def test_demand_requests():
+    demand = {r for r in RequestType if r.is_demand}
+    assert demand == {
+        RequestType.READ, RequestType.RFO, RequestType.UPGRADE,
+        RequestType.IFETCH,
+    }
+
+
+def test_prefetches():
+    assert RequestType.PREFETCH.is_prefetch
+    assert RequestType.PREFETCH_EX.is_prefetch
+    assert not RequestType.READ.is_prefetch
+
+
+def test_dcb_ops():
+    dcb = {r for r in RequestType if r.is_dcb}
+    assert dcb == {RequestType.DCBZ, RequestType.DCBF, RequestType.DCBI}
+
+
+def test_wants_data():
+    wants = {r for r in RequestType if r.wants_data}
+    assert wants == {
+        RequestType.READ, RequestType.RFO, RequestType.IFETCH,
+        RequestType.PREFETCH, RequestType.PREFETCH_EX,
+    }
+
+
+def test_dcbz_does_not_read_memory():
+    # DCBZ allocates a zeroed line: no data fetch needed.
+    assert not RequestType.DCBZ.wants_data
+    assert RequestType.DCBZ.wants_modifiable
+    assert RequestType.DCBZ.allocates_line
+
+
+def test_wants_modifiable():
+    modifiable = {r for r in RequestType if r.wants_modifiable}
+    assert modifiable == {
+        RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ,
+        RequestType.PREFETCH_EX,
+    }
+
+
+def test_invalidates_others_superset_of_modifiable_minus_upgradeless():
+    invalidating = {r for r in RequestType if r.invalidates_others}
+    assert invalidating == {
+        RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ,
+        RequestType.DCBF, RequestType.DCBI, RequestType.PREFETCH_EX,
+    }
+
+
+def test_allocates_line():
+    allocating = {r for r in RequestType if r.allocates_line}
+    assert allocating == {
+        RequestType.READ, RequestType.RFO, RequestType.IFETCH,
+        RequestType.DCBZ, RequestType.PREFETCH, RequestType.PREFETCH_EX,
+    }
+
+
+def test_writeback_is_passive():
+    wb = RequestType.WRITEBACK
+    assert not wb.wants_data
+    assert not wb.wants_modifiable
+    assert not wb.invalidates_others
+    assert not wb.allocates_line
+    assert not wb.is_demand

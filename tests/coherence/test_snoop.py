@@ -1,0 +1,64 @@
+"""Snoop-response combining (single-owner enforcement)."""
+
+import pytest
+
+from repro.coherence.snoop import (
+    LineSnoopResponse,
+    SnoopResult,
+    combine_line_responses,
+)
+
+
+class TestLineSnoopResponse:
+    def test_dirty_implies_cached(self):
+        with pytest.raises(ValueError):
+            LineSnoopResponse(cached=False, dirty=True)
+
+    def test_supplier_implies_cached(self):
+        with pytest.raises(ValueError):
+            LineSnoopResponse(cached=False, supplied=True)
+
+
+class TestCombining:
+    def test_empty_is_unshared(self):
+        result = combine_line_responses([])
+        assert result == SnoopResult()
+        assert result.memory_sources_data
+
+    def test_silent_agents_do_not_share(self):
+        result = combine_line_responses([
+            (1, LineSnoopResponse()),
+            (2, LineSnoopResponse()),
+        ])
+        assert not result.shared
+
+    def test_any_cached_copy_sets_shared(self):
+        result = combine_line_responses([
+            (1, LineSnoopResponse(cached=True)),
+            (2, LineSnoopResponse()),
+        ])
+        assert result.shared
+        assert not result.owned
+
+    def test_dirty_copy_sets_owned(self):
+        result = combine_line_responses([
+            (1, LineSnoopResponse(cached=True, dirty=True, supplied=True)),
+        ])
+        assert result.owned
+        assert result.supplier == 1
+        assert not result.memory_sources_data
+
+    def test_two_suppliers_rejected(self):
+        with pytest.raises(ValueError, match="single-owner"):
+            combine_line_responses([
+                (1, LineSnoopResponse(cached=True, dirty=True, supplied=True)),
+                (2, LineSnoopResponse(cached=True, dirty=True, supplied=True)),
+            ])
+
+    def test_sharers_plus_one_owner(self):
+        result = combine_line_responses([
+            (1, LineSnoopResponse(cached=True)),
+            (2, LineSnoopResponse(cached=True, dirty=True, supplied=True)),
+            (3, LineSnoopResponse(cached=True)),
+        ])
+        assert result.shared and result.owned and result.supplier == 2

@@ -1,0 +1,82 @@
+"""Windowed traffic counting (Figure 10's metric)."""
+
+import pytest
+
+from repro.common.intervals import IntervalCounter
+
+
+def test_records_bucket_by_window():
+    counter = IntervalCounter(window=100)
+    counter.record(0)
+    counter.record(99)
+    counter.record(100)
+    assert counter.series() == {0: 2, 1: 1}
+
+
+def test_peak_is_max_single_window():
+    counter = IntervalCounter(window=10)
+    for t in (0, 1, 2, 25, 26):
+        counter.record(t)
+    assert counter.peak() == 3
+
+
+def test_peak_empty_is_zero():
+    assert IntervalCounter().peak() == 0
+
+
+def test_average_per_window_matches_paper_formula():
+    # 50 events over 1_000_000 cycles with a 100_000 window ⇒ 5 / window.
+    counter = IntervalCounter(window=100_000)
+    for i in range(50):
+        counter.record(i * 20_000)
+    assert counter.average_per_window(end_time=1_000_000) == pytest.approx(5.0)
+
+
+def test_average_discounts_warmup_start():
+    counter = IntervalCounter(window=100)
+    counter.record(950)
+    counter.record(960)
+    assert counter.average_per_window(end_time=1000, start_time=900) == pytest.approx(2.0)
+
+
+def test_average_empty_is_zero():
+    assert IntervalCounter().average_per_window() == 0.0
+
+
+def test_series_is_dense_with_gaps_as_zero():
+    counter = IntervalCounter(window=10)
+    counter.record(5)
+    counter.record(35)
+    assert counter.series() == {0: 1, 1: 0, 2: 0, 3: 1}
+
+
+def test_bulk_counts():
+    counter = IntervalCounter(window=10)
+    counter.record(3, count=7)
+    assert counter.total == 7
+    assert counter.peak() == 7
+
+
+def test_merge_requires_same_window():
+    with pytest.raises(ValueError):
+        IntervalCounter(10).merge(IntervalCounter(20))
+
+
+def test_merge_sums_buckets():
+    a, b = IntervalCounter(10), IntervalCounter(10)
+    a.record(5)
+    b.record(6)
+    b.record(15)
+    merged = a.merge(b)
+    assert merged.total == 3
+    assert merged.series() == {0: 2, 1: 1}
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        IntervalCounter().record(0, count=-1)
+
+
+def test_zero_window_rejected():
+    with pytest.raises(ValueError):
+        IntervalCounter(window=0)

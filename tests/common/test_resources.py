@@ -1,0 +1,75 @@
+"""Next-free-time resource model (bus/memory-controller queuing)."""
+
+import pytest
+
+from repro.common.resources import OccupiedResource
+
+
+def test_idle_resource_serves_immediately():
+    resource = OccupiedResource(occupancy=10)
+    assert resource.acquire(100) == 100
+    assert resource.next_free == 110
+
+
+def test_busy_resource_queues():
+    resource = OccupiedResource(occupancy=10)
+    resource.acquire(100)
+    start = resource.acquire(105)  # arrives mid-service
+    assert start == 110
+    assert resource.queued_cycles == 5
+
+
+def test_back_to_back_requests_serialise():
+    resource = OccupiedResource(occupancy=10)
+    starts = [resource.acquire(0) for _ in range(4)]
+    assert starts == [0, 10, 20, 30]
+
+
+def test_gap_resets_queue():
+    resource = OccupiedResource(occupancy=10)
+    resource.acquire(0)
+    assert resource.acquire(50) == 50
+    assert resource.queued_cycles == 0
+
+
+def test_wait_time_preview_does_not_mutate():
+    resource = OccupiedResource(occupancy=10)
+    resource.acquire(0)
+    assert resource.wait_time(5) == 5
+    assert resource.wait_time(5) == 5
+    assert resource.services == 1
+
+
+def test_utilization():
+    resource = OccupiedResource(occupancy=10)
+    for t in (0, 100, 200):
+        resource.acquire(t)
+    assert resource.utilization(300) == pytest.approx(0.1)
+    assert resource.utilization(0) == 0.0
+
+
+def test_utilization_clamped_to_one():
+    resource = OccupiedResource(occupancy=100)
+    resource.acquire(0)
+    resource.acquire(0)
+    assert resource.utilization(100) == 1.0
+
+
+def test_reset_clears_everything():
+    resource = OccupiedResource(occupancy=10)
+    resource.acquire(0)
+    resource.reset()
+    assert resource.next_free == 0
+    assert resource.services == 0
+    assert resource.busy_cycles == 0
+
+
+def test_negative_occupancy_rejected():
+    with pytest.raises(ValueError):
+        OccupiedResource(occupancy=-1)
+
+
+def test_zero_occupancy_never_queues():
+    resource = OccupiedResource(occupancy=0)
+    assert resource.acquire(5) == 5
+    assert resource.acquire(5) == 5

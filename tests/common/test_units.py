@@ -1,0 +1,33 @@
+"""Clock-domain conversions (Table 3's two clocks)."""
+
+from repro.common.units import (
+    CPU_CYCLES_PER_SYSTEM_CYCLE,
+    cpu_cycles,
+    nanoseconds,
+    system_cycles,
+    to_nanoseconds,
+)
+
+
+def test_ten_cpu_cycles_per_system_cycle():
+    assert CPU_CYCLES_PER_SYSTEM_CYCLE == 10
+
+
+def test_snoop_latency_conversion_matches_table3():
+    # 16 system cycles = 106 ns at 150 MHz (Table 3 rounds to 106).
+    assert system_cycles(16) == 160
+    assert abs(to_nanoseconds(system_cycles(16)) - 106.7) < 0.1
+
+
+def test_nanoseconds_round_trip():
+    for cycles in (1, 12, 160, 2500):
+        assert nanoseconds(to_nanoseconds(cycles)) == cycles
+
+
+def test_cpu_cycles_is_identity():
+    assert cpu_cycles(12) == 12
+
+
+def test_dram_overlap_is_seven_system_cycles():
+    # Table 3: DRAM overlapped with snoop = 47 ns ≈ 7 system cycles.
+    assert nanoseconds(47) in (70, 71)

@@ -1,0 +1,110 @@
+"""Every registered experiment runs and produces well-formed results."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    RunOptions,
+    run_experiment,
+)
+from repro.harness.runcache import RunCache
+
+#: Tiny options so the whole registry runs in seconds.
+QUICK = RunOptions(
+    ops_per_processor=3_000,
+    seeds=1,
+    warmup_fraction=0.3,
+    region_sizes=(512,),
+    benchmarks=("barnes", "tpc-w"),
+)
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache()
+
+
+def test_registry_covers_every_artifact():
+    paper_artifacts = {
+        "table1", "table2", "table3", "table4",
+        "fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "sec32",
+    }
+    beyond_paper = {"ablations", "extensions", "scaling", "energy",
+                    "sectored"}
+    assert set(EXPERIMENTS) == paper_artifacts | beyond_paper
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+def test_experiment_runs_and_renders(experiment_id, cache):
+    result = run_experiment(experiment_id, QUICK, cache)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows, f"{experiment_id} produced no rows"
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    rendered = result.render()
+    assert experiment_id in rendered
+    assert result.headers[0] in rendered
+
+
+def test_table1_has_seven_states(cache):
+    result = run_experiment("table1", QUICK, cache)
+    assert len(result.rows) == 7
+
+
+def test_table2_has_nine_rows(cache):
+    result = run_experiment("table2", QUICK, cache)
+    assert len(result.rows) == 9
+
+
+def test_fig6_has_eight_scenarios(cache):
+    result = run_experiment("fig6", QUICK, cache)
+    assert len(result.rows) == 8
+
+
+def test_fig2_includes_average_row(cache):
+    result = run_experiment("fig2", QUICK, cache)
+    assert result.rows[-1][0] == "AVERAGE"
+    assert len(result.rows) == len(QUICK.benchmarks) + 1
+
+
+def test_fig8_includes_summary_rows(cache):
+    result = run_experiment("fig8", QUICK, cache)
+    labels = [row[0] for row in result.rows]
+    assert "AVERAGE" in labels
+    assert "COMMERCIAL" in labels
+
+
+def test_quick_options_shrink():
+    options = RunOptions().quick()
+    assert options.ops_per_processor <= 12_000
+    assert options.seeds == 1
+    assert len(options.benchmarks) == 3
+
+
+def test_fig2_includes_stacked_chart(cache):
+    result = run_experiment("fig2", QUICK, cache)
+    assert result.chart is not None
+    assert "|" in result.chart
+    for name in QUICK.benchmarks:
+        assert name in result.chart
+    assert result.chart in result.render()
+
+
+def test_fig8_includes_bar_chart(cache):
+    result = run_experiment("fig8", QUICK, cache)
+    assert result.chart is not None
+    assert "512B" in result.chart
+    assert result.chart in result.render()
+
+
+def test_chartless_results_render_without_chart(cache):
+    result = run_experiment("table1", QUICK, cache)
+    assert result.chart is None
+    assert "None" not in result.render()

@@ -1,0 +1,74 @@
+"""JSON/Markdown export of experiment results."""
+
+import json
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult
+from repro.harness.export import (
+    load_results_json,
+    result_to_dict,
+    result_to_markdown,
+    save_results_json,
+    save_results_markdown,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment_id="figX",
+        title="Example figure",
+        headers=["Benchmark", "Value"],
+        rows=[["barnes", 1.5], ["tpc-w", 2]],
+        notes=["a note"],
+    )
+
+
+def test_result_to_dict_round_trips_through_json(result):
+    payload = result_to_dict(result)
+    restored = json.loads(json.dumps(payload))
+    assert restored["experiment_id"] == "figX"
+    assert restored["rows"] == [["barnes", 1.5], ["tpc-w", 2]]
+
+
+def test_save_and_load_json(tmp_path, result):
+    path = tmp_path / "results.json"
+    save_results_json([result, result], path)
+    loaded = load_results_json(path)
+    assert len(loaded) == 2
+    assert loaded[0]["title"] == "Example figure"
+
+
+def test_markdown_rendering(result):
+    text = result_to_markdown(result)
+    assert "### `figX`" in text
+    assert "| Benchmark | Value |" in text
+    assert "| barnes | 1.5 |" in text
+    assert "> a note" in text
+
+
+def test_markdown_document(tmp_path, result):
+    path = tmp_path / "results.md"
+    save_results_markdown([result], path, title="Doc")
+    text = path.read_text()
+    assert text.startswith("# Doc")
+    assert "figX" in text
+
+
+def test_non_serialisable_cells_stringified():
+    class Odd:
+        def __str__(self):
+            return "odd!"
+
+    result = ExperimentResult("x", "t", ["a"], [[Odd()]])
+    assert result_to_dict(result)["rows"] == [["odd!"]]
+    assert "odd!" in result_to_markdown(result)
+
+
+def test_real_experiment_exports(tmp_path):
+    from repro.harness.experiments import RunOptions, run_experiment
+
+    result = run_experiment("table2", RunOptions())
+    save_results_json([result], tmp_path / "t2.json")
+    assert load_results_json(tmp_path / "t2.json")[0]["experiment_id"] == "table2"

@@ -1,0 +1,66 @@
+"""Unit-level checks on the beyond-the-paper experiment helpers."""
+
+import pytest
+
+from repro.harness.extensions import (
+    _ablation_configs,
+    _topology_for,
+)
+from repro.harness.experiments import RunOptions, run_experiment
+from repro.harness.runcache import RunCache, config_key
+
+
+class TestAblationConfigs:
+    def test_variants_are_distinct_runs(self):
+        keys = {label: config_key(cfg)
+                for label, cfg in _ablation_configs().items()}
+        assert len(set(keys.values())) == len(keys), (
+            "two ablation variants share a cache key — their results "
+            "would silently alias"
+        )
+
+    def test_full_config_is_the_paper_system(self):
+        full = _ablation_configs()["CGCT (full)"]
+        assert full.cgct_enabled
+        assert full.geometry.region_bytes == 512
+        assert full.self_invalidation
+        assert full.two_bit_response
+
+    def test_regionscout_variant_has_no_rca(self):
+        scout = _ablation_configs()["RegionScout"]
+        assert not scout.cgct_enabled
+        assert scout.regionscout_enabled
+
+
+class TestTopologies:
+    def test_known_sizes(self):
+        assert _topology_for(4).num_processors == 4
+        assert _topology_for(8).num_processors == 8
+        assert _topology_for(16).num_processors == 16
+
+    def test_sixteen_spans_two_boards(self):
+        topo = _topology_for(16)
+        assert topo.boards == 2
+        assert topo.num_memory_controllers == 8
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            _topology_for(6)
+
+
+class TestExperimentPlumbing:
+    QUICK = RunOptions(ops_per_processor=2_000, seeds=1,
+                       benchmarks=("barnes",))
+
+    def test_energy_rows_per_workload_and_config(self):
+        result = run_experiment("energy", self.QUICK, RunCache())
+        assert len(result.rows) == 4  # one workload × four configs
+        labels = {row[1] for row in result.rows}
+        assert "baseline" in labels
+        assert "baseline + Jetty" in labels
+
+    def test_sectored_reports_tag_savings_direction(self):
+        result = run_experiment("sectored", self.QUICK, RunCache())
+        assert result.rows
+        # Conventional tag count is 16384 for the 1 MB / 2-way cache.
+        assert result.rows[0][2] == 16384

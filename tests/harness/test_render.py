@@ -1,0 +1,40 @@
+"""Plain-text renderers."""
+
+from repro.harness.render import render_bar, render_stacked_bar, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "long"], [["xxxx", 1], ["y", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        # Every line is padded to the same width before stripping.
+        assert len({len(line) for line in lines}) == 1
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+
+    def test_float_formatting(self):
+        text = render_table(["v"], [[0.123456]])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestBars:
+    def test_bar_full_and_empty(self):
+        assert render_bar(1.0, width=10) == "#" * 10
+        assert render_bar(0.0, width=10) == "." * 10
+
+    def test_bar_clamps(self):
+        assert render_bar(2.0, width=4) == "####"
+        assert render_bar(-1.0, width=4) == "...."
+
+    def test_stacked_bar_width_fixed(self):
+        bar = render_stacked_bar([0.3, 0.3, 0.2], width=20)
+        assert len(bar) == 20
+
+    def test_stacked_bar_never_overflows(self):
+        bar = render_stacked_bar([0.9, 0.9], width=10)
+        assert len(bar) == 10

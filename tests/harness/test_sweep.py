@@ -1,0 +1,84 @@
+"""Configuration sweeps."""
+
+import pytest
+
+from repro.harness.sweep import ConfigSweep, _replace_path
+from repro.system.config import SystemConfig
+
+
+class TestReplacePath:
+    def test_top_level_field(self):
+        config = _replace_path(SystemConfig.paper_cgct(), "rca_sets", 4096)
+        assert config.rca_sets == 4096
+
+    def test_nested_field(self):
+        config = _replace_path(
+            SystemConfig.paper_cgct(), "geometry.region_bytes", 256)
+        assert config.geometry.region_bytes == 256
+        assert config.cgct_enabled  # rest untouched
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(KeyError):
+            _replace_path(SystemConfig(), "bogus_field", 1)
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        sweep = ConfigSweep(
+            base=SystemConfig.paper_cgct(),
+            axes={"geometry.region_bytes": [256, 512],
+                  "rca_sets": [4096, 8192]},
+        )
+        grid = sweep.grid()
+        assert len(grid) == 4
+        assert {"geometry.region_bytes": 256, "rca_sets": 8192} in grid
+
+    def test_config_for_applies_all_axes(self):
+        sweep = ConfigSweep(
+            base=SystemConfig.paper_cgct(),
+            axes={"geometry.region_bytes": [256],
+                  "timing.store_stall_fraction": [0.5]},
+        )
+        config = sweep.config_for(sweep.grid()[0])
+        assert config.geometry.region_bytes == 256
+        assert config.timing.store_stall_fraction == 0.5
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSweep(SystemConfig(), axes={})
+
+
+class TestRun:
+    def test_records_have_axes_workload_and_metrics(self):
+        sweep = ConfigSweep(
+            base=SystemConfig.paper_cgct(),
+            axes={"geometry.region_bytes": [512, 1024]},
+        )
+        records = sweep.run(["barnes"], ops_per_processor=2000)
+        assert len(records) == 2
+        for record in records:
+            assert record["workload"] == "barnes"
+            assert "runtime_reduction" in record
+            assert "fraction_avoided" in record
+            assert record["geometry.region_bytes"] in (512, 1024)
+
+    def test_custom_metric(self):
+        sweep = ConfigSweep(
+            base=SystemConfig.paper_cgct(),
+            axes={"geometry.region_bytes": [512]},
+            metrics={"broadcasts": lambda b, r: r.stats.total_broadcasts},
+        )
+        records = sweep.run(["barnes"], ops_per_processor=2000)
+        assert records[0]["broadcasts"] > 0
+        assert "runtime_reduction" not in records[0]
+
+    def test_best(self):
+        records = [
+            {"x": 1, "runtime_reduction": 0.05},
+            {"x": 2, "runtime_reduction": 0.09},
+        ]
+        assert ConfigSweep.best(records)["x"] == 2
+
+    def test_best_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigSweep.best([])

@@ -1,0 +1,229 @@
+"""Random-trace coherence fuzzing.
+
+Hypothesis generates arbitrary interleavings of loads, stores, ifetches
+and DCB operations from four processors over a small shared address
+pool, runs them through the full machine (baseline and CGCT), and checks
+the global invariants after every run:
+
+* single-writer/multiple-reader at line grain (no M/E alongside copies),
+* at most one dirty copy of any line,
+* L1 ⊆ L2 inclusion,
+* every cached line covered by a region entry whose count is exact.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.system.machine import Machine
+from repro.workloads.trace import TraceOp
+
+from tests.conftest import make_config
+
+#: A small pool: 4 regions × 8 lines, plus one distant region.
+ADDRESSES = [0x1000 + i * 64 for i in range(32)] + [0x800000 + i * 64 for i in range(4)]
+
+ops = st.sampled_from([
+    TraceOp.LOAD, TraceOp.LOAD, TraceOp.LOAD,   # weight loads higher
+    TraceOp.STORE, TraceOp.STORE,
+    TraceOp.IFETCH,
+    TraceOp.DCBZ, TraceOp.DCBF, TraceOp.DCBI,
+])
+
+events = st.lists(
+    st.tuples(st.integers(0, 3), ops, st.sampled_from(ADDRESSES)),
+    min_size=1, max_size=120,
+)
+
+_DISPATCH = {
+    TraceOp.LOAD: "load",
+    TraceOp.STORE: "store",
+    TraceOp.IFETCH: "ifetch",
+    TraceOp.DCBZ: "dcbz",
+    TraceOp.DCBF: "dcbf",
+    TraceOp.DCBI: "dcbi",
+}
+
+
+def replay(machine, sequence):
+    now = 0
+    for proc, op, address in sequence:
+        getattr(machine, _DISPATCH[op])(proc, address, now)
+        now += 100
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_cgct_machine_invariants_hold(sequence):
+    machine = Machine(make_config(cgct=True, rca_sets=8, prefetch=False))
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_baseline_machine_invariants_hold(sequence):
+    machine = Machine(make_config(cgct=False, prefetch=False))
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_one_bit_protocol_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=True, rca_sets=8, prefetch=False,
+                    two_bit_response=False)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_invisible_line_response_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=True, rca_sets=8, prefetch=False,
+                    line_response_visible=False)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_prefetching_machine_invariants_hold(sequence):
+    machine = Machine(make_config(cgct=True, rca_sets=8, prefetch=True))
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_final_line_states_match_baseline_on_same_order(sequence):
+    """With an identical global event order, CGCT routing must not change
+    line-grain coherence outcomes — only *how* requests were satisfied."""
+    base = Machine(make_config(cgct=False, prefetch=False))
+    cgct = Machine(make_config(cgct=True, rca_sets=8, prefetch=False))
+    replay(base, sequence)
+    replay(cgct, sequence)
+    for node_b, node_c in zip(base.nodes, cgct.nodes):
+        lines_b = dict(node_b.l2.resident_lines())
+        lines_c = dict(node_c.l2.resident_lines())
+        assert set(lines_b) == set(lines_c)
+        for line, state_b in lines_b.items():
+            state_c = lines_c[line]
+            # Permission-equivalent: both dirty-capable or both not. The
+            # direct path can return E where a broadcast would have
+            # found no sharers anyway, so M/E vs E/M differences are the
+            # only tolerated ones.
+            assert state_b.is_valid == state_c.is_valid
+            assert (
+                state_b.can_silently_modify == state_c.can_silently_modify
+                or state_b.is_dirty == state_c.is_dirty
+            )
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_regionscout_machine_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=False, prefetch=False, regionscout_enabled=True)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_extension_features_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=True, rca_sets=8, prefetch=True,
+                    prefetch_region_filter=True,
+                    dram_speculation_filter=True,
+                    region_state_prefetch=True)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_no_self_invalidation_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=True, rca_sets=8, prefetch=False,
+                    self_invalidation=False)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_owner_prediction_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=True, rca_sets=8, prefetch=False,
+                    owner_prediction=True)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_owner_prediction_matches_baseline_line_states(sequence):
+    """Targeted transfers must leave the same line-grain outcomes as the
+    conventional path."""
+    base = Machine(make_config(cgct=False, prefetch=False))
+    pred = Machine(make_config(cgct=True, rca_sets=8, prefetch=False,
+                               owner_prediction=True))
+    replay(base, sequence)
+    replay(pred, sequence)
+    for node_b, node_p in zip(base.nodes, pred.nodes):
+        lines_b = dict(node_b.l2.resident_lines())
+        lines_p = dict(node_p.l2.resident_lines())
+        assert set(lines_b) == set(lines_p)
+        for line, state_b in lines_b.items():
+            state_p = lines_p[line]
+            assert state_b.is_valid == state_p.is_valid
+            assert (
+                state_b.can_silently_modify == state_p.can_silently_modify
+                or state_b.is_dirty == state_p.is_dirty
+            )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_jetty_machine_invariants_hold(sequence):
+    machine = Machine(
+        make_config(cgct=False, prefetch=False, jetty_enabled=True)
+    )
+    replay(machine, sequence)
+    machine.check_coherence_invariants()
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events)
+def test_jetty_never_changes_line_states(sequence):
+    """Jetty only skips provably-useless tag probes: final states must
+    be identical to the unfiltered machine's."""
+    plain = Machine(make_config(cgct=False, prefetch=False))
+    filtered = Machine(make_config(cgct=False, prefetch=False,
+                                   jetty_enabled=True))
+    replay(plain, sequence)
+    replay(filtered, sequence)
+    for node_a, node_b in zip(plain.nodes, filtered.nodes):
+        assert dict(node_a.l2.resident_lines()) == \
+            dict(node_b.l2.resident_lines())

@@ -1,0 +1,82 @@
+"""Region-size behaviour on controlled access patterns."""
+
+import pytest
+
+from repro.system.simulator import run_workload
+
+from tests.conftest import loads, make_config, multitrace
+
+
+def sequential_private_workload(lines=128):
+    """Each processor streams through its own contiguous lines."""
+    return multitrace([
+        loads([0x100000 * (p + 1) + i * 64 for i in range(lines)], gap=3)
+        for p in range(4)
+    ], name="stream")
+
+
+@pytest.mark.parametrize("region_bytes,expected_broadcasts", [
+    (256, 32),   # 128 lines / 4 lines per region
+    (512, 16),
+    (1024, 8),
+])
+def test_broadcasts_scale_inversely_with_region_size(
+    region_bytes, expected_broadcasts
+):
+    """A private sequential stream needs exactly one region-acquiring
+    broadcast per region: double the region, halve the broadcasts."""
+    result = run_workload(
+        make_config(cgct=True, region_bytes=region_bytes, rca_sets=1024),
+        sequential_private_workload(),
+    )
+    per_proc = expected_broadcasts
+    assert result.stats.total_broadcasts == 4 * per_proc
+
+
+def test_larger_regions_avoid_more_on_private_streams():
+    fractions = []
+    for region_bytes in (256, 512, 1024):
+        result = run_workload(
+            make_config(cgct=True, region_bytes=region_bytes, rca_sets=1024),
+            sequential_private_workload(),
+        )
+        fractions.append(result.fraction_avoided())
+    assert fractions[0] < fractions[1] < fractions[2]
+
+
+def test_region_grain_false_sharing_costs_broadcasts():
+    """Two processors touching *different lines of the same region* defeat
+    region exclusivity — the coarse-grain analogue of false sharing the
+    paper's Barnes results illustrate."""
+    # Processors interleave within every 512B region.
+    per_proc = []
+    for proc in range(4):
+        addresses = [0x700000 + r * 512 + proc * 64 for r in range(32)]
+        per_proc.append(loads(addresses, gap=3))
+    shared_regions = run_workload(
+        make_config(cgct=True, region_bytes=512, rca_sets=1024),
+        multitrace(per_proc),
+    )
+    private = run_workload(
+        make_config(cgct=True, region_bytes=512, rca_sets=1024),
+        sequential_private_workload(lines=32),
+    )
+    assert shared_regions.fraction_avoided() < private.fraction_avoided()
+
+
+def test_smaller_regions_suffer_less_false_sharing():
+    """With 64B 'regions' (one line), the interleaved pattern above is
+    conflict-free again — region size trades reach against false sharing."""
+    per_proc = []
+    for proc in range(4):
+        addresses = [0x700000 + r * 512 + proc * 64 for r in range(32)]
+        per_proc.append(loads(addresses, gap=3))
+    coarse = run_workload(
+        make_config(cgct=True, region_bytes=512, rca_sets=1024),
+        multitrace(per_proc),
+    )
+    fine = run_workload(
+        make_config(cgct=True, region_bytes=64, rca_sets=1024),
+        multitrace(per_proc),
+    )
+    assert fine.fraction_avoided() >= coarse.fraction_avoided()

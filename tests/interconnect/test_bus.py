@@ -1,0 +1,47 @@
+"""Broadcast address bus: arbitration and traffic accounting."""
+
+import pytest
+
+from repro.interconnect.bus import BroadcastBus
+
+
+@pytest.fixture
+def bus():
+    return BroadcastBus(occupancy_cycles=10, window=100)
+
+
+def test_idle_bus_grants_immediately(bus):
+    assert bus.broadcast(50) == 50
+
+
+def test_contended_bus_serialises(bus):
+    assert bus.broadcast(0) == 0
+    assert bus.broadcast(0) == 10
+    assert bus.broadcast(5) == 20
+    assert bus.queued_cycles == 10 + 15
+
+
+def test_queue_delay_preview(bus):
+    bus.broadcast(0)
+    assert bus.queue_delay(3) == 7
+    assert bus.broadcasts == 1  # preview does not count
+
+
+def test_traffic_recorded_at_grant_time(bus):
+    bus.broadcast(95)   # granted at 95 → window 0
+    bus.broadcast(96)   # granted at 105 → window 1
+    assert bus.traffic.series() == {0: 1, 1: 1}
+
+
+def test_utilization(bus):
+    for _ in range(5):
+        bus.broadcast(0)
+    assert bus.utilization(100) == pytest.approx(0.5)
+
+
+def test_reset(bus):
+    bus.broadcast(0)
+    bus.reset()
+    assert bus.broadcasts == 0
+    assert bus.traffic.total == 0
+    assert bus.broadcast(0) == 0

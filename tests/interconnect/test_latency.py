@@ -1,0 +1,83 @@
+"""Figure 6 latency algebra, checked against the paper's totals."""
+
+import pytest
+
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import Distance
+
+
+@pytest.fixture
+def model():
+    return LatencyModel()
+
+
+class TestFigure6Totals:
+    """The worked totals printed in Figure 6 (in system cycles)."""
+
+    def test_snoop_own_memory_is_25(self, model):
+        assert model.snooped_memory_latency(Distance.OWN_CHIP) == 250
+
+    def test_snoop_same_switch_is_25(self, model):
+        assert model.snooped_memory_latency(Distance.SAME_SWITCH) == 250
+
+    def test_snoop_same_board_is_30(self, model):
+        assert model.snooped_memory_latency(Distance.SAME_BOARD) == 300
+
+    def test_snoop_remote_is_35(self, model):
+        assert model.snooped_memory_latency(Distance.REMOTE) == 350
+
+    def test_direct_own_memory_is_about_18(self, model):
+        assert model.direct_memory_latency(Distance.OWN_CHIP) == 181
+
+    def test_direct_same_switch_is_20(self, model):
+        assert model.direct_memory_latency(Distance.SAME_SWITCH) == 200
+
+    def test_direct_same_board_is_27(self, model):
+        assert model.direct_memory_latency(Distance.SAME_BOARD) == 270
+
+    def test_direct_remote_is_34(self, model):
+        assert model.direct_memory_latency(Distance.REMOTE) == 340
+
+
+class TestProperties:
+    def test_direct_always_saves_at_paper_distances(self, model):
+        for distance in Distance:
+            assert model.direct_saves_cycles(distance) > 0
+
+    def test_snooped_latency_monotonic_in_distance(self, model):
+        values = [model.snooped_memory_latency(d) for d in Distance]
+        assert values == sorted(values)
+
+    def test_direct_latency_monotonic_in_distance(self, model):
+        values = [model.direct_memory_latency(d) for d in Distance]
+        assert values == sorted(values)
+
+    def test_upgrade_is_snoop_only(self, model):
+        assert model.upgrade_broadcast_latency() == 160
+
+    def test_cache_to_cache_faster_than_same_distance_memory_snoop(self, model):
+        for distance in Distance:
+            assert (
+                model.cache_to_cache_latency(distance)
+                < model.snooped_memory_latency(distance)
+            )
+
+
+class TestScenarioTable:
+    def test_eight_scenarios(self, model):
+        scenarios = model.figure6_scenarios()
+        assert len(scenarios) == 8
+        assert sum(s.mode == "snoop" for s in scenarios) == 4
+        assert sum(s.mode == "direct" for s in scenarios) == 4
+
+    def test_scenario_totals_match_model(self, model):
+        for scenario in model.figure6_scenarios():
+            if scenario.mode == "snoop":
+                expected = model.snooped_memory_latency(scenario.distance)
+            else:
+                expected = model.direct_memory_latency(scenario.distance)
+            assert scenario.total_cycles == expected
+
+    def test_system_cycle_conversion(self, model):
+        scenario = model.figure6_scenarios()[0]
+        assert scenario.total_system_cycles == scenario.total_cycles / 10

@@ -1,0 +1,63 @@
+"""Custom latency models flow through the whole machine."""
+
+import dataclasses
+
+import pytest
+
+from repro.interconnect.latency import LatencyModel
+from repro.interconnect.topology import Distance
+from repro.system.machine import Machine
+
+from tests.conftest import make_config
+
+
+def flat_latency_model():
+    """A degenerate model: every distance costs the same."""
+    transfer = {d: 10 for d in Distance}
+    request = {d: 10 for d in Distance}
+    return LatencyModel(
+        snoop_cycles=100,
+        dram_cycles=50,
+        dram_overlapped_cycles=20,
+        transfer_cycles=transfer,
+        direct_request_cycles=request,
+        cache_access_cycles=5,
+        l1_hit_cycles=1,
+        l2_hit_cycles=4,
+    )
+
+
+def test_custom_model_changes_end_to_end_latency():
+    config = make_config(cgct=True, rca_sets=1024,
+                         latency=flat_latency_model())
+    machine = Machine(config)
+    # Broadcast miss: 4 (L2) + 100 (snoop) + 20 (DRAM overlap) + 10 = 134.
+    assert machine.load(0, 0x1000, now=0) == 134
+    # Direct: 4 + 10 (request) + 50 (DRAM) + 10 (transfer) = 74.
+    assert machine.load(0, 0x1040, now=10_000) == 74
+
+
+def test_custom_model_scenario_table():
+    model = flat_latency_model()
+    for scenario in model.figure6_scenarios():
+        if scenario.mode == "snoop":
+            assert scenario.total_cycles == 130
+        else:
+            assert scenario.total_cycles == 70
+
+
+def test_upgrade_uses_snoop_cycles_only():
+    config = make_config(cgct=False, latency=flat_latency_model())
+    machine = Machine(config)
+    machine.load(0, 0x1000, now=0)
+    machine.load(1, 0x1000, now=1000)
+    stall = machine.store(0, 0x1000, now=2000)
+    # Upgrade: 4 + 100; stores charged 40 %.
+    assert stall == int(104 * 0.4)
+
+
+def test_invalid_overlap_rejected():
+    with pytest.raises(ValueError):
+        from repro.memory.dram import MemoryController
+
+        MemoryController(0, dram_cycles=10, dram_overlapped_cycles=20)

@@ -1,0 +1,82 @@
+"""Topology placement and distance classes."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.interconnect.topology import Distance, Topology
+
+
+@pytest.fixture
+def paper():
+    return Topology()  # 2 cores/chip, 2 chips/switch, 1 switch, 1 board
+
+
+@pytest.fixture
+def big():
+    return Topology(cores_per_chip=2, chips_per_switch=2,
+                    switches_per_board=2, boards=2)
+
+
+class TestSizes:
+    def test_paper_system_is_four_processors(self, paper):
+        assert paper.num_processors == 4
+        assert paper.num_chips == 2
+        assert paper.num_memory_controllers == 2
+        assert paper.num_switches == 1
+
+    def test_big_system(self, big):
+        assert big.num_processors == 16
+        assert big.num_chips == 8
+        assert big.num_switches == 4
+
+
+class TestPlacement:
+    def test_chip_of(self, paper):
+        assert [paper.chip_of(p) for p in range(4)] == [0, 0, 1, 1]
+
+    def test_processors_on_chip(self, paper):
+        assert list(paper.processors_on_chip(1)) == [2, 3]
+
+    def test_out_of_range_rejected(self, paper):
+        with pytest.raises(ValueError):
+            paper.chip_of(4)
+        with pytest.raises(ValueError):
+            paper.processors_on_chip(2)
+
+
+class TestDistances:
+    def test_own_chip(self, paper):
+        assert paper.distance(0, 0) is Distance.OWN_CHIP
+        assert paper.distance(1, 0) is Distance.OWN_CHIP
+
+    def test_same_switch(self, paper):
+        assert paper.distance(0, 1) is Distance.SAME_SWITCH
+        assert paper.distance(3, 0) is Distance.SAME_SWITCH
+
+    def test_same_board_and_remote_in_big_system(self, big):
+        # proc 0 is on chip 0 (switch 0, board 0).
+        assert big.distance(0, 1) is Distance.SAME_SWITCH
+        assert big.distance(0, 2) is Distance.SAME_BOARD   # switch 1, board 0
+        assert big.distance(0, 4) is Distance.REMOTE       # board 1
+
+    def test_processor_distance(self, paper):
+        assert paper.processor_distance(0, 1) is Distance.OWN_CHIP
+        assert paper.processor_distance(0, 2) is Distance.SAME_SWITCH
+
+    def test_distance_is_symmetric(self, big):
+        for p in range(big.num_processors):
+            for q in range(big.num_processors):
+                assert (
+                    big.processor_distance(p, q)
+                    == big.processor_distance(q, p)
+                )
+
+    def test_distance_ordering(self):
+        assert Distance.OWN_CHIP < Distance.SAME_SWITCH
+        assert Distance.SAME_SWITCH < Distance.SAME_BOARD
+        assert Distance.SAME_BOARD < Distance.REMOTE
+
+
+def test_invalid_topology_rejected():
+    with pytest.raises(ConfigurationError):
+        Topology(cores_per_chip=0)

@@ -1,0 +1,69 @@
+"""Home-memory-controller interleaving."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.memory.address_map import AddressMap
+from repro.memory.geometry import Geometry
+
+
+@pytest.fixture
+def amap():
+    return AddressMap(Geometry(), num_controllers=2, interleave_bytes=4096)
+
+
+def test_round_robin_across_controllers(amap):
+    assert amap.home_of(0) == 0
+    assert amap.home_of(4096) == 1
+    assert amap.home_of(8192) == 0
+
+
+def test_whole_interleave_unit_has_one_home(amap):
+    base = 7 * 4096
+    home = amap.home_of(base)
+    assert all(amap.home_of(base + off) == home for off in (0, 64, 512, 4095))
+
+
+def test_region_home_matches_address_home(amap):
+    geom = amap.geometry
+    for address in (0, 512, 123456, 999424):
+        region = geom.region_of(address)
+        assert amap.home_of_region(region) == amap.home_of(geom.region_base(address))
+
+
+def test_interleave_smaller_than_region_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMap(Geometry(region_bytes=1024), num_controllers=2,
+                   interleave_bytes=512)
+
+
+def test_non_power_of_two_interleave_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMap(Geometry(), num_controllers=2, interleave_bytes=3000)
+
+
+def test_zero_controllers_rejected():
+    with pytest.raises(ConfigurationError):
+        AddressMap(Geometry(), num_controllers=0)
+
+
+def test_out_of_range_address_rejected(amap):
+    with pytest.raises(ValueError):
+        amap.home_of(1 << 40)
+
+
+def test_addresses_homed_at_generates_only_that_home(amap):
+    for controller in range(2):
+        addresses = list(amap.addresses_homed_at(controller, count=5))
+        assert len(addresses) == 5
+        assert all(amap.home_of(a) == controller for a in addresses)
+
+
+def test_addresses_homed_at_respects_start(amap):
+    addresses = list(amap.addresses_homed_at(1, count=3, start=100_000))
+    assert all(a >= 100_000 for a in addresses)
+
+
+def test_addresses_homed_at_bad_controller(amap):
+    with pytest.raises(ValueError):
+        list(amap.addresses_homed_at(9, count=1))

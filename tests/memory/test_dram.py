@@ -1,0 +1,55 @@
+"""Memory-controller latency and occupancy model."""
+
+import pytest
+
+from repro.memory.dram import MemoryController
+
+
+@pytest.fixture
+def mc():
+    return MemoryController(0, dram_cycles=160, dram_overlapped_cycles=70,
+                            occupancy_cycles=5)
+
+
+def test_direct_access_pays_full_dram(mc):
+    assert mc.access_direct(1000) == 1160
+
+
+def test_snooped_access_pays_only_residual(mc):
+    # Fireplane overlaps DRAM with the snoop: +7 system cycles remain.
+    assert mc.access_snooped(1000) == 1070
+
+
+def test_channel_occupancy_queues_reads(mc):
+    first = mc.access_direct(0)
+    second = mc.access_direct(0)
+    assert first == 160
+    assert second == 165  # queued 5 cycles behind the first
+
+
+def test_writeback_does_not_occupy_read_channel(mc):
+    mc.write_back(0)
+    assert mc.access_direct(0) == 160
+    assert mc.writes == 1
+
+
+def test_counters(mc):
+    mc.access_direct(0)
+    mc.access_snooped(0)
+    mc.write_back(0)
+    assert mc.reads == 2
+    assert mc.writes == 1
+
+
+def test_reset(mc):
+    mc.access_direct(0)
+    mc.write_back(0)
+    mc.reset()
+    assert mc.reads == 0
+    assert mc.writes == 0
+    assert mc.access_direct(0) == 160
+
+
+def test_overlap_larger_than_full_rejected():
+    with pytest.raises(ValueError):
+        MemoryController(0, dram_cycles=100, dram_overlapped_cycles=200)

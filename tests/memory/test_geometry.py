@@ -1,0 +1,105 @@
+"""Address geometry: line/region/page decomposition."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+
+
+@pytest.fixture
+def geom():
+    return Geometry()  # 64B lines, 512B regions, 4KB pages, 40-bit
+
+
+class TestValidation:
+    def test_non_power_of_two_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Geometry(line_bytes=48)
+
+    def test_region_smaller_than_line_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Geometry(line_bytes=64, region_bytes=32)
+
+    def test_region_equal_to_line_allowed(self):
+        geom = Geometry(region_bytes=64)
+        assert geom.lines_per_region == 1
+
+    def test_address_bits_range(self):
+        with pytest.raises(ConfigurationError):
+            Geometry(physical_address_bits=16)
+        with pytest.raises(ConfigurationError):
+            Geometry(physical_address_bits=65)
+
+
+class TestDerived:
+    def test_paper_default_sizes(self, geom):
+        assert geom.lines_per_region == 8
+        assert geom.lines_per_page == 64
+        assert geom.regions_per_page == 8
+        assert geom.line_offset_bits == 6
+        assert geom.region_offset_bits == 9
+
+    def test_region_size_sweep(self):
+        assert Geometry(region_bytes=256).lines_per_region == 4
+        assert Geometry(region_bytes=1024).lines_per_region == 16
+
+    def test_max_address(self, geom):
+        assert geom.max_address == 1 << 40
+        assert geom.contains(geom.max_address - 1)
+        assert not geom.contains(geom.max_address)
+        assert not geom.contains(-1)
+
+
+class TestDecomposition:
+    def test_line_and_region_of(self, geom):
+        address = 0x12345
+        assert geom.line_of(address) == address // 64
+        assert geom.region_of(address) == address // 512
+        assert geom.line_base(address) == (address // 64) * 64
+        assert geom.region_base(address) == (address // 512) * 512
+
+    def test_region_of_line_consistent(self, geom):
+        address = 0xABCDE0
+        assert geom.region_of_line(geom.line_of(address)) == geom.region_of(address)
+
+    def test_line_index_in_region(self, geom):
+        base = 0x1000  # region-aligned
+        for i in range(8):
+            assert geom.line_index_in_region(base + i * 64) == i
+
+    def test_lines_in_region_covers_region(self, geom):
+        region = geom.region_of(0x2345)
+        lines = list(geom.lines_in_region(region))
+        assert len(lines) == 8
+        assert all(geom.region_of_line(line) == region for line in lines)
+
+    def test_region_addresses_are_line_aligned(self, geom):
+        for address in geom.region_addresses(5):
+            assert address % 64 == 0
+            assert geom.region_of(address) == 5
+
+    @given(st.integers(0, 2**40 - 1))
+    def test_line_within_its_region(self, address):
+        geom = Geometry()
+        line = geom.line_of(address)
+        assert line in geom.lines_in_region(geom.region_of(address))
+
+    @given(st.integers(0, 2**40 - 1))
+    def test_bases_are_idempotent(self, address):
+        geom = Geometry()
+        assert geom.region_base(geom.region_base(address)) == geom.region_base(address)
+        assert geom.line_base(geom.line_base(address)) == geom.line_base(address)
+
+
+class TestWithRegionBytes:
+    def test_preserves_other_fields(self, geom):
+        other = geom.with_region_bytes(1024)
+        assert other.region_bytes == 1024
+        assert other.line_bytes == geom.line_bytes
+        assert other.page_bytes == geom.page_bytes
+        assert other.physical_address_bits == geom.physical_address_bits
+
+    def test_rejects_bad_sizes(self, geom):
+        with pytest.raises(ConfigurationError):
+            geom.with_region_bytes(100)

@@ -1,0 +1,133 @@
+"""Stream prefetcher: detection, ramping, direction, exclusivity."""
+
+import pytest
+
+from repro.prefetch.stream import PrefetchCandidate, StreamPrefetcher
+
+
+@pytest.fixture
+def pf():
+    return StreamPrefetcher(num_streams=8, runahead=5)
+
+
+def miss(pf, line, store=False):
+    return pf.observe_access(line, is_store=store, was_miss=True)
+
+
+def hit(pf, line, store=False):
+    return pf.observe_access(line, is_store=store, was_miss=False)
+
+
+class TestDetection:
+    def test_single_miss_prefetches_nothing(self, pf):
+        assert miss(pf, 100) == []
+
+    def test_second_sequential_miss_confirms_ascending(self, pf):
+        miss(pf, 100)
+        candidates = miss(pf, 101)
+        assert candidates
+        assert [c.line for c in candidates][:2] == [102, 103]
+        assert pf.streams_confirmed == 1
+
+    def test_descending_stream(self, pf):
+        miss(pf, 100)
+        candidates = miss(pf, 99)
+        assert [c.line for c in candidates][:2] == [98, 97]
+
+    def test_random_misses_never_confirm(self, pf):
+        for line in (10, 50, 200, 999, 5):
+            assert miss(pf, line) == []
+        assert pf.streams_confirmed == 0
+
+    def test_non_adjacent_second_miss_does_not_confirm(self, pf):
+        miss(pf, 100)
+        assert miss(pf, 102) == []
+
+
+class TestRamping:
+    def test_initial_depth_is_two(self, pf):
+        miss(pf, 100)
+        candidates = miss(pf, 101)
+        # Depth ramps from 2 (+1 on later advances), limiting overshoot.
+        assert len(candidates) <= 3
+
+    def test_depth_grows_with_confirmations(self, pf):
+        miss(pf, 100)
+        issued = {c.line for c in miss(pf, 101)}
+        for line in range(102, 110):
+            issued |= {c.line for c in hit(pf, line)}
+        # After sustained advance the stream runs the full 5 lines ahead.
+        assert max(issued) >= 109 + 4
+
+    def test_depth_capped_at_runahead(self):
+        pf = StreamPrefetcher(runahead=3)
+        miss(pf, 0)
+        covered = {c.line for c in miss(pf, 1)}
+        for line in range(2, 12):
+            covered |= {c.line for c in hit(pf, line)}
+            assert max(covered) <= line + 3
+
+
+class TestAdvanceOnHits:
+    def test_stream_keeps_rolling_on_prefetched_hits(self, pf):
+        miss(pf, 100)
+        miss(pf, 101)
+        # Demand now hits the prefetched lines; the stream must advance.
+        candidates = hit(pf, 102)
+        assert candidates
+        assert all(c.line > 102 for c in candidates)
+
+    def test_no_duplicate_prefetches(self, pf):
+        miss(pf, 100)
+        issued = [c.line for c in miss(pf, 101)]
+        for line in range(102, 108):
+            issued += [c.line for c in hit(pf, line)]
+        assert len(issued) == len(set(issued))
+
+
+class TestExclusivity:
+    def test_load_stream_issues_shared_prefetches(self, pf):
+        miss(pf, 100)
+        candidates = miss(pf, 101)
+        assert all(not c.exclusive for c in candidates)
+
+    def test_store_stream_issues_exclusive_prefetches(self, pf):
+        miss(pf, 100, store=True)
+        candidates = miss(pf, 101, store=True)
+        assert candidates
+        assert all(c.exclusive for c in candidates)
+
+    def test_stream_turns_exclusive_when_stores_join(self, pf):
+        miss(pf, 100)
+        miss(pf, 101)
+        candidates = hit(pf, 102, store=True)
+        assert all(c.exclusive for c in candidates)
+
+
+class TestCapacity:
+    def test_stream_table_is_bounded(self):
+        pf = StreamPrefetcher(num_streams=2, runahead=4)
+        for base in (100, 200, 300):
+            miss(pf, base)
+            miss(pf, base + 1)
+        assert pf.active_streams <= 2
+
+    def test_negative_lines_never_prefetched(self, pf):
+        miss(pf, 1)
+        candidates = miss(pf, 0)
+        assert all(c.line >= 0 for c in candidates)
+
+    def test_reset(self, pf):
+        miss(pf, 100)
+        miss(pf, 101)
+        pf.reset()
+        assert pf.active_streams == 0
+        assert pf.issued == 0
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ValueError):
+            StreamPrefetcher(num_streams=0)
+        with pytest.raises(ValueError):
+            StreamPrefetcher(runahead=-1)

@@ -1,0 +1,169 @@
+"""Region Coherence Array: storage, line counts, inclusion, replacement."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.memory.geometry import Geometry
+from repro.rca.array import RegionCoherenceArray
+from repro.rca.states import RegionState
+
+
+@pytest.fixture
+def geom():
+    return Geometry()  # 512B regions, 8 lines per region
+
+
+@pytest.fixture
+def rca(geom):
+    return RegionCoherenceArray(geom, num_sets=4, ways=2, name="rcatest")
+
+
+def region_line(geom, region, index=0):
+    """Line number *index* of region number *region*."""
+    return list(geom.lines_in_region(region))[index]
+
+
+class TestLookups:
+    def test_miss_then_hit(self, rca):
+        assert rca.lookup(5) is None
+        rca.insert(5, RegionState.CLEAN_INVALID, home_mc=1)
+        entry = rca.lookup(5)
+        assert entry is not None
+        assert entry.state is RegionState.CLEAN_INVALID
+        assert entry.home_mc == 1
+        assert (rca.hits, rca.misses) == (1, 1)
+
+    def test_probe_has_no_side_effects(self, rca):
+        rca.insert(5, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.probe(5)
+        rca.probe(6)
+        assert (rca.hits, rca.misses) == (0, 0)
+
+    def test_insert_invalid_rejected(self, rca):
+        with pytest.raises(ValueError):
+            rca.insert(5, RegionState.INVALID, home_mc=0)
+
+
+class TestLineCounts:
+    def test_allocation_increments(self, rca, geom):
+        rca.insert(5, RegionState.DIRTY_INVALID, home_mc=0)
+        rca.line_allocated(region_line(geom, 5))
+        rca.line_allocated(region_line(geom, 5, 1))
+        assert rca.probe(5).line_count == 2
+
+    def test_removal_decrements(self, rca, geom):
+        rca.insert(5, RegionState.DIRTY_INVALID, home_mc=0)
+        rca.line_allocated(region_line(geom, 5))
+        rca.line_removed(region_line(geom, 5))
+        assert rca.probe(5).line_count == 0
+
+    def test_allocation_without_entry_is_inclusion_violation(self, rca, geom):
+        with pytest.raises(ProtocolError):
+            rca.line_allocated(region_line(geom, 5))
+
+    def test_removal_without_entry_is_inclusion_violation(self, rca, geom):
+        with pytest.raises(ProtocolError):
+            rca.line_removed(region_line(geom, 5))
+
+    def test_count_cannot_go_negative(self, rca, geom):
+        rca.insert(5, RegionState.DIRTY_INVALID, home_mc=0)
+        with pytest.raises(ProtocolError):
+            rca.line_removed(region_line(geom, 5))
+
+    def test_count_cannot_exceed_lines_per_region(self, rca, geom):
+        rca.insert(5, RegionState.DIRTY_INVALID, home_mc=0)
+        for i in range(geom.lines_per_region):
+            rca.line_allocated(region_line(geom, 5, i))
+        with pytest.raises(ProtocolError):
+            rca.line_allocated(region_line(geom, 5))
+
+
+class TestReplacement:
+    def test_no_victim_when_way_free(self, rca):
+        rca.insert(0, RegionState.CLEAN_INVALID, home_mc=0)
+        assert rca.victim_for(4) is None  # set 0 has a free way
+
+    def test_victim_prefers_empty_region(self, rca, geom):
+        # Regions 0, 4, 8 all map to set 0 (4 sets).
+        rca.insert(0, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.insert(4, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.line_allocated(region_line(geom, 0))  # region 0 now non-empty
+        victim = rca.victim_for(8)
+        assert victim.region == 4  # empty beats LRU
+
+    def test_victim_falls_back_to_lru(self, rca, geom):
+        rca.insert(0, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.insert(4, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.line_allocated(region_line(geom, 0))
+        rca.line_allocated(region_line(geom, 4))
+        assert rca.victim_for(8).region == 0
+
+    def test_evict_requires_flushed_lines(self, rca, geom):
+        rca.insert(0, RegionState.DIRTY_INVALID, home_mc=0)
+        rca.line_allocated(region_line(geom, 0))
+        with pytest.raises(ProtocolError):
+            rca.evict(0)
+        rca.line_removed(region_line(geom, 0))
+        entry = rca.evict(0)
+        assert entry.region == 0
+        assert rca.evictions == 1
+
+    def test_evict_untracked_raises(self, rca):
+        with pytest.raises(KeyError):
+            rca.evict(0)
+
+    def test_eviction_histogram(self, rca):
+        rca.note_eviction_line_count(0)
+        rca.note_eviction_line_count(0)
+        rca.note_eviction_line_count(2)
+        assert rca.eviction_fraction_with_count(0) == pytest.approx(2 / 3)
+        assert rca.eviction_fraction_with_count(2) == pytest.approx(1 / 3)
+        assert rca.eviction_fraction_with_count(5) == 0.0
+
+    def test_eviction_fraction_empty(self, rca):
+        assert rca.eviction_fraction_with_count(0) == 0.0
+
+
+class TestSelfInvalidation:
+    def test_invalidate_empty_region(self, rca):
+        rca.insert(3, RegionState.DIRTY_DIRTY, home_mc=0)
+        entry = rca.invalidate(3)
+        assert entry.region == 3
+        assert rca.probe(3) is None
+        assert rca.self_invalidations == 1
+
+    def test_invalidate_untracked_is_noop(self, rca):
+        assert rca.invalidate(3) is None
+        assert rca.self_invalidations == 0
+
+    def test_invalidate_with_lines_is_protocol_error(self, rca, geom):
+        rca.insert(3, RegionState.DIRTY_DIRTY, home_mc=0)
+        rca.line_allocated(region_line(geom, 3))
+        with pytest.raises(ProtocolError):
+            rca.invalidate(3)
+
+
+class TestStatistics:
+    def test_mean_line_count(self, rca, geom):
+        rca.insert(0, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.insert(1, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.insert(2, RegionState.CLEAN_INVALID, home_mc=0)
+        for i in range(4):
+            rca.line_allocated(region_line(geom, 0, i))
+        for i in range(2):
+            rca.line_allocated(region_line(geom, 1, i))
+        assert rca.mean_line_count(nonzero_only=True) == pytest.approx(3.0)
+        assert rca.mean_line_count(nonzero_only=False) == pytest.approx(2.0)
+
+    def test_mean_line_count_empty_array(self, rca):
+        assert rca.mean_line_count() == 0.0
+
+    def test_reset_stats_preserves_entries(self, rca):
+        rca.insert(0, RegionState.CLEAN_INVALID, home_mc=0)
+        rca.lookup(0)
+        rca.reset_stats()
+        assert rca.hits == 0
+        assert rca.probe(0) is not None
+
+    def test_num_entries(self, rca):
+        assert rca.num_entries == 8

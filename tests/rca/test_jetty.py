@@ -1,0 +1,109 @@
+"""Jetty snoop filter: soundness and integration."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.rca.jetty import JettySnoopFilter
+from repro.system.machine import Machine
+
+from tests.conftest import make_config
+
+
+class TestFilterSoundness:
+    def test_empty_filter_proves_absence(self):
+        jetty = JettySnoopFilter(entries=64)
+        assert not jetty.may_cache_line(1234)
+        assert jetty.filter_rate == 1.0
+
+    def test_cached_line_always_maybe_present(self):
+        jetty = JettySnoopFilter(entries=64)
+        jetty.line_allocated(42)
+        assert jetty.may_cache_line(42)
+
+    def test_never_false_absent_under_collisions(self):
+        jetty = JettySnoopFilter(entries=4)  # force collisions
+        lines = list(range(200))
+        for line in lines:
+            jetty.line_allocated(line)
+        for line in lines:
+            assert jetty.may_cache_line(line)
+
+    def test_removal_restores_absence(self):
+        jetty = JettySnoopFilter(entries=64)
+        jetty.line_allocated(42)
+        jetty.line_removed(42)
+        assert not jetty.may_cache_line(42)
+
+    def test_underflow_detected(self):
+        jetty = JettySnoopFilter(entries=64)
+        with pytest.raises(ValueError):
+            jetty.line_removed(42)
+
+    def test_two_hash_functions_filter_better_than_one_bucket(self):
+        # A line colliding with a cached one in ONE hash can still be
+        # proven absent by the other.
+        jetty = JettySnoopFilter(entries=8)
+        jetty.line_allocated(0)
+        filtered_before = jetty.filtered
+        for probe in range(1, 64):
+            jetty.may_cache_line(probe)
+        assert jetty.filtered > filtered_before
+
+    def test_validation_and_storage(self):
+        with pytest.raises(ConfigurationError):
+            JettySnoopFilter(entries=100)
+        assert JettySnoopFilter(entries=512).storage_bits == 8192
+
+
+class TestMachineIntegration:
+    def test_filtered_snoops_skip_tag_probes(self):
+        machine = Machine(make_config(cgct=False, jetty_enabled=True))
+        machine.load(0, 0x1000, now=0)
+        machine.load(1, 0x200000, now=1000)  # disjoint lines
+        # Each broadcast snooped three nodes whose Jettys were empty for
+        # the line: zero actual tag probes.
+        assert sum(n.l2.snoop_probes for n in machine.nodes) == 0
+        assert all(n.jetty.filtered > 0 for n in machine.nodes
+                   if n.jetty.queries)
+
+    def test_shared_lines_still_probe_and_stay_coherent(self):
+        machine = Machine(make_config(cgct=False, jetty_enabled=True))
+        machine.store(0, 0x1000, now=0)
+        machine.load(1, 0x1000, now=1000)    # must find proc 0's M copy
+        assert machine.c2c_transfers == 1
+        machine.check_coherence_invariants()
+
+    def test_jetty_composes_with_cgct(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024,
+                                      jetty_enabled=True))
+        machine.load(0, 0x1000, now=0)
+        machine.load(0, 0x1040, now=1000)
+        machine.store(1, 0x1000, now=2000)
+        machine.check_coherence_invariants()
+        assert machine.nodes[0].rca is not None
+        assert machine.nodes[0].jetty is not None
+
+    def test_jetty_does_not_avoid_broadcasts(self):
+        plain = Machine(make_config(cgct=False))
+        jetty = Machine(make_config(cgct=False, jetty_enabled=True))
+        for machine in (plain, jetty):
+            for i in range(12):
+                machine.load(0, 0x3000 + i * 64, now=i * 1000)
+        # Section 2: "Jetty does not avoid sending requests".
+        assert jetty.bus.broadcasts == plain.bus.broadcasts
+        assert jetty.stats.total_directs == 0
+
+    def test_jetty_outcomes_match_unfiltered_machine(self):
+        plain = Machine(make_config(cgct=False, prefetch=False))
+        filtered = Machine(make_config(cgct=False, prefetch=False,
+                                       jetty_enabled=True))
+        sequence = [
+            (0, "load", 0x1000), (1, "store", 0x1000), (2, "load", 0x1040),
+            (0, "store", 0x1040), (3, "load", 0x1000), (1, "dcbz", 0x2000),
+        ]
+        for now, (proc, op, address) in enumerate(sequence):
+            getattr(plain, op)(proc, address, now * 1000)
+            getattr(filtered, op)(proc, address, now * 1000)
+        for node_a, node_b in zip(plain.nodes, filtered.nodes):
+            assert dict(node_a.l2.resident_lines()) == \
+                dict(node_b.l2.resident_lines())

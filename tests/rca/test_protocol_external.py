@@ -1,0 +1,129 @@
+"""Region protocol: external requests and RCA snoops (Figure 5)."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.common.errors import ProtocolError
+from repro.rca.protocol import RegionProtocol
+from repro.rca.states import ExternalPart, RegionState
+
+
+@pytest.fixture
+def protocol():
+    return RegionProtocol()
+
+
+class TestExternalReads:
+    def test_shared_read_downgrades_exclusive_to_clean(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.CLEAN_INVALID, RequestType.READ,
+            requestor_fills_exclusive=False)
+        assert state is RegionState.CLEAN_CLEAN
+
+    def test_exclusive_read_downgrades_to_dirty(self, protocol):
+        # "If the read is going to get an exclusive copy... transition to
+        # an externally dirty region state."
+        state = protocol.after_external_request(
+            RegionState.DIRTY_INVALID, RequestType.READ,
+            requestor_fills_exclusive=True)
+        assert state is RegionState.DIRTY_DIRTY
+
+    def test_unknown_exclusivity_is_conservative(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.CLEAN_INVALID, RequestType.READ,
+            requestor_fills_exclusive=None)
+        assert state is RegionState.CLEAN_DIRTY
+
+    def test_ifetch_downgrades_like_shared_read(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.DIRTY_INVALID, RequestType.IFETCH,
+            requestor_fills_exclusive=False)
+        assert state is RegionState.DIRTY_CLEAN
+
+    def test_shared_read_cannot_improve_dirty_knowledge(self, protocol):
+        # The external letter only worsens between our own broadcasts.
+        state = protocol.after_external_request(
+            RegionState.CLEAN_DIRTY, RequestType.READ,
+            requestor_fills_exclusive=False)
+        assert state is RegionState.CLEAN_DIRTY
+
+
+class TestExternalInvalidations:
+    @pytest.mark.parametrize("request_type", [
+        RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ,
+        RequestType.PREFETCH_EX,
+    ])
+    def test_modifiable_requests_force_externally_dirty(self, protocol,
+                                                        request_type):
+        for start in (RegionState.CLEAN_INVALID, RegionState.CLEAN_CLEAN,
+                      RegionState.DIRTY_CLEAN):
+            state = protocol.after_external_request(start, request_type)
+            assert state.external_part is ExternalPart.DIRTY
+            assert state.local_part is start.local_part
+
+    def test_dcbf_leaves_state(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.DIRTY_CLEAN, RequestType.DCBF)
+        assert state is RegionState.DIRTY_CLEAN
+
+    def test_dcbi_leaves_state(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.CLEAN_CLEAN, RequestType.DCBI)
+        assert state is RegionState.CLEAN_CLEAN
+
+    def test_writeback_leaves_state(self, protocol):
+        state = protocol.after_external_request(
+            RegionState.CLEAN_DIRTY, RequestType.WRITEBACK)
+        assert state is RegionState.CLEAN_DIRTY
+
+
+class TestUntrackedRegions:
+    def test_invalid_unaffected_by_everything(self, protocol):
+        for request in RequestType:
+            state = protocol.after_external_request(
+                RegionState.INVALID, request, requestor_fills_exclusive=True)
+            assert state is RegionState.INVALID
+
+
+class TestRCASnoopResponses:
+    def test_untracked_region_reports_nothing(self, protocol):
+        outcome = protocol.response_for(RegionState.INVALID, 0)
+        assert not outcome.response.cached
+        assert not outcome.self_invalidate
+
+    def test_clean_region_reports_region_clean(self, protocol):
+        outcome = protocol.response_for(RegionState.CLEAN_CLEAN, 3)
+        assert outcome.response.clean
+        assert not outcome.response.dirty
+
+    def test_dirty_region_reports_region_dirty(self, protocol):
+        outcome = protocol.response_for(RegionState.DIRTY_INVALID, 1)
+        assert outcome.response.dirty
+
+    def test_empty_region_self_invalidates(self, protocol):
+        # Section 3.1: line count zero ⇒ invalidate and report no copies,
+        # letting the requestor obtain an exclusive region.
+        for state in (RegionState.CLEAN_CLEAN, RegionState.DIRTY_DIRTY,
+                      RegionState.DIRTY_INVALID):
+            outcome = protocol.response_for(state, 0)
+            assert outcome.self_invalidate
+            assert not outcome.response.cached
+
+    def test_negative_count_is_protocol_error(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.response_for(RegionState.CLEAN_CLEAN, -1)
+
+    def test_one_bit_mode_reports_everything_dirty(self):
+        protocol = RegionProtocol(two_bit=False)
+        outcome = protocol.response_for(RegionState.CLEAN_CLEAN, 2)
+        assert outcome.response.dirty
+        assert not outcome.response.clean
+
+
+class TestOneBitExternal:
+    def test_shared_read_still_forces_dirty(self):
+        protocol = RegionProtocol(two_bit=False)
+        state = protocol.after_external_request(
+            RegionState.CLEAN_INVALID, RequestType.READ,
+            requestor_fills_exclusive=False)
+        assert state is RegionState.CLEAN_DIRTY

@@ -1,0 +1,196 @@
+"""Region protocol: local requests (Figures 3 and 4)."""
+
+import pytest
+
+from repro.coherence.line_states import LineState
+from repro.coherence.requests import RequestType
+from repro.common.errors import ProtocolError
+from repro.rca.protocol import RegionProtocol
+from repro.rca.response import RegionSnoopResponse
+from repro.rca.states import RegionState
+
+NONE = RegionSnoopResponse()
+CLEAN = RegionSnoopResponse(clean=True)
+DIRTY = RegionSnoopResponse(dirty=True)
+
+
+@pytest.fixture
+def protocol():
+    return RegionProtocol()
+
+
+class TestAllocationFromInvalid:
+    """Figure 3, left: the first broadcast allocates the region."""
+
+    @pytest.mark.parametrize("response,expected", [
+        (NONE, RegionState.CLEAN_INVALID),
+        (CLEAN, RegionState.CLEAN_CLEAN),
+        (DIRTY, RegionState.CLEAN_DIRTY),
+    ])
+    def test_shared_read_goes_clean(self, protocol, response, expected):
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.READ, LineState.SHARED, response)
+        assert state is expected
+
+    @pytest.mark.parametrize("response,expected", [
+        (NONE, RegionState.CLEAN_INVALID),
+        (CLEAN, RegionState.CLEAN_CLEAN),
+        (DIRTY, RegionState.CLEAN_DIRTY),
+    ])
+    def test_ifetch_goes_clean(self, protocol, response, expected):
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.IFETCH, LineState.SHARED, response)
+        assert state is expected
+
+    @pytest.mark.parametrize("response,expected", [
+        (NONE, RegionState.DIRTY_INVALID),
+        (CLEAN, RegionState.DIRTY_CLEAN),
+        (DIRTY, RegionState.DIRTY_DIRTY),
+    ])
+    def test_exclusive_read_goes_dirty(self, protocol, response, expected):
+        # "Reads that bring data into the cache in an exclusive state
+        # transition the region to DI, DC, or DD."
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.READ, LineState.EXCLUSIVE, response)
+        assert state is expected
+
+    @pytest.mark.parametrize("response,expected", [
+        (NONE, RegionState.DIRTY_INVALID),
+        (CLEAN, RegionState.DIRTY_CLEAN),
+        (DIRTY, RegionState.DIRTY_DIRTY),
+    ])
+    def test_rfo_goes_dirty(self, protocol, response, expected):
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.RFO, LineState.MODIFIED, response)
+        assert state is expected
+
+    def test_dcbz_goes_dirty(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.DCBZ, LineState.MODIFIED, NONE)
+        assert state is RegionState.DIRTY_INVALID
+
+
+class TestSilentCIToDI:
+    """Figure 3's dashed edge: CI changes to DI with no broadcast."""
+
+    def test_direct_exclusive_read(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_INVALID, RequestType.READ,
+            LineState.EXCLUSIVE, None)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_direct_rfo(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_INVALID, RequestType.RFO,
+            LineState.MODIFIED, None)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_no_request_upgrade(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_INVALID, RequestType.UPGRADE,
+            LineState.MODIFIED, None)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_ifetch_does_not_dirty_ci(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_INVALID, RequestType.IFETCH,
+            LineState.SHARED, None)
+        assert state is RegionState.CLEAN_INVALID
+
+
+class TestLocalLetterIsSticky:
+    def test_dirty_region_stays_dirty_on_shared_read(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.DIRTY_INVALID, RequestType.READ,
+            LineState.EXCLUSIVE, None)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_dc_stays_dirty_on_ifetch(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.DIRTY_CLEAN, RequestType.IFETCH,
+            LineState.SHARED, None)
+        assert state is RegionState.DIRTY_CLEAN
+
+
+class TestResponseUpgrades:
+    """Figure 4: broadcasts refresh the external letter for free."""
+
+    def test_cc_rfo_upgrades_to_di_when_others_left(self, protocol):
+        # The paper's worked example: RFO from CC, response shows no
+        # sharers remain ⇒ DI.
+        state = protocol.after_local_request(
+            RegionState.CLEAN_CLEAN, RequestType.RFO, LineState.MODIFIED, NONE)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_cc_rfo_to_dc_when_clean_sharers_remain(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_CLEAN, RequestType.RFO, LineState.MODIFIED, CLEAN)
+        assert state is RegionState.DIRTY_CLEAN
+
+    def test_cd_read_rescued_to_ci_when_migratory_data_left(self, protocol):
+        # Externally-dirty regions whose remote copies evaporated (the
+        # migratory pattern) upgrade on the next forced broadcast.
+        state = protocol.after_local_request(
+            RegionState.CLEAN_DIRTY, RequestType.READ, LineState.SHARED, NONE)
+        assert state is RegionState.CLEAN_INVALID
+
+    def test_dd_upgrade_to_di(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.DIRTY_DIRTY, RequestType.UPGRADE,
+            LineState.MODIFIED, NONE)
+        assert state is RegionState.DIRTY_INVALID
+
+    def test_response_can_also_worsen_external_letter(self, protocol):
+        state = protocol.after_local_request(
+            RegionState.CLEAN_CLEAN, RequestType.READ, LineState.SHARED, DIRTY)
+        assert state is RegionState.CLEAN_DIRTY
+
+
+class TestNonAllocatingRequests:
+    def test_writeback_never_changes_region_state(self, protocol):
+        for state in RegionState:
+            after = protocol.after_local_request(
+                state, RequestType.WRITEBACK, LineState.INVALID, None)
+            assert after is state
+
+    def test_dcbf_keeps_untracked_region_untracked(self, protocol):
+        after = protocol.after_local_request(
+            RegionState.INVALID, RequestType.DCBF, LineState.INVALID, DIRTY)
+        assert after is RegionState.INVALID
+
+    def test_dcbf_harvests_response_in_tracked_region(self, protocol):
+        after = protocol.after_local_request(
+            RegionState.DIRTY_DIRTY, RequestType.DCBF, LineState.INVALID, NONE)
+        assert after is RegionState.DIRTY_INVALID
+
+    def test_dcbi_without_broadcast_keeps_state(self, protocol):
+        after = protocol.after_local_request(
+            RegionState.DIRTY_INVALID, RequestType.DCBI, LineState.INVALID, None)
+        assert after is RegionState.DIRTY_INVALID
+
+
+class TestErrors:
+    def test_upgrade_with_untracked_region_is_inclusion_violation(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.after_local_request(
+                RegionState.INVALID, RequestType.UPGRADE,
+                LineState.MODIFIED, None)
+
+    def test_direct_request_from_invalid_region_is_routing_bug(self, protocol):
+        with pytest.raises(ProtocolError):
+            protocol.after_local_request(
+                RegionState.INVALID, RequestType.READ, LineState.SHARED, None)
+
+
+class TestOneBitMode:
+    def test_clean_response_collapses_to_dirty(self):
+        protocol = RegionProtocol(two_bit=False)
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.READ, LineState.SHARED, CLEAN)
+        assert state is RegionState.CLEAN_DIRTY
+
+    def test_exclusive_still_reachable(self):
+        protocol = RegionProtocol(two_bit=False)
+        state = protocol.after_local_request(
+            RegionState.INVALID, RequestType.READ, LineState.EXCLUSIVE, NONE)
+        assert state is RegionState.DIRTY_INVALID

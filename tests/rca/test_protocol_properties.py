@@ -1,0 +1,118 @@
+"""Property-based tests: the region protocol is closed and monotone."""
+
+from hypothesis import given, strategies as st
+
+from repro.coherence.line_states import LineState
+from repro.coherence.requests import RequestType
+from repro.common.errors import ProtocolError
+from repro.rca.protocol import RegionProtocol
+from repro.rca.response import RegionSnoopResponse
+from repro.rca.states import ExternalPart, RegionState
+
+states = st.sampled_from(list(RegionState))
+valid_states = st.sampled_from([s for s in RegionState if s.is_valid])
+requests = st.sampled_from(list(RequestType))
+read_like = st.sampled_from(
+    [RequestType.READ, RequestType.IFETCH, RequestType.PREFETCH]
+)
+fill_states = st.sampled_from(list(LineState))
+responses = st.builds(
+    RegionSnoopResponse,
+    clean=st.booleans(),
+    dirty=st.booleans(),
+)
+maybe_exclusive = st.sampled_from([None, True, False])
+protocols = st.sampled_from([RegionProtocol(True), RegionProtocol(False)])
+
+
+@given(protocols, states, requests, fill_states,
+       st.one_of(st.none(), responses))
+def test_local_transitions_closed_or_explicit_error(
+    protocol, state, request, fill_state, response
+):
+    """Every local event either yields a RegionState or raises ProtocolError
+    (never a stray exception)."""
+    try:
+        result = protocol.after_local_request(state, request, fill_state, response)
+    except ProtocolError:
+        return
+    assert isinstance(result, RegionState)
+
+
+@given(protocols, states, requests, maybe_exclusive)
+def test_external_transitions_closed(protocol, state, request, exclusive):
+    try:
+        result = protocol.after_external_request(state, request, exclusive)
+    except ProtocolError:
+        return
+    assert isinstance(result, RegionState)
+
+
+@given(protocols, valid_states, requests, maybe_exclusive)
+def test_external_requests_never_improve_knowledge(
+    protocol, state, request, exclusive
+):
+    """Figure 5: external traffic can only make the external letter more
+    conservative (NONE → CLEAN → DIRTY), never less."""
+    try:
+        after = protocol.after_external_request(state, request, exclusive)
+    except ProtocolError:
+        return
+    if not after.is_valid:
+        return
+    order = [ExternalPart.NONE, ExternalPart.CLEAN, ExternalPart.DIRTY]
+    assert order.index(after.external_part) >= order.index(state.external_part)
+
+
+@given(protocols, valid_states, requests, maybe_exclusive)
+def test_external_requests_never_change_local_letter(
+    protocol, state, request, exclusive
+):
+    try:
+        after = protocol.after_external_request(state, request, exclusive)
+    except ProtocolError:
+        return
+    if after.is_valid:
+        assert after.local_part is state.local_part
+
+
+@given(protocols, valid_states, st.sampled_from(
+    [RequestType.READ, RequestType.RFO, RequestType.IFETCH,
+     RequestType.UPGRADE, RequestType.DCBZ]),
+    fill_states, responses)
+def test_broadcast_rebaselines_external_letter(
+    protocol, state, request, fill_state, response
+):
+    """Figure 4: after a broadcast, the external letter equals exactly what
+    the (possibly collapsed) response reported."""
+    try:
+        after = protocol.after_local_request(state, request, fill_state, response)
+    except ProtocolError:
+        return
+    if not after.is_valid:
+        return
+    expected = response if protocol.two_bit else response.collapsed()
+    assert after.external_part is expected.external_part
+
+
+@given(valid_states, st.integers(0, 8))
+def test_response_matches_local_letter(state, line_count):
+    protocol = RegionProtocol()
+    outcome = protocol.response_for(state, line_count)
+    if line_count == 0:
+        assert outcome.self_invalidate
+        assert not outcome.response.cached
+    else:
+        assert outcome.response.cached
+        assert outcome.response.dirty == (state.local_part.value == "D")
+
+
+@given(states, requests)
+def test_broadcast_decision_total(state, request):
+    assert isinstance(state.needs_broadcast(request), bool)
+
+
+@given(valid_states, requests)
+def test_no_request_completion_implies_no_broadcast(state, request):
+    if state.completes_without_request(request):
+        assert not state.needs_broadcast(request)

@@ -1,0 +1,100 @@
+"""RegionScout structures: CRH superset encoding, NSRT coherence rules."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+from repro.rca.regionscout import (
+    CachedRegionHash,
+    NonSharedRegionTable,
+    RegionScout,
+)
+
+
+@pytest.fixture
+def geom():
+    return Geometry()
+
+
+class TestCRH:
+    def test_empty_proves_absence(self, geom):
+        crh = CachedRegionHash(geom, entries=64)
+        assert not crh.may_cache_region(123)
+
+    def test_counts_lines_per_region(self, geom):
+        crh = CachedRegionHash(geom, entries=64)
+        lines = list(geom.lines_in_region(5))
+        crh.line_allocated(lines[0])
+        crh.line_allocated(lines[1])
+        assert crh.may_cache_region(5)
+        crh.line_removed(lines[0])
+        assert crh.may_cache_region(5)
+        crh.line_removed(lines[1])
+        assert not crh.may_cache_region(5)
+
+    def test_superset_encoding_never_false_absent(self, geom):
+        # Whatever collides, a cached region must always answer "maybe".
+        crh = CachedRegionHash(geom, entries=4)  # force collisions
+        for region in range(64):
+            crh.line_allocated(next(iter(geom.lines_in_region(region))))
+        for region in range(64):
+            assert crh.may_cache_region(region)
+
+    def test_underflow_detected(self, geom):
+        crh = CachedRegionHash(geom, entries=64)
+        with pytest.raises(ValueError):
+            crh.line_removed(0)
+
+    def test_entries_validation(self, geom):
+        with pytest.raises(ConfigurationError):
+            CachedRegionHash(geom, entries=100)
+
+    def test_storage_is_small(self, geom):
+        # The whole point: ~256 bytes versus the RCA's hundreds of kilobits.
+        assert CachedRegionHash(geom, entries=256).storage_bits == 2048
+
+
+class TestNSRT:
+    def test_record_and_lookup(self):
+        nsrt = NonSharedRegionTable(entries=4)
+        nsrt.record(7)
+        assert nsrt.contains(7)
+        assert not nsrt.contains(8)
+
+    def test_invalidate(self):
+        nsrt = NonSharedRegionTable(entries=4)
+        nsrt.record(7)
+        nsrt.invalidate(7)
+        assert not nsrt.contains(7)
+        assert nsrt.invalidations == 1
+
+    def test_invalidate_absent_is_noop(self):
+        nsrt = NonSharedRegionTable(entries=4)
+        nsrt.invalidate(7)
+        assert nsrt.invalidations == 0
+
+    def test_lru_capacity(self):
+        nsrt = NonSharedRegionTable(entries=2)
+        nsrt.record(1)
+        nsrt.record(2)
+        nsrt.contains(1)      # touch
+        nsrt.record(3)        # evicts 2
+        assert nsrt.contains(1)
+        assert not nsrt.contains(2)
+        assert nsrt.contains(3)
+
+    def test_rerecord_touches(self):
+        nsrt = NonSharedRegionTable(entries=2)
+        nsrt.record(1)
+        nsrt.record(2)
+        nsrt.record(1)        # refresh, no new slot
+        nsrt.record(3)        # evicts 2
+        assert nsrt.contains(1)
+
+
+def test_regionscout_storage_well_below_rca(geom):
+    scout = RegionScout(geom, crh_entries=16384, nsrt_entries=32)
+    # 16K-entry RCA ≈ 71 bits × 8192 sets ≈ 581 Kbit; this RegionScout
+    # configuration needs ≈ 133 Kbit — less than a quarter.
+    rca_bits = 71 * 8192
+    assert scout.storage_bits < rca_bits / 4

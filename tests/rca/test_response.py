@@ -1,0 +1,58 @@
+"""Region snoop-response bits and combining (Section 3.4)."""
+
+from repro.rca.response import (
+    NO_COPIES,
+    RegionSnoopResponse,
+    combine_region_responses,
+)
+from repro.rca.states import ExternalPart
+
+
+class TestSingleResponse:
+    def test_no_copies(self):
+        assert not NO_COPIES.cached
+        assert NO_COPIES.external_part is ExternalPart.NONE
+
+    def test_clean_maps_to_clean(self):
+        response = RegionSnoopResponse(clean=True)
+        assert response.cached
+        assert response.external_part is ExternalPart.CLEAN
+
+    def test_dirty_dominates_clean(self):
+        response = RegionSnoopResponse(clean=True, dirty=True)
+        assert response.external_part is ExternalPart.DIRTY
+
+
+class TestCombining:
+    def test_empty_combination(self):
+        assert combine_region_responses([]) == NO_COPIES
+
+    def test_or_semantics(self):
+        combined = combine_region_responses([
+            RegionSnoopResponse(clean=True),
+            RegionSnoopResponse(),
+            RegionSnoopResponse(dirty=True),
+        ])
+        assert combined.clean and combined.dirty
+        assert combined.external_part is ExternalPart.DIRTY
+
+    def test_all_silent(self):
+        combined = combine_region_responses([RegionSnoopResponse()] * 3)
+        assert combined.external_part is ExternalPart.NONE
+
+
+class TestOneBitVariant:
+    def test_clean_collapses_to_dirty(self):
+        collapsed = RegionSnoopResponse(clean=True).collapsed()
+        assert collapsed.dirty and not collapsed.clean
+        assert collapsed.external_part is ExternalPart.DIRTY
+
+    def test_none_stays_none(self):
+        assert RegionSnoopResponse().collapsed() == NO_COPIES
+
+    def test_collapse_is_conservative(self):
+        # Collapsing never turns a cached region into "no copies".
+        for clean in (False, True):
+            for dirty in (False, True):
+                response = RegionSnoopResponse(clean=clean, dirty=dirty)
+                assert response.collapsed().cached == response.cached

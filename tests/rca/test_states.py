@@ -1,0 +1,104 @@
+"""Table 1: region states and the broadcast decision, exhaustively."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.rca.states import ExternalPart, LocalPart, RegionState
+
+EXCLUSIVE = (RegionState.CLEAN_INVALID, RegionState.DIRTY_INVALID)
+EXT_CLEAN = (RegionState.CLEAN_CLEAN, RegionState.DIRTY_CLEAN)
+EXT_DIRTY = (RegionState.CLEAN_DIRTY, RegionState.DIRTY_DIRTY)
+VALID = EXCLUSIVE + EXT_CLEAN + EXT_DIRTY
+
+
+class TestStructure:
+    def test_seven_states(self):
+        assert len(RegionState) == 7
+
+    def test_parts_round_trip(self):
+        for state in VALID:
+            local, external = state.parts
+            assert RegionState.from_parts(local, external) is state
+
+    def test_invalid_has_no_parts(self):
+        with pytest.raises(ValueError):
+            RegionState.INVALID.parts
+
+    def test_classification_partitions_valid_states(self):
+        for state in VALID:
+            kinds = [state.is_exclusive, state.is_externally_clean,
+                     state.is_externally_dirty]
+            assert sum(kinds) == 1
+
+    def test_invalid_is_none_of_the_classes(self):
+        state = RegionState.INVALID
+        assert not (state.is_exclusive or state.is_externally_clean
+                    or state.is_externally_dirty)
+
+    def test_external_part_worse_of(self):
+        none, clean, dirty = (ExternalPart.NONE, ExternalPart.CLEAN,
+                              ExternalPart.DIRTY)
+        assert none.worse_of(clean) is clean
+        assert clean.worse_of(none) is clean
+        assert clean.worse_of(dirty) is dirty
+        assert dirty.worse_of(none) is dirty
+        assert none.worse_of(none) is none
+
+
+class TestBroadcastDecision:
+    """Table 1's "Broadcast Needed?" column, request by request."""
+
+    def test_invalid_broadcasts_everything_except_nothing(self):
+        for request in RequestType:
+            assert RegionState.INVALID.needs_broadcast(request)
+
+    def test_exclusive_states_broadcast_nothing(self):
+        for state in EXCLUSIVE:
+            for request in RequestType:
+                assert not state.needs_broadcast(request)
+
+    def test_externally_clean_lets_ifetch_through(self):
+        for state in EXT_CLEAN:
+            assert not state.needs_broadcast(RequestType.IFETCH)
+
+    def test_externally_clean_broadcasts_demand_loads(self):
+        # Section 3.1: loads are broadcast unless the region is CI or DI,
+        # so they may return exclusive copies.
+        for state in EXT_CLEAN:
+            assert state.needs_broadcast(RequestType.READ)
+
+    def test_externally_clean_broadcasts_modifiable_requests(self):
+        for state in EXT_CLEAN:
+            for request in (RequestType.RFO, RequestType.UPGRADE,
+                            RequestType.DCBZ, RequestType.PREFETCH_EX):
+                assert state.needs_broadcast(request)
+
+    def test_externally_dirty_broadcasts_all_but_writebacks(self):
+        for state in EXT_DIRTY:
+            for request in RequestType:
+                expected = request is not RequestType.WRITEBACK
+                assert state.needs_broadcast(request) == expected
+
+    def test_writebacks_direct_in_any_valid_state(self):
+        # The region entry records the home memory controller (§5.1).
+        for state in VALID:
+            assert not state.needs_broadcast(RequestType.WRITEBACK)
+
+
+class TestImmediateCompletion:
+    def test_upgrades_and_dcb_complete_in_exclusive_regions(self):
+        for state in EXCLUSIVE:
+            for request in (RequestType.UPGRADE, RequestType.DCBZ,
+                            RequestType.DCBF, RequestType.DCBI):
+                assert state.completes_without_request(request)
+
+    def test_data_requests_always_need_memory(self):
+        for state in VALID:
+            for request in (RequestType.READ, RequestType.RFO,
+                            RequestType.IFETCH):
+                assert not state.completes_without_request(request)
+
+    def test_nothing_completes_free_outside_exclusive(self):
+        for state in EXT_CLEAN + EXT_DIRTY + (RegionState.INVALID,):
+            for request in RequestType:
+                assert not state.completes_without_request(request)

@@ -1,0 +1,87 @@
+"""System configuration invariants and the paper's named configs."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.system.config import CoreParameters, SystemConfig, TimingParameters
+
+
+class TestPaperConfigs:
+    def test_baseline_has_no_rca(self):
+        config = SystemConfig.paper_baseline()
+        assert not config.cgct_enabled
+        assert config.num_processors == 4
+        assert config.l2_bytes == 1 << 20
+
+    def test_cgct_default_matches_paper(self):
+        config = SystemConfig.paper_cgct()
+        assert config.cgct_enabled
+        assert config.geometry.region_bytes == 512
+        assert config.rca_sets == 8192
+        assert config.rca_ways == 2
+        assert config.rca_entries == 16384
+
+    def test_region_size_sweep(self):
+        for region in (256, 512, 1024):
+            assert SystemConfig.paper_cgct(region).geometry.region_bytes == region
+
+    def test_half_size_rca(self):
+        config = SystemConfig.paper_cgct(512, rca_sets=4096)
+        assert config.rca_entries == 8192
+
+    def test_with_region_bytes(self):
+        config = SystemConfig.paper_cgct(256).with_region_bytes(1024)
+        assert config.geometry.region_bytes == 1024
+        assert config.cgct_enabled
+
+
+class TestTable3Defaults:
+    def test_core_parameters(self):
+        core = CoreParameters()
+        assert core.clock_hz == 1_500_000_000
+        assert core.pipeline_stages == 15
+        assert core.rob_entries == 64
+        assert core.issue_window == 32
+
+    def test_cache_hierarchy(self):
+        config = SystemConfig()
+        assert config.l1i_bytes == 32 * 1024
+        assert config.l1d_bytes == 64 * 1024
+        assert config.l1i_ways == config.l1d_ways == 4
+        assert config.l2_ways == 2
+
+    def test_prefetch_parameters(self):
+        config = SystemConfig()
+        assert config.prefetch_streams == 8
+        assert config.prefetch_runahead == 5
+
+    def test_latency_constants(self):
+        config = SystemConfig()
+        assert config.latency.snoop_cycles == 160
+        assert config.latency.l1_hit_cycles == 1
+        assert config.latency.l2_hit_cycles == 12
+
+
+class TestValidation:
+    def test_bad_store_stall_fraction(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(store_stall_fraction=1.5)
+
+    def test_bad_bus_occupancy(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(bus_occupancy_system_cycles=0)
+
+    def test_bad_perturbation(self):
+        with pytest.raises(ConfigurationError):
+            TimingParameters(perturbation_cycles=-1)
+
+    def test_bad_rca_shape(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(rca_sets=0)
+
+    def test_configs_are_immutable(self):
+        config = SystemConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.cgct_enabled = True

@@ -1,0 +1,108 @@
+"""Data Cache Block operations through the machine."""
+
+import pytest
+
+from repro.coherence.line_states import LineState
+from repro.coherence.requests import RequestType
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_config(cgct=True, rca_sets=256))
+
+
+@pytest.fixture
+def baseline():
+    return Machine(make_config(cgct=False))
+
+
+def line_state(machine, proc, address):
+    entry = machine.nodes[proc].l2.peek(machine.geometry.line_of(address))
+    return entry.state if entry else None
+
+
+class TestDCBZ:
+    def test_allocates_modified_line(self, baseline):
+        baseline.dcbz(0, 0x1000, now=0)
+        assert line_state(baseline, 0, 0x1000) is LineState.MODIFIED
+
+    def test_invalidates_remote_copies(self, baseline):
+        baseline.load(1, 0x1000, now=0)
+        baseline.dcbz(0, 0x1000, now=1000)
+        assert line_state(baseline, 1, 0x1000) is None
+        assert line_state(baseline, 0, 0x1000) is LineState.MODIFIED
+
+    def test_silent_on_locally_exclusive_line(self, baseline):
+        baseline.load(0, 0x1000, now=0)   # fills E
+        baseline.dcbz(0, 0x1000, now=1000)
+        assert baseline.stats.total_external == 1  # only the original read
+        assert line_state(baseline, 0, 0x1000) is LineState.MODIFIED
+
+    def test_no_request_in_exclusive_region(self, machine):
+        machine.load(0, 0x1000, now=0)        # region DI
+        machine.dcbz(0, 0x1080, now=1000)     # other line, same region
+        assert machine.request_paths[RequestType.DCBZ, RequestPath.NO_REQUEST] == 1
+        assert line_state(machine, 0, 0x1080) is LineState.MODIFIED
+
+    def test_page_zero_sequence_needs_one_broadcast_per_region(self, machine):
+        # DCBZ of a whole fresh 4 KB page: one region-acquiring broadcast
+        # per 512 B region, the other 7 lines of each region free.
+        for offset in range(0, 4096, 64):
+            machine.dcbz(0, 0x8000 + offset, now=offset)
+        broadcast = machine.request_paths[RequestType.DCBZ, RequestPath.BROADCAST]
+        free = machine.request_paths[RequestType.DCBZ, RequestPath.NO_REQUEST]
+        assert broadcast == 8
+        assert free == 56
+
+
+class TestDCBF:
+    def test_flushes_local_dirty_line(self, baseline):
+        baseline.store(0, 0x1000, now=0)
+        baseline.dcbf(0, 0x1000, now=1000)
+        assert line_state(baseline, 0, 0x1000) is None
+        # The flush pushed the dirty data to memory.
+        home = baseline.address_map.home_of(0x1000)
+        assert baseline.controllers[home].writes == 1
+
+    def test_flushes_remote_dirty_copy(self, baseline):
+        baseline.store(1, 0x1000, now=0)
+        baseline.dcbf(0, 0x1000, now=1000)
+        assert line_state(baseline, 1, 0x1000) is None
+        home = baseline.address_map.home_of(0x1000)
+        assert baseline.controllers[home].writes == 1
+
+    def test_no_external_request_in_exclusive_region(self, machine):
+        machine.store(0, 0x1000, now=0)       # region DI
+        machine.dcbf(0, 0x1000, now=1000)
+        assert machine.request_paths[RequestType.DCBF, RequestPath.NO_REQUEST] == 1
+        assert line_state(machine, 0, 0x1000) is None
+
+
+class TestDCBI:
+    def test_discards_local_dirty_data(self, baseline):
+        baseline.store(0, 0x1000, now=0)
+        baseline.dcbi(0, 0x1000, now=1000)
+        assert line_state(baseline, 0, 0x1000) is None
+        home = baseline.address_map.home_of(0x1000)
+        assert baseline.controllers[home].writes == 0  # data dropped
+
+    def test_invalidates_remote_copies(self, baseline):
+        baseline.load(1, 0x1000, now=0)
+        baseline.dcbi(0, 0x1000, now=1000)
+        assert line_state(baseline, 1, 0x1000) is None
+
+
+class TestRegionCountsStayConsistent:
+    def test_dcb_ops_keep_inclusion(self, machine):
+        machine.store(0, 0x1000, now=0)
+        machine.dcbz(0, 0x1040, now=100)
+        machine.dcbf(0, 0x1000, now=200)
+        machine.dcbi(0, 0x1040, now=300)
+        machine.check_coherence_invariants()
+        region = machine.geometry.region_of(0x1000)
+        entry = machine.nodes[0].region_entry(region)
+        assert entry is not None
+        assert entry.line_count == 0

@@ -1,0 +1,225 @@
+"""Section 6 extensions: prefetch filtering, DRAM-speculation filtering,
+region-state prefetch — plus the self-invalidation and replacement
+ablation switches."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.rca.states import RegionState
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+class TestPrefetchRegionFilter:
+    def _stream_into_dirty_region(self, machine):
+        # Proc 1 owns dirty lines scattered through the region proc 0
+        # will stream into, making proc 0's region externally dirty.
+        machine.store(1, 0x10100, now=0)
+        for i in range(4):
+            machine.load(0, 0x10000 + i * 64, now=1000 + i * 500)
+
+    def test_filter_drops_prefetches_into_dirty_regions(self):
+        machine = Machine(make_config(
+            cgct=True, prefetch=True, rca_sets=1024,
+            prefetch_region_filter=True,
+        ))
+        self._stream_into_dirty_region(machine)
+        assert machine.prefetches_filtered > 0
+
+    def test_filter_off_by_default(self):
+        machine = Machine(make_config(cgct=True, prefetch=True, rca_sets=1024))
+        self._stream_into_dirty_region(machine)
+        assert machine.prefetches_filtered == 0
+
+    def test_filter_keeps_clean_region_prefetches(self):
+        machine = Machine(make_config(
+            cgct=True, prefetch=True, rca_sets=1024,
+            prefetch_region_filter=True,
+        ))
+        for i in range(6):
+            machine.load(0, 0x20000 + i * 64, now=i * 500)
+        issued = sum(
+            n for (req, _p), n in machine.request_paths.items()
+            if req in (RequestType.PREFETCH, RequestType.PREFETCH_EX)
+        )
+        assert issued > 0
+        assert machine.prefetches_filtered == 0
+
+    def test_invariants_hold_with_filter(self):
+        machine = Machine(make_config(
+            cgct=True, prefetch=True, rca_sets=64,
+            prefetch_region_filter=True,
+        ))
+        self._stream_into_dirty_region(machine)
+        machine.check_coherence_invariants()
+
+
+class TestDramSpeculationFilter:
+    def _migratory_read(self, machine):
+        machine.store(1, 0x30000, now=0)      # proc 1 owns dirty data
+        machine.load(0, 0x30040, now=1000)    # proc 0 learns region is CD
+        return machine.load(0, 0x30000, now=10_000)  # c2c from proc 1
+
+    def test_speculation_avoided_on_externally_dirty_regions(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, dram_speculation_filter=True,
+        ))
+        self._migratory_read(machine)
+        assert machine.dram_speculation_avoided >= 1
+
+    def test_baseline_always_speculates(self):
+        machine = Machine(make_config(cgct=False))
+        self._migratory_read(machine)
+        assert machine.dram_speculation_avoided == 0
+        assert machine.dram_speculative_wasted >= 1  # cache supplied anyway
+
+    def test_wrong_prediction_pays_serial_dram(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, dram_speculation_filter=True,
+        ))
+        machine.store(1, 0x40000, now=0)
+        machine.load(0, 0x40040, now=1000)     # region CD on proc 0
+        # Proc 1 silently drops nothing — but read a line proc 1 does NOT
+        # cache: memory supplies, after the snoop, serially.
+        latency = machine.load(0, 0x40080, now=10_000)
+        assert machine.dram_speculation_late >= 1
+        # 12 (L2) + snoop 160 + full DRAM 160 + transfer 20 = 352.
+        assert latency == 352
+
+    def test_correct_prediction_unchanged_latency(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, dram_speculation_filter=True,
+        ))
+        latency = self._migratory_read(machine)
+        # c2c latency unaffected by the filter: 12 + 160 + 20 + 20 = 212.
+        assert latency == 212
+
+
+class TestRegionStatePrefetch:
+    def test_adjacent_region_entry_allocated(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, region_state_prefetch=True,
+        ))
+        machine.load(0, 0x50000, now=0)
+        region = machine.geometry.region_of(0x50000)
+        prefetched = machine.nodes[0].region_entry(region + 1)
+        assert prefetched is not None
+        assert prefetched.state is RegionState.CLEAN_INVALID
+        assert prefetched.line_count == 0
+        assert machine.region_prefetches >= 1
+
+    def test_prefetched_region_enables_direct_first_touch(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, region_state_prefetch=True,
+        ))
+        machine.load(0, 0x50000, now=0)
+        machine.load(0, 0x50200, now=1000)  # first touch of next region
+        assert machine.request_paths[RequestType.READ, RequestPath.DIRECT] == 1
+
+    def test_probe_reflects_remote_copies(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, region_state_prefetch=True,
+        ))
+        machine.store(1, 0x60200, now=0)      # proc 1 dirties next region
+        machine.load(0, 0x60000, now=1000)    # proc 0's broadcast prefetches
+        region = machine.geometry.region_of(0x60200)
+        entry = machine.nodes[0].region_entry(region)
+        assert entry is not None
+        assert entry.state is RegionState.CLEAN_DIRTY
+
+    def test_prefetch_never_evicts_real_state(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=4, region_state_prefetch=True,
+        ))
+        # Fill RCA set 1 (regions 1, 5) with real regions, then broadcast
+        # into region 0 — the prefetch of region 1's set must not evict.
+        machine.load(0, 1 * 512, now=0)
+        machine.load(0, 5 * 512, now=1000)
+        resident_before = {e.region for e in machine.nodes[0].rca.entries()}
+        machine.load(0, 0, now=2000)
+        resident_after = {e.region for e in machine.nodes[0].rca.entries()}
+        assert resident_before <= resident_after
+        machine.check_coherence_invariants()
+
+    def test_disabled_by_default(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024))
+        machine.load(0, 0x50000, now=0)
+        assert machine.region_prefetches == 0
+
+
+class TestSelfInvalidationAblation:
+    def test_without_self_invalidation_regions_stay_dirty(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, self_invalidation=False,
+        ))
+        machine.store(0, 0x70000, now=0)
+        machine.store(1, 0x70000, now=1000)   # takes proc 0's only line
+        region = machine.geometry.region_of(0x70000)
+        # Proc 0's empty region entry survives and kept answering dirty.
+        assert machine.nodes[0].region_entry(region) is not None
+        assert machine.nodes[1].region_entry(region).state.is_externally_dirty
+        # So proc 1's next touch must broadcast.
+        machine.store(1, 0x70040, now=2000)
+        assert machine.request_paths[RequestType.RFO, RequestPath.DIRECT] == 0
+
+    def test_with_self_invalidation_region_is_rescued(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024))
+        machine.store(0, 0x70000, now=0)
+        machine.store(1, 0x70000, now=1000)
+        machine.store(1, 0x70040, now=2000)
+        assert machine.request_paths[RequestType.RFO, RequestPath.DIRECT] == 1
+
+
+class TestReplacementAblation:
+    def test_plain_lru_ignores_emptiness(self):
+        from repro.rca.array import RegionCoherenceArray
+        from repro.rca.states import RegionState as RS
+        from repro.memory.geometry import Geometry
+
+        geom = Geometry()
+        rca = RegionCoherenceArray(geom, num_sets=4, ways=2,
+                                   prefer_empty_victims=False)
+        rca.insert(0, RS.CLEAN_INVALID, home_mc=0)
+        rca.insert(4, RS.CLEAN_INVALID, home_mc=0)
+        rca.line_allocated(next(iter(geom.lines_in_region(0))))
+        # Plain LRU evicts region 0 even though region 4 is empty.
+        assert rca.victim_for(8).region == 0
+
+
+class TestRegionPrefetchCoherence:
+    def test_two_prefetchers_cannot_both_go_exclusive(self):
+        """Regression: the piggybacked region snoop must be mutating. With
+        a pure probe, P0 and P1 both prefetch region R+1 as CI and later
+        both take silently-modifiable copies — two owners."""
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, region_state_prefetch=True,
+        ))
+        # Both processors broadcast into region R, each prefetching R+1.
+        machine.load(0, 0x50000, now=0)
+        machine.load(1, 0x50040, now=1000)
+        # Both store into region R+1; at most one may skip the broadcast.
+        machine.store(0, 0x50200, now=2000)
+        machine.store(1, 0x50240, now=3000)
+        machine.check_coherence_invariants()
+        region = machine.geometry.region_of(0x50200)
+        exclusive_holders = [
+            n.proc_id for n in machine.nodes
+            if n.region_entry(region) is not None
+            and n.region_entry(region).state.is_exclusive
+            and n.region_entry(region).line_count > 0
+        ]
+        assert len(exclusive_holders) <= 1
+
+    def test_prefetch_snoop_downgrades_peer_entries(self):
+        machine = Machine(make_config(
+            cgct=True, rca_sets=1024, region_state_prefetch=True,
+        ))
+        machine.load(1, 0x60200, now=0)       # P1 really owns region R+1
+        machine.load(0, 0x60000, now=1000)    # P0's broadcast prefetches R+1
+        region = machine.geometry.region_of(0x60200)
+        entry1 = machine.nodes[1].region_entry(region)
+        # P1's knowledge of others got more conservative (a reader may
+        # appear), never less.
+        assert entry1 is not None
+        assert not entry1.state.is_exclusive

@@ -1,0 +1,57 @@
+"""Machine summaries."""
+
+import json
+
+import pytest
+
+from repro.system.inspect import machine_summary, render_summary
+from repro.system.machine import Machine
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def machine():
+    machine = Machine(make_config(cgct=True, rca_sets=1024))
+    machine.load(0, 0x1000, now=0)
+    machine.load(0, 0x1040, now=1000)
+    machine.store(1, 0x1000, now=2000)
+    return machine
+
+
+def test_summary_counts_match_machine(machine):
+    summary = machine_summary(machine)
+    assert summary["requests"]["broadcasts"] == machine.stats.total_broadcasts
+    assert summary["requests"]["directs"] == machine.stats.total_directs
+    assert summary["interconnect"]["c2c_transfers"] == machine.c2c_transfers
+    assert summary["config"]["cgct"] is True
+
+
+def test_region_state_census(machine):
+    summary = machine_summary(machine)
+    census = summary["rca"]["states"]
+    assert sum(census.values()) == summary["rca"]["resident_regions"]
+    assert all(len(state) <= 2 for state in census)
+
+
+def test_baseline_summary_has_no_rca_section():
+    machine = Machine(make_config(cgct=False))
+    machine.load(0, 0x1000, now=0)
+    summary = machine_summary(machine)
+    assert "rca" not in summary
+
+
+def test_horizon_enables_utilization(machine):
+    summary = machine_summary(machine, horizon=100_000)
+    assert 0.0 <= summary["interconnect"]["bus_utilization"] <= 1.0
+
+
+def test_summary_is_json_serialisable(machine):
+    text = json.dumps(machine_summary(machine, horizon=1000))
+    assert "broadcasts" in text
+
+
+def test_render_summary(machine):
+    text = render_summary(machine_summary(machine))
+    assert "bus_broadcasts" in text
+    assert "section" in text

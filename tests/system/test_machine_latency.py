@@ -1,0 +1,153 @@
+"""Exact latency arithmetic through the machine (Figure 6 + hierarchy).
+
+All tests run with zero perturbation and idle resources, so every cycle
+is accounted for: L1 hit = 1, L2 hit = 12, and the external latencies
+compose exactly as Figure 6 does. Address 0x1000 is homed at controller
+0 (page-interleaved map), which is proc 0's own chip and proc 2's
+same-switch neighbour.
+"""
+
+import pytest
+
+from repro.interconnect.topology import Distance
+from repro.system.machine import Machine
+
+from tests.conftest import make_config
+
+ADDRESS = 0x1000  # home controller 0 (page 1 → 1 % 2 ... verify in fixture)
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_config(cgct=True, rca_sets=256))
+
+
+@pytest.fixture
+def baseline():
+    return Machine(make_config(cgct=False))
+
+
+def own_chip_address(machine, proc):
+    """An address homed at *proc*'s own chip's memory controller."""
+    chip = machine.topology.chip_of(proc)
+    return next(machine.address_map.addresses_homed_at(chip, count=1))
+
+
+def remote_chip_address(machine, proc):
+    chip = 1 - machine.topology.chip_of(proc)
+    return next(machine.address_map.addresses_homed_at(chip, count=1))
+
+
+class TestHierarchyHits:
+    def test_l1_hit_is_one_cycle(self, baseline):
+        baseline.load(0, ADDRESS, now=0)
+        assert baseline.load(0, ADDRESS, now=1000) == 1
+
+    def test_l2_hit_is_twelve_cycles(self, baseline):
+        baseline.load(0, ADDRESS, now=0)
+        # A second line in the same L1 set region... simply evict L1 by
+        # filling conflicting lines; easier: ifetch uses L1I, so a load
+        # brought to L2 via ifetch misses L1D but hits L2.
+        baseline.ifetch(0, ADDRESS + 0x40, now=1000)
+        assert baseline.load(0, ADDRESS + 0x40, now=2000) == 12
+
+
+class TestBaselineBroadcastLatency:
+    def test_snoop_own_memory(self, baseline):
+        address = own_chip_address(baseline, 0)
+        # 12 (L2) + snoop 160 + overlapped DRAM 70 + transfer 20 = 262.
+        assert baseline.load(0, address, now=0) == 262
+
+    def test_snoop_same_switch_memory(self, baseline):
+        address = remote_chip_address(baseline, 0)
+        # Same-switch transfer is also 2 system cycles (Figure 6): 262.
+        assert baseline.load(0, address, now=0) == 262
+
+    def test_cache_to_cache_same_chip(self, baseline):
+        address = own_chip_address(baseline, 0)
+        baseline.store(0, address, now=0)           # proc 0 holds M
+        # proc 1 (same chip): 12 + 160 + cache 20 + transfer 20 = 212.
+        assert baseline.load(1, address, now=10_000) == 212
+
+    def test_cache_to_cache_same_switch(self, baseline):
+        address = own_chip_address(baseline, 0)
+        baseline.store(0, address, now=0)
+        # proc 2 (other chip): 12 + 160 + 20 + 20 = 212 (same transfer
+        # class in Figure 6's table).
+        assert baseline.load(2, address, now=10_000) == 212
+
+    def test_upgrade_broadcast_costs_snoop_only(self, baseline):
+        address = own_chip_address(baseline, 0)
+        baseline.load(0, address, now=0)
+        baseline.load(1, address, now=5_000)   # line now shared
+        # Upgrade: 12 + snoop 160 = 172; stores stall 40 %: 68.
+        assert baseline.store(0, address, now=10_000) == int(172 * 0.4)
+
+    def test_bus_queuing_adds_latency(self, baseline):
+        a = own_chip_address(baseline, 0)
+        b = a + 0x100000  # different L2 set/region, same home parity kept
+        baseline.load(0, a, now=0)
+        # Second broadcast issued at the same cycle queues 10 CPU cycles
+        # behind the first (one broadcast per system cycle).
+        first = baseline.load(1, b, now=0)
+        assert first in (262 + 10, 262 + 10 + 5)  # +MC queue if same MC
+
+
+class TestDirectLatency:
+    def test_direct_own_memory(self, machine):
+        address = own_chip_address(machine, 0)
+        machine.load(0, address, now=0)  # broadcast, region becomes DI
+        # Next line in region: direct = 12 + 1 + 160 + 20 = 193.
+        assert machine.load(0, address + 0x40, now=10_000) == 193
+
+    def test_direct_same_switch_memory(self, machine):
+        address = remote_chip_address(machine, 0)
+        machine.load(0, address, now=0)
+        # direct: 12 + 20 + 160 + 20 = 212.
+        assert machine.load(0, address + 0x40, now=10_000) == 212
+
+    def test_direct_saves_versus_snoop_own_chip(self, machine):
+        address = own_chip_address(machine, 0)
+        snooped = machine.load(0, address, now=0)
+        direct = machine.load(0, address + 0x40, now=10_000)
+        assert snooped - direct == 262 - 193
+
+    def test_no_request_upgrade_is_l2_latency_only(self, machine):
+        address = own_chip_address(machine, 0)
+        machine.ifetch(0, address, now=0)      # S copy, region CI
+        # Upgrade with no external request: 12 cycles, store-stall 40 %.
+        assert machine.store(0, address, now=10_000) == int(12 * 0.4)
+
+
+class TestStoreStallFraction:
+    def test_store_miss_charged_fractionally(self, baseline):
+        address = own_chip_address(baseline, 0)
+        stall = baseline.store(0, address, now=0)
+        assert stall == int(262 * 0.4)
+
+    def test_load_miss_charged_fully(self, baseline):
+        address = own_chip_address(baseline, 0)
+        assert baseline.load(0, address, now=0) == 262
+
+
+class TestMemoryControllerQueuing:
+    def test_same_controller_back_to_back_queues(self, machine):
+        address = own_chip_address(machine, 0)
+        machine.load(0, address, now=0)
+        # Two direct reads to the same controller at the same cycle: the
+        # second queues 5 cycles (MC occupancy).
+        first = machine.load(0, address + 0x40, now=10_000)
+        second = machine.load(0, address + 0x80, now=10_000 + 193)
+        assert first == 193
+        assert second == 193  # fully serialised by the processor: no queue
+
+    def test_concurrent_processors_queue_at_controller(self, machine):
+        a0 = own_chip_address(machine, 0)
+        a1 = a0 + 8192  # different region, same home controller
+        machine.load(0, a0, now=0)
+        machine.load(1, a1, now=1000)   # warm proc 1's own region
+        # Both processors fire direct reads to controller 0 at cycle 10000.
+        lat0 = machine.load(0, a0 + 0x40, now=10_000)
+        lat1 = machine.load(1, a1 + 0x40, now=10_000)
+        assert lat0 == 193
+        assert lat1 == 193 + 5  # queued behind proc 0's DRAM access

@@ -1,0 +1,104 @@
+"""Oracle broadcast classification (Figure 2 semantics)."""
+
+import pytest
+
+from repro.system.machine import Machine, OracleCategory
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def baseline():
+    return Machine(make_config(cgct=False))
+
+
+def unnecessary(machine, category):
+    return machine.stats.unnecessary_broadcasts[category]
+
+
+def total(machine, category):
+    return machine.stats.broadcasts[category]
+
+
+class TestDataRequests:
+    def test_unshared_read_is_unnecessary(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        assert unnecessary(baseline, OracleCategory.DATA) == 1
+
+    def test_read_of_remotely_cached_line_is_necessary(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        baseline.load(1, 0x1000, now=1000)
+        assert total(baseline, OracleCategory.DATA) == 2
+        assert unnecessary(baseline, OracleCategory.DATA) == 1
+
+    def test_store_taking_remote_copy_is_necessary(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        baseline.store(1, 0x1000, now=1000)
+        assert unnecessary(baseline, OracleCategory.DATA) == 1  # only the load
+
+    def test_upgrade_with_remote_sharers_is_necessary(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        baseline.load(1, 0x1000, now=1000)
+        baseline.store(0, 0x1000, now=2000)
+        assert total(baseline, OracleCategory.DATA) == 3
+        assert unnecessary(baseline, OracleCategory.DATA) == 1
+
+
+class TestIfetch:
+    def test_unshared_ifetch_is_unnecessary(self, baseline):
+        baseline.ifetch(0, 0x1000, now=0)
+        assert unnecessary(baseline, OracleCategory.IFETCH) == 1
+
+    def test_clean_shared_ifetch_is_still_unnecessary(self, baseline):
+        # Memory's copy is valid: the broadcast brought nothing.
+        baseline.ifetch(0, 0x1000, now=0)
+        baseline.ifetch(1, 0x1000, now=1000)
+        assert unnecessary(baseline, OracleCategory.IFETCH) == 2
+
+    def test_ifetch_of_remotely_dirty_line_is_necessary(self, baseline):
+        baseline.store(0, 0x1000, now=0)
+        baseline.ifetch(1, 0x1000, now=1000)
+        assert total(baseline, OracleCategory.IFETCH) == 1
+        assert unnecessary(baseline, OracleCategory.IFETCH) == 0
+
+
+class TestWritebacks:
+    def test_writeback_broadcasts_are_always_unnecessary(self, baseline):
+        stride = baseline.nodes[0].l2.num_sets * 64
+        baseline.store(0, 0x0, now=0)
+        baseline.load(0, stride, now=1000)
+        baseline.load(0, 2 * stride, now=2000)  # evicts the dirty line
+        assert total(baseline, OracleCategory.WRITEBACK) == 1
+        assert unnecessary(baseline, OracleCategory.WRITEBACK) == 1
+
+
+class TestDCB:
+    def test_dcbz_of_uncached_page_is_unnecessary(self, baseline):
+        baseline.dcbz(0, 0x4000, now=0)
+        assert unnecessary(baseline, OracleCategory.DCB) == 1
+
+    def test_dcbz_hitting_remote_copy_is_necessary(self, baseline):
+        baseline.load(1, 0x4000, now=0)
+        baseline.dcbz(0, 0x4000, now=1000)
+        assert total(baseline, OracleCategory.DCB) == 1
+        assert unnecessary(baseline, OracleCategory.DCB) == 0
+
+
+class TestAggregates:
+    def test_total_unnecessary_sums_categories(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        baseline.ifetch(0, 0x2000, now=100)
+        baseline.dcbz(0, 0x3000, now=200)
+        stats = baseline.stats
+        assert stats.total_unnecessary == 3
+        assert stats.total_broadcasts == 3
+        assert stats.total_external == 3
+
+    def test_cgct_classifies_its_remaining_broadcasts(self):
+        machine = Machine(make_config(cgct=True))
+        machine.load(0, 0x1000, now=0)   # broadcast (region invalid)
+        machine.load(0, 0x1040, now=1000)  # direct
+        stats = machine.stats
+        assert stats.total_broadcasts == 1
+        assert stats.total_directs == 1
+        assert stats.total_unnecessary == 1

@@ -1,0 +1,167 @@
+"""Request routing: which path each request takes, per region state.
+
+These tests drive the machine through its public load/store/ifetch/DCB
+operations and assert on the (request, path) counters — the broadcast /
+direct / no-request decisions that define Coarse-Grain Coherence
+Tracking.
+"""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.rca.states import RegionState
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+LINE = 64
+REGION = 512
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_config(cgct=True, rca_sets=256))
+
+
+@pytest.fixture
+def baseline():
+    return Machine(make_config(cgct=False))
+
+
+def paths(machine):
+    return dict(machine.request_paths)
+
+
+class TestBaselineBroadcastsEverything:
+    def test_cold_load_broadcasts(self, baseline):
+        baseline.load(0, 0x1000, now=0)
+        assert paths(baseline) == {(RequestType.READ, RequestPath.BROADCAST): 1}
+
+    def test_repeat_loads_to_region_still_broadcast(self, baseline):
+        for offset in range(0, REGION, LINE):
+            baseline.load(0, 0x1000 + offset, now=offset)
+        assert paths(baseline)[RequestType.READ, RequestPath.BROADCAST] == 8
+
+    def test_no_direct_requests_ever(self, baseline):
+        for address in (0x0, 0x1000, 0x2040):
+            baseline.load(0, address, now=0)
+            baseline.store(0, address + 0x40, now=0)
+        assert all(path is RequestPath.BROADCAST
+                   for _req, path in paths(baseline))
+
+
+class TestExclusiveRegionGoesDirect:
+    def test_first_touch_broadcasts_then_region_hits_go_direct(self, machine):
+        machine.load(0, 0x1000, now=0)        # allocates region (broadcast)
+        machine.load(0, 0x1040, now=1000)      # same region, new line
+        machine.load(0, 0x1080, now=2000)
+        counted = paths(machine)
+        assert counted[RequestType.READ, RequestPath.BROADCAST] == 1
+        assert counted[RequestType.READ, RequestPath.DIRECT] == 2
+
+    def test_exclusive_read_sets_region_dirty_invalid(self, machine):
+        machine.load(0, 0x1000, now=0)
+        entry = machine.nodes[0].region_entry(
+            machine.geometry.region_of(0x1000))
+        # Nobody else caches: READ filled EXCLUSIVE ⇒ DI (Figure 3).
+        assert entry.state is RegionState.DIRTY_INVALID
+
+    def test_store_to_exclusive_region_goes_direct(self, machine):
+        machine.load(0, 0x1000, now=0)
+        machine.store(0, 0x1040, now=1000)     # RFO, same region
+        assert paths(machine)[RequestType.RFO, RequestPath.DIRECT] == 1
+
+    def test_upgrade_in_exclusive_region_needs_no_request(self, machine):
+        machine.ifetch(0, 0x1000, now=0)       # fills SHARED, region CI
+        machine.store(0, 0x1000, now=1000)     # upgrade S→M: silent
+        counted = paths(machine)
+        assert counted[RequestType.UPGRADE, RequestPath.NO_REQUEST] == 1
+        entry = machine.nodes[0].region_entry(
+            machine.geometry.region_of(0x1000))
+        assert entry.state is RegionState.DIRTY_INVALID  # silent CI→DI
+
+
+class TestSharedRegions:
+    def test_remote_reader_downgrades_region(self, machine):
+        machine.load(0, 0x1000, now=0)
+        machine.load(1, 0x1000, now=1000)      # proc 1 reads the same line
+        entry = machine.nodes[0].region_entry(
+            machine.geometry.region_of(0x1000))
+        # Proc 1's read was shared (proc 0 caches it): externally clean.
+        assert entry.state is RegionState.DIRTY_CLEAN
+
+    def test_demand_load_to_externally_clean_region_broadcasts(self, machine):
+        machine.load(0, 0x1000, now=0)
+        machine.load(1, 0x1000, now=1000)
+        # Proc 0 touches another line of the now-CC region: must broadcast
+        # (loads may return exclusive copies, Section 3.1).
+        machine.load(0, 0x1080, now=2000)
+        counted = paths(machine)
+        assert counted[RequestType.READ, RequestPath.BROADCAST] == 3
+
+    def test_ifetch_to_externally_clean_region_goes_direct(self, machine):
+        machine.ifetch(0, 0x1000, now=0)       # region CI on proc 0
+        machine.ifetch(1, 0x1000, now=1000)    # region CC on both
+        machine.ifetch(0, 0x1080, now=2000)    # proc 0: CC ⇒ direct
+        counted = paths(machine)
+        assert counted[RequestType.IFETCH, RequestPath.DIRECT] == 1
+
+    def test_externally_dirty_region_broadcasts_everything(self, machine):
+        machine.store(0, 0x1000, now=0)        # proc 0 owns dirty line
+        machine.load(1, 0x1040, now=1000)      # proc 1: region CD (dirty)
+        machine.load(1, 0x1080, now=2000)      # still broadcasts
+        counted = paths(machine)
+        assert counted[RequestType.READ, RequestPath.BROADCAST] == 2
+        entry = machine.nodes[1].region_entry(
+            machine.geometry.region_of(0x1000))
+        assert entry.state.is_externally_dirty
+
+
+class TestSelfInvalidation:
+    def test_migratory_handoff_rescued_immediately(self, machine):
+        # Proc 0 dirties a line, then loses it to proc 1 (migratory).
+        machine.store(0, 0x1000, now=0)
+        machine.store(1, 0x1000, now=1000)     # RFO takes proc 0's only line
+        node0 = machine.nodes[0]
+        region = machine.geometry.region_of(0x1000)
+        # The RFO's line snoop emptied proc 0's region, so its region
+        # snoop (in the same broadcast) self-invalidated it and reported
+        # no copies: proc 1 obtains the region exclusively right away.
+        assert node0.region_entry(region) is None
+        entry1 = machine.nodes[1].region_entry(region)
+        assert entry1.state is RegionState.DIRTY_INVALID
+        # Proc 1's next touches of the region go direct / request-free.
+        machine.load(1, 0x1080, now=3000)
+        assert paths(machine)[RequestType.READ, RequestPath.DIRECT] == 1
+
+    def test_region_survives_while_other_lines_remain(self, machine):
+        # Proc 0 caches two lines of the region; losing one keeps the
+        # region tracked (line count 1) and externally dirty on proc 1.
+        machine.store(0, 0x1000, now=0)
+        machine.store(0, 0x1080, now=500)
+        machine.store(1, 0x1000, now=1000)
+        region = machine.geometry.region_of(0x1000)
+        entry0 = machine.nodes[0].region_entry(region)
+        assert entry0 is not None
+        assert entry0.line_count == 1
+        assert machine.nodes[1].region_entry(region).state.is_externally_dirty
+
+
+class TestUpgradeSemantics:
+    def test_upgrade_broadcast_invalidates_remote_sharers(self, machine):
+        machine.load(0, 0x1000, now=0)
+        machine.load(1, 0x1000, now=1000)      # both share the line
+        machine.store(0, 0x1000, now=2000)     # upgrade must broadcast
+        counted = paths(machine)
+        assert counted[RequestType.UPGRADE, RequestPath.BROADCAST] == 1
+        assert machine.nodes[1].l2.peek(machine.geometry.line_of(0x1000)) is None
+
+    def test_upgrade_response_refreshes_region(self, machine):
+        machine.load(0, 0x1000, now=0)
+        machine.load(1, 0x1000, now=1000)
+        machine.store(0, 0x1000, now=2000)
+        entry = machine.nodes[0].region_entry(
+            machine.geometry.region_of(0x1000))
+        # Proc 1's only line of the region was invalidated by the upgrade
+        # and its region self-invalidated: response shows no copies ⇒ DI.
+        assert entry.state is RegionState.DIRTY_INVALID

@@ -1,0 +1,127 @@
+"""Owner prediction: targeted cache-to-cache probes (Section 6)."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_config(cgct=True, rca_sets=1024,
+                               owner_prediction=True))
+
+
+def make_dirty_region(machine, owner=1, reader=0, base=0x30000):
+    """Owner dirties a line; reader learns the region is externally dirty
+    and picks up the owner hint from the cache-to-cache transfer."""
+    machine.store(owner, base, now=0)
+    machine.load(reader, base, now=10_000)  # broadcast c2c; hint = owner
+    return base
+
+
+class TestTargetedHits:
+    def test_second_read_probes_owner_directly(self, machine):
+        base = make_dirty_region(machine)
+        machine.store(1, base + 0x40, now=20_000)  # owner dirties 2nd line
+        machine.load(0, base + 0x40, now=30_000)
+        assert machine.targeted_hits == 1
+        assert machine.request_paths[RequestType.READ, RequestPath.TARGETED] == 1
+
+    def test_targeted_latency_beats_broadcast_c2c(self, machine):
+        base = make_dirty_region(machine)
+        machine.store(1, base + 0x40, now=20_000)
+        # Broadcast c2c same chip: 12 + 160 + 20 + 20 = 212.
+        # Targeted same chip: 12 + 1 + 20 + 20 = 53.
+        latency = machine.load(0, base + 0x40, now=30_000)
+        assert latency < 212
+
+    def test_hint_learned_from_broadcast_supplier(self, machine):
+        base = make_dirty_region(machine, owner=2, reader=0)
+        region = machine.geometry.region_of(base)
+        entry = machine.nodes[0].region_entry(region)
+        assert entry.owner_hint == 2
+
+    def test_hint_learned_from_observed_rfo(self, machine):
+        machine.load(0, 0x40000, now=0)        # proc 0 tracks the region
+        machine.load(0, 0x40040, now=1000)
+        machine.store(3, 0x40040, now=2000)    # proc 3 takes a line
+        region = machine.geometry.region_of(0x40000)
+        entry = machine.nodes[0].region_entry(region)
+        assert entry.owner_hint == 3
+
+    def test_coherence_after_targeted_transfer(self, machine):
+        base = make_dirty_region(machine)
+        machine.store(1, base + 0x40, now=20_000)
+        machine.load(0, base + 0x40, now=30_000)
+        machine.check_coherence_invariants()
+        from repro.coherence.line_states import LineState
+
+        line = machine.geometry.line_of(base + 0x40)
+        assert machine.nodes[0].l2.peek(line).state is LineState.SHARED
+        assert machine.nodes[1].l2.peek(line).state is LineState.OWNED
+
+
+class TestTargetedMisses:
+    @staticmethod
+    def _evict_owner_line(machine, base, owner=1):
+        """Silently push the owner's dirty line out of its L2 (the
+        write-back goes direct, so the reader's stale hint survives)."""
+        stride = machine.nodes[owner].l2.num_sets * 64
+        machine.store(owner, base + stride, now=20_000)
+        machine.store(owner, base + 2 * stride, now=21_000)
+
+    def test_wrong_hint_falls_back_to_broadcast(self, machine):
+        base = make_dirty_region(machine)
+        self._evict_owner_line(machine, base)
+        # Proc 0's region still says externally dirty with hint=1, but
+        # proc 1 no longer caches anything there: probe misses.
+        machine.load(0, base + 0x40, now=30_000)
+        assert machine.targeted_misses == 1
+        assert machine.request_paths[RequestType.READ, RequestPath.BROADCAST] >= 1
+        machine.check_coherence_invariants()
+
+    def test_miss_clears_the_hint(self, machine):
+        base = make_dirty_region(machine)
+        self._evict_owner_line(machine, base)
+        machine.load(0, base + 0x40, now=30_000)
+        region = machine.geometry.region_of(base)
+        entry = machine.nodes[0].region_entry(region)
+        # Hint was cleared by the miss; the fallback broadcast found no
+        # owner, so it stayed clear.
+        assert entry is None or entry.owner_hint is None
+
+    def test_miss_penalty_added_to_latency(self):
+        with_pred = Machine(make_config(cgct=True, rca_sets=1024,
+                                        owner_prediction=True))
+        without = Machine(make_config(cgct=True, rca_sets=1024))
+        latencies = {}
+        for label, machine in (("with", with_pred), ("without", without)):
+            base = make_dirty_region(machine)
+            self._evict_owner_line(machine, base)
+            latencies[label] = machine.load(0, base + 0x40, now=30_000)
+        assert latencies["with"] > latencies["without"]  # wasted round trip
+
+
+class TestEligibility:
+    def test_stores_never_target(self, machine):
+        base = make_dirty_region(machine)
+        machine.store(1, base + 0x40, now=20_000)
+        machine.store(0, base + 0x40, now=30_000)  # RFO must broadcast
+        assert machine.request_paths.get(
+            (RequestType.RFO, RequestPath.TARGETED), 0) == 0
+
+    def test_disabled_by_default(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024))
+        base = make_dirty_region(machine)
+        machine.store(1, base + 0x40, now=20_000)
+        machine.load(0, base + 0x40, now=30_000)
+        assert machine.targeted_hits == 0
+
+    def test_never_targets_self(self, machine):
+        # A region whose hint points at ourselves must broadcast normally.
+        base = make_dirty_region(machine, owner=0, reader=1)
+        machine.load(1, base + 0x40, now=30_000)
+        machine.check_coherence_invariants()

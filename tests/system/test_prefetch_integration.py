@@ -1,0 +1,84 @@
+"""Stream prefetching integrated with the memory system."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+@pytest.fixture
+def machine():
+    return Machine(make_config(cgct=True, prefetch=True, rca_sets=1024))
+
+
+@pytest.fixture
+def baseline():
+    return Machine(make_config(cgct=False, prefetch=True))
+
+
+def sequential_loads(machine, proc, base, count, start=0, step=500):
+    for i in range(count):
+        machine.load(proc, base + i * 64, now=start + i * step)
+
+
+def test_sequential_misses_trigger_prefetches(baseline):
+    sequential_loads(baseline, 0, 0x10000, 4)
+    issued = sum(
+        n for (req, _path), n in baseline.request_paths.items()
+        if req in (RequestType.PREFETCH, RequestType.PREFETCH_EX)
+    )
+    assert issued > 0
+
+
+def test_prefetched_lines_turn_demand_misses_into_hits(baseline):
+    sequential_loads(baseline, 0, 0x10000, 10)
+    # After the stream confirms, later loads hit on prefetched lines: far
+    # fewer demand READ broadcasts than lines.
+    demand_reads = baseline.request_paths[RequestType.READ, RequestPath.BROADCAST]
+    assert demand_reads < 6
+
+
+def test_store_streams_prefetch_exclusive(baseline):
+    for i in range(6):
+        baseline.store(0, 0x20000 + i * 64, now=i * 500)
+    exclusive = sum(
+        n for (req, _path), n in baseline.request_paths.items()
+        if req is RequestType.PREFETCH_EX
+    )
+    assert exclusive > 0
+
+
+def test_prefetches_into_exclusive_regions_go_direct(machine):
+    sequential_loads(machine, 0, 0x30000, 12)
+    direct_pf = machine.request_paths[RequestType.PREFETCH, RequestPath.DIRECT]
+    assert direct_pf > 0
+
+
+def test_prefetches_never_stall_the_processor(machine):
+    # The stall for each load must not include prefetch latencies: a load
+    # that hits L1 after a prior identical load costs 1 cycle even while
+    # streams are active.
+    sequential_loads(machine, 0, 0x40000, 8)
+    assert machine.load(0, 0x40000, now=100_000) == 1
+
+
+def test_prefetch_requests_respect_coherence(machine):
+    # Proc 1 owns a dirty line inside proc 0's stream; the exclusive
+    # prefetch must either take it coherently or skip it — never create
+    # two writable copies.
+    machine.store(1, 0x50080, now=0)
+    for i in range(8):
+        machine.store(0, 0x50000 + i * 64, now=1000 + i * 500)
+    machine.check_coherence_invariants()
+
+
+def test_prefetcher_disabled_issues_nothing():
+    machine = Machine(make_config(cgct=False, prefetch=False))
+    sequential_loads(machine, 0, 0x10000, 10)
+    issued = sum(
+        n for (req, _path), n in machine.request_paths.items()
+        if req in (RequestType.PREFETCH, RequestType.PREFETCH_EX)
+    )
+    assert issued == 0

@@ -1,0 +1,117 @@
+"""Machine-level behaviour of the protocol variants (§3.1/§3.4) and of
+larger topologies."""
+
+import pytest
+
+from repro.coherence.requests import RequestType
+from repro.interconnect.topology import Topology
+from repro.rca.states import RegionState
+from repro.system.machine import Machine, RequestPath
+
+from tests.conftest import make_config
+
+
+class TestOneBitMachine:
+    def test_externally_clean_states_unreachable(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024,
+                                      two_bit_response=False))
+        machine.ifetch(0, 0x1000, now=0)
+        machine.ifetch(1, 0x1000, now=1000)
+        machine.ifetch(0, 0x1080, now=2000)
+        for node in machine.nodes:
+            for entry in node.rca.entries():
+                assert not entry.state.is_externally_clean
+
+    def test_ifetch_direct_path_lost(self):
+        two_bit = Machine(make_config(cgct=True, rca_sets=1024))
+        one_bit = Machine(make_config(cgct=True, rca_sets=1024,
+                                      two_bit_response=False))
+        for machine in (two_bit, one_bit):
+            machine.ifetch(0, 0x1000, now=0)     # region CI on proc 0
+            machine.ifetch(1, 0x1000, now=1000)  # other proc shares code
+            machine.ifetch(0, 0x1080, now=2000)  # CC: direct iff two-bit
+        assert two_bit.request_paths[RequestType.IFETCH, RequestPath.DIRECT] == 1
+        assert one_bit.request_paths.get(
+            (RequestType.IFETCH, RequestPath.DIRECT), 0) == 0
+
+    def test_exclusive_path_survives(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024,
+                                      two_bit_response=False))
+        machine.load(0, 0x2000, now=0)
+        machine.load(0, 0x2040, now=1000)
+        assert machine.request_paths[RequestType.READ, RequestPath.DIRECT] == 1
+
+
+class TestHiddenLineResponse:
+    def test_external_read_downgrades_conservatively(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024,
+                                      line_response_visible=False))
+        machine.load(0, 0x3000, now=0)        # proc 0: region DI
+        machine.load(1, 0x3040, now=1000)     # proc 1 reads another line
+        region = machine.geometry.region_of(0x3000)
+        entry = machine.nodes[0].region_entry(region)
+        # Proc 0 does not cache 0x3040 and cannot see the combined line
+        # response: it must assume proc 1 got an exclusive copy.
+        assert entry.state is RegionState.DIRTY_DIRTY
+
+    def test_observer_caching_the_line_still_knows(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024,
+                                      line_response_visible=False))
+        machine.load(0, 0x3000, now=0)
+        machine.load(1, 0x3000, now=1000)     # proc 0 caches this line
+        region = machine.geometry.region_of(0x3000)
+        entry = machine.nodes[0].region_entry(region)
+        # Proc 0 supplied/shared the line, so the reader cannot be
+        # exclusive: externally clean, not dirty.
+        assert entry.state is RegionState.DIRTY_CLEAN
+
+    def test_visible_response_is_more_precise(self):
+        visible = Machine(make_config(cgct=True, rca_sets=1024))
+        hidden = Machine(make_config(cgct=True, rca_sets=1024,
+                                     line_response_visible=False))
+        for machine in (visible, hidden):
+            machine.load(0, 0x3000, now=0)
+            machine.load(2, 0x3000, now=500)   # two sharers of the line
+            machine.load(1, 0x3000, now=1000)  # third reader: fills S
+        region = visible.geometry.region_of(0x3000)
+        assert visible.nodes[0].region_entry(region).state \
+            is RegionState.DIRTY_CLEAN
+        assert hidden.nodes[0].region_entry(region).state \
+            is RegionState.DIRTY_CLEAN  # proc 0 caches the line: knows
+
+
+class TestLargerTopologies:
+    @pytest.fixture
+    def sixteen(self):
+        return make_config(
+            cgct=True, rca_sets=1024,
+            topology=Topology(cores_per_chip=2, chips_per_switch=2,
+                              switches_per_board=2, boards=2),
+        )
+
+    def test_machine_builds_and_routes(self, sixteen):
+        machine = Machine(sixteen)
+        assert len(machine.nodes) == 16
+        assert len(machine.controllers) == 8
+        machine.load(0, 0x5000, now=0)
+        machine.load(15, 0x5000, now=1000)   # cross-board c2c
+        machine.check_coherence_invariants()
+
+    def test_remote_board_latencies_apply(self, sixteen):
+        machine = Machine(sixteen)
+        # An address homed on a remote board's controller.
+        remote_chip = 7  # chips 0..7; proc 0 is on chip 0 (board 0)
+        address = next(
+            machine.address_map.addresses_homed_at(remote_chip, count=1))
+        assert machine.topology.distance(0, remote_chip).name == "REMOTE"
+        latency = machine.load(0, address, now=0)
+        # Snooped remote memory: 12 + 160 + 70 + 120 = 362.
+        assert latency == 362
+        # Second line of the region goes direct: 12 + 60 + 160 + 120 = 352.
+        assert machine.load(0, address + 0x40, now=10_000) == 352
+
+    def test_sixteen_way_broadcast_snoops_everyone(self, sixteen):
+        machine = Machine(sixteen)
+        machine.load(0, 0x5000, now=0)
+        probes = sum(n.l2.snoop_probes for n in machine.nodes)
+        assert probes == 15

@@ -1,0 +1,78 @@
+"""ExternalRequestStats and RunResult arithmetic identities."""
+
+import pytest
+
+from repro.system.machine import ExternalRequestStats, OracleCategory
+from repro.system.simulator import run_workload
+
+from tests.conftest import loads, make_config, multitrace
+
+
+class TestExternalRequestStats:
+    def test_totals_sum_categories(self):
+        stats = ExternalRequestStats()
+        stats.broadcasts[OracleCategory.DATA] = 3
+        stats.broadcasts[OracleCategory.IFETCH] = 2
+        stats.directs[OracleCategory.WRITEBACK] = 4
+        stats.no_requests[OracleCategory.DCB] = 1
+        assert stats.total_broadcasts == 5
+        assert stats.total_directs == 4
+        assert stats.total_no_requests == 1
+        assert stats.total_external == 10
+        assert stats.total_avoided == 5
+
+    def test_avoided_per_category(self):
+        stats = ExternalRequestStats()
+        stats.directs[OracleCategory.DATA] = 2
+        stats.no_requests[OracleCategory.DATA] = 3
+        assert stats.avoided(OracleCategory.DATA) == 5
+        assert stats.avoided(OracleCategory.IFETCH) == 0
+
+    def test_unnecessary_never_exceeds_broadcasts_in_runs(self):
+        workload = multitrace([
+            loads([0x100000 * (p + 1) + i * 64 for i in range(20)], gap=3)
+            for p in range(4)
+        ])
+        result = run_workload(make_config(cgct=False), workload)
+        stats = result.stats
+        for category in OracleCategory:
+            assert (stats.unnecessary_broadcasts[category]
+                    <= stats.broadcasts[category])
+
+
+class TestRunResultIdentities:
+    @pytest.fixture(scope="class")
+    def result(self):
+        workload = multitrace([
+            loads([0x100000 * (p + 1) + i * 64 for i in range(30)], gap=3)
+            for p in range(4)
+        ])
+        return run_workload(make_config(cgct=True), workload)
+
+    def test_category_fractions_sum_to_totals(self, result):
+        avoided = sum(
+            result.category_fraction(c, of="avoided") for c in OracleCategory
+        )
+        assert avoided == pytest.approx(result.fraction_avoided())
+
+    def test_cycles_is_max_of_processors(self, result):
+        assert result.cycles == max(result.per_processor_cycles)
+
+    def test_gap_plus_stall_equals_clock(self, result):
+        for cycles, stalls, gaps in zip(
+            result.per_processor_cycles,
+            result.per_processor_stalls,
+            result.per_processor_gaps,
+        ):
+            assert cycles == stalls + gaps
+
+    def test_self_speedup_is_one(self, result):
+        assert result.speedup_over(result) == pytest.approx(1.0)
+        assert result.runtime_reduction_over(result) == pytest.approx(0.0)
+
+    def test_traffic_average_consistent_with_counts(self, result):
+        # total broadcasts / cycles * window == reported average (within
+        # the discretisation of the last partial window).
+        expected = result.broadcasts / result.cycles * 100_000
+        assert result.traffic_average_per_window == pytest.approx(
+            expected, rel=0.35)

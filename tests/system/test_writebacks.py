@@ -1,0 +1,68 @@
+"""Write-back routing: broadcast in the baseline, direct with CGCT."""
+
+import pytest
+
+from repro.system.machine import Machine, OracleCategory
+
+from tests.conftest import make_config
+
+
+def force_dirty_eviction(machine, proc=0):
+    """Dirty a line, then evict it with two conflicting fills."""
+    stride = machine.nodes[proc].l2.num_sets * 64
+    machine.store(proc, 0x0, now=0)
+    machine.load(proc, stride, now=1000)
+    machine.load(proc, 2 * stride, now=2000)
+    return 0x0
+
+
+class TestBaseline:
+    def test_writeback_is_broadcast(self):
+        machine = Machine(make_config(cgct=False))
+        force_dirty_eviction(machine)
+        assert machine.stats.broadcasts[OracleCategory.WRITEBACK] == 1
+        assert machine.stats.directs[OracleCategory.WRITEBACK] == 0
+
+    def test_writeback_reaches_memory(self):
+        machine = Machine(make_config(cgct=False))
+        address = force_dirty_eviction(machine)
+        home = machine.address_map.home_of(address)
+        assert machine.controllers[home].writes == 1
+
+    def test_writeback_consumes_a_bus_slot(self):
+        machine = Machine(make_config(cgct=False))
+        before = machine.bus.broadcasts
+        force_dirty_eviction(machine)
+        # The RFO, the two loads, and the write-back each took a slot.
+        assert machine.bus.broadcasts == before + 4
+
+
+class TestCGCT:
+    def test_writeback_goes_direct_via_region_mc_id(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024))
+        address = force_dirty_eviction(machine)
+        assert machine.stats.directs[OracleCategory.WRITEBACK] == 1
+        assert machine.stats.broadcasts[OracleCategory.WRITEBACK] == 0
+        home = machine.address_map.home_of(address)
+        assert machine.controllers[home].writes == 1
+
+    def test_region_eviction_writebacks_also_direct(self):
+        # Force an RCA set conflict: the victim region's dirty lines are
+        # flushed using the victim's recorded memory-controller ID.
+        machine = Machine(make_config(cgct=True, rca_sets=4))
+        region_stride = 4 * 512  # same RCA set, different regions
+        machine.store(0, 0x0, now=0)
+        machine.store(0, region_stride, now=1000)
+        machine.store(0, 2 * region_stride, now=2000)  # evicts region 0
+        assert machine.stats.directs[OracleCategory.WRITEBACK] >= 1
+        assert machine.stats.broadcasts[OracleCategory.WRITEBACK] == 0
+        machine.check_coherence_invariants()
+
+    def test_writeback_never_stalls_the_processor(self):
+        machine = Machine(make_config(cgct=True, rca_sets=1024))
+        stride = machine.nodes[0].l2.num_sets * 64
+        machine.store(0, 0x0, now=0)
+        machine.load(0, stride, now=1000)
+        stall = machine.load(0, 2 * stride, now=2000)
+        # The eviction's write-back adds nothing to the miss latency.
+        assert stall <= 262 + 20

@@ -1,0 +1,74 @@
+"""The Table 4 benchmark registry."""
+
+import pytest
+
+from repro.workloads.benchmarks import (
+    BENCHMARKS,
+    benchmark_names,
+    build_benchmark,
+    get_profile,
+)
+
+
+def test_nine_benchmarks_in_table4_order():
+    assert benchmark_names() == [
+        "ocean", "raytrace", "barnes", "specint2000rate", "specweb99",
+        "specjbb2000", "tpc-w", "tpc-b", "tpc-h",
+    ]
+
+
+def test_categories_match_table4():
+    categories = {name: p.category for name, p in BENCHMARKS.items()}
+    assert categories["ocean"] == "Scientific"
+    assert categories["specint2000rate"] == "Multiprogramming"
+    assert categories["specweb99"] == "Web"
+    assert categories["tpc-b"] == "OLTP"
+    assert categories["tpc-h"] == "Decision Support"
+
+
+def test_get_profile_unknown_name():
+    with pytest.raises(KeyError, match="valid names"):
+        get_profile("linpack")
+
+
+def test_specint_is_multiprogrammed():
+    profile = get_profile("specint2000rate")
+    assert profile.code_private
+    phase = profile.phases[0]
+    # Essentially no sharing.
+    assert phase.p_shared_ro + phase.p_shared_rw < 0.1
+
+
+def test_tpch_has_two_phases_with_merge_heavier_sharing():
+    profile = get_profile("tpc-h")
+    assert len(profile.phases) == 2
+    scan, merge = profile.phases
+    assert merge.p_shared_rw > scan.p_shared_rw
+
+
+def test_barnes_is_sharing_dominated():
+    phase = get_profile("barnes").phases[0]
+    assert phase.p_shared_rw >= 0.5
+    assert phase.p_page_zero == 0.0
+
+
+def test_tpcw_is_most_latency_bound():
+    gaps = {name: p.mean_gap for name, p in BENCHMARKS.items()}
+    assert gaps["tpc-w"] == min(gaps.values())
+
+
+def test_build_benchmark_produces_four_traces():
+    mt = build_benchmark("barnes", ops_per_processor=500)
+    assert mt.num_processors == 4
+    assert all(len(t) == 500 for t in mt.per_processor)
+    assert mt.name == "barnes"
+
+
+def test_build_benchmark_custom_processor_count():
+    mt = build_benchmark("ocean", num_processors=8, ops_per_processor=200)
+    assert mt.num_processors == 8
+
+
+def test_default_lengths_are_reasonable():
+    for profile in BENCHMARKS.values():
+        assert profile.ops_per_processor >= 50_000

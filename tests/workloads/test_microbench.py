@@ -1,0 +1,111 @@
+"""Microbenchmarks behave as their analytical predictions say."""
+
+import pytest
+
+from repro.system.simulator import run_workload
+from repro.workloads import microbench
+
+from tests.conftest import make_config
+
+
+def run(workload, cgct=True, **config_kw):
+    return run_workload(make_config(cgct=cgct, rca_sets=1024, **config_kw),
+                        workload)
+
+
+class TestStreaming:
+    def test_one_broadcast_per_region(self):
+        workload = microbench.streaming(lines_per_processor=64)
+        result = run(workload)
+        # 64 lines = 8 regions of 512 B per processor.
+        assert result.stats.total_broadcasts == 4 * 8
+        assert result.fraction_avoided() == pytest.approx(56 / 64)
+
+    def test_all_streaming_broadcasts_unnecessary(self):
+        result = run(microbench.streaming(lines_per_processor=64), cgct=False)
+        assert result.fraction_unnecessary() == 1.0
+
+
+class TestPingPong:
+    def test_cgct_avoids_nothing_at_steady_state(self):
+        result = run(microbench.ping_pong(iterations=100))
+        # Every store after the first two finds the line dirty in the
+        # other cache: broadcast, necessarily.
+        assert result.fraction_avoided() < 0.05
+
+    def test_ping_pong_broadcasts_are_necessary(self):
+        result = run(microbench.ping_pong(iterations=100), cgct=False)
+        assert result.fraction_unnecessary() < 0.05
+
+    def test_all_transfers_cache_to_cache(self):
+        from repro.system.machine import Machine
+        from repro.workloads.trace import TraceOp
+
+        machine = Machine(make_config(cgct=False))
+        machine.store(0, 0x50_0000, now=0)
+        for i in range(1, 20):
+            machine.store(i % 2, 0x50_0000, now=i * 10_000)
+        assert machine.c2c_transfers == 19
+
+
+class TestProducerConsumer:
+    def test_consumers_find_producers_data(self):
+        workload = microbench.producer_consumer(lines=32)
+        result = run(workload, cgct=False)
+        # Consumer reads hit the producer's dirty lines: necessary.
+        # Producer's stores to fresh lines: unnecessary. Three consumers
+        # per line; only the first gets a dirty (c2c) hit, later ones see
+        # shared copies — still necessary (remote copies exist).
+        assert 0.1 < result.fraction_unnecessary() < 0.5
+
+    def test_cgct_runs_coherently(self):
+        result = run(microbench.producer_consumer(lines=32))
+        assert result.cycles > 0
+
+
+class TestFalseRegionSharing:
+    def test_block_sized_regions_avoid_nothing(self):
+        workload = microbench.false_region_sharing(blocks=32)
+        # 1 KB regions = one whole block: every region multi-processor.
+        result = run_workload(
+            make_config(cgct=True, region_bytes=1024, rca_sets=4096),
+            workload)
+        assert result.fraction_avoided() < 0.15
+
+    def test_parcel_sized_regions_avoid_most(self):
+        workload = microbench.false_region_sharing(blocks=32)
+        # 256 B regions = one parcel: single-processor regions; of each
+        # parcel's 4 lines, 3 fills go direct.
+        result = run_workload(
+            make_config(cgct=True, region_bytes=256, rca_sets=4096),
+            workload)
+        assert result.fraction_avoided() > 0.6
+
+    def test_no_line_is_ever_shared(self):
+        from repro.workloads.validation import workload_stats
+
+        stats = workload_stats(microbench.false_region_sharing(blocks=16))
+        assert stats.shared_line_fraction == 0.0
+
+
+class TestUniformRandom:
+    def test_deterministic(self):
+        a = microbench.uniform_random(ops_per_processor=200)
+        b = microbench.uniform_random(ops_per_processor=200)
+        import numpy as np
+
+        for ta, tb in zip(a.per_processor, b.per_processor):
+            assert np.array_equal(ta.addresses, tb.addresses)
+
+    def test_coherence_invariants_hold(self):
+        from repro.system.machine import Machine
+        from repro.system.simulator import Simulator
+
+        sim = Simulator(make_config(cgct=True, rca_sets=64, prefetch=True))
+        sim.run(microbench.uniform_random(ops_per_processor=500))
+        sim.machine.check_coherence_invariants()
+
+    def test_shared_pool_limits_avoidance(self):
+        result = run(microbench.uniform_random(ops_per_processor=1500))
+        # Random sharing leaves little exclusivity to exploit.
+        assert result.fraction_avoided() < 0.45

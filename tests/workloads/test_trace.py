@@ -1,0 +1,117 @@
+"""Trace container: validation, slicing, concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.geometry import Geometry
+from repro.workloads.trace import MultiTrace, Trace, TraceOp
+
+
+def make(records):
+    return Trace.from_records(records)
+
+
+class TestTrace:
+    def test_from_records(self):
+        trace = make([(TraceOp.LOAD, 0x100, 3), (TraceOp.STORE, 0x200, 0)])
+        assert len(trace) == 2
+        assert trace.ops[0] == int(TraceOp.LOAD)
+        assert trace.addresses[1] == 0x200
+        assert trace.gaps[0] == 3
+
+    def test_empty(self):
+        trace = make([])
+        assert len(trace) == 0
+        trace.validate(Geometry())  # must not raise
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            Trace(
+                ops=np.zeros(2, dtype=np.uint8),
+                addresses=np.zeros(3, dtype=np.uint64),
+                gaps=np.zeros(2, dtype=np.uint32),
+            )
+
+    def test_validate_rejects_out_of_space_addresses(self):
+        trace = make([(TraceOp.LOAD, 1 << 41, 0)])
+        with pytest.raises(SimulationError):
+            trace.validate(Geometry())
+
+    def test_validate_rejects_unknown_opcode(self):
+        trace = Trace(
+            ops=np.array([99], dtype=np.uint8),
+            addresses=np.array([0], dtype=np.uint64),
+            gaps=np.array([0], dtype=np.uint32),
+        )
+        with pytest.raises(SimulationError):
+            trace.validate(Geometry())
+
+    def test_head(self):
+        trace = make([(TraceOp.LOAD, i, 0) for i in range(10)])
+        assert len(trace.head(3)) == 3
+        assert trace.head(100).addresses.tolist() == trace.addresses.tolist()
+
+    def test_concatenate(self):
+        a = make([(TraceOp.LOAD, 1, 0)])
+        b = make([(TraceOp.STORE, 2, 1)])
+        joined = Trace.concatenate([a, b])
+        assert len(joined) == 2
+        assert joined.addresses.tolist() == [1, 2]
+
+    def test_concatenate_empty(self):
+        assert len(Trace.concatenate([])) == 0
+
+
+class TestMultiTrace:
+    def test_sizes(self):
+        mt = MultiTrace([make([(TraceOp.LOAD, 1, 0)]) for _ in range(4)])
+        assert mt.num_processors == 4
+        assert len(mt) == 4
+
+    def test_scaled(self):
+        mt = MultiTrace(
+            [make([(TraceOp.LOAD, i, 0) for i in range(10)])] * 2
+        )
+        scaled = mt.scaled(4)
+        assert all(len(t) == 4 for t in scaled.per_processor)
+        assert scaled.name == mt.name
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        mt = MultiTrace(
+            per_processor=[
+                make([(TraceOp.LOAD, 0x1000, 3), (TraceOp.STORE, 0x2040, 0)]),
+                make([(TraceOp.IFETCH, 0x3000, 7)]),
+            ],
+            name="roundtrip",
+        )
+        path = tmp_path / "trace.npz"
+        mt.save(path)
+        loaded = MultiTrace.load(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.num_processors == 2
+        for original, restored in zip(mt.per_processor, loaded.per_processor):
+            assert np.array_equal(original.ops, restored.ops)
+            assert np.array_equal(original.addresses, restored.addresses)
+            assert np.array_equal(original.gaps, restored.gaps)
+
+    def test_loaded_trace_simulates_identically(self, tmp_path):
+        from repro.system.simulator import run_workload
+        from repro.workloads.benchmarks import build_benchmark
+        from tests.conftest import make_config
+
+        mt = build_benchmark("barnes", ops_per_processor=800)
+        path = tmp_path / "barnes.npz"
+        mt.save(path)
+        loaded = MultiTrace.load(path)
+        a = run_workload(make_config(cgct=True), mt)
+        b = run_workload(make_config(cgct=True), loaded)
+        assert a.per_processor_cycles == b.per_processor_cycles
+
+    def test_load_rejects_foreign_npz(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez_compressed(path, junk=np.zeros(3))
+        with pytest.raises(SimulationError):
+            MultiTrace.load(path)

@@ -1,0 +1,105 @@
+"""Trace statistics and profile validation."""
+
+import pytest
+
+from repro.workloads.benchmarks import build_benchmark
+from repro.workloads.trace import TraceOp
+from repro.workloads.validation import trace_stats, workload_stats
+
+from tests.conftest import loads, multitrace, stores, trace_of
+
+
+class TestTraceStats:
+    def test_empty_trace(self):
+        stats = trace_stats(trace_of([]))
+        assert stats.operations == 0
+        assert stats.footprint_bytes == 0
+
+    def test_op_mix(self):
+        trace = trace_of(
+            [(TraceOp.LOAD, 0, 0)] * 3 + [(TraceOp.STORE, 64, 0)]
+        )
+        stats = trace_stats(trace)
+        assert stats.op_mix[TraceOp.LOAD] == pytest.approx(0.75)
+        assert stats.op_mix[TraceOp.STORE] == pytest.approx(0.25)
+        assert stats.op_mix[TraceOp.IFETCH] == 0.0
+
+    def test_footprint_and_reuse(self):
+        trace = trace_of([(TraceOp.LOAD, 0, 0), (TraceOp.LOAD, 0, 0),
+                          (TraceOp.LOAD, 64, 0)])
+        stats = trace_stats(trace)
+        assert stats.lines_touched == 2
+        assert stats.footprint_bytes == 128
+        assert stats.line_reuse == pytest.approx(1.5)
+        assert stats.pages_touched == 1
+
+    def test_mean_gap(self):
+        trace = trace_of([(TraceOp.LOAD, 0, 10), (TraceOp.LOAD, 64, 20)])
+        assert trace_stats(trace).mean_gap == pytest.approx(15.0)
+
+
+class TestWorkloadStats:
+    def test_disjoint_workload_has_no_sharing(self):
+        workload = multitrace([
+            loads([0x1000 * (p + 1) * 16 + i * 64 for i in range(4)])
+            for p in range(4)
+        ])
+        stats = workload_stats(workload)
+        assert stats.shared_line_fraction == 0.0
+        assert stats.communication_line_fraction == 0.0
+
+    def test_fully_shared_workload(self):
+        addresses = [0x5000 + i * 64 for i in range(4)]
+        workload = multitrace([loads(addresses) for _ in range(4)])
+        stats = workload_stats(workload)
+        assert stats.shared_line_fraction == 1.0
+        assert stats.communication_line_fraction == 0.0  # nobody writes
+
+    def test_producer_consumer_counts_communication(self):
+        addresses = [0x5000 + i * 64 for i in range(4)]
+        workload = multitrace([
+            stores(addresses),   # proc 0 produces
+            loads(addresses),    # proc 1 consumes
+            loads([0x90000]),    # bystanders
+            loads([0xA0000]),
+        ])
+        stats = workload_stats(workload)
+        assert stats.communication_line_fraction == pytest.approx(4 / 6)
+
+    def test_mean_op_mix_averages_processors(self):
+        workload = multitrace([
+            loads([0x1000]),
+            stores([0x2000]),
+        ][:2])
+        stats = workload_stats(workload)
+        assert stats.mean_op_mix[TraceOp.LOAD] == pytest.approx(0.5)
+        assert stats.mean_op_mix[TraceOp.STORE] == pytest.approx(0.5)
+
+
+class TestBenchmarkProfileSanity:
+    """The Table 4 profiles have the sharing structure they claim."""
+
+    @pytest.fixture(scope="class")
+    def stats(self):
+        return {
+            name: workload_stats(build_benchmark(name, ops_per_processor=6000))
+            for name in ("specint2000rate", "barnes", "tpc-h", "tpc-w")
+        }
+
+    def test_specint_shares_almost_nothing(self, stats):
+        assert stats["specint2000rate"].shared_line_fraction < 0.1
+
+    def test_barnes_and_tpch_share_heavily(self, stats):
+        assert stats["barnes"].shared_line_fraction > 0.2
+        assert stats["tpc-h"].shared_line_fraction > 0.2
+
+    def test_sharing_order_matches_figure2(self, stats):
+        assert (
+            stats["specint2000rate"].communication_line_fraction
+            < stats["tpc-w"].communication_line_fraction
+            < stats["barnes"].communication_line_fraction
+        )
+
+    def test_every_benchmark_emits_ifetches(self, stats):
+        for name, s in stats.items():
+            assert s.mean_op_mix[TraceOp.IFETCH] > 0.05, name
