@@ -2,6 +2,13 @@
 
 * :mod:`repro.harness.runcache` — memoised simulation runs shared
   between experiments (Figures 7–10 reuse the same baselines).
+* :mod:`repro.harness.cache` — on-disk, content-addressed result store
+  (configuration + workload + code version), so repeated invocations
+  only execute changed cells.
+* :mod:`repro.harness.parallel` — process-pool experiment runner with
+  retry-once semantics; bit-identical to serial execution.
+* :mod:`repro.harness.runlog` — JSON-lines per-run observability
+  (wall time, cache hit/miss, worker, peak RSS, failures).
 * :mod:`repro.harness.render` — plain-text table/bar rendering.
 * :mod:`repro.harness.experiments` — one function per paper artifact,
   registered by ID (``fig2`` … ``fig10``, ``table1`` … ``table4``,
@@ -9,6 +16,7 @@
 * ``python -m repro.harness <experiment-id>`` — command-line entry.
 """
 
+from repro.harness.cache import DiskCache, cache_key, code_version
 from repro.harness.experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -21,18 +29,37 @@ from repro.harness.export import (
     save_results_json,
     save_results_markdown,
 )
+from repro.harness.parallel import (
+    ExperimentTask,
+    ParallelRunner,
+    experiment_tasks,
+    replicated_tasks,
+    warm_cache,
+)
 from repro.harness.render import render_table
 from repro.harness.runcache import RunCache
+from repro.harness.runlog import RunLog, read_runlog, summarize
 
 __all__ = [
     "EXPERIMENTS",
+    "DiskCache",
     "ExperimentResult",
+    "ExperimentTask",
+    "ParallelRunner",
     "RunCache",
+    "RunLog",
     "RunOptions",
+    "cache_key",
+    "code_version",
+    "experiment_tasks",
+    "read_runlog",
     "render_table",
+    "replicated_tasks",
     "result_to_dict",
     "result_to_markdown",
     "run_experiment",
     "save_results_json",
     "save_results_markdown",
+    "summarize",
+    "warm_cache",
 ]

@@ -5,6 +5,15 @@ Examples::
     python -m repro.harness fig2
     python -m repro.harness fig8 --ops 100000 --seeds 3
     python -m repro.harness all --quick
+    python -m repro.harness fig8 fig9 --workers 4 --runlog runs.jsonl
+
+Simulation results are cached on disk (``.repro-cache/`` by default, or
+``$REPRO_CACHE_DIR``) keyed by configuration + workload + code version,
+so re-running only executes changed cells; ``--no-cache`` bypasses the
+store. ``--workers N`` fans the experiment grid out across N processes
+— results are bit-identical to serial execution. ``--runlog PATH``
+appends one JSON-lines record per simulation (wall time, cache hit or
+miss, worker PID, peak RSS, failures with tracebacks).
 """
 
 from __future__ import annotations
@@ -13,8 +22,11 @@ import argparse
 import sys
 import time
 
+from repro.harness.cache import DEFAULT_CACHE_DIR, DiskCache
 from repro.harness.experiments import EXPERIMENTS, RunOptions, run_experiment
+from repro.harness.parallel import warm_cache
 from repro.harness.runcache import RunCache
+from repro.harness.runlog import RunLog
 
 
 def main(argv=None) -> int:
@@ -37,6 +49,16 @@ def main(argv=None) -> int:
                         help="restrict to these workloads")
     parser.add_argument("--quick", action="store_true",
                         help="small traces, one seed, three workloads")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan simulations out across N worker processes "
+                             "(default 0 = serial; results are identical)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="on-disk result cache directory "
+                             f"(default {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache entirely")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append per-simulation JSON-lines records to PATH")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all results to PATH as JSON")
     parser.add_argument("--markdown", metavar="PATH", default=None,
@@ -59,14 +81,25 @@ def main(argv=None) -> int:
         options = options.quick()
 
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
-    cache = RunCache()
-    results = []
-    for experiment_id in wanted:
-        started = time.time()
-        result = run_experiment(experiment_id, options, cache)
-        results.append(result)
-        print(result.render())
-        print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+    disk = None if args.no_cache else DiskCache(args.cache_dir)
+    cache = RunCache(disk=disk)
+    runlog = RunLog(args.runlog) if args.runlog else None
+    try:
+        if args.workers > 1 or runlog is not None:
+            # Execute the whole grid up-front (in parallel when asked);
+            # the per-experiment rendering below then runs from cache.
+            warm_cache(wanted, options, cache, workers=args.workers,
+                       runlog=runlog)
+        results = []
+        for experiment_id in wanted:
+            started = time.time()
+            result = run_experiment(experiment_id, options, cache)
+            results.append(result)
+            print(result.render())
+            print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+    finally:
+        if runlog is not None:
+            runlog.close()
     if args.json:
         from repro.harness.export import save_results_json
 

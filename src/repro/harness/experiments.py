@@ -463,8 +463,17 @@ def run_experiment(
     experiment_id: str,
     options: Optional[RunOptions] = None,
     cache: Optional[RunCache] = None,
+    workers: int = 0,
+    runlog=None,
 ) -> ExperimentResult:
-    """Run one registered experiment and return its result."""
+    """Run one registered experiment and return its result.
+
+    ``workers > 1`` fans the experiment's simulation grid out across
+    that many worker processes first (see :mod:`repro.harness.parallel`)
+    and then renders from the warmed cache; results are bit-identical to
+    the serial path. ``runlog`` (a :class:`~repro.harness.runlog.RunLog`)
+    records per-cell observability either way.
+    """
     if experiment_id not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {experiment_id!r}; "
@@ -476,6 +485,11 @@ def run_experiment(
         options = RunOptions()
     if cache is None:
         cache = RunCache()
+    if workers > 1 or runlog is not None:
+        from repro.harness.parallel import warm_cache
+
+        warm_cache([experiment_id], options, cache, workers=workers,
+                   runlog=runlog)
     return EXPERIMENTS[experiment_id](options, cache)
 
 

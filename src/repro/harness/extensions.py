@@ -25,9 +25,6 @@ from repro.harness.experiments import ExperimentResult, RunOptions
 from repro.harness.runcache import RunCache
 from repro.interconnect.topology import Topology
 from repro.system.config import SystemConfig
-from repro.system.simulator import run_workload
-from repro.workloads.benchmarks import get_profile
-from repro.workloads.generator import SyntheticWorkload
 
 #: Workloads that stress the mechanisms differently: migratory-heavy,
 #: broadcast-bound, and sharing-light.
@@ -76,10 +73,9 @@ def ablations(options: RunOptions, cache: RunCache) -> ExperimentResult:
     )
 
 
-def extensions(options: RunOptions, cache: RunCache) -> ExperimentResult:
-    """Section 6 future-work features, measured."""
+def _extension_configs() -> Dict[str, SystemConfig]:
     base_cfg = SystemConfig.paper_cgct(512)
-    variants = {
+    return {
         "CGCT (as evaluated)": base_cfg,
         "+ prefetch region filter": replace(
             base_cfg, prefetch_region_filter=True),
@@ -91,6 +87,11 @@ def extensions(options: RunOptions, cache: RunCache) -> ExperimentResult:
             base_cfg, prefetch_region_filter=True,
             dram_speculation_filter=True, region_state_prefetch=True),
     }
+
+
+def extensions(options: RunOptions, cache: RunCache) -> ExperimentResult:
+    """Section 6 future-work features, measured."""
+    variants = _extension_configs()
     baseline = SystemConfig.paper_baseline()
     rows: List[List] = []
     workloads = [w for w in ABLATION_WORKLOADS if w in options.benchmarks] or \
@@ -133,19 +134,18 @@ def _topology_for(processors: int) -> Topology:
 def scaling(options: RunOptions, cache: RunCache) -> ExperimentResult:
     """Broadcast traffic and CGCT benefit versus machine size."""
     workload_name = "tpc-w" if "tpc-w" in options.benchmarks else options.benchmarks[0]
-    profile = get_profile(workload_name)
     rows: List[List] = []
     for processors in (4, 8, 16):
         topology = _topology_for(processors)
-        workload = SyntheticWorkload(profile, num_processors=processors).build(
-            seed=0, ops_per_processor=options.ops_per_processor
-        )
         base_cfg = replace(SystemConfig.paper_baseline(), topology=topology)
         cgct_cfg = replace(SystemConfig.paper_cgct(512), topology=topology)
-        base = run_workload(base_cfg, workload,
-                            warmup_fraction=options.warmup_fraction)
-        cgct = run_workload(cgct_cfg, workload,
-                            warmup_fraction=options.warmup_fraction)
+        # The shared cache builds the trace at the config's processor
+        # count, so these runs are memoised (and parallelisable) like
+        # every other experiment cell.
+        base = cache.run(workload_name, base_cfg, options.ops_per_processor,
+                         warmup_fraction=options.warmup_fraction)
+        cgct = cache.run(workload_name, cgct_cfg, options.ops_per_processor,
+                         warmup_fraction=options.warmup_fraction)
         rows.append([
             processors,
             f"{base.broadcasts_per_window():.0f}",

@@ -1,0 +1,514 @@
+"""Parallel experiment execution.
+
+The paper's evaluation is a grid of (benchmark × region size × RCA size
+× protocol variant) simulations, each independent of the others. This
+module fans that grid out across worker processes:
+
+* :class:`ExperimentTask` — one fully-specified simulation cell
+  (benchmark, configuration, trace length, seeds, warm-up). Tasks are
+  frozen and hashable, so grids de-duplicate naturally.
+* :class:`ParallelRunner` — executes a task list through a
+  ``ProcessPoolExecutor`` (or serially with ``workers <= 1``, the
+  determinism oracle), consulting an optional :class:`DiskCache` and
+  appending per-cell records to an optional :class:`RunLog`. A task
+  whose worker raises — or whose worker process dies — is retried once
+  (``retries=1``) before the failure is surfaced.
+* :func:`experiment_tasks` / :func:`warm_cache` — enumerate every
+  simulation the registered paper experiments will request and run them
+  up-front, preloading a :class:`RunCache` so the experiment functions
+  themselves execute entirely from memory.
+
+Determinism contract
+--------------------
+Every source of randomness in a cell is fixed *at task-creation time*:
+the perturbation seed and trace seed ride in the task itself, and
+replicate seeds are derived with :func:`repro.common.rng.derive_seed`
+(see :func:`replicated_tasks`) rather than drawn from any shared RNG.
+Workers share no state and results are returned in task order, so the
+parallel runner is bit-identical to serial execution regardless of
+worker count or scheduling.
+
+Worker processes are forked where the platform allows (inheriting the
+already-imported library); on platforms without ``fork`` the default
+start method is used, in which case a custom ``execute`` callable must
+be importable by name.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+try:  # Unix-only; peak-RSS reporting degrades to 0 elsewhere.
+    import resource
+except ImportError:  # pragma: no cover
+    resource = None
+
+from repro.common.errors import SimulationError
+from repro.common.rng import derive_seed
+from repro.harness.cache import DiskCache, cache_key, code_version, \
+    config_fingerprint
+from repro.harness.runcache import RunCache
+from repro.harness.runlog import RunLog
+from repro.system.config import SystemConfig
+from repro.system.simulator import RunResult, run_workload
+from repro.workloads.benchmarks import build_benchmark
+
+
+def _peak_rss_kb() -> int:
+    if resource is None:  # pragma: no cover
+        return 0
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover
+        return multiprocessing.get_context()
+
+
+# ----------------------------------------------------------------------
+# Tasks
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One simulation cell of an experiment grid."""
+
+    benchmark: str
+    config: SystemConfig
+    ops_per_processor: int
+    seed: int = 0
+    trace_seed: int = 0
+    warmup_fraction: float = 0.4
+
+    def __hash__(self) -> int:
+        # SystemConfig nests dict-valued fields (latency tables), so the
+        # generated field-tuple hash would fail; hash the fingerprint
+        # instead. Equality stays the generated field-by-field compare.
+        return hash((
+            self.benchmark, config_fingerprint(self.config),
+            self.ops_per_processor, self.seed, self.trace_seed,
+            self.warmup_fraction,
+        ))
+
+    def cache_key(self, version: Optional[str] = None) -> str:
+        """This cell's content address in the on-disk result cache."""
+        return cache_key(
+            self.config, self.benchmark, self.ops_per_processor,
+            seed=self.seed, trace_seed=self.trace_seed,
+            warmup_fraction=self.warmup_fraction, version=version,
+        )
+
+    def describe(self) -> Dict:
+        """Compact, JSON-ready description for run logs and sidecars."""
+        config = self.config
+        return {
+            "benchmark": self.benchmark,
+            "ops": self.ops_per_processor,
+            "seed": self.seed,
+            "trace_seed": self.trace_seed,
+            "warmup": self.warmup_fraction,
+            "cgct": config.cgct_enabled,
+            "region_bytes": config.geometry.region_bytes,
+            "rca_sets": config.rca_sets,
+            "processors": config.num_processors,
+            "config": config_fingerprint(config),
+        }
+
+    def execute(self) -> RunResult:
+        """Build the trace and run the simulation for this cell."""
+        workload = build_benchmark(
+            self.benchmark,
+            num_processors=self.config.num_processors,
+            seed=self.trace_seed,
+            ops_per_processor=self.ops_per_processor,
+        )
+        return run_workload(self.config, workload, seed=self.seed,
+                            warmup_fraction=self.warmup_fraction)
+
+
+def replicated_tasks(
+    benchmark: str,
+    config: SystemConfig,
+    ops_per_processor: int,
+    replicates: int,
+    root_seed: int = 0,
+    warmup_fraction: float = 0.4,
+) -> List[ExperimentTask]:
+    """*replicates* perturbed copies of one cell with derived seeds.
+
+    Seeds come from :func:`derive_seed` over (root seed, benchmark,
+    configuration fingerprint, replicate index) — fixed before any
+    worker starts, so scheduling can never shift them.
+    """
+    fingerprint = config_fingerprint(config)
+    return [
+        ExperimentTask(
+            benchmark, config, ops_per_processor,
+            seed=derive_seed(root_seed, "task", benchmark, fingerprint, r),
+            warmup_fraction=warmup_fraction,
+        )
+        for r in range(replicates)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Worker entry point
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Envelope:
+    """A task plus everything a worker needs to execute it."""
+
+    index: int
+    task: ExperimentTask
+    cache_dir: Optional[str]
+    code_version: Optional[str]
+
+
+@dataclass
+class TaskOutcome:
+    """What one completed cell reports back to the coordinator."""
+
+    index: int
+    result: RunResult
+    cache: str  # "hit" | "miss" | "off"
+    wall_seconds: float
+    peak_rss_kb: int
+    worker_pid: int
+
+
+def execute_envelope(envelope: _Envelope) -> TaskOutcome:
+    """Run one cell in the current process (the worker entry point).
+
+    Consults the disk cache first; on a miss, simulates and stores the
+    result. The store is atomic, so a worker dying mid-task never leaves
+    a partial cache entry.
+    """
+    started = time.perf_counter()
+    task = envelope.task
+    result = None
+    status = "off"
+    disk = key = None
+    if envelope.cache_dir is not None:
+        disk = DiskCache(envelope.cache_dir)
+        key = task.cache_key(envelope.code_version)
+        result = disk.load(key)
+        status = "hit" if result is not None else "miss"
+    if result is None:
+        result = task.execute()
+        if disk is not None:
+            disk.store(key, result, metadata=task.describe())
+    return TaskOutcome(
+        index=envelope.index,
+        result=result,
+        cache=status,
+        wall_seconds=time.perf_counter() - started,
+        peak_rss_kb=_peak_rss_kb(),
+        worker_pid=os.getpid(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class ParallelRunner:
+    """Executes experiment tasks across processes, with retry-once.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``<= 1`` runs serially in this process (same
+        code path per cell — the determinism oracle).
+    cache:
+        Optional :class:`DiskCache`; workers read and write it directly.
+    runlog:
+        Optional :class:`RunLog` receiving one record per attempt plus
+        sweep-start/sweep-end bookends (written by the coordinator, so
+        the log has a single writer).
+    retries:
+        How many times a failed cell is re-executed before the failure
+        is surfaced (default 1 — the transient-worker-death budget).
+    strict:
+        If True (default), raise :class:`SimulationError` after the
+        sweep when any cell exhausted its retries; if False, that cell's
+        slot in the result list is None.
+    execute:
+        The per-cell callable, ``f(envelope) -> TaskOutcome``; override
+        for failure injection in tests. Must be picklable.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[DiskCache] = None,
+        runlog: Optional[RunLog] = None,
+        retries: int = 1,
+        strict: bool = True,
+        execute: Optional[Callable[[_Envelope], TaskOutcome]] = None,
+    ) -> None:
+        self.workers = max(0, int(workers))
+        self.cache = cache
+        self.runlog = runlog
+        self.retries = max(0, int(retries))
+        self.strict = strict
+        self.execute = execute if execute is not None else execute_envelope
+        self.failures: List[Dict] = []
+
+    # ------------------------------------------------------------------
+    def run(self, tasks: Sequence[ExperimentTask]) -> List[Optional[RunResult]]:
+        """Execute every task; results come back in task order."""
+        tasks = list(tasks)
+        self.failures = []
+        cache_dir = None
+        version = None
+        if self.cache is not None and self.cache.enabled:
+            cache_dir = str(self.cache.cache_dir)
+            version = code_version()
+        envelopes = [
+            _Envelope(i, task, cache_dir, version)
+            for i, task in enumerate(tasks)
+        ]
+        self._log("sweep-start", tasks=len(envelopes),
+                  workers=self.workers or 1,
+                  cache="on" if cache_dir else "off")
+        started = time.perf_counter()
+        if self.workers > 1 and len(envelopes) > 1:
+            outcomes = self._run_pool(envelopes)
+        else:
+            outcomes = self._run_serial(envelopes)
+        results: List[Optional[RunResult]] = [None] * len(envelopes)
+        for outcome in outcomes:
+            results[outcome.index] = outcome.result
+        self._log(
+            "sweep-end",
+            wall_s=round(time.perf_counter() - started, 3),
+            completed=len(outcomes),
+            simulated=sum(1 for o in outcomes if o.cache != "hit"),
+            cache_hits=sum(1 for o in outcomes if o.cache == "hit"),
+            failures=len(self.failures),
+        )
+        if self.failures and self.strict:
+            details = "; ".join(
+                f"task {f['index']} ({f['task']['benchmark']}): "
+                f"{f['error'].strip().splitlines()[-1]}"
+                for f in self.failures
+            )
+            raise SimulationError(
+                f"{len(self.failures)} task(s) failed after "
+                f"{self.retries} retr{'y' if self.retries == 1 else 'ies'}: "
+                f"{details}"
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, envelopes: List[_Envelope]) -> List[TaskOutcome]:
+        outcomes = []
+        for envelope in envelopes:
+            for attempt in range(1, self.retries + 2):
+                try:
+                    outcome = self.execute(envelope)
+                except Exception as exc:  # noqa: BLE001 — surfaced via log
+                    self._record_error(envelope, exc, attempt,
+                                       will_retry=attempt <= self.retries)
+                else:
+                    self._record_outcome(envelope, outcome, attempt)
+                    outcomes.append(outcome)
+                    break
+        return outcomes
+
+    def _run_pool(self, envelopes: List[_Envelope]) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        attempts = {envelope.index: 1 for envelope in envelopes}
+        executor = ProcessPoolExecutor(max_workers=self.workers,
+                                       mp_context=_mp_context())
+        pending = {
+            executor.submit(self.execute, envelope): envelope
+            for envelope in envelopes
+        }
+        try:
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                pool_broken = False
+                retry_envelopes: List[_Envelope] = []
+                for future in done:
+                    envelope = pending.pop(future)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        # The worker died (and took the pool with it);
+                        # transient death is exactly what the retry
+                        # budget is for.
+                        pool_broken = True
+                        self._handle_failure(envelope, exc, attempts,
+                                             retry_envelopes)
+                    except Exception as exc:  # noqa: BLE001
+                        self._handle_failure(envelope, exc, attempts,
+                                             retry_envelopes)
+                    else:
+                        self._record_outcome(envelope, outcome,
+                                             attempts[envelope.index])
+                        outcomes.append(outcome)
+                if pool_broken:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                    executor = ProcessPoolExecutor(max_workers=self.workers,
+                                                   mp_context=_mp_context())
+                for envelope in retry_envelopes:
+                    pending[executor.submit(self.execute, envelope)] = envelope
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        return outcomes
+
+    def _handle_failure(self, envelope: _Envelope, exc: BaseException,
+                        attempts: Dict[int, int],
+                        retry_envelopes: List[_Envelope]) -> None:
+        attempt = attempts[envelope.index]
+        will_retry = attempt <= self.retries
+        self._record_error(envelope, exc, attempt, will_retry)
+        if will_retry:
+            attempts[envelope.index] = attempt + 1
+            retry_envelopes.append(envelope)
+
+    # ------------------------------------------------------------------
+    def _log(self, event: str, **fields) -> None:
+        if self.runlog is not None:
+            self.runlog.record(event, **fields)
+
+    def _record_outcome(self, envelope: _Envelope, outcome: TaskOutcome,
+                        attempt: int) -> None:
+        self._log("run", index=envelope.index, task=envelope.task.describe(),
+                  status="ok", cache=outcome.cache,
+                  wall_s=round(outcome.wall_seconds, 4),
+                  worker=outcome.worker_pid,
+                  peak_rss_kb=outcome.peak_rss_kb, attempt=attempt)
+
+    def _record_error(self, envelope: _Envelope, exc: BaseException,
+                      attempt: int, will_retry: bool) -> None:
+        text = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        self._log("run", index=envelope.index, task=envelope.task.describe(),
+                  status="error", error=text, attempt=attempt,
+                  will_retry=will_retry)
+        if not will_retry:
+            self.failures.append({
+                "index": envelope.index,
+                "task": envelope.task.describe(),
+                "error": text,
+            })
+
+
+# ----------------------------------------------------------------------
+# Experiment-grid enumeration
+# ----------------------------------------------------------------------
+def experiment_tasks(
+    experiment_ids: Sequence[str],
+    options: "RunOptions",
+) -> List[ExperimentTask]:
+    """Every simulation the named experiments will request, de-duplicated.
+
+    Mirrors the ``cache.run`` calls inside each experiment function;
+    experiments with no cacheable simulations (the static tables,
+    ``fig6``, and the ones that drive :class:`Simulator` directly)
+    contribute nothing. The order is stable, so task lists — and hence
+    parallel sweeps — are reproducible.
+    """
+    from repro.harness import extensions
+
+    baseline = SystemConfig.paper_baseline()
+    tasks: List[ExperimentTask] = []
+
+    def add(benchmark: str, config: SystemConfig, seed: int = 0) -> None:
+        tasks.append(ExperimentTask(
+            benchmark, config, options.ops_per_processor, seed=seed,
+            warmup_fraction=options.warmup_fraction,
+        ))
+
+    def ablation_workloads() -> List[str]:
+        chosen = [w for w in extensions.ABLATION_WORKLOADS
+                  if w in options.benchmarks]
+        return chosen or list(options.benchmarks)[:2]
+
+    for experiment_id in experiment_ids:
+        if experiment_id == "fig2":
+            for name in options.benchmarks:
+                add(name, baseline)
+        elif experiment_id == "fig7":
+            for name in options.benchmarks:
+                add(name, baseline)
+                for region in options.region_sizes:
+                    add(name, SystemConfig.paper_cgct(region))
+        elif experiment_id == "fig8":
+            for name in options.benchmarks:
+                for seed in range(options.seeds):
+                    add(name, baseline, seed=seed)
+                for region in options.region_sizes:
+                    for seed in range(options.seeds):
+                        add(name, SystemConfig.paper_cgct(region), seed=seed)
+        elif experiment_id == "fig9":
+            for name in options.benchmarks:
+                for seed in range(options.seeds):
+                    add(name, baseline, seed=seed)
+                    add(name, SystemConfig.paper_cgct(512, rca_sets=8192),
+                        seed=seed)
+                    add(name, SystemConfig.paper_cgct(512, rca_sets=4096),
+                        seed=seed)
+        elif experiment_id in ("fig10", "sec32"):
+            for name in options.benchmarks:
+                add(name, baseline)
+                add(name, SystemConfig.paper_cgct(512))
+        elif experiment_id == "ablations":
+            for name in ablation_workloads():
+                add(name, baseline)
+                for config in extensions._ablation_configs().values():
+                    add(name, config)
+        elif experiment_id == "extensions":
+            for name in ablation_workloads():
+                add(name, baseline)
+                for config in extensions._extension_configs().values():
+                    add(name, config)
+        elif experiment_id == "scaling":
+            name = "tpc-w" if "tpc-w" in options.benchmarks \
+                else options.benchmarks[0]
+            for processors in (4, 8, 16):
+                topology = extensions._topology_for(processors)
+                add(name, replace(baseline, topology=topology))
+                add(name, replace(SystemConfig.paper_cgct(512),
+                                  topology=topology))
+    return list(dict.fromkeys(tasks))
+
+
+def warm_cache(
+    experiment_ids: Sequence[str],
+    options: "RunOptions",
+    cache: RunCache,
+    workers: int = 0,
+    runlog: Optional[RunLog] = None,
+    retries: int = 1,
+) -> int:
+    """Fan the experiments' simulation grid out, preloading *cache*.
+
+    After this returns, running the named experiments against *cache*
+    executes zero new simulations. Returns the number of grid cells.
+    Uses the cache's own disk backing (if any), so warmed results also
+    persist across invocations.
+    """
+    tasks = experiment_tasks(experiment_ids, options)
+    if not tasks:
+        return 0
+    runner = ParallelRunner(workers=workers, cache=cache.disk,
+                            runlog=runlog, retries=retries)
+    results = runner.run(tasks)
+    for task, result in zip(tasks, results):
+        if result is not None:
+            cache.preload(
+                task.benchmark, task.config, task.ops_per_processor, result,
+                seed=task.seed, warmup_fraction=task.warmup_fraction,
+                trace_seed=task.trace_seed,
+            )
+    return len(tasks)

@@ -5,12 +5,21 @@ the same baseline runs, and Figure 9 reuses Figure 8's 512 B runs. The
 cache keys a run by everything that determines its outcome: the
 workload, trace length, seed, warm-up, and the configuration fields the
 machine honours.
+
+A :class:`RunCache` can additionally be backed by an on-disk
+:class:`~repro.harness.cache.DiskCache`; in-memory misses then consult
+the disk store (keyed by the full content address, including the code
+version) before simulating, and freshly simulated results are persisted
+— so repeated invocations only execute changed cells. The parallel
+runner (:mod:`repro.harness.parallel`) preloads a ``RunCache`` through
+:meth:`RunCache.preload` after fanning a grid out across processes.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Tuple
 
+from repro.harness.cache import DiskCache, cache_key
 from repro.system.config import SystemConfig
 from repro.system.simulator import RunResult, run_workload
 from repro.workloads.benchmarks import build_benchmark
@@ -47,20 +56,23 @@ def config_key(config: SystemConfig) -> Tuple:
 
 
 class RunCache:
-    """Caches traces and completed runs within one process."""
+    """Caches traces and completed runs, optionally backed by disk."""
 
-    def __init__(self) -> None:
+    def __init__(self, disk: Optional[DiskCache] = None) -> None:
         self._traces: Dict[Tuple, MultiTrace] = {}
         self._runs: Dict[Tuple, RunResult] = {}
+        self.disk = disk
 
     def trace(
-        self, benchmark: str, ops_per_processor: int, seed: int = 0
+        self, benchmark: str, ops_per_processor: int, seed: int = 0,
+        num_processors: int = 4,
     ) -> MultiTrace:
         """Generate (or reuse) a benchmark trace."""
-        key = (benchmark, ops_per_processor, seed)
+        key = (benchmark, ops_per_processor, seed, num_processors)
         if key not in self._traces:
             self._traces[key] = build_benchmark(
-                benchmark, ops_per_processor=ops_per_processor, seed=seed
+                benchmark, num_processors=num_processors,
+                ops_per_processor=ops_per_processor, seed=seed,
             )
         return self._traces[key]
 
@@ -80,17 +92,62 @@ class RunCache:
         perturbation methodology does) selects the generated trace.
         """
         t_seed = 0 if trace_seed is None else trace_seed
-        key = (benchmark, ops_per_processor, seed, t_seed, warmup_fraction,
-               config_key(config))
+        key = self._key(benchmark, config, ops_per_processor, seed, t_seed,
+                        warmup_fraction)
         if key not in self._runs:
-            workload = self.trace(benchmark, ops_per_processor, t_seed)
-            self._runs[key] = run_workload(
-                config, workload, seed=seed, warmup_fraction=warmup_fraction
-            )
+            result = None
+            disk_key = None
+            if self.disk is not None:
+                disk_key = cache_key(
+                    config, benchmark, ops_per_processor, seed=seed,
+                    trace_seed=t_seed, warmup_fraction=warmup_fraction,
+                )
+                result = self.disk.load(disk_key)
+            if result is None:
+                workload = self.trace(
+                    benchmark, ops_per_processor, t_seed,
+                    num_processors=config.num_processors,
+                )
+                result = run_workload(
+                    config, workload, seed=seed,
+                    warmup_fraction=warmup_fraction,
+                )
+                if self.disk is not None:
+                    self.disk.store(disk_key, result, metadata={
+                        "benchmark": benchmark,
+                        "ops": ops_per_processor,
+                        "seed": seed,
+                        "trace_seed": t_seed,
+                        "warmup": warmup_fraction,
+                        "processors": config.num_processors,
+                    })
+            self._runs[key] = result
         return self._runs[key]
 
+    def preload(
+        self,
+        benchmark: str,
+        config: SystemConfig,
+        ops_per_processor: int,
+        result: RunResult,
+        seed: int = 0,
+        warmup_fraction: float = 0.4,
+        trace_seed: Optional[int] = None,
+    ) -> None:
+        """Insert an externally computed result (e.g. from a worker)."""
+        t_seed = 0 if trace_seed is None else trace_seed
+        key = self._key(benchmark, config, ops_per_processor, seed, t_seed,
+                        warmup_fraction)
+        self._runs[key] = result
+
+    @staticmethod
+    def _key(benchmark: str, config: SystemConfig, ops_per_processor: int,
+             seed: int, trace_seed: int, warmup_fraction: float) -> Tuple:
+        return (benchmark, ops_per_processor, seed, trace_seed,
+                warmup_fraction, config_key(config))
+
     def clear(self) -> None:
-        """Drop every entry."""
+        """Drop every in-memory entry (the disk store is untouched)."""
         self._traces.clear()
         self._runs.clear()
 

@@ -1,0 +1,96 @@
+"""JSON-lines run observability.
+
+Every experiment cell the parallel (or serial) runner executes appends
+one record to the run log: what ran, where, how long it took, whether it
+came from the result cache, how much memory the worker peaked at, and —
+on failure — the full traceback plus whether a retry follows. The format
+is one JSON object per line so logs can be tailed, grepped, appended to
+by successive invocations, and summarised without loading everything.
+
+Record shapes (all carry ``event`` and a Unix ``ts``):
+
+``{"event": "sweep-start", "tasks": N, "workers": W, "cache": "on|off"}``
+    Written once per runner invocation, before any task.
+``{"event": "run", "index": i, "task": {...}, "status": "ok",
+"cache": "hit|miss|off", "wall_s": f, "worker": pid,
+"peak_rss_kb": n, "attempt": k}``
+    One successful cell.
+``{"event": "run", "index": i, "task": {...}, "status": "error",
+"error": traceback, "attempt": k, "will_retry": bool}``
+    One failed attempt; ``will_retry: false`` marks a surfaced failure.
+``{"event": "sweep-end", "wall_s": f, "completed": n, "simulated": n,
+"cache_hits": n, "failures": n}``
+    Written once per runner invocation, after the last task.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+
+class RunLog:
+    """Append-only JSON-lines writer (flushes every record)."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, event: str, **fields) -> Dict:
+        """Append one record; returns the dictionary written."""
+        entry: Dict = {"event": event, "ts": round(time.time(), 3)}
+        entry.update(fields)
+        self._handle.write(json.dumps(entry, sort_keys=True, default=str))
+        self._handle.write("\n")
+        self._handle.flush()
+        return entry
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "RunLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_runlog(path: Union[str, Path]) -> List[Dict]:
+    """All records in *path*, in order (empty list if it doesn't exist)."""
+    log_path = Path(path)
+    if not log_path.exists():
+        return []
+    records = []
+    for line in log_path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records
+
+
+def summarize(records: Iterable[Dict]) -> Dict:
+    """Roll a record stream up into headline counts.
+
+    ``simulated`` counts completed cells that actually ran the simulator
+    (cache miss or cache off); ``cache_hits`` counts replays. A fully
+    cached re-invocation therefore shows ``simulated == 0``.
+    """
+    runs = [r for r in records if r.get("event") == "run"]
+    completed = [r for r in runs if r.get("status") == "ok"]
+    errors = [r for r in runs if r.get("status") == "error"]
+    return {
+        "runs": len(runs),
+        "completed": len(completed),
+        "simulated": sum(1 for r in completed if r.get("cache") != "hit"),
+        "cache_hits": sum(1 for r in completed if r.get("cache") == "hit"),
+        "retries": sum(1 for r in errors if r.get("will_retry")),
+        "failures": sum(1 for r in errors if not r.get("will_retry")),
+        "wall_seconds": round(
+            sum(float(r.get("wall_s", 0.0)) for r in completed), 3),
+        "peak_rss_kb": max(
+            (int(r.get("peak_rss_kb", 0)) for r in completed), default=0),
+    }

@@ -107,9 +107,22 @@ class ConfigSweep:
         warmup_fraction: float = 0.4,
         seed: int = 0,
         cache: RunCache = None,
+        workers: int = 0,
+        runlog=None,
     ) -> List[Dict]:
-        """Run the full grid × workload matrix; returns tidy records."""
-        cache = cache or RunCache()
+        """Run the full grid × workload matrix; returns tidy records.
+
+        ``workers > 1`` executes the grid across that many worker
+        processes (bit-identical records, see
+        :mod:`repro.harness.parallel`); ``runlog`` appends per-cell
+        observability records either way. A disk-backed *cache* makes
+        repeated sweeps only execute changed cells.
+        """
+        cache = cache if cache is not None else RunCache()
+        workloads = list(workloads)
+        if workers > 1 or runlog is not None:
+            self._warm(workloads, ops_per_processor, warmup_fraction, seed,
+                       cache, workers, runlog)
         records: List[Dict] = []
         for name in workloads:
             base_run = cache.run(
@@ -128,6 +141,29 @@ class ConfigSweep:
                     record[metric] = extract(base_run, run)
                 records.append(record)
         return records
+
+    def _warm(self, workloads, ops_per_processor, warmup_fraction, seed,
+              cache, workers, runlog) -> None:
+        """Execute every grid cell through the parallel runner up-front."""
+        from repro.harness.parallel import ExperimentTask, ParallelRunner
+
+        tasks = []
+        for name in workloads:
+            tasks.append(ExperimentTask(
+                name, self.baseline, ops_per_processor, seed=seed,
+                warmup_fraction=warmup_fraction))
+            for point in self.grid():
+                tasks.append(ExperimentTask(
+                    name, self.config_for(point), ops_per_processor,
+                    seed=seed, warmup_fraction=warmup_fraction))
+        tasks = list(dict.fromkeys(tasks))
+        runner = ParallelRunner(workers=workers, cache=cache.disk,
+                                runlog=runlog)
+        for task, result in zip(tasks, runner.run(tasks)):
+            if result is not None:
+                cache.preload(task.benchmark, task.config,
+                              task.ops_per_processor, result, seed=task.seed,
+                              warmup_fraction=task.warmup_fraction)
 
     @staticmethod
     def best(records: List[Dict], metric: str = "runtime_reduction") -> Dict:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.harness.extensions import (
     _ablation_configs,
+    _extension_configs,
     _topology_for,
 )
 from repro.harness.experiments import RunOptions, run_experiment
@@ -64,3 +65,57 @@ class TestExperimentPlumbing:
         assert result.rows
         # Conventional tag count is 16384 for the 1 MB / 2-way cache.
         assert result.rows[0][2] == 16384
+
+
+class TestExtensionConfigs:
+    def test_labels_cover_each_feature_and_their_combination(self):
+        labels = list(_extension_configs())
+        assert labels[0] == "CGCT (as evaluated)"
+        assert "+ all three" in labels
+        assert len(labels) == 5
+
+    def test_variants_are_distinct_runs(self):
+        keys = {label: config_key(cfg)
+                for label, cfg in _extension_configs().items()}
+        assert len(set(keys.values())) == len(keys)
+
+    def test_all_three_enables_every_section6_feature(self):
+        combo = _extension_configs()["+ all three"]
+        assert combo.prefetch_region_filter
+        assert combo.dram_speculation_filter
+        assert combo.region_state_prefetch
+
+
+class TestWorkloadFallback:
+    """Benchmark lists that miss every ABLATION_WORKLOAD fall back to
+    the first two requested benchmarks instead of producing empty rows."""
+
+    FALLBACK = RunOptions(ops_per_processor=1_000, seeds=1,
+                          benchmarks=("ocean", "specjbb2000"))
+
+    def test_ablations_use_requested_benchmarks(self):
+        result = run_experiment("ablations", self.FALLBACK, RunCache())
+        assert result.headers[1:] == ["ocean", "specjbb2000"]
+        assert all(len(row) == 3 for row in result.rows)
+
+    def test_extensions_use_requested_benchmarks(self):
+        result = run_experiment("extensions", self.FALLBACK, RunCache())
+        assert result.headers[1:] == ["ocean", "specjbb2000"]
+        assert len(result.rows) == 5
+
+
+class TestScalingThroughCache:
+    def test_scaling_rows_and_memoisation(self):
+        options = RunOptions(ops_per_processor=1_000, seeds=1,
+                             benchmarks=("barnes",))
+        cache = RunCache()
+        result = run_experiment("scaling", options, cache)
+        assert [row[0] for row in result.rows] == [4, 8, 16]
+        # Every scaling cell went through the shared cache: 3 machine
+        # sizes × (baseline + CGCT).
+        runs_after_first = len(cache)
+        assert runs_after_first == 6
+        # A second invocation replays entirely from cache.
+        again = run_experiment("scaling", options, cache)
+        assert len(cache) == runs_after_first
+        assert again.rows == result.rows

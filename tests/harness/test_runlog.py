@@ -1,0 +1,75 @@
+"""JSON-lines run log: writing, reading back, summarising."""
+
+import json
+
+from repro.harness.runlog import RunLog, read_runlog, summarize
+
+
+def test_records_append_and_read_back(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record("sweep-start", tasks=2, workers=1, cache="off")
+        log.record("run", index=0, status="ok", cache="miss", wall_s=0.5)
+    # Appending across instances (successive invocations share a log).
+    with RunLog(path) as log:
+        log.record("run", index=1, status="ok", cache="hit", wall_s=0.0)
+    records = read_runlog(path)
+    assert [r["event"] for r in records] == ["sweep-start", "run", "run"]
+    assert all("ts" in r for r in records)
+
+
+def test_lines_are_plain_json(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record("run", status="ok", task={"benchmark": "barnes"})
+    line = path.read_text().strip()
+    assert json.loads(line)["task"]["benchmark"] == "barnes"
+
+
+def test_missing_log_reads_empty(tmp_path):
+    assert read_runlog(tmp_path / "absent.jsonl") == []
+
+
+def test_parent_directories_created(tmp_path):
+    path = tmp_path / "deep" / "nested" / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record("sweep-start", tasks=0)
+    assert path.exists()
+
+
+def test_summarize_counts_every_bucket():
+    records = [
+        {"event": "sweep-start", "tasks": 3},
+        {"event": "run", "status": "error", "will_retry": True,
+         "error": "boom"},
+        {"event": "run", "status": "ok", "cache": "miss", "wall_s": 1.5,
+         "peak_rss_kb": 2000},
+        {"event": "run", "status": "ok", "cache": "hit", "wall_s": 0.1,
+         "peak_rss_kb": 1000},
+        {"event": "run", "status": "error", "will_retry": False,
+         "error": "boom"},
+        {"event": "sweep-end"},
+    ]
+    summary = summarize(records)
+    assert summary["runs"] == 4
+    assert summary["completed"] == 2
+    assert summary["simulated"] == 1
+    assert summary["cache_hits"] == 1
+    assert summary["retries"] == 1
+    assert summary["failures"] == 1
+    assert summary["wall_seconds"] == 1.6
+    assert summary["peak_rss_kb"] == 2000
+
+
+def test_summarize_empty_stream():
+    summary = summarize([])
+    assert summary["runs"] == 0
+    assert summary["simulated"] == 0
+    assert summary["peak_rss_kb"] == 0
+
+
+def test_double_close_is_safe(tmp_path):
+    log = RunLog(tmp_path / "runs.jsonl")
+    log.record("sweep-start", tasks=0)
+    log.close()
+    log.close()

@@ -55,3 +55,34 @@ def test_render_summary(machine):
     text = render_summary(machine_summary(machine))
     assert "bus_broadcasts" in text
     assert "section" in text
+
+
+def test_zero_horizon_omits_utilization(machine):
+    summary = machine_summary(machine, horizon=0)
+    assert "bus_utilization" not in summary["interconnect"]
+
+
+def test_regionscout_summary_reports_flag_without_rca_section():
+    machine = Machine(make_config(cgct=False, regionscout_enabled=True))
+    machine.load(0, 0x1000, now=0)
+    machine.load(1, 0x8000, now=1000)
+    summary = machine_summary(machine)
+    assert summary["config"]["regionscout"] is True
+    assert summary["config"]["cgct"] is False
+    # RegionScout keeps NSRT/CRH structures, not an RCA census.
+    assert "rca" not in summary
+
+
+def test_fresh_machine_summary_is_all_zero():
+    summary = machine_summary(Machine(make_config(cgct=True)))
+    assert summary["requests"]["broadcasts"] == 0
+    assert summary["hierarchy"]["l1_hits"] == 0
+    assert summary["memory"]["dram_reads"] == 0
+    assert summary["rca"]["resident_regions"] == 0
+    assert summary["rca"]["states"] == {}
+
+
+def test_render_summary_includes_rca_rows(machine):
+    text = render_summary(machine_summary(machine))
+    assert "self_invalidations" in text
+    assert "resident_regions" in text
