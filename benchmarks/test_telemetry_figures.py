@@ -1,0 +1,94 @@
+"""Telemetry interval series reconcile with the figure aggregates.
+
+Figures 2, 7 and 10 are end-of-run aggregates (unnecessary fraction,
+avoided fraction, broadcasts per 100 K-cycle window). The telemetry
+subsystem samples the same quantities every interval; because probes
+record deltas, the sum of every interval must equal the final aggregate
+*exactly* — no double counting, no leakage across the warm-up reset.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.system.config import SystemConfig
+from repro.system.simulator import run_workload
+from repro.telemetry.registry import DEFAULT_INTERVAL, TelemetryRegistry
+from repro.workloads.benchmarks import build_benchmark
+
+WORKLOADS = ("barnes", "ocean")
+
+
+@pytest.fixture(scope="module")
+def telemetry_runs():
+    """(workload, mode) -> (RunResult, TelemetryRegistry), fully sampled."""
+    runs = {}
+    for mode, config in (
+        ("baseline", SystemConfig.paper_baseline()),
+        ("cgct", SystemConfig.paper_cgct()),
+    ):
+        for name in WORKLOADS:
+            workload = build_benchmark(
+                name, num_processors=config.num_processors,
+                ops_per_processor=10_000, seed=0,
+            )
+            registry = TelemetryRegistry()
+            result = run_workload(
+                config, workload, seed=0, warmup_fraction=0.4,
+                telemetry=registry,
+            )
+            runs[name, mode] = (result, registry)
+    return runs
+
+
+def test_fig2_unnecessary_series_totals_match(benchmark, telemetry_runs):
+    """Figure 2's numerator, summed over intervals, is the run total."""
+    def check():
+        for name in WORKLOADS:
+            result, registry = telemetry_runs[name, "baseline"]
+            series = registry.get("stats.unnecessary_broadcasts")
+            assert series.total == result.stats.total_unnecessary
+            assert registry.get("stats.external_requests").total == \
+                result.stats.total_external
+        return len(WORKLOADS)
+
+    assert run_once(benchmark, check) == len(WORKLOADS)
+
+
+def test_fig7_avoided_series_totals_match(benchmark, telemetry_runs):
+    """Figure 7's numerator (direct + no-request) reconciles per window."""
+    def check():
+        for name in WORKLOADS:
+            result, registry = telemetry_runs[name, "cgct"]
+            assert registry.get("stats.avoided").total == \
+                result.stats.total_avoided
+            assert registry.get("stats.directs").total == \
+                result.stats.total_directs
+            assert registry.get("stats.no_requests").total == \
+                result.stats.total_no_requests
+            # The fraction recomputed from telemetry matches the figure.
+            fraction = (registry.get("stats.avoided").total
+                        / registry.get("stats.external_requests").total)
+            assert fraction == pytest.approx(result.fraction_avoided())
+        return len(WORKLOADS)
+
+    assert run_once(benchmark, check) == len(WORKLOADS)
+
+
+def test_fig10_traffic_series_totals_match(benchmark, telemetry_runs):
+    """Figure 10's traffic, sampled per window, sums to the bus total."""
+    def check():
+        for name in WORKLOADS:
+            for mode in ("baseline", "cgct"):
+                result, registry = telemetry_runs[name, mode]
+                series = registry.get("bus.broadcasts")
+                # The sampling window is the figure's 100 K-cycle window.
+                assert series.window == DEFAULT_INTERVAL == 100_000
+                assert series.total == result.broadcasts
+        # CGCT moves traffic off the bus: every window total shrinks.
+        for name in WORKLOADS:
+            base = telemetry_runs[name, "baseline"][1].get("bus.broadcasts")
+            cgct = telemetry_runs[name, "cgct"][1].get("bus.broadcasts")
+            assert cgct.total < base.total
+        return len(WORKLOADS)
+
+    assert run_once(benchmark, check) == len(WORKLOADS)

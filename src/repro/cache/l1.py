@@ -171,6 +171,18 @@ class L1Cache:
         for _set_index, _tag, entry in self._array:
             yield entry.line
 
+    def attach_telemetry(self, registry) -> None:
+        """Register interval probes over this cache's counters.
+
+        Probe-based only: lookup/fill hot paths are untouched; the
+        registry samples the cumulative counters every interval.
+        """
+        for counter in ("hits", "misses", "evictions", "back_invalidations"):
+            registry.add_probe(
+                f"cache.{self.name}.{counter}",
+                lambda c=counter: getattr(self, c),
+            )
+
     def reset_stats(self) -> None:
         """Zero the statistics counters (state is preserved)."""
         self.hits = 0

@@ -226,6 +226,20 @@ class L2Cache:
         for _set_index, _tag, entry in self._array:
             yield entry.line, entry.state
 
+    def attach_telemetry(self, registry) -> None:
+        """Register interval probes over this cache's counters.
+
+        Probe-based only: lookup/fill/snoop hot paths are untouched; the
+        registry samples the cumulative counters every interval.
+        """
+        for counter in ("hits", "misses", "fills", "evictions", "writebacks",
+                        "region_forced_evictions", "snoop_probes",
+                        "snoop_hits"):
+            registry.add_probe(
+                f"cache.{self.name}.{counter}",
+                lambda c=counter: getattr(self, c),
+            )
+
     def __len__(self) -> int:
         return len(self._array)
 

@@ -92,10 +92,28 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 @dataclass
 class RunningStat:
-    """Streaming mean / variance / extrema accumulator (Welford).
+    """Streaming mean / variance / extrema accumulator.
 
-    Used by the simulator for per-request latency statistics where storing
-    every sample would be wasteful.
+    Moments use Welford's online algorithm: a single pass that updates
+    the mean and the centred sum of squares (``M2``) incrementally, so
+    the variance never suffers the catastrophic cancellation of the
+    naive ``E[x²] − E[x]²`` formula even when the mean is large relative
+    to the spread. Each sample costs O(1) time and the moments cost O(1)
+    memory; results are exact up to ordinary floating-point rounding.
+    Merging two accumulators uses the parallel (Chan et al.) variant of
+    the same update and is equivalent to having streamed both sample
+    sets through one accumulator.
+
+    Percentiles cannot be computed from moments alone, so the
+    accumulator also retains a bounded, deterministic subsample: every
+    ``stride``-th sample is kept, and whenever the buffer would exceed
+    ``sample_limit`` the stride doubles and the buffer is decimated.
+    The retained set is a function of the input sequence only — no
+    randomness — so repeated runs report identical percentiles.
+    ``sample_limit=0`` disables retention (moments only).
+
+    Used by the simulator for per-request latency statistics where
+    storing every sample would be wasteful.
     """
 
     count: int = 0
@@ -103,9 +121,17 @@ class RunningStat:
     _m2: float = field(default=0.0, repr=False)
     minimum: Optional[float] = None
     maximum: Optional[float] = None
+    sample_limit: int = 1024
+    _samples: List[float] = field(default_factory=list, repr=False)
+    _stride: int = field(default=1, repr=False)
 
     def add(self, value: float) -> None:
         """Fold one sample into the accumulator."""
+        if self.sample_limit > 0 and self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.sample_limit:
+                self._samples = self._samples[::2]
+                self._stride *= 2
         self.count += 1
         delta = value - self.mean
         self.mean += delta / self.count
@@ -132,15 +158,50 @@ class RunningStat:
         """Sample standard deviation."""
         return math.sqrt(self.variance)
 
+    def percentile(self, p: float) -> float:
+        """Approximate *p*-th percentile from the retained subsample.
+
+        Uses linear interpolation between the two nearest retained
+        samples. Exact while fewer than ``sample_limit`` samples have
+        been seen; an evenly-strided estimate afterwards. Raises
+        :class:`ValueError` when no samples are retained (empty
+        accumulator, or ``sample_limit=0``).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            raise ValueError("percentile() requires retained samples")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lower = int(math.floor(rank))
+        upper = min(lower + 1, len(ordered) - 1)
+        frac = rank - lower
+        return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
     def merge(self, other: "RunningStat") -> "RunningStat":
-        """Return a new accumulator equivalent to seeing both sample sets."""
+        """Return a new accumulator equivalent to seeing both sample sets.
+
+        Moments combine exactly (parallel Welford); the retained
+        subsamples are concatenated and deterministically decimated back
+        under the larger of the two sample limits.
+        """
+        limit = max(self.sample_limit, other.sample_limit)
+        samples = self._samples + other._samples
+        stride = max(self._stride, other._stride)
+        while limit > 0 and len(samples) > limit:
+            samples = samples[::2]
+            stride *= 2
         if other.count == 0:
             return RunningStat(
-                self.count, self.mean, self._m2, self.minimum, self.maximum
+                self.count, self.mean, self._m2, self.minimum, self.maximum,
+                limit, samples, stride,
             )
         if self.count == 0:
             return RunningStat(
-                other.count, other.mean, other._m2, other.minimum, other.maximum
+                other.count, other.mean, other._m2, other.minimum,
+                other.maximum, limit, samples, stride,
             )
         count = self.count + other.count
         delta = other.mean - self.mean
@@ -152,4 +213,5 @@ class RunningStat:
         maxs: List[float] = [
             m for m in (self.maximum, other.maximum) if m is not None
         ]
-        return RunningStat(count, mean, m2, min(mins), max(maxs))
+        return RunningStat(count, mean, m2, min(mins), max(maxs),
+                           limit, samples, stride)

@@ -6,6 +6,8 @@ Examples::
     python -m repro.harness fig8 --ops 100000 --seeds 3
     python -m repro.harness all --quick
     python -m repro.harness fig8 fig9 --workers 4 --runlog runs.jsonl
+    python -m repro.harness fig2 --quick --telemetry --no-cache
+    python -m repro.harness telemetry barnes --ops 20000 --trace-dump t.jsonl
 
 Simulation results are cached on disk (``.repro-cache/`` by default, or
 ``$REPRO_CACHE_DIR``) keyed by configuration + workload + code version,
@@ -14,6 +16,20 @@ store. ``--workers N`` fans the experiment grid out across N processes
 — results are bit-identical to serial execution. ``--runlog PATH``
 appends one JSON-lines record per simulation (wall time, cache hit or
 miss, worker PID, peak RSS, failures with tracebacks).
+
+``--telemetry`` instruments every simulation the invocation executes
+(see ``docs/telemetry.md``): the merged registry is exported as JSON,
+CSV and Prometheus text under ``--telemetry-dir``, a per-experiment
+wall-clock profile is printed (and appended to the run log as a
+``"profile"`` record when ``--runlog`` is given), and ``--interval``
+sets the sampling window in simulated cycles. Telemetry runs are forced
+serial and capture nothing from cache hits — combine with ``--no-cache``
+when you want a full capture.
+
+The ``telemetry`` subcommand runs a *single* benchmark with full
+telemetry plus an event log, exports all three formats, and can merge
+the event stream with the interval series into a chronological
+trace dump (``--trace-dump``).
 """
 
 from __future__ import annotations
@@ -29,15 +45,116 @@ from repro.harness.runcache import RunCache
 from repro.harness.runlog import RunLog
 
 
+def _telemetry_command(argv) -> int:
+    """``python -m repro.harness telemetry <benchmark> [...]``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness telemetry",
+        description="Run one benchmark fully instrumented and export the "
+                    "telemetry (JSON + CSV + Prometheus, optional trace "
+                    "dump).",
+    )
+    parser.add_argument("benchmark", help="workload name (e.g. barnes)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="run the broadcast baseline instead of CGCT")
+    parser.add_argument("--ops", type=int, default=20_000,
+                        help="memory operations per processor (default 20000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="perturbation seed (default 0)")
+    parser.add_argument("--warmup", type=float, default=0.4,
+                        help="warm-up fraction of the trace (default 0.4)")
+    parser.add_argument("--interval", type=int, default=100_000,
+                        help="sampling window in simulated cycles "
+                             "(default 100000, the Figure 10 window)")
+    parser.add_argument("--out", metavar="DIR", default="telemetry-out",
+                        help="export directory (default telemetry-out)")
+    parser.add_argument("--trace-dump", metavar="PATH", default=None,
+                        help="also write the merged event/interval stream "
+                             "to PATH as JSON-lines")
+    parser.add_argument("--events", type=int, default=65_536,
+                        help="event-log ring capacity (default 65536)")
+    parser.add_argument("--tail", type=int, default=0,
+                        help="print the last N trace records to stdout")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append the wall-clock profile to PATH")
+    args = parser.parse_args(argv)
+
+    from pathlib import Path
+
+    from repro.system.config import SystemConfig
+    from repro.system.eventlog import EventLog
+    from repro.system.simulator import Simulator
+    from repro.telemetry import Profiler, TelemetryRegistry
+    from repro.telemetry import export as tele_export
+    from repro.telemetry import tracedump
+    from repro.workloads.benchmarks import build_benchmark
+
+    profiler = Profiler()
+    registry = TelemetryRegistry(interval=args.interval)
+    event_log = EventLog(capacity=args.events).register(registry)
+    config = (
+        SystemConfig.paper_baseline() if args.baseline
+        else SystemConfig.paper_cgct()
+    )
+    with profiler.phase("trace"):
+        workload = build_benchmark(
+            args.benchmark, num_processors=config.num_processors,
+            ops_per_processor=args.ops, seed=0,
+        )
+    simulator = Simulator(config, seed=args.seed, telemetry=registry)
+    with profiler.phase("simulate"):
+        result = simulator.run(workload, warmup_fraction=args.warmup)
+    profiler.count_events(
+        result.l1_hits + result.l2_hits + result.stats.total_external,
+        phase="simulate",
+    )
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    with profiler.phase("export"):
+        tele_export.save_json(registry, out / "telemetry.json")
+        tele_export.save_csv(registry, out / "telemetry.csv")
+        tele_export.save_prometheus(registry, out / "telemetry.prom")
+        dumped = None
+        if args.trace_dump:
+            dumped = tracedump.save_trace_dump(
+                registry, event_log, args.trace_dump
+            )
+
+    mode = "baseline" if args.baseline else "cgct"
+    print(f"[{args.benchmark}/{mode}: {result.cycles} cycles, "
+          f"{result.stats.total_external} external requests, "
+          f"{result.stats.total_broadcasts} broadcasts]")
+    matrix = registry.get("rca.transitions")
+    if matrix is not None and matrix.total:
+        print(f"[rca transitions: {matrix.total} recorded across "
+              f"{matrix.coverage()} distinct (from, event, to) cells]")
+    print(f"[telemetry written to {out}/telemetry.{{json,csv,prom}}]")
+    if dumped is not None:
+        print(f"[{dumped} trace records written to {args.trace_dump}]")
+    if args.tail:
+        print(tracedump.render(registry, event_log, limit=args.tail))
+    print(profiler.render())
+    if args.runlog:
+        with RunLog(args.runlog) as runlog:
+            profiler.emit(runlog, command="telemetry",
+                          benchmark=args.benchmark, mode=mode)
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "telemetry":
+        return _telemetry_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "experiments", nargs="+",
-        help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'",
+        help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
+             "or the 'telemetry' subcommand (see --help of "
+             "'python -m repro.harness telemetry')",
     )
     parser.add_argument("--ops", type=int, default=60_000,
                         help="memory operations per processor (default 60000)")
@@ -59,6 +176,18 @@ def main(argv=None) -> int:
                         help="bypass the on-disk result cache entirely")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append per-simulation JSON-lines records to PATH")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="instrument every executed simulation and "
+                             "export the merged metrics (forces serial; "
+                             "cache hits capture nothing — consider "
+                             "--no-cache)")
+    parser.add_argument("--interval", type=int, default=100_000,
+                        help="telemetry sampling window in simulated cycles "
+                             "(default 100000)")
+    parser.add_argument("--telemetry-dir", metavar="DIR",
+                        default="telemetry-out",
+                        help="telemetry export directory "
+                             "(default telemetry-out)")
     parser.add_argument("--json", metavar="PATH", default=None,
                         help="also write all results to PATH as JSON")
     parser.add_argument("--markdown", metavar="PATH", default=None,
@@ -83,9 +212,20 @@ def main(argv=None) -> int:
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     disk = None if args.no_cache else DiskCache(args.cache_dir)
     cache = RunCache(disk=disk)
+    profiler = None
+    if args.telemetry:
+        from repro.telemetry import Profiler, TelemetryRegistry
+
+        cache.telemetry_factory = (
+            lambda: TelemetryRegistry(interval=args.interval)
+        )
+        profiler = Profiler()
+        if args.workers > 1:
+            print("[--telemetry runs serially: worker processes cannot "
+                  "hand registries back]")
     runlog = RunLog(args.runlog) if args.runlog else None
     try:
-        if args.workers > 1 or runlog is not None:
+        if (args.workers > 1 or runlog is not None) and not args.telemetry:
             # Execute the whole grid up-front (in parallel when asked);
             # the per-experiment rendering below then runs from cache.
             warm_cache(wanted, options, cache, workers=args.workers,
@@ -93,10 +233,24 @@ def main(argv=None) -> int:
         results = []
         for experiment_id in wanted:
             started = time.time()
-            result = run_experiment(experiment_id, options, cache)
+            captured_before = len(cache.telemetry_registries)
+            if profiler is not None:
+                with profiler.phase(experiment_id):
+                    result = run_experiment(experiment_id, options, cache)
+                events = sum(
+                    registry.get("stats.external_requests").total
+                    for registry in
+                    cache.telemetry_registries[captured_before:]
+                    if registry.get("stats.external_requests") is not None
+                )
+                profiler.count_events(int(events), phase=experiment_id)
+            else:
+                result = run_experiment(experiment_id, options, cache)
             results.append(result)
             print(result.render())
             print(f"[{experiment_id} finished in {time.time() - started:.1f}s]\n")
+        if profiler is not None:
+            _export_telemetry(cache, args, profiler, runlog)
     finally:
         if runlog is not None:
             runlog.close()
@@ -111,6 +265,28 @@ def main(argv=None) -> int:
         save_results_markdown(results, args.markdown)
         print(f"[results written to {args.markdown}]")
     return 0
+
+
+def _export_telemetry(cache, args, profiler, runlog) -> None:
+    """Merge per-run registries; write JSON/CSV/Prometheus + profile."""
+    from pathlib import Path
+
+    from repro.telemetry import TelemetryRegistry
+    from repro.telemetry import export as tele_export
+
+    merged = TelemetryRegistry(interval=args.interval)
+    for registry in cache.telemetry_registries:
+        merged.merge_from(registry)
+    out = Path(args.telemetry_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    tele_export.save_json(merged, out / "telemetry.json")
+    tele_export.save_csv(merged, out / "telemetry.csv")
+    tele_export.save_prometheus(merged, out / "telemetry.prom")
+    print(f"[telemetry from {len(cache.telemetry_registries)} simulated "
+          f"runs written to {out}/telemetry.{{json,csv,prom}}]")
+    print(profiler.render())
+    profiler.emit(runlog, command="experiments",
+                  simulated_runs=len(cache.telemetry_registries))
 
 
 if __name__ == "__main__":

@@ -56,12 +56,27 @@ def config_key(config: SystemConfig) -> Tuple:
 
 
 class RunCache:
-    """Caches traces and completed runs, optionally backed by disk."""
+    """Caches traces and completed runs, optionally backed by disk.
 
-    def __init__(self, disk: Optional[DiskCache] = None) -> None:
+    ``telemetry_factory`` (a zero-argument callable returning a
+    :class:`~repro.telemetry.registry.TelemetryRegistry`) instruments
+    every simulation this cache actually *executes*; the populated
+    registries accumulate in :attr:`telemetry_registries` for the caller
+    to merge and export. Cache hits — in-memory or disk — skip the
+    simulator and therefore capture no telemetry, so telemetry-gathering
+    invocations should bypass the disk store (``--no-cache``).
+    """
+
+    def __init__(
+        self,
+        disk: Optional[DiskCache] = None,
+        telemetry_factory=None,
+    ) -> None:
         self._traces: Dict[Tuple, MultiTrace] = {}
         self._runs: Dict[Tuple, RunResult] = {}
         self.disk = disk
+        self.telemetry_factory = telemetry_factory
+        self.telemetry_registries: list = []
 
     def trace(
         self, benchmark: str, ops_per_processor: int, seed: int = 0,
@@ -108,10 +123,16 @@ class RunCache:
                     benchmark, ops_per_processor, t_seed,
                     num_processors=config.num_processors,
                 )
+                telemetry = None
+                if self.telemetry_factory is not None:
+                    telemetry = self.telemetry_factory()
                 result = run_workload(
                     config, workload, seed=seed,
                     warmup_fraction=warmup_fraction,
+                    telemetry=telemetry,
                 )
+                if telemetry is not None:
+                    self.telemetry_registries.append(telemetry)
                 if self.disk is not None:
                     self.disk.store(disk_key, result, metadata={
                         "benchmark": benchmark,

@@ -116,11 +116,15 @@ class ConfigSweep:
         processes (bit-identical records, see
         :mod:`repro.harness.parallel`); ``runlog`` appends per-cell
         observability records either way. A disk-backed *cache* makes
-        repeated sweeps only execute changed cells.
+        repeated sweeps only execute changed cells. A cache carrying a
+        ``telemetry_factory`` instruments every simulated cell; such
+        sweeps run in-process (the parallel warm-up is skipped — worker
+        processes cannot hand their registries back).
         """
         cache = cache if cache is not None else RunCache()
         workloads = list(workloads)
-        if workers > 1 or runlog is not None:
+        if (workers > 1 or runlog is not None) and \
+                cache.telemetry_factory is None:
             self._warm(workloads, ops_per_processor, warmup_fraction, seed,
                        cache, workers, runlog)
         records: List[Dict] = []

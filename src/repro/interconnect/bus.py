@@ -41,6 +41,23 @@ class BroadcastBus:
         self._slot = OccupiedResource(occupancy_cycles, name="address-bus")
         self.traffic = IntervalCounter(window)
         self.broadcasts = 0
+        self._telemetry_queue_delay = None
+
+    def attach_telemetry(self, registry) -> None:
+        """Register bus occupancy metrics with a telemetry registry.
+
+        Adds interval probes over the cumulative broadcast and queuing
+        counters plus a per-broadcast queue-delay histogram; the
+        histogram is the only addition to the broadcast path (one
+        ``is None`` check when telemetry is absent).
+        """
+        self._telemetry_queue_delay = registry.histogram(
+            "bus.queue_delay", help="cycles each broadcast waited for the bus"
+        )
+        registry.add_probe("bus.broadcasts", lambda: self.broadcasts,
+                           help="address-bus broadcasts per interval")
+        registry.add_probe("bus.queued_cycles", lambda: self.queued_cycles,
+                           help="bus arbitration queuing cycles per interval")
 
     def broadcast(self, now: int) -> int:
         """Arbitrate for the bus at cycle *now*; return the grant time.
@@ -51,6 +68,8 @@ class BroadcastBus:
         grant = self._slot.acquire(now)
         self.broadcasts += 1
         self.traffic.record(grant)
+        if self._telemetry_queue_delay is not None:
+            self._telemetry_queue_delay.observe(grant - now)
         return grant
 
     def queue_delay(self, now: int) -> int:

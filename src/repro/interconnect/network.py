@@ -95,6 +95,19 @@ class DataNetwork:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def attach_telemetry(self, registry) -> None:
+        """Register data-network occupancy probes with a registry.
+
+        Probe-based only: the transfer hot path is untouched; the
+        registry samples the cumulative counters every interval.
+        """
+        registry.add_probe("network.transfers", lambda: self.transfers,
+                           help="data-network line transfers per interval")
+        registry.add_probe(
+            "network.queued_cycles", lambda: self.total_queued_cycles(),
+            help="cycles transfers spent queued on busy links per interval",
+        )
+
     def processor_utilization(self, processor: int, horizon: int) -> float:
         """Link utilisation for one processor over the horizon."""
         return self.processor_links[processor].utilization(horizon)

@@ -101,6 +101,7 @@ class RegionCoherenceArray:
         #: line_count at eviction → occurrences (Section 3.2 reports
         #: 65.1 % / 17.2 % / 5.1 % for counts 0 / 1 / 2 with 512 B regions).
         self.eviction_line_counts: Counter = Counter()
+        self._telemetry_eviction_hist = None
 
     # ------------------------------------------------------------------
     # Indexing
@@ -186,6 +187,8 @@ class RegionCoherenceArray:
         Section 3.2 histogram reflects how full victims were when chosen.
         """
         self.eviction_line_counts[line_count] += 1
+        if self._telemetry_eviction_hist is not None:
+            self._telemetry_eviction_hist.observe(line_count)
 
     def insert(self, region: int, state: RegionState, home_mc: int) -> RegionEntry:
         """Install a new region entry (a way must be free)."""
@@ -247,6 +250,27 @@ class RegionCoherenceArray:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def attach_telemetry(self, registry) -> None:
+        """Register this array's churn metrics with a telemetry registry.
+
+        Adds per-array interval probes over the cumulative counters and
+        routes eviction line counts into the machine-wide
+        ``rca.eviction_line_count`` histogram (the Section 3.2 quantity).
+        The histogram observe is the only addition to any hot path (one
+        ``is None`` check when telemetry is absent).
+        """
+        self._telemetry_eviction_hist = registry.histogram(
+            "rca.eviction_line_count",
+            help="cached lines held by RCA replacement victims",
+            bounds=tuple(range(self.geometry.lines_per_region + 1)),
+        )
+        for counter in ("hits", "misses", "allocations", "evictions",
+                        "self_invalidations"):
+            registry.add_probe(
+                f"rca.{self.name}.{counter}",
+                lambda c=counter: getattr(self, c),
+            )
+
     def entries(self):
         """Yield every resident :class:`RegionEntry`."""
         for _set_index, _tag, entry in self._array:

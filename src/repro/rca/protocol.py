@@ -30,7 +30,7 @@ protocol variants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.coherence.line_states import LineState
@@ -64,6 +64,14 @@ class RegionProtocol:
 
     two_bit: bool = True
     self_invalidation: bool = True
+    #: Optional :class:`~repro.telemetry.registry.TransitionMatrix`; when
+    #: set (see ``Machine.attach_telemetry``), every local and external
+    #: transition the protocol computes is counted — BedRock-style
+    #: coverage of the Figure 3–5 tables. Excluded from equality/hash so
+    #: instrumented and plain protocols still compare equal.
+    transitions: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     # ------------------------------------------------------------------
     # Local requests (Figures 3 and 4)
@@ -98,6 +106,19 @@ class RegionProtocol:
             with no region entry — the upgraded line's residency implies
             a region entry exists).
         """
+        new_state = self._after_local_request(state, request, fill_state,
+                                              response)
+        if self.transitions is not None:
+            self.transitions.record(state, f"local.{request.value}", new_state)
+        return new_state
+
+    def _after_local_request(
+        self,
+        state: RegionState,
+        request: RequestType,
+        fill_state: LineState,
+        response: Optional[RegionSnoopResponse],
+    ) -> RegionState:
         if response is not None and not self.two_bit:
             response = response.collapsed()
 
@@ -207,6 +228,21 @@ class RegionProtocol:
             cache the line ourselves (Section 3.1); ``None`` means
             unknown, which degrades conservatively to "dirty".
         """
+        new_state = self._after_external_request(
+            state, request, requestor_fills_exclusive
+        )
+        if self.transitions is not None:
+            self.transitions.record(
+                state, f"external.{request.value}", new_state
+            )
+        return new_state
+
+    def _after_external_request(
+        self,
+        state: RegionState,
+        request: RequestType,
+        requestor_fills_exclusive: Optional[bool] = None,
+    ) -> RegionState:
         if state is RegionState.INVALID:
             return state
 

@@ -6,6 +6,15 @@ it cost. Intended for debugging protocol behaviour and for teaching
 (``examples/protocol_walkthrough.py`` uses region-state dumps; the event
 log gives the request-by-request view). Logging is off unless attached,
 so the simulator's hot path pays one ``is None`` check.
+
+The log is an ordinary **telemetry event sink**: its :meth:`~EventLog.record`
+signature is the sink protocol the
+:class:`~repro.telemetry.registry.TelemetryRegistry` fans events out to,
+so ``log.register(registry)`` wires it into a telemetry-enabled run and
+:func:`repro.telemetry.tracedump.merged_records` interleaves its events
+with the registry's interval series. The legacy
+``machine.attach_event_log(log)`` attachment keeps working and the two
+paths deduplicate — a log attached both ways sees each event once.
 """
 
 from __future__ import annotations
@@ -55,8 +64,17 @@ class EventLog:
         self.recorded = 0
 
     # ------------------------------------------------------------------
-    # Recording (called by the machine)
+    # Recording (called by the machine / telemetry registry)
     # ------------------------------------------------------------------
+    def register(self, registry) -> "EventLog":
+        """Register this log as an event sink on a telemetry registry.
+
+        Returns the log so attachment chains:
+        ``log = EventLog().register(registry)``.
+        """
+        registry.add_event_sink(self)
+        return self
+
     def record(
         self,
         time: int,

@@ -28,6 +28,7 @@ write-backs, instruction fetches, and DCB operations.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import random
 from collections import Counter
@@ -212,6 +213,12 @@ class Machine:
         self.c2c_transfers = 0
         #: Optional coherence event log (see attach_event_log).
         self.event_log = None
+        #: Optional telemetry registry (see attach_telemetry).
+        self.telemetry = None
+        self._tel_event_metrics: Dict = {}
+        self._tel_demand_hist = None
+        self._tel_wb_direct = None
+        self._tel_wb_broadcast = None
 
     # ------------------------------------------------------------------
     # Processor-facing operations
@@ -224,6 +231,8 @@ class Machine:
             return self.latency.l1_hit_cycles
         latency = self._l2_data_access(proc, address, now, is_store=False)
         self.demand_latency.add(latency)
+        if self._tel_demand_hist is not None:
+            self._tel_demand_hist.observe(latency)
         return latency
 
     def store(self, proc: int, address: int, now: int) -> int:
@@ -234,6 +243,8 @@ class Machine:
             return self.latency.l1_hit_cycles
         latency = self._l2_data_access(proc, address, now, is_store=True)
         self.demand_latency.add(latency)
+        if self._tel_demand_hist is not None:
+            self._tel_demand_hist.observe(latency)
         return max(
             self.latency.l1_hit_cycles,
             int(latency * self.config.timing.store_stall_fraction),
@@ -257,6 +268,8 @@ class Machine:
             )
             latency = self.latency.l2_hit_cycles + outcome.latency
         self.demand_latency.add(latency)
+        if self._tel_demand_hist is not None:
+            self._tel_demand_hist.observe(latency)
         return latency
 
     def dcbz(self, proc: int, address: int, now: int) -> int:
@@ -800,6 +813,10 @@ class Machine:
         if not self.config.two_bit_response:
             combined = combined.collapsed()
         state = RegionState.from_parts(LocalPart.CLEAN, combined.external_part)
+        if node.protocol.transitions is not None:
+            node.protocol.transitions.record(
+                RegionState.INVALID, "region_prefetch", state
+            )
         node.rca.insert(region, state, self.address_map.home_of_region(region))
         self.region_prefetches += 1
 
@@ -905,6 +922,8 @@ class Machine:
             start = self.network.acquire_controller_link(writeback.home_mc, arrive)
             self.controllers[writeback.home_mc].write_back(start)
             self.stats.directs[OracleCategory.WRITEBACK] += 1
+            if self._tel_wb_direct is not None:
+                self._tel_wb_direct.inc()
             return
         grant = self.bus.broadcast(now)
         snoop_done = grant + self.latency.snoop_cycles
@@ -913,6 +932,8 @@ class Machine:
         self.controllers[home].write_back(start)
         self.stats.broadcasts[OracleCategory.WRITEBACK] += 1
         self.stats.unnecessary_broadcasts[OracleCategory.WRITEBACK] += 1
+        if self._tel_wb_broadcast is not None:
+            self._tel_wb_broadcast.inc()
 
     # ------------------------------------------------------------------
     # Observability
@@ -921,13 +942,177 @@ class Machine:
         """Record every resolved external request into *log*.
 
         Pass an :class:`repro.system.eventlog.EventLog`; pass ``None``
-        to detach.
+        to detach. With telemetry attached, the same stream also reaches
+        every registered event sink (``registry.add_event_sink``); a log
+        registered both ways receives each event once.
         """
         self.event_log = log
 
+    def attach_telemetry(self, registry) -> None:
+        """Instrument the whole machine with a telemetry registry.
+
+        Wires up, across every layer:
+
+        * per-processor request-mix and per-path counters plus per-path
+          latency histograms, fed from the external-request funnel
+          (:meth:`_log_event`);
+        * the RCA region-state transition matrix (``rca.transitions``),
+          recorded by the region protocol, region snoops, evictions and
+          region-state prefetches;
+        * region eviction churn (``rca.eviction_line_count`` histogram
+          and per-array probes);
+        * bus and data-network occupancy (probes + queue-delay
+          histogram);
+        * per-cache hit/miss/eviction probes;
+        * interval probes over the Figure 2/7/10 aggregate counters, so
+          their interval series reconcile exactly with end-of-run stats;
+        * end-of-run gauges (bus utilisation, RCA mean line count,
+          demand latency mean), set when the registry finalises.
+
+        Pass ``None`` to detach. A machine without telemetry pays one
+        ``is None`` check per instrumented site, like the event log.
+        """
+        self.telemetry = registry
+        self._tel_event_metrics = {}
+        if registry is None:
+            self._tel_demand_hist = None
+            self._tel_wb_direct = None
+            self._tel_wb_broadcast = None
+            self.bus._telemetry_queue_delay = None
+            for node in self.nodes:
+                node.protocol = dataclasses.replace(
+                    node.protocol, transitions=None
+                )
+                if node.rca is not None:
+                    node.rca._telemetry_eviction_hist = None
+            return
+
+        self._tel_demand_hist = registry.histogram(
+            "machine.latency.demand",
+            help="demand load/store/ifetch latency beyond the L1",
+        )
+        self._tel_wb_direct = registry.counter(
+            "machine.writebacks.direct",
+            help="castouts routed point-to-point via the region's home MC",
+        )
+        self._tel_wb_broadcast = registry.counter(
+            "machine.writebacks.broadcast",
+            help="castouts broadcast for lack of routing information",
+        )
+        self.bus.attach_telemetry(registry)
+        self.network.attach_telemetry(registry)
+        transitions = registry.transition_matrix(
+            "rca.transitions",
+            help="region-state transitions: (from, event, to) coverage",
+        )
+        for node in self.nodes:
+            node.protocol = dataclasses.replace(
+                node.protocol, transitions=transitions
+            )
+            node.l1i.attach_telemetry(registry)
+            node.l1d.attach_telemetry(registry)
+            node.l2.attach_telemetry(registry)
+            if node.rca is not None:
+                node.rca.attach_telemetry(registry)
+
+        # Figure 2/7/10 aggregates as interval probes: each series records
+        # the per-window delta of its cumulative source, so series totals
+        # reconcile exactly with the end-of-run statistics.
+        registry.add_probe(
+            "stats.external_requests", lambda: self.stats.total_external,
+            help="external requests per interval, however routed",
+        )
+        registry.add_probe(
+            "stats.broadcasts", lambda: self.stats.total_broadcasts,
+            help="external requests that went over the address bus",
+        )
+        registry.add_probe(
+            "stats.directs", lambda: self.stats.total_directs,
+            help="external requests sent point-to-point",
+        )
+        registry.add_probe(
+            "stats.no_requests", lambda: self.stats.total_no_requests,
+            help="requests completed with no external message",
+        )
+        registry.add_probe(
+            "stats.unnecessary_broadcasts",
+            lambda: self.stats.total_unnecessary,
+            help="broadcasts the Figure 2 oracle says were avoidable",
+        )
+        registry.add_probe(
+            "stats.avoided", lambda: self.stats.total_avoided,
+            help="broadcasts avoided (Figure 7 numerator)",
+        )
+        registry.add_probe("machine.l1_hits", lambda: self.l1_hits)
+        registry.add_probe("machine.l2_hits", lambda: self.l2_hits)
+        registry.add_probe("machine.c2c_transfers",
+                           lambda: self.c2c_transfers)
+        if self.config.cgct_enabled:
+            for counter in ("allocations", "evictions",
+                            "self_invalidations"):
+                registry.add_probe(
+                    f"rca.{counter}",
+                    lambda c=counter: sum(
+                        getattr(n.rca, c) for n in self.nodes
+                    ),
+                    help=f"RCA {counter} per interval, summed over nodes",
+                )
+
+        bus_utilization = registry.gauge(
+            "bus.utilization", help="address-bus busy fraction over the run"
+        )
+        demand_mean = registry.gauge(
+            "machine.demand_latency_mean",
+            help="mean demand latency beyond the L1",
+        )
+        rca_mean = None
+        if self.config.cgct_enabled:
+            rca_mean = registry.gauge(
+                "rca.mean_line_count",
+                help="mean cached lines per tracked region (Section 5.2)",
+            )
+
+        def set_final_gauges(end_time: int) -> None:
+            if end_time > 0:
+                bus_utilization.set(self.bus.utilization(end_time))
+            demand_mean.set(self.demand_latency.mean)
+            if rca_mean is not None:
+                counts = [n.rca.mean_line_count() for n in self.nodes]
+                rca_mean.set(sum(counts) / len(counts))
+
+        registry.add_finalizer(set_final_gauges)
+
     def _log_event(self, now, proc, request, path, address, latency) -> None:
-        if self.event_log is not None:
-            self.event_log.record(now, proc, request, address, path.value, latency)
+        log = self.event_log
+        if log is not None:
+            log.record(now, proc, request, address, path.value, latency)
+        tel = self.telemetry
+        if tel is None:
+            return
+        key = (proc, request, path)
+        metrics = self._tel_event_metrics.get(key)
+        if metrics is None:
+            metrics = self._tel_event_metrics[key] = (
+                tel.counter(
+                    f"machine.p{proc}.requests.{request.value}.{path.value}",
+                    help="per-processor request mix by routing path",
+                ),
+                tel.counter(
+                    f"machine.paths.{path.value}",
+                    help="external requests resolved via this path",
+                ),
+                tel.histogram(
+                    f"machine.latency.{path.value}",
+                    help="external latency of requests taking this path",
+                ),
+            )
+        mix_counter, path_counter, latency_hist = metrics
+        mix_counter.inc()
+        path_counter.inc()
+        latency_hist.observe(latency)
+        for sink in tel.event_sinks:
+            if sink is not log:
+                sink.record(now, proc, request, address, path.value, latency)
 
     # ------------------------------------------------------------------
     # Run-level metrics
@@ -969,6 +1154,11 @@ class Machine:
             node.l2.reset_stats()
             if node.rca is not None:
                 node.rca.reset_stats()
+        if self.telemetry is not None:
+            # Zero every metric and rebaseline every probe against the
+            # freshly-zeroed sources, so post-warmup interval series
+            # reconcile with the measured-portion aggregates.
+            self.telemetry.reset()
 
     def check_coherence_invariants(self) -> None:
         """Global single-writer/multiple-reader check (tests/debugging)."""

@@ -109,12 +109,24 @@ class RunResult:
 
 
 class Simulator:
-    """Builds a machine and replays a multiprocessor trace on it."""
+    """Builds a machine and replays a multiprocessor trace on it.
 
-    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+    ``telemetry`` (a
+    :class:`~repro.telemetry.registry.TelemetryRegistry`) instruments the
+    machine end-to-end and is sampled at every interval boundary as
+    simulated time advances. Telemetry only records — the simulated
+    machine's behaviour and results are bit-identical with or without it.
+    """
+
+    def __init__(
+        self, config: SystemConfig, seed: int = 0, telemetry=None
+    ) -> None:
         self.config = config
         self.seed = seed
+        self.telemetry = telemetry
         self.machine = Machine(config, seed=seed)
+        if telemetry is not None:
+            self.machine.attach_telemetry(telemetry)
 
     def run(
         self,
@@ -150,6 +162,11 @@ class Simulator:
             self._run_until(processors, targets)
             self.machine.reset_stats()
             measure_from = max(p.clock for p in processors)
+            if self.telemetry is not None:
+                # reset_stats already zeroed/rebaselined the metrics;
+                # align the next interval sample past the warmup clock so
+                # the measured portion starts on a clean boundary.
+                self.telemetry.restart_sampling(measure_from)
             for p in processors:
                 p.stall_cycles = 0
                 p.gap_cycles = 0
@@ -157,14 +174,31 @@ class Simulator:
         self._run_until(processors, [len(p.trace) for p in processors])
         return self._collect(workload.name, processors, start_clocks, measure_from)
 
-    @staticmethod
-    def _run_until(processors: List[TraceProcessor], targets: List[int]) -> None:
+    def _run_until(
+        self, processors: List[TraceProcessor], targets: List[int]
+    ) -> None:
         """Step processors in timestamp order until each reaches its target."""
+        telemetry = self.telemetry
         active = [p for p in processors if p.index < targets[p.proc_id]]
+        if telemetry is None:
+            while active:
+                # Earliest next issue time goes first; ties break by ID,
+                # which keeps runs deterministic.
+                soonest = min(active, key=lambda p: p.next_time)
+                soonest.step()
+                if soonest.done or soonest.index >= targets[soonest.proc_id]:
+                    active.remove(soonest)
+            return
+        # Telemetry variant: identical stepping (telemetry must never
+        # perturb the simulation), plus interval sampling. Issue times
+        # are non-decreasing, so sampling when the next issue crosses a
+        # boundary captures exactly the events of the closed window.
+        next_sample = telemetry.next_sample_time
         while active:
-            # Earliest next issue time goes first; ties break by ID, which
-            # keeps runs deterministic.
             soonest = min(active, key=lambda p: p.next_time)
+            if soonest.next_time >= next_sample:
+                telemetry.maybe_sample(soonest.next_time)
+                next_sample = telemetry.next_sample_time
             soonest.step()
             if soonest.done or soonest.index >= targets[soonest.proc_id]:
                 active.remove(soonest)
@@ -201,6 +235,11 @@ class Simulator:
             rca_self_inv = sum(n.rca.self_invalidations for n in machine.nodes)
             rca_allocs = sum(n.rca.allocations for n in machine.nodes)
         end_time = max(p.clock for p in processors) if processors else 0
+        if self.telemetry is not None:
+            # Flush the trailing partial interval and set the end-of-run
+            # gauges. The registry is NOT part of the (picklable,
+            # cacheable) RunResult; callers keep their own reference.
+            self.telemetry.finalize(end_time)
         return RunResult(
             workload=name,
             config=self.config,
@@ -234,6 +273,9 @@ def run_workload(
     workload: MultiTrace,
     seed: int = 0,
     warmup_fraction: float = 0.0,
+    telemetry=None,
 ) -> RunResult:
     """One-shot convenience: build a simulator, run, return the result."""
-    return Simulator(config, seed=seed).run(workload, warmup_fraction=warmup_fraction)
+    return Simulator(config, seed=seed, telemetry=telemetry).run(
+        workload, warmup_fraction=warmup_fraction
+    )

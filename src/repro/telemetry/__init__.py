@@ -1,0 +1,32 @@
+"""Simulator-wide metrics, tracing, and profiling.
+
+See :mod:`repro.telemetry.registry` for the primitives and the
+registry, :mod:`repro.telemetry.export` for the JSON/CSV/Prometheus
+exporters, :mod:`repro.telemetry.profile` for wall-clock profiling, and
+:mod:`repro.telemetry.tracedump` for the merged event/interval trace.
+``docs/telemetry.md`` has the metric catalogue.
+"""
+
+from repro.telemetry.registry import (
+    DEFAULT_BUCKET_BOUNDS,
+    DEFAULT_INTERVAL,
+    Counter,
+    Gauge,
+    Histogram,
+    IntervalSeries,
+    TelemetryRegistry,
+    TransitionMatrix,
+)
+from repro.telemetry.profile import Profiler
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "IntervalSeries",
+    "TransitionMatrix",
+    "TelemetryRegistry",
+    "Profiler",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_INTERVAL",
+]

@@ -1,0 +1,123 @@
+"""Wall-clock profiling for harness runs.
+
+Simulated-cycle telemetry says what the machine model did; this module
+says where the *host* time went. A :class:`Profiler` times named phases
+(`with profiler.phase("simulate"):`), tracks a throughput denominator
+(events processed) so it can report events/sec, and renders either a
+plain dictionary — which :meth:`emit` appends to a
+:class:`~repro.harness.runlog.RunLog` as a ``"profile"`` record — or a
+human-readable table.
+
+Phases nest: timing ``render`` inside ``experiment`` attributes the
+inner span to both. Re-entering the same phase accumulates.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+
+class PhaseTiming:
+    """Accumulated wall time for one named phase."""
+
+    __slots__ = ("name", "seconds", "entries", "events")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.seconds = 0.0
+        self.entries = 0
+        self.events = 0
+
+    def events_per_second(self) -> float:
+        """Throughput over this phase (0 when untimed or eventless)."""
+        if self.seconds <= 0.0 or self.events == 0:
+            return 0.0
+        return self.events / self.seconds
+
+    def to_dict(self) -> Dict:
+        out = {
+            "seconds": round(self.seconds, 6),
+            "entries": self.entries,
+        }
+        if self.events:
+            out["events"] = self.events
+            out["events_per_sec"] = round(self.events_per_second(), 1)
+        return out
+
+
+class Profiler:
+    """Per-phase wall-clock timing with events/sec throughput.
+
+    ``clock`` is injectable for tests; it defaults to
+    :func:`time.perf_counter`.
+    """
+
+    def __init__(self, clock=None) -> None:
+        self._clock = clock or time.perf_counter
+        self._phases: Dict[str, PhaseTiming] = {}
+        self._stack: List[str] = []
+        self._started = self._clock()
+
+    @contextmanager
+    def phase(self, name: str):
+        """Time a phase; nested phases accumulate independently."""
+        timing = self._phases.get(name)
+        if timing is None:
+            timing = self._phases[name] = PhaseTiming(name)
+        self._stack.append(name)
+        start = self._clock()
+        try:
+            yield timing
+        finally:
+            timing.seconds += self._clock() - start
+            timing.entries += 1
+            self._stack.pop()
+
+    def count_events(self, n: int, phase: Optional[str] = None) -> None:
+        """Attribute *n* processed events to *phase* (default: current)."""
+        name = phase if phase is not None else (
+            self._stack[-1] if self._stack else "total"
+        )
+        timing = self._phases.get(name)
+        if timing is None:
+            timing = self._phases[name] = PhaseTiming(name)
+        timing.events += n
+
+    def elapsed(self) -> float:
+        """Wall seconds since the profiler was created."""
+        return self._clock() - self._started
+
+    def phases(self) -> List[PhaseTiming]:
+        """All phases in first-entered order."""
+        return list(self._phases.values())
+
+    def to_dict(self) -> Dict:
+        return {
+            "elapsed_s": round(self.elapsed(), 6),
+            "phases": {name: t.to_dict() for name, t in self._phases.items()},
+        }
+
+    def emit(self, runlog, **extra) -> Optional[Dict]:
+        """Append a ``"profile"`` record to *runlog* (no-op when None)."""
+        if runlog is None:
+            return None
+        payload = self.to_dict()
+        payload.update(extra)
+        return runlog.record("profile", **payload)
+
+    def render(self) -> str:
+        """Human-readable per-phase table."""
+        lines = [f"{'phase':<24} {'wall s':>10} {'entries':>8} {'events/s':>12}"]
+        for timing in self._phases.values():
+            rate = timing.events_per_second()
+            lines.append(
+                f"{timing.name:<24} {timing.seconds:>10.3f} "
+                f"{timing.entries:>8} "
+                f"{rate:>12.0f}" if rate else
+                f"{timing.name:<24} {timing.seconds:>10.3f} "
+                f"{timing.entries:>8} {'-':>12}"
+            )
+        lines.append(f"{'(total elapsed)':<24} {self.elapsed():>10.3f}")
+        return "\n".join(lines)

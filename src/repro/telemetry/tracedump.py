@@ -1,0 +1,104 @@
+"""Trace-dump mode: merge the event log with interval telemetry.
+
+The :class:`~repro.system.eventlog.EventLog` answers "what happened,
+request by request"; the registry's interval series answer "how much per
+window". This module interleaves the two on the simulated-time axis into
+one chronological stream, so a dump reads like::
+
+    {"kind": "event",    "time": 812,    "processor": 1, "path": "broadcast", ...}
+    {"kind": "interval", "time": 99999,  "series": {"bus.broadcasts": 41.0, ...}}
+    {"kind": "event",    "time": 100362, ...}
+
+Interval records are placed at the *end* of their window (the last cycle
+it covers), after every event inside that window — each interval record
+summarises the events that precede it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, List, Optional
+
+
+def merged_records(registry, event_log) -> List[Dict]:
+    """Chronological event + interval records as plain dictionaries.
+
+    Either source may be ``None`` (or empty); the other is dumped alone.
+    Only the events still held in the log's ring buffer appear — a
+    truncated log yields a truncated event stream, while interval
+    records always cover the whole sampled run.
+    """
+    records: List[Dict] = []
+    if event_log is not None:
+        for event in event_log:
+            records.append({
+                "kind": "event",
+                "time": event.time,
+                "processor": event.processor,
+                "request": event.request.value,
+                "address": event.address,
+                "path": event.path,
+                "latency": event.latency,
+            })
+
+    # Group every interval series by window bucket so each boundary
+    # yields one combined record across all series.
+    by_bucket: Dict[int, Dict[str, float]] = {}
+    window = None
+    if registry is not None:
+        for metric in registry.metrics():
+            if metric.kind != "series":
+                continue
+            window = metric.window if window is None else window
+            for bucket, value in metric.buckets.items():
+                end_time = (bucket + 1) * metric.window - 1
+                by_bucket.setdefault(end_time, {})[metric.name] = value
+    for end_time in sorted(by_bucket):
+        records.append({
+            "kind": "interval",
+            "time": end_time,
+            "series": dict(sorted(by_bucket[end_time].items())),
+        })
+
+    # Stable merge: by time, intervals after events at the same cycle
+    # (an interval summarises everything up to and including its cycle).
+    records.sort(key=lambda r: (r["time"], 0 if r["kind"] == "event" else 1))
+    return records
+
+
+def iter_jsonl(registry, event_log) -> Iterator[str]:
+    """The merged stream as JSON-lines strings (no trailing newline)."""
+    for record in merged_records(registry, event_log):
+        yield json.dumps(record, sort_keys=True)
+
+
+def save_trace_dump(registry, event_log, path) -> int:
+    """Write the merged stream to *path* as JSON-lines; returns #records."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in iter_jsonl(registry, event_log):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def render(registry, event_log, limit: Optional[int] = None) -> str:
+    """Human-readable rendering of the merged stream (for the CLI)."""
+    lines = []
+    records = merged_records(registry, event_log)
+    if limit is not None:
+        records = records[-limit:]
+    for record in records:
+        if record["kind"] == "event":
+            lines.append(
+                f"@{record['time']:<10d} P{record['processor']} "
+                f"{record['request']:<12s} {record['address']:#012x} "
+                f"{record['path']:<10s} {record['latency']} cycles"
+            )
+        else:
+            parts = ", ".join(
+                f"{name}={value:g}" for name, value in record["series"].items()
+            )
+            lines.append(f"@{record['time']:<10d} -- interval: {parts}")
+    return "\n".join(lines)

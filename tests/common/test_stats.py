@@ -115,3 +115,80 @@ class TestRunningStat:
         stat.extend(samples)
         mean = sum(samples) / len(samples)
         assert stat.mean == pytest.approx(mean, abs=1e-6)
+
+
+class TestRunningStatPercentiles:
+    def test_exact_below_sample_limit(self):
+        stat = RunningStat()
+        stat.extend(float(v) for v in range(101))
+        assert stat.percentile(0) == 0.0
+        assert stat.percentile(50) == pytest.approx(50.0)
+        assert stat.percentile(100) == 100.0
+        # Linear interpolation between retained samples.
+        assert stat.percentile(12.5) == pytest.approx(12.5)
+
+    def test_single_sample(self):
+        stat = RunningStat()
+        stat.add(7.0)
+        assert stat.percentile(0) == stat.percentile(99) == 7.0
+
+    def test_out_of_range_p_raises(self):
+        stat = RunningStat()
+        stat.add(1.0)
+        with pytest.raises(ValueError):
+            stat.percentile(-1)
+        with pytest.raises(ValueError):
+            stat.percentile(101)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStat().percentile(50)
+
+    def test_sample_limit_zero_disables_retention(self):
+        stat = RunningStat(sample_limit=0)
+        stat.extend([1.0, 2.0, 3.0])
+        assert stat.mean == pytest.approx(2.0)  # moments unaffected
+        with pytest.raises(ValueError):
+            stat.percentile(50)
+
+    def test_retention_is_bounded_and_deterministic(self):
+        a, b = RunningStat(sample_limit=64), RunningStat(sample_limit=64)
+        values = [float((v * 37) % 1000) for v in range(10_000)]
+        a.extend(values)
+        b.extend(values)
+        assert len(a._samples) <= 64
+        assert a._samples == b._samples
+        assert a.percentile(90) == b.percentile(90)
+        # The strided estimate stays near the true quantile.
+        true_p90 = sorted(values)[int(0.9 * (len(values) - 1))]
+        assert a.percentile(90) == pytest.approx(true_p90, rel=0.15)
+
+    def test_merge_combines_retained_samples(self):
+        left, right = RunningStat(), RunningStat()
+        left.extend([1.0, 2.0, 3.0])
+        right.extend([10.0, 20.0])
+        merged = left.merge(right)
+        assert sorted(merged._samples) == [1.0, 2.0, 3.0, 10.0, 20.0]
+        assert merged.percentile(100) == 20.0
+
+    def test_merge_decimates_back_under_limit(self):
+        left, right = RunningStat(sample_limit=8), RunningStat(sample_limit=8)
+        left.extend(float(v) for v in range(8))
+        right.extend(float(v) for v in range(8))
+        merged = left.merge(right)
+        assert len(merged._samples) <= 8
+        assert merged.count == 16
+
+    def test_merge_moments_unaffected_by_retention(self):
+        left = RunningStat(sample_limit=4)
+        right = RunningStat(sample_limit=4)
+        a = [float(v) for v in range(100)]
+        b = [float(v) for v in range(100, 150)]
+        left.extend(a)
+        right.extend(b)
+        combined = RunningStat()
+        combined.extend(a + b)
+        merged = left.merge(right)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.variance == pytest.approx(combined.variance)

@@ -1,0 +1,127 @@
+"""Wall-clock profiler: phase timing, throughput, runlog emission."""
+
+import pytest
+
+from repro.harness.runlog import RunLog, read_runlog
+from repro.telemetry.profile import Profiler
+
+
+class FakeClock:
+    """Deterministic clock: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+class TestPhases:
+    def test_phase_accumulates_wall_time(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("simulate"):
+            clock.advance(2.0)
+        with profiler.phase("simulate"):
+            clock.advance(3.0)
+        (timing,) = profiler.phases()
+        assert timing.name == "simulate"
+        assert timing.seconds == pytest.approx(5.0)
+        assert timing.entries == 2
+
+    def test_nested_phases_attribute_to_both(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("outer"):
+            clock.advance(1.0)
+            with profiler.phase("inner"):
+                clock.advance(2.0)
+        by_name = {t.name: t for t in profiler.phases()}
+        assert by_name["outer"].seconds == pytest.approx(3.0)
+        assert by_name["inner"].seconds == pytest.approx(2.0)
+
+    def test_elapsed_is_since_construction(self, clock):
+        profiler = Profiler(clock=clock)
+        clock.advance(7.5)
+        assert profiler.elapsed() == pytest.approx(7.5)
+
+
+class TestEvents:
+    def test_count_events_defaults_to_current_phase(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("simulate"):
+            clock.advance(2.0)
+            profiler.count_events(1000)
+        (timing,) = profiler.phases()
+        assert timing.events == 1000
+        assert timing.events_per_second() == pytest.approx(500.0)
+
+    def test_count_events_outside_any_phase_goes_to_total(self, clock):
+        profiler = Profiler(clock=clock)
+        profiler.count_events(5)
+        assert {t.name: t.events for t in profiler.phases()} == {"total": 5}
+
+    def test_explicit_phase_creates_it(self, clock):
+        profiler = Profiler(clock=clock)
+        profiler.count_events(3, phase="export")
+        assert profiler.phases()[0].name == "export"
+
+    def test_zero_seconds_rate_is_zero(self, clock):
+        profiler = Profiler(clock=clock)
+        profiler.count_events(10, phase="p")
+        assert profiler.phases()[0].events_per_second() == 0.0
+
+
+class TestOutput:
+    def test_to_dict_shape(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("simulate"):
+            clock.advance(1.0)
+            profiler.count_events(10)
+        payload = profiler.to_dict()
+        assert payload["elapsed_s"] == pytest.approx(1.0)
+        phase = payload["phases"]["simulate"]
+        assert phase["seconds"] == pytest.approx(1.0)
+        assert phase["entries"] == 1
+        assert phase["events"] == 10
+        assert phase["events_per_sec"] == pytest.approx(10.0)
+
+    def test_eventless_phase_omits_rate_fields(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("idle"):
+            clock.advance(1.0)
+        phase = profiler.to_dict()["phases"]["idle"]
+        assert "events" not in phase and "events_per_sec" not in phase
+
+    def test_render_lists_every_phase(self, clock):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("a"):
+            clock.advance(0.5)
+        with profiler.phase("b"):
+            clock.advance(0.5)
+            profiler.count_events(50)
+        text = profiler.render()
+        assert "a" in text and "b" in text
+        assert "(total elapsed)" in text
+
+    def test_emit_appends_profile_record(self, clock, tmp_path):
+        profiler = Profiler(clock=clock)
+        with profiler.phase("simulate"):
+            clock.advance(1.0)
+        path = tmp_path / "runs.jsonl"
+        with RunLog(path) as runlog:
+            written = profiler.emit(runlog, command="telemetry")
+        assert written["event"] == "profile"
+        (record,) = read_runlog(path)
+        assert record["event"] == "profile"
+        assert record["command"] == "telemetry"
+        assert record["phases"]["simulate"]["entries"] == 1
+
+    def test_emit_without_runlog_is_noop(self, clock):
+        assert Profiler(clock=clock).emit(None) is None
