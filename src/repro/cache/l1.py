@@ -56,6 +56,15 @@ class L1Cache:
             num_sets, ways, name=name
         )
         self.name = name
+        # Hoisted shift/mask constants: the per-access path decodes
+        # addresses with two integer operations and no attribute chains.
+        self._line_shift = geometry._line_bits
+        self._set_mask = num_sets - 1
+        self._tag_shift = num_sets.bit_length() - 1
+        # The per-set dicts, referenced directly: the 1-cycle hit path is
+        # one dict pop/reinsert with no call into the array.
+        self._sets = self._array._sets
+        self._ways = ways
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -65,9 +74,7 @@ class L1Cache:
     # Indexing
     # ------------------------------------------------------------------
     def _index(self, line: int) -> tuple:
-        return line & (self._array.num_sets - 1), line >> (
-            self._array.num_sets.bit_length() - 1
-        )
+        return line & self._set_mask, line >> self._tag_shift
 
     # ------------------------------------------------------------------
     # Processor side
@@ -78,13 +85,17 @@ class L1Cache:
         A write hit requires the MODIFIED state; a SHARED copy counts as a
         miss for writes (the node escalates to the L2/upgrade path).
         """
-        line = self.geometry.line_of(address)
-        set_index, tag = self._index(line)
-        entry = self._array.lookup(set_index, tag)
+        line = address >> self._line_shift
+        entries = self._sets[line & self._set_mask]
+        tag = line >> self._tag_shift
+        entry = entries.pop(tag, None)
         if entry is None:
             self.misses += 1
             return False
+        entries[tag] = entry  # reinsertion makes it MRU
         if write and not entry.state.is_writable:
+            # The LRU touch already happened — a write miss on a SHARED
+            # copy still promotes the line, matching real replacement.
             self.misses += 1
             return False
         self.hits += 1
@@ -105,21 +116,21 @@ class L1Cache:
         data write-back of their own: the modification is already
         reflected in the inclusive L2's state.
         """
-        line = self.geometry.line_of(address)
-        set_index, tag = self._index(line)
+        line = address >> self._line_shift
+        entries = self._sets[line & self._set_mask]
+        tag = line >> self._tag_shift
         state = L1State.MODIFIED if writable else L1State.SHARED
-        existing = self._array.lookup(set_index, tag)
+        existing = entries.pop(tag, None)
         if existing is not None:
+            entries[tag] = existing  # MRU promotion, as on any hit
             existing.state = state
             return None
         evicted_line: Optional[int] = None
-        victim = self._array.victim(set_index)
-        if victim is not None:
-            victim_tag, victim_entry = victim
-            self._array.remove(set_index, victim_tag)
-            evicted_line = victim_entry.line
+        if len(entries) >= self._ways:
+            victim_tag = next(iter(entries))  # LRU-first
+            evicted_line = entries.pop(victim_tag).line
             self.evictions += 1
-        self._array.insert(set_index, tag, _L1Line(line, state))
+        entries[tag] = _L1Line(line, state)
         return evicted_line
 
     def upgrade(self, address: int) -> None:

@@ -72,6 +72,12 @@ class L2Cache:
             num_sets, ways, name=name
         )
         self._set_bits = num_sets.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._line_shift = geometry._line_bits
+        # The per-set dicts, referenced directly: lookup/peek/snoop_probe
+        # run one dict operation instead of a call into the array.
+        self._sets = self._array._sets
+        self._ways = ways
         self.name = name
         self.on_line_allocated = on_line_allocated or (lambda line: None)
         self.on_line_removed = on_line_removed or (lambda line: None)
@@ -89,7 +95,7 @@ class L2Cache:
     # Indexing
     # ------------------------------------------------------------------
     def _index(self, line: int) -> tuple:
-        return line & (self._array.num_sets - 1), line >> self._set_bits
+        return line & self._set_mask, line >> self._set_bits
 
     @property
     def num_sets(self) -> int:
@@ -106,8 +112,15 @@ class L2Cache:
     # ------------------------------------------------------------------
     def lookup(self, address: int, touch: bool = True) -> Optional[L2Line]:
         """Find the resident line containing *address*; counts hit/miss."""
-        set_index, tag = self._index(self.geometry.line_of(address))
-        entry = self._array.lookup(set_index, tag, touch=touch)
+        line = address >> self._line_shift
+        entries = self._sets[line & self._set_mask]
+        tag = line >> self._set_bits
+        if touch:
+            entry = entries.pop(tag, None)
+            if entry is not None:
+                entries[tag] = entry  # reinsertion makes it MRU
+        else:
+            entry = entries.get(tag)
         if entry is None:
             self.misses += 1
         else:
@@ -116,8 +129,7 @@ class L2Cache:
 
     def peek(self, line: int) -> Optional[L2Line]:
         """Look up line number *line* without touching LRU or stats."""
-        set_index, tag = self._index(line)
-        return self._array.lookup(set_index, tag, touch=False)
+        return self._sets[line & self._set_mask].get(line >> self._set_bits)
 
     def fill(self, address: int, state: LineState) -> Optional[EvictedLine]:
         """Install the line containing *address* in *state*.
@@ -128,23 +140,24 @@ class L2Cache:
         """
         if not state.is_valid:
             raise ValueError("cannot fill a line in the INVALID state")
-        line = self.geometry.line_of(address)
-        set_index, tag = self._index(line)
-        existing = self._array.lookup(set_index, tag)
+        line = address >> self._line_shift
+        entries = self._sets[line & self._set_mask]
+        tag = line >> self._set_bits
+        existing = entries.pop(tag, None)
         if existing is not None:
+            entries[tag] = existing  # MRU promotion, as on any hit
             existing.state = state
             return None
         evicted = None
-        victim = self._array.victim(set_index)
-        if victim is not None:
-            victim_tag, victim_entry = victim
-            self._array.remove(set_index, victim_tag)
+        if len(entries) >= self._ways:
+            victim_tag = next(iter(entries))  # LRU-first
+            victim_entry = entries.pop(victim_tag)
             evicted = EvictedLine(victim_entry.line, victim_entry.state)
             self.evictions += 1
-            if evicted.needs_writeback:
+            if victim_entry.state.is_dirty:
                 self.writebacks += 1
             self.on_line_removed(victim_entry.line)
-        self._array.insert(set_index, tag, L2Line(line, state))
+        entries[tag] = L2Line(line, state)
         self.fills += 1
         self.on_line_allocated(line)
         return evicted
@@ -174,7 +187,7 @@ class L2Cache:
     def snoop_probe(self, line: int) -> Optional[L2Line]:
         """Tag probe on behalf of an external request (counts lookups)."""
         self.snoop_probes += 1
-        entry = self.peek(line)
+        entry = self._sets[line & self._set_mask].get(line >> self._set_bits)
         if entry is not None:
             self.snoop_hits += 1
         return entry

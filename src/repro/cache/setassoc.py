@@ -5,6 +5,12 @@ The array stores opaque entries keyed by ``(set_index, tag)``; the caller
 owns the address → (set, tag) decomposition, so the same structure serves
 line-grain and region-grain indexing.
 
+Each set is a plain insertion-ordered ``dict`` in LRU → MRU order:
+promotion is a ``pop`` + reinsert, eviction takes the first key. A plain
+dict beats ``OrderedDict`` on every operation this array performs on the
+simulator's per-access path (lookups — especially misses — inserts and
+removals), which is why it replaced the original ``OrderedDict``.
+
 Replacement is true LRU per set, with an optional *preference predicate*:
 :meth:`victim` first looks for the least-recently-used entry satisfying
 the predicate, falling back to plain LRU. The RCA uses this to prefer
@@ -14,8 +20,7 @@ policy for the RCA can favor regions that contain no cached lines").
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from typing import Callable, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Callable, Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
 
 from repro.common.errors import ConfigurationError
 
@@ -39,9 +44,7 @@ class SetAssociativeArray(Generic[E]):
         self.num_sets = num_sets
         self.ways = ways
         self.name = name
-        self._sets: List["OrderedDict[int, E]"] = [
-            OrderedDict() for _ in range(num_sets)
-        ]
+        self._sets: List[Dict[int, E]] = [{} for _ in range(num_sets)]
 
     # ------------------------------------------------------------------
     # Basic operations
@@ -54,9 +57,11 @@ class SetAssociativeArray(Generic[E]):
         perturb replacement state.
         """
         entries = self._sets[set_index]
-        entry = entries.get(tag)
-        if entry is not None and touch:
-            entries.move_to_end(tag)
+        if not touch:
+            return entries.get(tag)
+        entry = entries.pop(tag, None)
+        if entry is not None:
+            entries[tag] = entry  # reinsertion makes it most recently used
         return entry
 
     def insert(self, set_index: int, tag: int, entry: E) -> None:
@@ -78,13 +83,15 @@ class SetAssociativeArray(Generic[E]):
     def remove(self, set_index: int, tag: int) -> E:
         """Remove and return the entry at ``(set_index, tag)``."""
         entries = self._sets[set_index]
-        if tag not in entries:
+        entry = entries.pop(tag, None)
+        if entry is None:
             raise KeyError(f"{self.name}: no entry with tag {tag:#x} in set {set_index}")
-        return entries.pop(tag)
+        return entry
 
     def touch(self, set_index: int, tag: int) -> None:
         """Promote an existing entry to most recently used."""
-        self._sets[set_index].move_to_end(tag)
+        entries = self._sets[set_index]
+        entries[tag] = entries.pop(tag)
 
     # ------------------------------------------------------------------
     # Replacement

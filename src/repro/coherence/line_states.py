@@ -2,6 +2,11 @@
 
 The paper's system keeps write-invalidate MOESI at the L2 (the level the
 Region Coherence Array sits beside) and MSI in the L1s (Table 3).
+
+The classification flags (``is_valid``, ``is_dirty``, ...) are plain
+member attributes rather than properties: they sit on the simulator's
+per-access path millions of times per run, and an instance-dict load is
+several times cheaper than a descriptor call.
 """
 
 from __future__ import annotations
@@ -10,7 +15,19 @@ import enum
 
 
 class LineState(enum.Enum):
-    """MOESI state of an L2 line."""
+    """MOESI state of an L2 line.
+
+    Member attributes (assigned below, read-only by convention):
+
+    * ``index`` — dense ordinal for list-based transition tables.
+    * ``is_valid`` — a valid (non-INVALID) state.
+    * ``is_dirty`` — the copy differs from memory and must be written back.
+    * ``is_writable`` — a store may complete against it with no request.
+    * ``can_silently_modify`` — a store needs no external request
+      (E upgrades silently).
+    * ``supplies_on_snoop`` — the copy sources data on a remote read
+      (M/O ownership).
+    """
 
     MODIFIED = "M"
     OWNED = "O"
@@ -18,45 +35,32 @@ class LineState(enum.Enum):
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def is_valid(self) -> bool:
-        """Whether this is a valid (non-INVALID) state."""
-        return self is not LineState.INVALID
 
-    @property
-    def is_dirty(self) -> bool:
-        """Whether this copy differs from memory and must be written back."""
-        return self in (LineState.MODIFIED, LineState.OWNED)
-
-    @property
-    def is_writable(self) -> bool:
-        """Whether a store may complete against this copy with no request."""
-        return self is LineState.MODIFIED
-
-    @property
-    def can_silently_modify(self) -> bool:
-        """Whether a store needs no external request (E upgrades silently)."""
-        return self in (LineState.MODIFIED, LineState.EXCLUSIVE)
-
-    @property
-    def supplies_on_snoop(self) -> bool:
-        """Whether this copy sources data on a remote read (M/O ownership)."""
-        return self in (LineState.MODIFIED, LineState.OWNED)
+for _index, _state in enumerate(LineState):
+    _state.index = _index
+    _state.is_valid = _state is not LineState.INVALID
+    _state.is_dirty = _state in (LineState.MODIFIED, LineState.OWNED)
+    _state.is_writable = _state is LineState.MODIFIED
+    _state.can_silently_modify = _state in (
+        LineState.MODIFIED, LineState.EXCLUSIVE
+    )
+    _state.supplies_on_snoop = _state in (LineState.MODIFIED, LineState.OWNED)
+del _index, _state
 
 
 class L1State(enum.Enum):
-    """MSI state of an L1 line (the I-cache only uses S and I)."""
+    """MSI state of an L1 line (the I-cache only uses S and I).
+
+    Member attributes: ``is_valid`` (non-INVALID), ``is_writable`` (a
+    store may complete against this copy).
+    """
 
     MODIFIED = "M"
     SHARED = "S"
     INVALID = "I"
 
-    @property
-    def is_valid(self) -> bool:
-        """Whether this is a valid (non-INVALID) state."""
-        return self is not L1State.INVALID
 
-    @property
-    def is_writable(self) -> bool:
-        """Whether a store may complete against this copy."""
-        return self is L1State.MODIFIED
+for _l1_state in L1State:
+    _l1_state.is_valid = _l1_state is not L1State.INVALID
+    _l1_state.is_writable = _l1_state is L1State.MODIFIED
+del _l1_state

@@ -43,7 +43,9 @@ def state_permits(state: LineState, request: RequestType) -> bool:
 def fill_state_for(request: RequestType, snoop: SnoopResult) -> LineState:
     """State the requestor installs once *request* completes.
 
-    Follows MOESI fill rules:
+    Follows MOESI fill rules (memoised over the (request, shared) space —
+    the only snoop bit that matters here; see
+    :func:`_fill_state_uncached` for the table itself):
 
     * READ/PREFETCH: EXCLUSIVE when no other agent holds a copy, else
       SHARED (MIPS/Sun-style E-on-miss).
@@ -53,8 +55,13 @@ def fill_state_for(request: RequestType, snoop: SnoopResult) -> LineState:
     * PREFETCH_EX: EXCLUSIVE — a clean modifiable copy staged for a store.
     * DCBF/DCBI/WRITEBACK leave nothing cached: INVALID.
     """
+    return _FILL_STATE[request.index][snoop.shared]
+
+
+def _fill_state_uncached(request: RequestType, shared: bool) -> LineState:
+    """Reference implementation backing the memoised fill-state table."""
     if request in (RequestType.READ, RequestType.PREFETCH):
-        return LineState.SHARED if snoop.shared else LineState.EXCLUSIVE
+        return LineState.SHARED if shared else LineState.EXCLUSIVE
     if request is RequestType.IFETCH:
         return LineState.SHARED
     if request in (RequestType.RFO, RequestType.UPGRADE, RequestType.DCBZ):
@@ -66,7 +73,16 @@ def fill_state_for(request: RequestType, snoop: SnoopResult) -> LineState:
     raise ProtocolError(f"no fill state defined for {request}")
 
 
-@dataclass(frozen=True)
+#: Memoised fill states — hot in the simulator's external-request path.
+#: Indexed ``[request.index][shared]`` (bools index as 0/1): two list
+#: subscripts, no enum hashing.
+_FILL_STATE = [
+    [_fill_state_uncached(request, shared) for shared in (False, True)]
+    for request in RequestType
+]
+
+
+@dataclass(frozen=True, slots=True)
 class SnoopAction:
     """Outcome of snooping one remote copy.
 
@@ -99,8 +115,16 @@ def snoop_transition(state: LineState, request: RequestType) -> SnoopAction:
     requestor when the requestor wants it (RFO), or writes it back to
     memory when it does not (DCBZ, DCBF, DCBI, UPGRADE-of-stale-owner).
     Write-backs are castouts addressed to memory and never disturb other
-    caches.
+    caches. Memoised over the full (state, request) space — every line
+    snoop of a holder takes this path.
     """
+    return _SNOOP_TRANSITION[state.index][request.index]
+
+
+def _snoop_transition_uncached(
+    state: LineState, request: RequestType
+) -> SnoopAction:
+    """Reference implementation backing the memoised transition table."""
     if state is LineState.INVALID or request is RequestType.WRITEBACK:
         return SnoopAction(next_state=state)
 
@@ -123,3 +147,12 @@ def snoop_transition(state: LineState, request: RequestType) -> SnoopAction:
         )
 
     raise ProtocolError(f"no snoop transition defined for {state} on {request}")
+
+
+#: Memoised snoop reactions; the reference covers every (state, request).
+#: Indexed ``[state.index][request.index]`` — no enum hashing on the
+#: snoop path.
+_SNOOP_TRANSITION = [
+    [_snoop_transition_uncached(state, request) for request in RequestType]
+    for state in LineState
+]

@@ -4,6 +4,11 @@ The request mix follows the paper's Figure 2 categories for a PowerPC/AIX
 system: ordinary data reads and writes (including prefetches), write-backs,
 instruction fetches, and the Data Cache Block (DCB) operations — most
 importantly DCBZ, which AIX uses to zero newly-allocated physical pages.
+
+The classification flags (``is_demand``, ``wants_data``, ...) are plain
+member attributes rather than properties: the routing and snoop paths
+read them on every external request, and an instance-dict load is several
+times cheaper than a descriptor call.
 """
 
 from __future__ import annotations
@@ -12,7 +17,25 @@ import enum
 
 
 class RequestType(enum.Enum):
-    """A memory request as seen below the L1 caches."""
+    """A memory request as seen below the L1 caches.
+
+    Member attributes (assigned below, read-only by convention):
+
+    * ``index`` — dense ordinal for list-based protocol tables.
+    * ``is_demand`` — a processor instruction is stalled on this request.
+    * ``is_prefetch`` — a hardware prefetch request.
+    * ``is_dcb`` — a Data Cache Block operation.
+    * ``wants_data`` — the requestor needs the line's current contents
+      (DCBZ allocates a zeroed line, upgrades already hold the data, and
+      DCBF/DCBI/WRITEBACK move or drop data rather than fetch it).
+    * ``wants_modifiable`` — the requestor must end with write permission;
+      these are the requests Table 1's "Broadcast Needed? — For Modifiable
+      Copy" rows gate on in the CC/DC region states.
+    * ``invalidates_others`` — remote copies must be invalidated when this
+      completes.
+    * ``allocates_line`` — completing this request leaves a copy in the
+      local cache.
+    """
 
     #: Demand data-load miss: wants a readable copy.
     READ = "read"
@@ -35,78 +58,48 @@ class RequestType(enum.Enum):
     #: Exclusive prefetch for an expected store (MIPS R10000-style).
     PREFETCH_EX = "prefetch_ex"
 
-    # ------------------------------------------------------------------
-    # Classification helpers
-    # ------------------------------------------------------------------
-    @property
-    def is_demand(self) -> bool:
-        """Whether a processor instruction is stalled on this request."""
-        return self in (
-            RequestType.READ,
-            RequestType.RFO,
-            RequestType.UPGRADE,
-            RequestType.IFETCH,
-        )
 
-    @property
-    def is_prefetch(self) -> bool:
-        """Whether this is a hardware prefetch request."""
-        return self in (RequestType.PREFETCH, RequestType.PREFETCH_EX)
-
-    @property
-    def is_dcb(self) -> bool:
-        """Whether this is a Data Cache Block operation."""
-        return self in (RequestType.DCBZ, RequestType.DCBF, RequestType.DCBI)
-
-    @property
-    def wants_data(self) -> bool:
-        """Whether the requestor needs the memory line's current contents.
-
-        DCBZ allocates a zeroed line, upgrades already hold the data, and
-        DCBF/DCBI/WRITEBACK move or drop data rather than fetch it.
-        """
-        return self in (
-            RequestType.READ,
-            RequestType.RFO,
-            RequestType.IFETCH,
-            RequestType.PREFETCH,
-            RequestType.PREFETCH_EX,
-        )
-
-    @property
-    def wants_modifiable(self) -> bool:
-        """Whether the requestor must end with write permission.
-
-        These are the requests Table 1's "Broadcast Needed? — For
-        Modifiable Copy" rows gate on in the CC/DC region states.
-        """
-        return self in (
-            RequestType.RFO,
-            RequestType.UPGRADE,
-            RequestType.DCBZ,
-            RequestType.PREFETCH_EX,
-        )
-
-    @property
-    def invalidates_others(self) -> bool:
-        """Whether remote copies must be invalidated when this completes."""
-        return self in (
-            RequestType.RFO,
-            RequestType.UPGRADE,
-            RequestType.DCBZ,
-            RequestType.DCBF,
-            RequestType.DCBI,
-            RequestType.PREFETCH_EX,
-        )
-
-    @property
-    def allocates_line(self) -> bool:
-        """Whether completing this request leaves a copy in the local cache."""
-        return self in (
-            RequestType.READ,
-            RequestType.RFO,
-            RequestType.IFETCH,
-            RequestType.DCBZ,
-            RequestType.PREFETCH,
-            RequestType.PREFETCH_EX,
-        )
+for _index, _request in enumerate(RequestType):
+    _request.index = _index
+    _request.is_demand = _request in (
+        RequestType.READ,
+        RequestType.RFO,
+        RequestType.UPGRADE,
+        RequestType.IFETCH,
+    )
+    _request.is_prefetch = _request in (
+        RequestType.PREFETCH, RequestType.PREFETCH_EX
+    )
+    _request.is_dcb = _request in (
+        RequestType.DCBZ, RequestType.DCBF, RequestType.DCBI
+    )
+    _request.wants_data = _request in (
+        RequestType.READ,
+        RequestType.RFO,
+        RequestType.IFETCH,
+        RequestType.PREFETCH,
+        RequestType.PREFETCH_EX,
+    )
+    _request.wants_modifiable = _request in (
+        RequestType.RFO,
+        RequestType.UPGRADE,
+        RequestType.DCBZ,
+        RequestType.PREFETCH_EX,
+    )
+    _request.invalidates_others = _request in (
+        RequestType.RFO,
+        RequestType.UPGRADE,
+        RequestType.DCBZ,
+        RequestType.DCBF,
+        RequestType.DCBI,
+        RequestType.PREFETCH_EX,
+    )
+    _request.allocates_line = _request in (
+        RequestType.READ,
+        RequestType.RFO,
+        RequestType.IFETCH,
+        RequestType.DCBZ,
+        RequestType.PREFETCH,
+        RequestType.PREFETCH_EX,
+    )
+del _index, _request

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LineSnoopResponse:
     """One remote agent's line-level answer to a snooped request.
 
@@ -38,7 +38,7 @@ class LineSnoopResponse:
             raise ValueError("only an agent with a copy can supply data")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnoopResult:
     """Combined (ORed) snoop response seen by the requestor.
 
@@ -60,6 +60,28 @@ class SnoopResult:
     def memory_sources_data(self) -> bool:
         """Whether memory (not a cache) supplies the data."""
         return self.supplier is None
+
+
+#: The all-zeros answer of an agent holding no copy; shared so the
+#: broadcast path never allocates a response for a known non-holder.
+EMPTY_LINE_RESPONSE = LineSnoopResponse()
+
+#: Every answer an agent holding a valid copy can give, keyed
+#: ``(dirty, supplied)``. Together with :data:`EMPTY_LINE_RESPONSE`
+#: these five singletons cover the whole legal response space, so the
+#: snoop path never allocates a response object.
+CACHED_LINE_RESPONSES = {
+    (False, False): LineSnoopResponse(cached=True),
+    (False, True): LineSnoopResponse(cached=True, supplied=True),
+    (True, False): LineSnoopResponse(cached=True, dirty=True),
+    (True, True): LineSnoopResponse(cached=True, dirty=True, supplied=True),
+}
+
+#: Synthetic combined results for requests that never snooped anyone:
+#: direct/no-request routing derives the fill state from the region
+#: state alone (shared ⇔ region not exclusive).
+SNOOP_NOT_SHARED = SnoopResult(shared=False)
+SNOOP_SHARED = SnoopResult(shared=True)
 
 
 def combine_line_responses(
@@ -87,4 +109,7 @@ def combine_line_responses(
                     "the same line; MOESI single-owner invariant violated"
                 )
             supplier = proc_id
+    if supplier is None and not owned:
+        # The two overwhelmingly common combined results are interned.
+        return SNOOP_SHARED if shared else SNOOP_NOT_SHARED
     return SnoopResult(shared=shared, owned=owned, supplier=supplier)

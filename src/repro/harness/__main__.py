@@ -8,6 +8,7 @@ Examples::
     python -m repro.harness fig8 fig9 --workers 4 --runlog runs.jsonl
     python -m repro.harness fig2 --quick --telemetry --no-cache
     python -m repro.harness telemetry barnes --ops 20000 --trace-dump t.jsonl
+    python -m repro.harness perf --quick --check BENCH_core.json
 
 Simulation results are cached on disk (``.repro-cache/`` by default, or
 ``$REPRO_CACHE_DIR``) keyed by configuration + workload + code version,
@@ -30,6 +31,10 @@ The ``telemetry`` subcommand runs a *single* benchmark with full
 telemetry plus an event log, exports all three formats, and can merge
 the event stream with the interval series into a chronological
 trace dump (``--trace-dump``).
+
+The ``perf`` subcommand benchmarks the simulation core itself —
+simulated ops per host second across the canonical 4/8/16-processor
+configs — and writes ``BENCH_core.json`` (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -146,6 +151,10 @@ def main(argv=None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "telemetry":
         return _telemetry_command(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.harness.perfbench import perf_command
+
+        return perf_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -153,8 +162,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments", nargs="+",
         help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
-             "or the 'telemetry' subcommand (see --help of "
-             "'python -m repro.harness telemetry')",
+             "or the 'telemetry' / 'perf' subcommands (see --help of "
+             "'python -m repro.harness telemetry' / '... perf')",
     )
     parser.add_argument("--ops", type=int, default=60_000,
                         help="memory operations per processor (default 60000)")

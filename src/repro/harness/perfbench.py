@@ -1,0 +1,365 @@
+"""Simulation-core throughput benchmark (``python -m repro.harness perf``).
+
+Every figure the harness regenerates is bottlenecked by the per-operation
+cost of the simulation core, so host-side throughput is a tracked result
+in its own right. This module times the canonical 4/8/16-processor
+baseline and CGCT machines on one benchmark trace, reports
+simulated-ops-per-host-second for each, and writes the whole measurement
+— host metadata included, so points are comparable across machines — to
+``BENCH_core.json`` at the repo root. The committed file is the perf
+trajectory; CI re-measures at reduced ops and fails on regression (see
+``check_against``).
+
+The module is deliberately runnable as a plain script
+(``python src/repro/harness/perfbench.py``) so the *same* measurement
+code can be pointed at an older checkout via ``PYTHONPATH`` — that is
+how the ``reference`` block (pre-optimisation core, same host) in the
+committed benchmark was produced.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+SCHEMA = "bench-core/v1"
+
+#: Canonical machine points: (config name, processors, cgct?). The 4p
+#: pair is the paper machine; 8p/16p follow the scaling experiment's
+#: topologies, where per-op work grows with the snooper count.
+PERF_CONFIGS = (
+    ("4p-baseline", 4, False),
+    ("4p-cgct", 4, True),
+    ("8p-baseline", 8, False),
+    ("8p-cgct", 8, True),
+    ("16p-baseline", 16, False),
+    ("16p-cgct", 16, True),
+)
+
+
+def _topology_for(processors: int):
+    """The scaling experiment's machine shapes (4, 8, 16 processors)."""
+    from repro.interconnect.topology import Topology
+
+    if processors == 4:
+        return Topology()
+    if processors == 8:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=1)
+    if processors == 16:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=2)
+    raise ValueError(f"no topology defined for {processors} processors")
+
+
+def bench_config(name: str):
+    """The :class:`SystemConfig` behind one named benchmark point."""
+    from repro.system.config import SystemConfig
+
+    for config_name, processors, cgct in PERF_CONFIGS:
+        if config_name == name:
+            base = (SystemConfig.paper_cgct(512) if cgct
+                    else SystemConfig.paper_baseline())
+            return replace(base, topology=_topology_for(processors))
+    raise ValueError(f"unknown perf config {name!r}")
+
+
+def host_metadata() -> Dict:
+    """Where this measurement was taken (for cross-host comparability)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def measure_config(
+    name: str,
+    ops_per_processor: int,
+    workload: str = "barnes",
+    seed: int = 0,
+    warmup_fraction: float = 0.0,
+    repeats: int = 2,
+    profiler=None,
+) -> Dict:
+    """Time one config; returns its ``configs`` cell for the payload.
+
+    The trace is built once (untimed); each repeat rebuilds the machine
+    and replays the whole trace. Throughput is best-of-*repeats* — the
+    minimum wall time is the least-noisy estimate of the core's speed.
+    The fingerprint (cycles and headline counters) is recorded so any
+    two measurements with identical suite parameters can be checked for
+    bit-identical simulation behaviour, not just speed.
+    """
+    from repro.system.simulator import Simulator
+    from repro.workloads.benchmarks import build_benchmark
+
+    config = bench_config(name)
+    trace = build_benchmark(
+        workload, num_processors=config.num_processors,
+        ops_per_processor=ops_per_processor, seed=0,
+    )
+    simulated_ops = sum(len(t) for t in trace.per_processor)
+    best_wall = None
+    result = None
+    for _ in range(max(1, repeats)):
+        simulator = Simulator(config, seed=seed)
+        start = time.perf_counter()
+        if profiler is not None:
+            with profiler.phase(f"simulate:{name}"):
+                run = simulator.run(trace, warmup_fraction=warmup_fraction)
+            profiler.count_events(simulated_ops, phase=f"simulate:{name}")
+        else:
+            run = simulator.run(trace, warmup_fraction=warmup_fraction)
+        wall = time.perf_counter() - start
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+        if result is None:
+            result = run
+    return {
+        "processors": config.num_processors,
+        "mode": "cgct" if config.cgct_enabled else "baseline",
+        "simulated_ops": simulated_ops,
+        "wall_s": round(best_wall, 4),
+        "ops_per_host_second": round(simulated_ops / best_wall, 1),
+        "fingerprint": {
+            "cycles": result.cycles,
+            "external_requests": result.stats.total_external,
+            "broadcasts": result.broadcasts,
+            "l1_hits": result.l1_hits,
+            "l2_hits": result.l2_hits,
+        },
+    }
+
+
+def run_suite(
+    ops_per_processor: int = 12_000,
+    workload: str = "barnes",
+    seed: int = 0,
+    warmup_fraction: float = 0.0,
+    repeats: int = 2,
+    configs: Optional[Sequence[str]] = None,
+    profiler=None,
+) -> Dict:
+    """Measure every requested config; returns the full JSON payload."""
+    names = [n for n, _, _ in PERF_CONFIGS]
+    if configs:
+        unknown = [c for c in configs if c not in names]
+        if unknown:
+            raise ValueError(f"unknown perf configs: {unknown}")
+        names = [n for n in names if n in configs]
+    payload: Dict = {
+        "schema": SCHEMA,
+        "generated": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "host": host_metadata(),
+        "suite": {
+            "workload": workload,
+            "ops_per_processor": ops_per_processor,
+            "seed": seed,
+            "warmup_fraction": warmup_fraction,
+            "repeats": repeats,
+        },
+        "configs": {},
+    }
+    for name in names:
+        payload["configs"][name] = measure_config(
+            name, ops_per_processor, workload=workload, seed=seed,
+            warmup_fraction=warmup_fraction, repeats=repeats,
+            profiler=profiler,
+        )
+    return payload
+
+
+def attach_reference(payload: Dict, reference: Dict) -> Dict:
+    """Embed a same-host pre-optimisation measurement and the speedups."""
+    payload["reference"] = {
+        "host": reference.get("host", {}),
+        "suite": reference.get("suite", {}),
+        "configs": {
+            name: {
+                "wall_s": cell.get("wall_s"),
+                "ops_per_host_second": cell.get("ops_per_host_second"),
+            }
+            for name, cell in reference.get("configs", {}).items()
+        },
+    }
+    speedup = {}
+    for name, cell in payload["configs"].items():
+        ref = reference.get("configs", {}).get(name)
+        if ref and ref.get("ops_per_host_second"):
+            speedup[name] = round(
+                cell["ops_per_host_second"] / ref["ops_per_host_second"], 2
+            )
+    payload["speedup"] = speedup
+    return payload
+
+
+def check_against(payload: Dict, baseline: Dict,
+                  threshold: float = 0.25) -> List[str]:
+    """Regression check of *payload* against a committed *baseline*.
+
+    Returns human-readable failure strings (empty = pass). Two gates:
+
+    * throughput: any shared config more than *threshold* slower than
+      the baseline's ``ops_per_host_second`` fails (host differences add
+      noise, which is why the threshold is generous);
+    * behaviour: when the two measurements used identical suite
+      parameters, fingerprints must match exactly — a cheap whole-system
+      bit-identity check that is host-independent.
+    """
+    failures = []
+    same_suite = {
+        k: v for k, v in payload.get("suite", {}).items() if k != "repeats"
+    } == {
+        k: v for k, v in baseline.get("suite", {}).items() if k != "repeats"
+    }
+    for name, cell in payload.get("configs", {}).items():
+        ref = baseline.get("configs", {}).get(name)
+        if ref is None:
+            continue
+        ref_rate = ref.get("ops_per_host_second")
+        rate = cell.get("ops_per_host_second")
+        if ref_rate and rate and rate < ref_rate * (1.0 - threshold):
+            failures.append(
+                f"{name}: {rate:.0f} ops/s is "
+                f"{1.0 - rate / ref_rate:.0%} below the baseline "
+                f"{ref_rate:.0f} ops/s (threshold {threshold:.0%})"
+            )
+        if same_suite and ref.get("fingerprint"):
+            if cell.get("fingerprint") != ref["fingerprint"]:
+                failures.append(
+                    f"{name}: fingerprint differs from baseline — "
+                    f"{cell.get('fingerprint')} vs {ref['fingerprint']}"
+                )
+    return failures
+
+
+def render(payload: Dict) -> str:
+    """Human-readable table of one measurement."""
+    lines = [
+        f"{'config':<14} {'ops':>9} {'wall s':>9} {'ops/host-s':>12} "
+        f"{'speedup':>8}",
+    ]
+    speedup = payload.get("speedup", {})
+    for name, cell in payload.get("configs", {}).items():
+        gain = speedup.get(name)
+        lines.append(
+            f"{name:<14} {cell['simulated_ops']:>9} {cell['wall_s']:>9.2f} "
+            f"{cell['ops_per_host_second']:>12.0f} "
+            f"{(f'{gain:.2f}x' if gain else '-'):>8}"
+        )
+    host = payload.get("host", {})
+    lines.append(
+        f"[host: python {host.get('python')} on {host.get('machine')}, "
+        f"{host.get('cpu_count')} cpus, git {host.get('git_sha')}]"
+    )
+    return "\n".join(lines)
+
+
+def perf_command(argv) -> int:
+    """``python -m repro.harness perf [...]`` — measure, write, check."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness perf",
+        description="Benchmark the simulation core (simulated ops per "
+                    "host second) across the canonical 4/8/16-processor "
+                    "configs and write BENCH_core.json.",
+    )
+    parser.add_argument("--ops", type=int, default=12_000,
+                        help="memory operations per processor "
+                             "(default 12000)")
+    parser.add_argument("--workload", default="barnes",
+                        help="benchmark trace to replay (default barnes)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="perturbation seed (default 0)")
+    parser.add_argument("--warmup", type=float, default=0.0,
+                        help="warm-up fraction (default 0: the timed run "
+                             "covers the whole trace)")
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timed repeats per config; best-of wins "
+                             "(default 2)")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        help="restrict to these config names "
+                             f"(default: all of {[n for n, _, _ in PERF_CONFIGS]})")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced ops (3000) and one repeat, for CI "
+                             "smoke runs")
+    parser.add_argument("--output", metavar="PATH", default="BENCH_core.json",
+                        help="where to write the measurement "
+                             "(default BENCH_core.json)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only; leave --output alone")
+    parser.add_argument("--reference", metavar="PATH", default=None,
+                        help="embed this earlier same-host measurement as "
+                             "the reference and report speedups")
+    parser.add_argument("--check", metavar="PATH", default=None,
+                        help="fail (exit 1) if this run regresses more "
+                             "than --threshold vs the measurement at PATH")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional throughput regression "
+                             "for --check (default 0.25)")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append the profile and measurement to PATH")
+    args = parser.parse_args(argv)
+
+    from repro.telemetry.profile import Profiler
+
+    ops = 3_000 if args.quick else args.ops
+    repeats = 1 if args.quick else args.repeats
+    profiler = Profiler()
+    payload = run_suite(
+        ops_per_processor=ops, workload=args.workload, seed=args.seed,
+        warmup_fraction=args.warmup, repeats=repeats, configs=args.configs,
+        profiler=profiler,
+    )
+    if args.reference:
+        reference = json.loads(Path(args.reference).read_text())
+        attach_reference(payload, reference)
+    print(render(payload))
+    if not args.no_write:
+        Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"[benchmark written to {args.output}]")
+    if args.runlog:
+        from repro.harness.runlog import RunLog
+
+        with RunLog(args.runlog) as runlog:
+            profiler.emit(runlog, command="perf", host=payload["host"],
+                          configs=payload["configs"])
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        failures = check_against(payload, baseline,
+                                 threshold=args.threshold)
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"[perf check passed against {args.check} "
+              f"(threshold {args.threshold:.0%})]")
+    return 0
+
+
+if __name__ == "__main__":  # standalone use: measure an older checkout
+    sys.exit(perf_command(sys.argv[1:]))

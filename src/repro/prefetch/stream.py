@@ -14,9 +14,8 @@ store prefetch does, so the later stores need no second transaction.
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -69,9 +68,12 @@ class StreamPrefetcher:
         self.num_streams = num_streams
         self.runahead = runahead
         #: Confirmed streams, LRU-ordered by key (arbitrary unique int).
-        self._streams: "OrderedDict[int, _Stream]" = OrderedDict()
+        #: Plain insertion-ordered dicts: promotion is pop + reinsert,
+        #: eviction takes the first key (cheaper than OrderedDict on this
+        #: per-L2-access path).
+        self._streams: Dict[int, _Stream] = {}
         #: Miss line → was_store, for pairing into new streams.
-        self._pending: "OrderedDict[int, bool]" = OrderedDict()
+        self._pending: Dict[int, bool] = {}
         self._next_key = 0
         self.issued = 0
         self.streams_confirmed = 0
@@ -106,13 +108,16 @@ class StreamPrefetcher:
     # ------------------------------------------------------------------
     def _matching_stream(self, line: int) -> Optional[_Stream]:
         """Find a confirmed stream whose covered window contains *line*."""
-        for key, stream in self._streams.items():
+        streams = self._streams
+        for key, stream in streams.items():
             if stream.direction > 0:
                 in_window = stream.expected <= line <= stream.frontier + 1
             else:
                 in_window = stream.frontier - 1 <= line <= stream.expected
             if in_window:
-                self._streams.move_to_end(key)
+                # MRU promotion; returning immediately makes mutating
+                # the dict mid-iteration safe.
+                streams[key] = streams.pop(key)
                 return stream
         return None
 
@@ -129,14 +134,14 @@ class StreamPrefetcher:
 
     def _install(self, stream: _Stream) -> None:
         while len(self._streams) >= self.num_streams:
-            self._streams.popitem(last=False)
+            del self._streams[next(iter(self._streams))]  # LRU-first
         self._streams[self._next_key] = stream
         self._next_key += 1
 
     def _remember_miss(self, line: int, is_store: bool) -> None:
         self._pending[line] = is_store
         while len(self._pending) > 2 * self.num_streams:
-            self._pending.popitem(last=False)
+            del self._pending[next(iter(self._pending))]  # oldest-first
 
     def _top_up(self, stream: _Stream, demand_line: int) -> List[PrefetchCandidate]:
         """Prefetch enough lines to restore the (ramped) runahead distance."""

@@ -23,7 +23,7 @@ the node flushes its lines (decrementing the count via
 from __future__ import annotations
 
 from collections import Counter
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.cache.setassoc import SetAssociativeArray
 from repro.common.errors import ProtocolError
@@ -88,7 +88,18 @@ class RegionCoherenceArray:
             num_sets, ways, name=name
         )
         self._set_bits = num_sets.bit_length() - 1
+        self._set_mask = num_sets - 1
+        self._region_shift = geometry._region_bits - geometry._line_bits
+        # The per-set dicts, referenced directly: lookup/probe run one
+        # dict operation instead of a call into the array.
+        self._sets = self._array._sets
         self.name = name
+        #: Residency callbacks, mirroring the L2's line callbacks: fired
+        #: when a region entry appears (insert) or disappears (evict /
+        #: self-invalidation). The machine uses them to maintain its
+        #: region-tracker bitmasks; the array knows nothing about why.
+        self.on_region_tracked: Callable[[int], None] = lambda region: None
+        self.on_region_untracked: Callable[[int], None] = lambda region: None
         #: Section 3.2 replacement preference; False is the plain-LRU
         #: ablation.
         self.prefer_empty_victims = prefer_empty_victims
@@ -107,7 +118,7 @@ class RegionCoherenceArray:
     # Indexing
     # ------------------------------------------------------------------
     def _index(self, region: int) -> tuple:
-        return region & (self._array.num_sets - 1), region >> self._set_bits
+        return region & self._set_mask, region >> self._set_bits
 
     @property
     def num_sets(self) -> int:
@@ -129,18 +140,19 @@ class RegionCoherenceArray:
     # ------------------------------------------------------------------
     def lookup(self, region: int) -> Optional[RegionEntry]:
         """Processor-side lookup; counts hit/miss and touches LRU."""
-        set_index, tag = self._index(region)
-        entry = self._array.lookup(set_index, tag)
+        entries = self._sets[region & self._set_mask]
+        tag = region >> self._set_bits
+        entry = entries.pop(tag, None)
         if entry is None:
             self.misses += 1
         else:
+            entries[tag] = entry  # reinsertion makes it MRU
             self.hits += 1
         return entry
 
     def probe(self, region: int) -> Optional[RegionEntry]:
         """Snoop-side lookup: no stats, no LRU movement."""
-        set_index, tag = self._index(region)
-        return self._array.lookup(set_index, tag, touch=False)
+        return self._sets[region & self._set_mask].get(region >> self._set_bits)
 
     # ------------------------------------------------------------------
     # Allocation / eviction (two-step, see module docstring)
@@ -178,6 +190,7 @@ class RegionCoherenceArray:
             )
         self._array.remove(set_index, tag)
         self.evictions += 1
+        self.on_region_untracked(region)
         return entry
 
     def note_eviction_line_count(self, line_count: int) -> None:
@@ -198,6 +211,7 @@ class RegionCoherenceArray:
         entry = RegionEntry(region, state, home_mc)
         self._array.insert(set_index, tag, entry)
         self.allocations += 1
+        self.on_region_tracked(region)
         return entry
 
     def invalidate(self, region: int) -> Optional[RegionEntry]:
@@ -213,6 +227,7 @@ class RegionCoherenceArray:
             )
         self._array.remove(set_index, tag)
         self.self_invalidations += 1
+        self.on_region_untracked(region)
         return entry
 
     # ------------------------------------------------------------------
@@ -220,7 +235,7 @@ class RegionCoherenceArray:
     # ------------------------------------------------------------------
     def line_allocated(self, line: int) -> None:
         """An L2 line belonging to a tracked region was installed."""
-        entry = self.probe(self.geometry.region_of_line(line))
+        entry = self.probe(line >> self._region_shift)
         if entry is None:
             raise ProtocolError(
                 f"L2 allocated line {line:#x} with no region entry; "
@@ -235,7 +250,7 @@ class RegionCoherenceArray:
 
     def line_removed(self, line: int) -> None:
         """An L2 line belonging to a tracked region left the cache."""
-        entry = self.probe(self.geometry.region_of_line(line))
+        entry = self.probe(line >> self._region_shift)
         if entry is None:
             raise ProtocolError(
                 f"L2 removed line {line:#x} with no region entry; "

@@ -36,7 +36,12 @@ from typing import Optional
 from repro.coherence.line_states import LineState
 from repro.coherence.requests import RequestType
 from repro.common.errors import ProtocolError
-from repro.rca.response import RegionSnoopResponse
+from repro.rca.response import (
+    CLEAN_COPIES,
+    DIRTY_COPIES,
+    NO_COPIES,
+    RegionSnoopResponse,
+)
 from repro.rca.states import ExternalPart, LocalPart, RegionState
 
 #: Local-letter significance: these leave the processor with a copy that
@@ -73,6 +78,17 @@ class RegionProtocol:
         default=None, compare=False, repr=False
     )
 
+    def __post_init__(self) -> None:
+        # Per-instance memo tables over the finite transition spaces.
+        # The key spaces are small (states × requests × a few response
+        # values), every input is hashable, and the transition functions
+        # are pure, so caching is exact. Error paths are never cached —
+        # they raise before the table is written. ``dataclasses.replace``
+        # re-runs ``__init__`` and therefore starts with fresh caches.
+        object.__setattr__(self, "_local_cache", {})
+        object.__setattr__(self, "_external_cache", {})
+        object.__setattr__(self, "_response_cache", {})
+
     # ------------------------------------------------------------------
     # Local requests (Figures 3 and 4)
     # ------------------------------------------------------------------
@@ -106,8 +122,12 @@ class RegionProtocol:
             with no region entry — the upgraded line's residency implies
             a region entry exists).
         """
-        new_state = self._after_local_request(state, request, fill_state,
-                                              response)
+        key = (state, request, fill_state, response)
+        new_state = self._local_cache.get(key)
+        if new_state is None:
+            new_state = self._after_local_request(state, request, fill_state,
+                                                  response)
+            self._local_cache[key] = new_state
         if self.transitions is not None:
             self.transitions.record(state, f"local.{request.value}", new_state)
         return new_state
@@ -228,9 +248,13 @@ class RegionProtocol:
             cache the line ourselves (Section 3.1); ``None`` means
             unknown, which degrades conservatively to "dirty".
         """
-        new_state = self._after_external_request(
-            state, request, requestor_fills_exclusive
-        )
+        key = (state, request, requestor_fills_exclusive)
+        new_state = self._external_cache.get(key)
+        if new_state is None:
+            new_state = self._after_external_request(
+                state, request, requestor_fills_exclusive
+            )
+            self._external_cache[key] = new_state
         if self.transitions is not None:
             self.transitions.record(
                 state, f"external.{request.value}", new_state
@@ -287,20 +311,31 @@ class RegionProtocol:
         """
         if line_count < 0:
             raise ProtocolError(f"negative region line count: {line_count}")
+        key = (state, line_count == 0)
+        outcome = self._response_cache.get(key)
+        if outcome is None:
+            outcome = self._response_for_uncached(state, line_count)
+            self._response_cache[key] = outcome
+        return outcome
+
+    def _response_for_uncached(
+        self, state: RegionState, line_count: int
+    ) -> "RegionProbeOutcome":
+        """Reference implementation backing the per-instance cache."""
         if state is RegionState.INVALID:
-            return RegionProbeOutcome(RegionSnoopResponse(), self_invalidate=False)
+            return RegionProbeOutcome(NO_COPIES, self_invalidate=False)
         if line_count == 0 and self.self_invalidation:
-            return RegionProbeOutcome(RegionSnoopResponse(), self_invalidate=True)
+            return RegionProbeOutcome(NO_COPIES, self_invalidate=True)
         if state.local_part is LocalPart.DIRTY:
-            response = RegionSnoopResponse(dirty=True)
+            response = DIRTY_COPIES
         else:
-            response = RegionSnoopResponse(clean=True)
+            response = CLEAN_COPIES
         if not self.two_bit:
             response = response.collapsed()
         return RegionProbeOutcome(response, self_invalidate=False)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionProbeOutcome:
     """Result of snooping one processor's RCA for an external request."""
 

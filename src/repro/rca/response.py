@@ -28,7 +28,7 @@ from typing import Iterable
 from repro.rca.states import ExternalPart
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RegionSnoopResponse:
     """One processor's (or the combined) region response bits."""
 
@@ -57,18 +57,29 @@ class RegionSnoopResponse:
         instruction fetches), never correctness.
         """
         if self.cached:
-            return RegionSnoopResponse(clean=False, dirty=True)
-        return RegionSnoopResponse()
+            return DIRTY_COPIES
+        return NO_COPIES
 
     def __or__(self, other: "RegionSnoopResponse") -> "RegionSnoopResponse":
-        return RegionSnoopResponse(
-            clean=self.clean or other.clean,
-            dirty=self.dirty or other.dirty,
-        )
+        return _COMBINED[self.clean or other.clean, self.dirty or other.dirty]
 
 
 #: The all-zeros response: no processor caches lines of the region.
 NO_COPIES = RegionSnoopResponse()
+
+#: The remaining three bit patterns, interned — every response a snoop can
+#: produce is one of these four module singletons, so the hot combining
+#: path never allocates.
+CLEAN_COPIES = RegionSnoopResponse(clean=True)
+DIRTY_COPIES = RegionSnoopResponse(dirty=True)
+CLEAN_AND_DIRTY_COPIES = RegionSnoopResponse(clean=True, dirty=True)
+
+_COMBINED = {
+    (False, False): NO_COPIES,
+    (True, False): CLEAN_COPIES,
+    (False, True): DIRTY_COPIES,
+    (True, True): CLEAN_AND_DIRTY_COPIES,
+}
 
 
 def combine_region_responses(

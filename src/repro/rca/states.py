@@ -48,8 +48,18 @@ class ExternalPart(enum.Enum):
 
     def worse_of(self, other: "ExternalPart") -> "ExternalPart":
         """The more conservative (dirtier) of two external summaries."""
+        return _WORSE_OF[self, other]
+
+    def _worse_of_uncached(self, other: "ExternalPart") -> "ExternalPart":
+        """Reference implementation backing the memoised table."""
         order = (ExternalPart.NONE, ExternalPart.CLEAN, ExternalPart.DIRTY)
         return self if order.index(self) >= order.index(other) else other
+
+
+#: Memoised dirtiness ordering (protocol-table hot path).
+_WORSE_OF = {
+    (a, b): a._worse_of_uncached(b) for a in ExternalPart for b in ExternalPart
+}
 
 
 class RegionState(enum.Enum):
@@ -66,15 +76,14 @@ class RegionState(enum.Enum):
     # ------------------------------------------------------------------
     # Structure
     # ------------------------------------------------------------------
-    @property
-    def is_valid(self) -> bool:
-        """Whether this is a valid (non-INVALID) state."""
-        return self is not RegionState.INVALID
+    # ``is_valid``, ``is_exclusive``, ``is_externally_clean`` and
+    # ``is_externally_dirty`` are plain member attributes (assigned after
+    # the tables below): the routing path reads them per external request.
 
     @property
     def parts(self) -> Tuple[LocalPart, ExternalPart]:
         """Decompose a valid state into (local, external) letters."""
-        if not self.is_valid:
+        if self is RegionState.INVALID:
             raise ValueError("INVALID region state has no parts")
         return _PARTS[self]
 
@@ -90,32 +99,17 @@ class RegionState(enum.Enum):
 
     @staticmethod
     def from_parts(local: LocalPart, external: ExternalPart) -> "RegionState":
-        """Compose a valid state from its two letters."""
-        return RegionState(local.value + external.value)
-
-    # ------------------------------------------------------------------
-    # Table 1 classification
-    # ------------------------------------------------------------------
-    @property
-    def is_exclusive(self) -> bool:
-        """CI or DI: no other processor caches lines from the region."""
-        return self in (RegionState.CLEAN_INVALID, RegionState.DIRTY_INVALID)
-
-    @property
-    def is_externally_clean(self) -> bool:
-        """CC or DC: others hold unmodified copies only."""
-        return self in (RegionState.CLEAN_CLEAN, RegionState.DIRTY_CLEAN)
-
-    @property
-    def is_externally_dirty(self) -> bool:
-        """CD or DD: others may hold modified copies."""
-        return self in (RegionState.CLEAN_DIRTY, RegionState.DIRTY_DIRTY)
+        """Compose a valid state from its two letters (memoised)."""
+        return _FROM_PARTS[local, external]
 
     # ------------------------------------------------------------------
     # The broadcast decision (Table 1 "Broadcast Needed?")
     # ------------------------------------------------------------------
     def needs_broadcast(self, request: RequestType) -> bool:
         """Whether *request* must be broadcast given this region state.
+
+        The routing hot path reads the equivalent member attribute
+        ``state.broadcast_needed[request.index]`` instead of calling this.
 
         * INVALID: everything broadcasts — the processor must acquire
           region permissions and inform other processors (Section 3.2).
@@ -145,11 +139,18 @@ class RegionState(enum.Enum):
     def completes_without_request(self, request: RequestType) -> bool:
         """Whether *request* finishes with no external message at all.
 
+        The routing hot path reads the equivalent member attribute
+        ``state.completes_without[request.index]`` instead of calling this.
+
         In an exclusive region, upgrades and DCB operations touch no other
         cache and move no data, so they complete immediately
         (Section 1.2: "can be completed immediately without an external
         request").
         """
+        return _COMPLETES[self, request]
+
+    def _completes_without_request_uncached(self, request: RequestType) -> bool:
+        """Reference implementation backing the memoised table."""
         if not self.is_exclusive:
             return False
         return request in (
@@ -167,9 +168,50 @@ _PARTS = {
     if state is not RegionState.INVALID
 }
 
+#: Memoised composition of the two letters back into a state.
+_FROM_PARTS = {
+    (local, external): RegionState(local.value + external.value)
+    for local in LocalPart
+    for external in ExternalPart
+}
+
+# Classification flags as plain member attributes — instance-dict loads,
+# no descriptor calls on the per-request routing path. Assigned before
+# the decision tables below, whose reference implementations read them.
+for _rstate in RegionState:
+    _rstate.is_valid = _rstate is not RegionState.INVALID
+    _rstate.is_exclusive = _rstate in (
+        RegionState.CLEAN_INVALID, RegionState.DIRTY_INVALID
+    )
+    _rstate.is_externally_clean = _rstate in (
+        RegionState.CLEAN_CLEAN, RegionState.DIRTY_CLEAN
+    )
+    _rstate.is_externally_dirty = _rstate in (
+        RegionState.CLEAN_DIRTY, RegionState.DIRTY_DIRTY
+    )
+del _rstate
+
 #: Memoised Table 1 broadcast decision over the full (state, request) space.
 _NEEDS_BROADCAST = {
     (state, request): state._needs_broadcast_uncached(request)
     for state in RegionState
     for request in RequestType
 }
+
+#: Memoised Section 1.2 immediate-completion decision.
+_COMPLETES = {
+    (state, request): state._completes_without_request_uncached(request)
+    for state in RegionState
+    for request in RequestType
+}
+
+# Request-indexed decision rows as member attributes: the routing path
+# replaces each decision method call with one tuple subscript.
+for _rstate in RegionState:
+    _rstate.broadcast_needed = tuple(
+        _NEEDS_BROADCAST[_rstate, request] for request in RequestType
+    )
+    _rstate.completes_without = tuple(
+        _COMPLETES[_rstate, request] for request in RequestType
+    )
+del _rstate

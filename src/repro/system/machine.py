@@ -39,6 +39,9 @@ from repro.coherence.line_states import LineState
 from repro.coherence.moesi import fill_state_for
 from repro.coherence.requests import RequestType
 from repro.coherence.snoop import (
+    EMPTY_LINE_RESPONSE,
+    SNOOP_NOT_SHARED,
+    SNOOP_SHARED,
     LineSnoopResponse,
     SnoopResult,
     combine_line_responses,
@@ -51,7 +54,11 @@ from repro.interconnect.bus import BroadcastBus
 from repro.interconnect.network import DataNetwork
 from repro.memory.address_map import AddressMap
 from repro.memory.dram import MemoryController
-from repro.rca.response import RegionSnoopResponse, combine_region_responses
+from repro.rca.response import (
+    NO_COPIES,
+    RegionSnoopResponse,
+    combine_region_responses,
+)
 from repro.rca.states import LocalPart, RegionState
 from repro.system.config import SystemConfig
 from repro.system.node import PendingWriteback, ProcessorNode
@@ -92,8 +99,35 @@ _CATEGORY_OF: Dict[RequestType, OracleCategory] = {
     RequestType.DCBI: OracleCategory.DCB,
 }
 
+# ----------------------------------------------------------------------
+# Dense integer indices for the accounting hot paths. Enum members accept
+# new attributes (their *properties* are data descriptors and cannot be
+# shadowed, hence the fresh names); with them, per-access bookkeeping
+# indexes flat lists instead of hashing enums and tuples.
+# ----------------------------------------------------------------------
+for _i, _path in enumerate(RequestPath):
+    _path.index = _i
+for _i, _category in enumerate(OracleCategory):
+    _category.index = _i
+for _i, _request in enumerate(RequestType):
+    _request.index = _i
+_NUM_PATHS = len(RequestPath)
+_NUM_CATEGORIES = len(OracleCategory)
+_NUM_REQUEST_PATHS = len(RequestType) * _NUM_PATHS
+for _request in RequestType:
+    #: Base offset of this request's row in (request, path)-flattened arrays.
+    _request.rp_base = _request.index * _NUM_PATHS
+    #: Flat index of the request's Figure 2 oracle category.
+    _request.category_index = _CATEGORY_OF[_request].index
 
-@dataclass(frozen=True)
+_NO_REQUEST_I = RequestPath.NO_REQUEST.index
+_DIRECT_I = RequestPath.DIRECT.index
+_TARGETED_I = RequestPath.TARGETED.index
+_BROADCAST_I = RequestPath.BROADCAST.index
+_WRITEBACK_C = OracleCategory.WRITEBACK.index
+
+
+@dataclass(frozen=True, slots=True)
 class AccessOutcome:
     """Result of one processor access (for tests and tracing)."""
 
@@ -102,37 +136,86 @@ class AccessOutcome:
     request: Optional[RequestType] = None
 
 
+class CategoryCounts:
+    """Per-:class:`OracleCategory` counters backed by a flat list.
+
+    Drop-in replacement for the ``Dict[OracleCategory, int]`` fields of
+    :class:`ExternalRequestStats`: indexing, iteration, ``items()`` and
+    equality (against another instance or a plain dict) all behave like
+    the dict did. The machine's per-access paths bypass the mapping
+    protocol and increment ``_counts`` slots by category index directly.
+    """
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts = [0] * _NUM_CATEGORIES
+
+    def __getitem__(self, category: OracleCategory) -> int:
+        return self._counts[category.index]
+
+    def __setitem__(self, category: OracleCategory, value: int) -> None:
+        self._counts[category.index] = value
+
+    def get(self, category: OracleCategory, default: int = 0) -> int:
+        if isinstance(category, OracleCategory):
+            return self._counts[category.index]
+        return default
+
+    def __iter__(self):
+        return iter(OracleCategory)
+
+    def __len__(self) -> int:
+        return _NUM_CATEGORIES
+
+    def __contains__(self, category) -> bool:
+        return isinstance(category, OracleCategory)
+
+    def keys(self):
+        return list(OracleCategory)
+
+    def values(self):
+        return list(self._counts)
+
+    def items(self):
+        return [(c, self._counts[c.index]) for c in OracleCategory]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, CategoryCounts):
+            return self._counts == other._counts
+        if isinstance(other, dict):
+            return dict(self.items()) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"CategoryCounts({dict(self.items())!r})"
+
+
 @dataclass
 class ExternalRequestStats:
     """Counts of external requests by routing and by oracle category."""
 
-    broadcasts: Dict[OracleCategory, int] = field(
-        default_factory=lambda: {c: 0 for c in OracleCategory}
-    )
-    directs: Dict[OracleCategory, int] = field(
-        default_factory=lambda: {c: 0 for c in OracleCategory}
-    )
-    no_requests: Dict[OracleCategory, int] = field(
-        default_factory=lambda: {c: 0 for c in OracleCategory}
-    )
-    unnecessary_broadcasts: Dict[OracleCategory, int] = field(
-        default_factory=lambda: {c: 0 for c in OracleCategory}
+    broadcasts: CategoryCounts = field(default_factory=CategoryCounts)
+    directs: CategoryCounts = field(default_factory=CategoryCounts)
+    no_requests: CategoryCounts = field(default_factory=CategoryCounts)
+    unnecessary_broadcasts: CategoryCounts = field(
+        default_factory=CategoryCounts
     )
 
     @property
     def total_broadcasts(self) -> int:
         """External requests that went over the address bus."""
-        return sum(self.broadcasts.values())
+        return sum(self.broadcasts._counts)
 
     @property
     def total_directs(self) -> int:
         """External requests sent point-to-point."""
-        return sum(self.directs.values())
+        return sum(self.directs._counts)
 
     @property
     def total_no_requests(self) -> int:
         """Requests completed with no external message."""
-        return sum(self.no_requests.values())
+        return sum(self.no_requests._counts)
 
     @property
     def total_external(self) -> int:
@@ -142,7 +225,7 @@ class ExternalRequestStats:
     @property
     def total_unnecessary(self) -> int:
         """Broadcasts the oracle says were avoidable."""
-        return sum(self.unnecessary_broadcasts.values())
+        return sum(self.unnecessary_broadcasts._counts)
 
     def avoided(self, category: OracleCategory) -> int:
         """Requests in *category* that skipped the broadcast."""
@@ -190,16 +273,86 @@ class Machine:
         )
         self._perturb = random.Random(derive_seed(seed, "perturbation"))
         self._perturb_magnitude = config.timing.perturbation_cycles
+        # randint(0, m) reduces to _randbelow(m + 1) in CPython; binding
+        # the bound method skips the randint→randrange wrapper layers on
+        # every jittered request while drawing the identical stream.
+        self._randbelow = getattr(self._perturb, "_randbelow", None)
+        # Hoisted geometry/latency constants for the per-access paths:
+        # plain instance slots instead of two-level attribute chains.
+        self._line_shift = self.geometry._line_bits
+        self._region_shift = self.geometry._region_bits
+        self._l1_hit_cycles = self.latency.l1_hit_cycles
+        self._l2_hit_cycles = self.latency.l2_hit_cycles
+        self._snoop_cycles = self.latency.snoop_cycles
+        self._cache_access_cycles = self.latency.cache_access_cycles
+        self._store_stall_fraction = config.timing.store_stall_fraction
+        # Pairwise latency tables: the topology's distance classes and the
+        # Distance-keyed latency dicts collapse into plain integer lookups
+        # (requestor × controller chip, and requestor × responder).
+        transfer = self.latency.transfer_cycles
+        direct = self.latency.direct_request_cycles
+        procs = range(self.topology.num_processors)
+        chips = range(self.topology.num_chips)
+        self._transfer_to_mc = [
+            [transfer[self.topology.distance(p, c)] for c in chips]
+            for p in procs
+        ]
+        self._direct_to_mc = [
+            [direct[self.topology.distance(p, c)] for c in chips]
+            for p in procs
+        ]
+        self._transfer_to_proc = [
+            [transfer[self.topology.processor_distance(p, r)] for r in procs]
+            for p in procs
+        ]
+        self._direct_to_proc = [
+            [direct[self.topology.processor_distance(p, r)] for r in procs]
+            for p in procs
+        ]
+        # Presence bitmasks, maintained from the residency callbacks:
+        # line → bitmask of processors whose L2 holds it, and region →
+        # bitmask of processors whose RCA tracks it. They let a broadcast
+        # touch only the nodes that can answer, instead of probing every
+        # L2 and RCA in the system.
+        self._line_holders: Dict[int, int] = {}
+        self._region_trackers: Dict[int, int] = {}
+        for node in self.nodes:
+            self._track_presence(node)
+        #: No RegionScout/Jetty filter anywhere → phase-1 snoops can take
+        #: the bitmask fast path (those filters keep per-snoop state that
+        #: must observe every broadcast, so they pin the general loop).
+        self._plain_snoop = all(
+            n.regionscout is None and n.jetty is None for n in self.nodes
+        )
+        #: Per-requestor peer list ``(pid, node, node.l2)`` — the plain
+        #: snoop loop walks these tuples instead of re-deriving proc ids
+        #: and L2 references on every broadcast.
+        self._snoop_peers = [
+            tuple(
+                (other.proc_id, other, other.l2)
+                for other in self.nodes
+                if other.proc_id != p
+            )
+            for p in range(self.topology.num_processors)
+        ]
+        #: Bound L1 lookup methods, indexed by processor: every access
+        #: starts here, so the common L1-hit path is one list index and
+        #: one call (the L1 objects live as long as the machine, so the
+        #: bindings never go stale).
+        self._l1d_lookups = [n.l1d.lookup for n in self.nodes]
+        self._l1i_lookups = [n.l1i.lookup for n in self.nodes]
         # Accounting
         self.stats = ExternalRequestStats()
         self.demand_latency = RunningStat()
         self.l1_hits = 0
         self.l2_hits = 0
         self.queue_cycles = 0
-        #: (RequestType, RequestPath) → count; fine-grained diagnostics.
-        self.request_paths: Counter = Counter()
-        #: (RequestType, RequestPath) → RunningStat of external latency.
-        self.path_latency: Dict[Tuple[RequestType, RequestPath], RunningStat] = {}
+        # Flat (request × path) arrays behind the request_paths /
+        # path_latency property views.
+        self._request_path_counts: List[int] = [0] * _NUM_REQUEST_PATHS
+        self._path_latency_stats: List[Optional[RunningStat]] = (
+            [None] * _NUM_REQUEST_PATHS
+        )
         # Section 6 extension counters
         self.prefetches_filtered = 0
         self.dram_speculative_started = 0
@@ -219,16 +372,103 @@ class Machine:
         self._tel_demand_hist = None
         self._tel_wb_direct = None
         self._tel_wb_broadcast = None
+        #: True when an event log or telemetry is attached; lets the
+        #: request funnel skip the _log_event call entirely otherwise.
+        self._log_enabled = False
+
+    def _track_presence(self, node: ProcessorNode) -> None:
+        """Wrap *node*'s residency callbacks to maintain the bitmasks.
+
+        The L2 callbacks are composed around whatever the node installed
+        (the RCA line counters for CGCT nodes, no-ops otherwise); the RCA
+        region callbacks are the array's defaults and are simply
+        replaced. Every content change flows through these hooks — fills
+        that only overwrite the state of a resident line fire nothing,
+        and need not: the holder bit is already set.
+        """
+        bit = 1 << node.proc_id
+        holders = self._line_holders
+        inner_allocated = node.l2.on_line_allocated
+        inner_removed = node.l2.on_line_removed
+
+        def line_allocated(line: int) -> None:
+            holders[line] = holders.get(line, 0) | bit
+            inner_allocated(line)
+
+        def line_removed(line: int) -> None:
+            remaining = holders.get(line, 0) & ~bit
+            if remaining:
+                holders[line] = remaining
+            else:
+                holders.pop(line, None)
+            inner_removed(line)
+
+        node.l2.on_line_allocated = line_allocated
+        node.l2.on_line_removed = line_removed
+
+        if node.rca is not None:
+            trackers = self._region_trackers
+
+            def region_tracked(region: int) -> None:
+                trackers[region] = trackers.get(region, 0) | bit
+
+            def region_untracked(region: int) -> None:
+                remaining = trackers.get(region, 0) & ~bit
+                if remaining:
+                    trackers[region] = remaining
+                else:
+                    trackers.pop(region, None)
+
+            node.rca.on_region_tracked = region_tracked
+            node.rca.on_region_untracked = region_untracked
+
+    # ------------------------------------------------------------------
+    # Accounting views over the flat arrays
+    # ------------------------------------------------------------------
+    @property
+    def request_paths(self) -> Counter:
+        """(RequestType, RequestPath) → count; fine-grained diagnostics.
+
+        Built on demand from the flat per-index counters the request
+        funnel increments; only pairs that occurred appear, matching the
+        key-presence semantics of the Counter the machine used to
+        maintain directly (and absent pairs still read as 0).
+        """
+        counts: Counter = Counter()
+        flat = self._request_path_counts
+        for request in RequestType:
+            base = request.rp_base
+            for path in RequestPath:
+                n = flat[base + path.index]
+                if n:
+                    counts[request, path] = n
+        return counts
+
+    @property
+    def path_latency(self) -> Dict[Tuple[RequestType, RequestPath], RunningStat]:
+        """(RequestType, RequestPath) → RunningStat of external latency.
+
+        A view over the preallocated per-index table; pairs appear once
+        their first latency sample lands, as before.
+        """
+        out: Dict[Tuple[RequestType, RequestPath], RunningStat] = {}
+        flat = self._path_latency_stats
+        for request in RequestType:
+            base = request.rp_base
+            for path in RequestPath:
+                stat = flat[base + path.index]
+                if stat is not None:
+                    out[request, path] = stat
+        return out
 
     # ------------------------------------------------------------------
     # Processor-facing operations
     # ------------------------------------------------------------------
     def load(self, proc: int, address: int, now: int) -> int:
         """Demand data load; returns processor stall cycles."""
-        node = self.nodes[proc]
-        if node.l1d.lookup(address, write=False):
+        if self._l1d_lookups[proc](address):
             self.l1_hits += 1
-            return self.latency.l1_hit_cycles
+            return self._l1_hit_cycles
         latency = self._l2_data_access(proc, address, now, is_store=False)
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
@@ -237,36 +477,34 @@ class Machine:
 
     def store(self, proc: int, address: int, now: int) -> int:
         """Demand store; returns processor stall cycles (partial overlap)."""
-        node = self.nodes[proc]
-        if node.l1d.lookup(address, write=True):
+        if self._l1d_lookups[proc](address, True):
             self.l1_hits += 1
-            return self.latency.l1_hit_cycles
+            return self._l1_hit_cycles
         latency = self._l2_data_access(proc, address, now, is_store=True)
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
             self._tel_demand_hist.observe(latency)
         return max(
-            self.latency.l1_hit_cycles,
-            int(latency * self.config.timing.store_stall_fraction),
+            self._l1_hit_cycles,
+            int(latency * self._store_stall_fraction),
         )
 
     def ifetch(self, proc: int, address: int, now: int) -> int:
         """Instruction fetch; returns processor stall cycles."""
-        node = self.nodes[proc]
-        if node.l1i.lookup(address):
+        if self._l1i_lookups[proc](address):
             self.l1_hits += 1
-            return self.latency.l1_hit_cycles
-        line = self.geometry.line_of(address)
+            return self._l1_hit_cycles
+        node = self.nodes[proc]
         entry = node.l2.lookup(address)
         if entry is not None:
             self.l2_hits += 1
             node.l1i.fill(address, writable=False)
-            latency = self.latency.l2_hit_cycles
+            latency = self._l2_hit_cycles
         else:
             outcome = self._external_request(
                 proc, RequestType.IFETCH, address, now, fill_l1i=True
             )
-            latency = self.latency.l2_hit_cycles + outcome.latency
+            latency = self._l2_hit_cycles + outcome.latency
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
             self._tel_demand_hist.observe(latency)
@@ -278,7 +516,7 @@ class Machine:
         entry = node.l2.lookup(address)
         external = 0
         if entry is not None and entry.state.can_silently_modify:
-            node.l2.set_state(self.geometry.line_of(address), LineState.MODIFIED)
+            node.l2.set_state(address >> self._line_shift, LineState.MODIFIED)
             node.l1d.fill(address, writable=True)
             self.l2_hits += 1
         else:
@@ -286,10 +524,10 @@ class Machine:
                 proc, RequestType.DCBZ, address, now, fill_l1d=True, l1_writable=True
             )
             external = outcome.latency
-        latency = self.latency.l2_hit_cycles + external
+        latency = self._l2_hit_cycles + external
         return max(
-            self.latency.l1_hit_cycles,
-            int(latency * self.config.timing.store_stall_fraction),
+            self._l1_hit_cycles,
+            int(latency * self._store_stall_fraction),
         )
 
     def dcbf(self, proc: int, address: int, now: int) -> int:
@@ -304,7 +542,7 @@ class Machine:
         self, proc: int, request: RequestType, address: int, now: int
     ) -> int:
         node = self.nodes[proc]
-        line = self.geometry.line_of(address)
+        line = address >> self._line_shift
         local = node.l2.peek(line)
         if local is not None:
             dirty = local.state.is_dirty
@@ -316,10 +554,10 @@ class Machine:
                     proc, node.route_writeback_for_line(line), now
                 )
         outcome = self._external_request(proc, request, address, now)
-        latency = self.latency.l2_hit_cycles + outcome.latency
+        latency = self._l2_hit_cycles + outcome.latency
         return max(
-            self.latency.l1_hit_cycles,
-            int(latency * self.config.timing.store_stall_fraction),
+            self._l1_hit_cycles,
+            int(latency * self._store_stall_fraction),
         )
 
     # ------------------------------------------------------------------
@@ -330,7 +568,7 @@ class Machine:
     ) -> int:
         """Data access below the L1; returns the full demand latency."""
         node = self.nodes[proc]
-        line = self.geometry.line_of(address)
+        line = address >> self._line_shift
         entry = node.l2.lookup(address)
         was_miss = entry is None
         external = 0
@@ -360,7 +598,7 @@ class Machine:
             )
             external = outcome.latency
         self._run_prefetcher(proc, line, is_store, was_miss, now)
-        return self.latency.l2_hit_cycles + external
+        return self._l2_hit_cycles + external
 
     def _run_prefetcher(
         self, proc: int, line: int, is_store: bool, was_miss: bool, now: int
@@ -370,8 +608,8 @@ class Machine:
             return
         candidates = node.prefetcher.observe_access(line, is_store, was_miss)
         for candidate in candidates:
-            if node.caches_line(candidate.line):
-                continue
+            if (self._line_holders.get(candidate.line, 0) >> proc) & 1:
+                continue  # already resident in this node's L2
             address = candidate.line << self.geometry.line_offset_bits
             if not self.geometry.contains(address):
                 continue
@@ -413,12 +651,20 @@ class Machine:
         interleavings; the jitter is charged as latency.
         """
         jitter = 0
-        if self._perturb_magnitude:
-            jitter = self._perturb.randint(0, self._perturb_magnitude)
+        magnitude = self._perturb_magnitude
+        if magnitude:
+            # Same stream as self._perturb.randint(0, magnitude): CPython
+            # randint(0, m) bottoms out in _randbelow(m + 1).
+            randbelow = self._randbelow
+            jitter = (
+                randbelow(magnitude + 1)
+                if randbelow is not None
+                else self._perturb.randint(0, magnitude)
+            )
             now += jitter
         node = self.nodes[proc]
-        category = _CATEGORY_OF[request]
-        region = self.geometry.region_of(address)
+        category = request.category_index
+        region = address >> self._region_shift
 
         entry = None
         state = RegionState.INVALID
@@ -427,25 +673,27 @@ class Machine:
             if entry is not None:
                 state = entry.state
 
-        if state.completes_without_request(request):
-            self.stats.no_requests[category] += 1
-            self.request_paths[request, RequestPath.NO_REQUEST] += 1
+        if state.completes_without[request.index]:
+            self.stats.no_requests._counts[category] += 1
+            self._request_path_counts[request.rp_base + _NO_REQUEST_I] += 1
             self._apply_local_fill(
                 proc, request, address,
-                fill_state=fill_state_for(request, SnoopResult(shared=False)),
+                fill_state=fill_state_for(request, SNOOP_NOT_SHARED),
                 region_response=None,
                 fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
                 now=now,
             )
-            self._log_event(now, proc, request, RequestPath.NO_REQUEST, address, 0)
+            if self._log_enabled:
+                self._log_event(now, proc, request, RequestPath.NO_REQUEST,
+                                address, 0)
             return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
 
-        if node.rca is not None and not state.needs_broadcast(request):
+        if node.rca is not None and not state.broadcast_needed[request.index]:
             latency = self._direct_request(proc, request, address, entry, now)
-            self.stats.directs[category] += 1
-            self.request_paths[request, RequestPath.DIRECT] += 1
+            self.stats.directs._counts[category] += 1
+            self._request_path_counts[request.rp_base + _DIRECT_I] += 1
             self._note_latency(request, RequestPath.DIRECT, latency)
-            synthetic = SnoopResult(shared=not state.is_exclusive)
+            synthetic = SNOOP_NOT_SHARED if state.is_exclusive else SNOOP_SHARED
             self._apply_local_fill(
                 proc, request, address,
                 fill_state=fill_state_for(request, synthetic),
@@ -453,7 +701,9 @@ class Machine:
                 fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
                 now=now,
             )
-            self._log_event(now, proc, request, RequestPath.DIRECT, address, latency)
+            if self._log_enabled:
+                self._log_event(now, proc, request, RequestPath.DIRECT,
+                                address, latency)
             return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
 
         # RegionScout alternative (Section 2): an NSRT hit proves no other
@@ -463,34 +713,35 @@ class Machine:
             and request is not RequestType.WRITEBACK
             and node.regionscout.nsrt.contains(region)
         ):
-            synthetic = SnoopResult(shared=False)
             if request in (RequestType.UPGRADE, RequestType.DCBZ,
                            RequestType.DCBF, RequestType.DCBI):
-                self.stats.no_requests[category] += 1
-                self.request_paths[request, RequestPath.NO_REQUEST] += 1
+                self.stats.no_requests._counts[category] += 1
+                self._request_path_counts[request.rp_base + _NO_REQUEST_I] += 1
                 self._apply_local_fill(
                     proc, request, address,
-                    fill_state=fill_state_for(request, synthetic),
+                    fill_state=fill_state_for(request, SNOOP_NOT_SHARED),
                     region_response=None,
                     fill_l1d=fill_l1d, fill_l1i=fill_l1i,
                     l1_writable=l1_writable, now=now,
                 )
-                self._log_event(now, proc, request, RequestPath.NO_REQUEST,
-                                address, 0)
+                if self._log_enabled:
+                    self._log_event(now, proc, request, RequestPath.NO_REQUEST,
+                                    address, 0)
                 return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
             latency = self._direct_request(proc, request, address, None, now)
-            self.stats.directs[category] += 1
-            self.request_paths[request, RequestPath.DIRECT] += 1
+            self.stats.directs._counts[category] += 1
+            self._request_path_counts[request.rp_base + _DIRECT_I] += 1
             self._note_latency(request, RequestPath.DIRECT, latency)
             self._apply_local_fill(
                 proc, request, address,
-                fill_state=fill_state_for(request, synthetic),
+                fill_state=fill_state_for(request, SNOOP_NOT_SHARED),
                 region_response=None,
                 fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
                 now=now,
             )
-            self._log_event(now, proc, request, RequestPath.DIRECT, address,
-                            latency)
+            if self._log_enabled:
+                self._log_event(now, proc, request, RequestPath.DIRECT,
+                                address, latency)
             return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
 
         # Owner-prediction extension (Section 6): a read into an
@@ -516,25 +767,28 @@ class Machine:
                     targeted.path, targeted.latency + jitter, request
                 )
             # Wrong prediction: pay the probe's round trip, then broadcast.
-            distance = self.topology.processor_distance(proc, predicted_owner)
-            probe_penalty = 2 * self.latency.direct_request_cycles[distance]
+            probe_penalty = 2 * self._direct_to_proc[proc][predicted_owner]
 
         latency = self._broadcast_request(
             proc, request, address, now + probe_penalty,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
+            requestor_region_state=state,
         )
         latency += probe_penalty
-        self.request_paths[request, RequestPath.BROADCAST] += 1
+        self._request_path_counts[request.rp_base + _BROADCAST_I] += 1
         self._note_latency(request, RequestPath.BROADCAST, latency)
-        self._log_event(now, proc, request, RequestPath.BROADCAST, address, latency)
+        if self._log_enabled:
+            self._log_event(now, proc, request, RequestPath.BROADCAST,
+                            address, latency)
         return AccessOutcome(RequestPath.BROADCAST, latency + jitter, request)
 
     def _note_latency(
         self, request: RequestType, path: RequestPath, latency: int
     ) -> None:
-        stat = self.path_latency.get((request, path))
+        index = request.rp_base + path.index
+        stat = self._path_latency_stats[index]
         if stat is None:
-            stat = self.path_latency[(request, path)] = RunningStat()
+            stat = self._path_latency_stats[index] = RunningStat()
         stat.add(latency)
 
     def _direct_request(
@@ -547,9 +801,8 @@ class Machine:
     ) -> int:
         """Send a request straight to the home memory controller."""
         home = entry.home_mc if entry is not None else self.address_map.home_of(address)
-        distance = self.topology.distance(proc, home)
         controller = self.controllers[home]
-        arrive = now + self.latency.direct_request_cycles[distance]
+        arrive = now + self._direct_to_mc[proc][home]
         if request is RequestType.WRITEBACK:
             controller.write_back(self.network.acquire_controller_link(home, arrive))
             return 0  # castouts never stall the processor
@@ -557,7 +810,7 @@ class Machine:
             return 0
         ready = controller.access_direct(arrive)
         start = self.network.acquire_processor_link(proc, ready)
-        done = start + self.latency.transfer_cycles[distance]
+        done = start + self._transfer_to_mc[proc][home]
         return done - now
 
     def _broadcast_request(
@@ -569,46 +822,72 @@ class Machine:
         fill_l1d: bool = False,
         fill_l1i: bool = False,
         l1_writable: bool = False,
+        requestor_region_state: RegionState = RegionState.INVALID,
     ) -> int:
-        """The conventional snooping path, plus region-response handling."""
+        """The conventional snooping path, plus region-response handling.
+
+        ``requestor_region_state`` is the requestor's own RCA state for
+        the address's region, already looked up by the caller (nothing
+        between that lookup and this call can touch the requestor's RCA,
+        so re-probing would read the same entry).
+        """
         node = self.nodes[proc]
-        line = self.geometry.line_of(address)
-        region = self.geometry.region_of(address)
-        category = _CATEGORY_OF[request]
+        line = address >> self._line_shift
+        region = address >> self._region_shift
+        category = request.category_index
 
         grant = self.bus.broadcast(now)
         self.queue_cycles += grant - now
-        snoop_done = grant + self.latency.snoop_cycles
+        snoop_done = grant + self._snoop_cycles
 
-        # Phase 1: line snoops everywhere else. RegionScout nodes first
-        # consult their CRH — a zero count proves non-residence, skipping
-        # the tag probe entirely (the Jetty-style filtering benefit) —
-        # and drop any NSRT claim on the region another node is touching.
-        remote_cached_before = {
-            q.proc_id: q.caches_line(line) for q in self.nodes if q.proc_id != proc
-        }
+        # Who cached the line *before* any snoop mutates L2 state. The
+        # maintained holder bitmask answers in O(1) what used to be a
+        # dict comprehension probing every remote L2 per broadcast.
+        holders_before = self._line_holders.get(line, 0)
+
         responses = []
         remote_region_free = True
-        for other in self.nodes:
-            if other.proc_id == proc:
-                continue
-            if other.regionscout is not None:
-                other.regionscout.nsrt.invalidate(region)
-                if not other.regionscout.crh.may_cache_region(region):
-                    other.regionscout.tag_probes_filtered += 1
-                    responses.append((other.proc_id, LineSnoopResponse()))
+        if self._plain_snoop:
+            # Fast path (no RegionScout/Jetty anywhere): a node whose
+            # holder bit is clear cannot hit — count its tag probe (the
+            # snoop still happens in hardware) and omit its all-zeros
+            # response, which contributes nothing to the combine. The
+            # counters and the combined result are identical to probing.
+            for pid, other, l2 in self._snoop_peers[proc]:
+                if (holders_before >> pid) & 1:
+                    response, wrote_back = other.snoop_line(line, request)
+                    responses.append((pid, response))
+                    if wrote_back:
+                        home = self.address_map.home_of(address)
+                        self.controllers[home].write_back(snoop_done)
+                else:
+                    l2.snoop_probes += 1
+        else:
+            # Phase 1: line snoops everywhere else. RegionScout nodes
+            # first consult their CRH — a zero count proves
+            # non-residence, skipping the tag probe entirely (the
+            # Jetty-style filtering benefit) — and drop any NSRT claim
+            # on the region another node is touching.
+            for other in self.nodes:
+                if other.proc_id == proc:
                     continue
-                remote_region_free = False
-            # Jetty (Section 2): a counting-Bloom proof of absence lets
-            # the node answer the snoop without touching its tags.
-            if other.jetty is not None and not other.jetty.may_cache_line(line):
-                responses.append((other.proc_id, LineSnoopResponse()))
-                continue
-            response, wrote_back = other.snoop_line(line, request)
-            responses.append((other.proc_id, response))
-            if wrote_back:
-                home = self.address_map.home_of(address)
-                self.controllers[home].write_back(snoop_done)
+                if other.regionscout is not None:
+                    other.regionscout.nsrt.invalidate(region)
+                    if not other.regionscout.crh.may_cache_region(region):
+                        other.regionscout.tag_probes_filtered += 1
+                        responses.append((other.proc_id, EMPTY_LINE_RESPONSE))
+                        continue
+                    remote_region_free = False
+                # Jetty (Section 2): a counting-Bloom proof of absence
+                # lets the node answer the snoop without touching its tags.
+                if other.jetty is not None and not other.jetty.may_cache_line(line):
+                    responses.append((other.proc_id, EMPTY_LINE_RESPONSE))
+                    continue
+                response, wrote_back = other.snoop_line(line, request)
+                responses.append((other.proc_id, response))
+                if wrote_back:
+                    home = self.address_map.home_of(address)
+                    self.controllers[home].write_back(snoop_done)
         combined = combine_line_responses(responses)
 
         # RegionScout: a broadcast that found the region in no remote CRH
@@ -622,31 +901,49 @@ class Machine:
 
         # Oracle classification (Figure 2): was this broadcast necessary?
         if self._broadcast_unnecessary(request, combined):
-            self.stats.unnecessary_broadcasts[category] += 1
-        self.stats.broadcasts[category] += 1
+            self.stats.unnecessary_broadcasts._counts[category] += 1
+        self.stats.broadcasts._counts[category] += 1
 
-        # Phase 2: region snoops (CGCT only).
+        # Phase 2: region snoops (CGCT only). Only nodes whose RCA
+        # tracks the region are visited: an untracked observer's
+        # snoop_region is side-effect-free and returns the all-zeros
+        # response — the OR identity — so skipping it is exact.
         region_response: Optional[RegionSnoopResponse] = None
         if node.rca is not None:
-            fills_exclusive = self._requestor_fills_exclusive(request, combined)
-            collected = []
-            for other in self.nodes:
-                if other.proc_id == proc:
-                    continue
-                hint = self._exclusivity_hint(
-                    fills_exclusive, remote_cached_before[other.proc_id]
-                )
-                collected.append(
-                    other.snoop_region(region, request, hint, requestor=proc)
-                )
-            region_response = combine_region_responses(collected)
-            if not self.config.two_bit_response:
-                region_response = region_response.collapsed()
+            remote_trackers = self._region_trackers.get(region, 0) & ~(1 << proc)
+            if remote_trackers:
+                fills_exclusive = self._requestor_fills_exclusive(request, combined)
+                # One observer's hint depends only on whether *it* cached
+                # the line — two possible values, computed once.
+                holder_hint = self._exclusivity_hint(fills_exclusive, True)
+                non_holder_hint = self._exclusivity_hint(fills_exclusive, False)
+                nodes = self.nodes
+                collected = []
+                mask = remote_trackers
+                while mask:
+                    low = mask & -mask
+                    mask ^= low
+                    pid = low.bit_length() - 1
+                    hint = (
+                        holder_hint if (holders_before >> pid) & 1
+                        else non_holder_hint
+                    )
+                    collected.append(
+                        nodes[pid].snoop_region(region, request, hint,
+                                                requestor=proc)
+                    )
+                region_response = combine_region_responses(collected)
+                if not self.config.two_bit_response:
+                    region_response = region_response.collapsed()
+            else:
+                # No remote RCA tracks the region: the combine of zero
+                # responses, collapsed or not, is the all-zeros response.
+                region_response = NO_COPIES
 
         # Latency: supplier cache, memory, or address-only.
         latency = self._broadcast_latency(
             proc, request, address, now, grant, snoop_done, combined,
-            requestor_region_state=self._requestor_region_state(node, region),
+            requestor_region_state=requestor_region_state,
         )
 
         # Section 6: piggyback a region-state prefetch for the adjacent
@@ -692,9 +989,8 @@ class Machine:
         """
         owner = entry.owner_hint
         target = self.nodes[owner]
-        line = self.geometry.line_of(address)
-        region = self.geometry.region_of(address)
-        distance = self.topology.processor_distance(proc, owner)
+        line = address >> self._line_shift
+        region = address >> self._region_shift
         response, _wrote_back = target.snoop_line(line, request)
         if not response.supplied:
             self.targeted_misses += 1
@@ -706,22 +1002,23 @@ class Machine:
             region, request, requestor_fills_exclusive=False, requestor=proc
         )
         latency = (
-            self.latency.direct_request_cycles[distance]
-            + self.latency.cache_access_cycles
-            + self.latency.transfer_cycles[distance]
+            self._direct_to_proc[proc][owner]
+            + self._cache_access_cycles
+            + self._transfer_to_proc[proc][owner]
         )
-        category = _CATEGORY_OF[request]
-        self.stats.directs[category] += 1
-        self.request_paths[request, RequestPath.TARGETED] += 1
+        self.stats.directs._counts[request.category_index] += 1
+        self._request_path_counts[request.rp_base + _TARGETED_I] += 1
         self._note_latency(request, RequestPath.TARGETED, latency)
         self._apply_local_fill(
             proc, request, address,
-            fill_state=fill_state_for(request, SnoopResult(shared=True)),
+            fill_state=fill_state_for(request, SNOOP_SHARED),
             region_response=None,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
             now=now,
         )
-        self._log_event(now, proc, request, RequestPath.TARGETED, address, latency)
+        if self._log_enabled:
+            self._log_event(now, proc, request, RequestPath.TARGETED,
+                            address, latency)
         return AccessOutcome(RequestPath.TARGETED, latency, request)
 
     @staticmethod
@@ -767,20 +1064,18 @@ class Machine:
                 self.dram_speculative_wasted += 1
             else:
                 self.dram_speculation_avoided += 1
-            distance = self.topology.processor_distance(proc, combined.supplier)
-            ready = snoop_done + self.latency.cache_access_cycles
+            ready = snoop_done + self._cache_access_cycles
             start = self.network.acquire_processor_link(proc, ready)
-            done = start + self.latency.transfer_cycles[distance]
+            done = start + self._transfer_to_proc[proc][combined.supplier]
             return done - now
         home = self.address_map.home_of(address)
-        distance = self.topology.distance(proc, home)
         if speculate:
             ready = self.controllers[home].access_snooped(snoop_done)
         else:
             self.dram_speculation_late += 1
             ready = self.controllers[home].access_direct(snoop_done)
         start = self.network.acquire_processor_link(proc, ready)
-        done = start + self.latency.transfer_cycles[distance]
+        done = start + self._transfer_to_mc[proc][home]
         return done - now
 
     def _prefetch_region_state(self, node, region: int) -> None:
@@ -878,8 +1173,8 @@ class Machine:
         now: int,
     ) -> None:
         node = self.nodes[proc]
-        line = self.geometry.line_of(address)
-        region = self.geometry.region_of(address)
+        line = address >> self._line_shift
+        region = address >> self._region_shift
 
         # Region state first: inclusion requires the entry to exist before
         # the L2 fill's allocation callback fires.
@@ -917,21 +1212,20 @@ class Machine:
         """Send a castout to memory: direct when routable, else broadcast."""
         address = writeback.line << self.geometry.line_offset_bits
         if writeback.home_mc is not None:
-            distance = self.topology.distance(proc, writeback.home_mc)
-            arrive = now + self.latency.direct_request_cycles[distance]
+            arrive = now + self._direct_to_mc[proc][writeback.home_mc]
             start = self.network.acquire_controller_link(writeback.home_mc, arrive)
             self.controllers[writeback.home_mc].write_back(start)
-            self.stats.directs[OracleCategory.WRITEBACK] += 1
+            self.stats.directs._counts[_WRITEBACK_C] += 1
             if self._tel_wb_direct is not None:
                 self._tel_wb_direct.inc()
             return
         grant = self.bus.broadcast(now)
-        snoop_done = grant + self.latency.snoop_cycles
+        snoop_done = grant + self._snoop_cycles
         home = self.address_map.home_of(address)
         start = self.network.acquire_controller_link(home, snoop_done)
         self.controllers[home].write_back(start)
-        self.stats.broadcasts[OracleCategory.WRITEBACK] += 1
-        self.stats.unnecessary_broadcasts[OracleCategory.WRITEBACK] += 1
+        self.stats.broadcasts._counts[_WRITEBACK_C] += 1
+        self.stats.unnecessary_broadcasts._counts[_WRITEBACK_C] += 1
         if self._tel_wb_broadcast is not None:
             self._tel_wb_broadcast.inc()
 
@@ -947,6 +1241,7 @@ class Machine:
         registered both ways receives each event once.
         """
         self.event_log = log
+        self._log_enabled = log is not None or self.telemetry is not None
 
     def attach_telemetry(self, registry) -> None:
         """Instrument the whole machine with a telemetry registry.
@@ -973,6 +1268,7 @@ class Machine:
         ``is None`` check per instrumented site, like the event log.
         """
         self.telemetry = registry
+        self._log_enabled = registry is not None or self.event_log is not None
         self._tel_event_metrics = {}
         if registry is None:
             self._tel_demand_hist = None
@@ -1134,8 +1430,8 @@ class Machine:
         self.l1_hits = 0
         self.l2_hits = 0
         self.queue_cycles = 0
-        self.request_paths = Counter()
-        self.path_latency = {}
+        self._request_path_counts = [0] * _NUM_REQUEST_PATHS
+        self._path_latency_stats = [None] * _NUM_REQUEST_PATHS
         self.prefetches_filtered = 0
         self.dram_speculative_started = 0
         self.dram_speculative_wasted = 0

@@ -19,11 +19,32 @@ from repro.cache.l2 import EvictedLine, L2Cache
 from repro.coherence.line_states import LineState
 from repro.coherence.moesi import snoop_transition
 from repro.coherence.requests import RequestType
-from repro.coherence.snoop import LineSnoopResponse
+from repro.coherence.snoop import (
+    CACHED_LINE_RESPONSES,
+    EMPTY_LINE_RESPONSE,
+    LineSnoopResponse,
+)
 from repro.prefetch.stream import StreamPrefetcher
 from repro.rca.array import RegionCoherenceArray, RegionEntry
 from repro.rca.jetty import JettySnoopFilter
 from repro.rca.regionscout import RegionScout
+
+
+#: Line snoops flattened to one table lookup: for every (holder state,
+#: request) the next state, the holder's interned response, and whether
+#: the snoop forces a write-back. Indexed ``[state.index][request.index]``.
+_SNOOP_OUTCOMES = [
+    [
+        (
+            _action.next_state,
+            CACHED_LINE_RESPONSES[_state.is_dirty, _action.supplies_data],
+            _action.writes_back,
+        )
+        for _request in RequestType
+        for _action in (snoop_transition(_state, _request),)
+    ]
+    for _state in LineState
+]
 
 
 def _fan_out(hooks):
@@ -39,7 +60,7 @@ def _fan_out(hooks):
 
     return fan_out
 from repro.rca.protocol import RegionProtocol
-from repro.rca.response import RegionSnoopResponse
+from repro.rca.response import NO_COPIES, RegionSnoopResponse
 from repro.rca.states import RegionState
 from repro.system.config import SystemConfig
 
@@ -207,24 +228,19 @@ class ProcessorNode:
         """
         entry = self.l2.snoop_probe(line)
         if entry is None:
-            return LineSnoopResponse(), False
+            return EMPTY_LINE_RESPONSE, False
         state_before = entry.state
-        action = snoop_transition(state_before, request)
-        if action.next_state is LineState.INVALID:
+        next_state, response, writes_back = (
+            _SNOOP_OUTCOMES[state_before.index][request.index]
+        )
+        if next_state is LineState.INVALID:
             self.l2.invalidate(line)
             self._drop_from_l1s(line)
-        elif action.next_state is not state_before:
-            self.l2.set_state(line, action.next_state)
-            if state_before in (LineState.MODIFIED, LineState.EXCLUSIVE):
+        elif next_state is not state_before:
+            self.l2.set_state(line, next_state)
+            if state_before.can_silently_modify:  # held M or E: L1D demotes
                 self.l1d.downgrade(line)
-        return (
-            LineSnoopResponse(
-                cached=True,
-                dirty=state_before.is_dirty,
-                supplied=action.supplies_data,
-            ),
-            action.writes_back,
-        )
+        return response, writes_back
 
     def caches_line(self, line: int) -> bool:
         """Whether the L2 currently holds *line* (no stats side effects)."""
@@ -250,10 +266,10 @@ class ProcessorNode:
         the region's dirty data.
         """
         if self.rca is None:
-            return RegionSnoopResponse()
+            return NO_COPIES
         entry = self.rca.probe(region)
         if entry is None:
-            return RegionSnoopResponse()
+            return NO_COPIES
         outcome = self.protocol.response_for(entry.state, entry.line_count)
         if outcome.self_invalidate:
             transitions = self.protocol.transitions
@@ -277,10 +293,10 @@ class ProcessorNode:
         downgrades: it only reports what a snoop *would* answer.
         """
         if self.rca is None:
-            return RegionSnoopResponse()
+            return NO_COPIES
         entry = self.rca.probe(region)
         if entry is None or entry.line_count == 0:
-            return RegionSnoopResponse()
+            return NO_COPIES
         return self.protocol.response_for(entry.state, entry.line_count).response
 
     # ------------------------------------------------------------------

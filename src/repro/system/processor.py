@@ -11,7 +11,7 @@ prefetches only their partial-overlap share (see
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, List
 
 from repro.common.errors import SimulationError
 from repro.system.machine import Machine
@@ -29,7 +29,10 @@ class TraceProcessor:
         self.index = 0
         self.stall_cycles = 0
         self.gap_cycles = 0
-        self._dispatch: Dict[int, Callable[[int, int, int], int]] = {
+        # Dispatch is a dense list indexed by the op code (TraceOp values
+        # are contiguous 0..5): one list index instead of an int-keyed
+        # dict hash per operation.
+        handlers = {
             int(TraceOp.LOAD): machine.load,
             int(TraceOp.STORE): machine.store,
             int(TraceOp.IFETCH): machine.ifetch,
@@ -37,16 +40,20 @@ class TraceProcessor:
             int(TraceOp.DCBF): machine.dcbf,
             int(TraceOp.DCBI): machine.dcbi,
         }
+        self._dispatch: List[Callable[[int, int, int], int]] = [
+            handlers[code] for code in range(len(handlers))
+        ]
         # Materialise plain Python lists once: scalar indexing into NumPy
         # arrays inside the hot loop costs ~3x a list index.
         self._ops: List[int] = trace.ops.tolist()
         self._addresses: List[int] = trace.addresses.tolist()
         self._gaps: List[int] = trace.gaps.tolist()
+        self._length = len(self._ops)
 
     @property
     def done(self) -> bool:
         """Whether the trace is exhausted."""
-        return self.index >= len(self._ops)
+        return self.index >= self._length
 
     @property
     def next_time(self) -> int:

@@ -11,6 +11,7 @@ confidence intervals.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -51,8 +52,9 @@ class RunResult:
     # ------------------------------------------------------------------
     @property
     def cycles(self) -> int:
-        """Run time: the last processor to finish defines it."""
-        return max(self.per_processor_cycles)
+        """Run time: the last processor to finish defines it (0 when the
+        workload had no processors)."""
+        return max(self.per_processor_cycles, default=0)
 
     @property
     def total_external_requests(self) -> int:
@@ -116,14 +118,25 @@ class Simulator:
     machine end-to-end and is sampled at every interval boundary as
     simulated time advances. Telemetry only records — the simulated
     machine's behaviour and results are bit-identical with or without it.
+
+    ``scheduler`` selects the event-ordering implementation: ``"heap"``
+    (the default, O(log P) per operation) or ``"linear"`` (the original
+    O(P) ``min()`` scan). Both produce bit-identical results; the linear
+    scheduler exists as the reference for the equivalence tests.
     """
 
     def __init__(
-        self, config: SystemConfig, seed: int = 0, telemetry=None
+        self, config: SystemConfig, seed: int = 0, telemetry=None,
+        scheduler: str = "heap",
     ) -> None:
+        if scheduler not in ("heap", "linear"):
+            raise SimulationError(
+                f"scheduler must be 'heap' or 'linear', got {scheduler!r}"
+            )
         self.config = config
         self.seed = seed
         self.telemetry = telemetry
+        self.scheduler = scheduler
         self.machine = Machine(config, seed=seed)
         if telemetry is not None:
             self.machine.attach_telemetry(telemetry)
@@ -161,7 +174,7 @@ class Simulator:
             targets = [int(len(p.trace) * warmup_fraction) for p in processors]
             self._run_until(processors, targets)
             self.machine.reset_stats()
-            measure_from = max(p.clock for p in processors)
+            measure_from = max((p.clock for p in processors), default=0)
             if self.telemetry is not None:
                 # reset_stats already zeroed/rebaselined the metrics;
                 # align the next interval sample past the warmup clock so
@@ -177,7 +190,65 @@ class Simulator:
     def _run_until(
         self, processors: List[TraceProcessor], targets: List[int]
     ) -> None:
-        """Step processors in timestamp order until each reaches its target."""
+        """Step processors in timestamp order until each reaches its target.
+
+        A binary heap keyed ``(next_time, proc_id)`` yields the earliest
+        next issue time, ties broken by lowest processor ID — exactly the
+        order a linear ``min()`` scan over an ID-ordered list produces
+        (and :meth:`_run_until_linear` still does, as the reference the
+        equivalence tests check against). The heap is sound because a
+        processor's ``next_time`` only changes when *that* processor
+        steps: every entry's key is current when it is popped, so no
+        re-keying or lazy invalidation is needed. O(log P) per operation
+        instead of O(P).
+        """
+        if self.scheduler == "linear":
+            self._run_until_linear(processors, targets)
+            return
+        telemetry = self.telemetry
+        heap = [
+            (p.next_time, p.proc_id, p)
+            for p in processors if p.index < targets[p.proc_id]
+        ]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        # The re-push key is next_time inlined (clock + gap of the next
+        # op) and the continue check is ``index < target`` alone: targets
+        # never exceed trace length, so the ``done`` test is subsumed.
+        if telemetry is None:
+            while heap:
+                _, proc_id, soonest = heappop(heap)
+                soonest.step()
+                i = soonest.index
+                if i < targets[proc_id]:
+                    heappush(
+                        heap,
+                        (soonest.clock + soonest._gaps[i], proc_id, soonest),
+                    )
+            return
+        # Telemetry variant: identical stepping (telemetry must never
+        # perturb the simulation), plus interval sampling. Issue times
+        # are non-decreasing, so sampling when the next issue crosses a
+        # boundary captures exactly the events of the closed window.
+        next_sample = telemetry.next_sample_time
+        while heap:
+            issue_time, proc_id, soonest = heappop(heap)
+            if issue_time >= next_sample:
+                telemetry.maybe_sample(issue_time)
+                next_sample = telemetry.next_sample_time
+            soonest.step()
+            i = soonest.index
+            if i < targets[proc_id]:
+                heappush(
+                    heap,
+                    (soonest.clock + soonest._gaps[i], proc_id, soonest),
+                )
+
+    def _run_until_linear(
+        self, processors: List[TraceProcessor], targets: List[int]
+    ) -> None:
+        """The original O(P)-per-step scheduler, kept as the reference
+        implementation for the heap-equivalence tests."""
         telemetry = self.telemetry
         active = [p for p in processors if p.index < targets[p.proc_id]]
         if telemetry is None:
@@ -189,10 +260,6 @@ class Simulator:
                 if soonest.done or soonest.index >= targets[soonest.proc_id]:
                     active.remove(soonest)
             return
-        # Telemetry variant: identical stepping (telemetry must never
-        # perturb the simulation), plus interval sampling. Issue times
-        # are non-decreasing, so sampling when the next issue crosses a
-        # boundary captures exactly the events of the closed window.
         next_sample = telemetry.next_sample_time
         while active:
             soonest = min(active, key=lambda p: p.next_time)
@@ -219,7 +286,9 @@ class Simulator:
         rca_allocs = 0
         if self.config.cgct_enabled:
             line_counts = [n.rca.mean_line_count() for n in machine.nodes]
-            rca_mean = sum(line_counts) / len(line_counts)
+            rca_mean = (
+                sum(line_counts) / len(line_counts) if line_counts else 0.0
+            )
             total_evictions = sum(
                 sum(n.rca.eviction_line_counts.values()) for n in machine.nodes
             )

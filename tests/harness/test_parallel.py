@@ -65,6 +65,28 @@ def test_parallel_matches_serial_bit_for_bit():
     assert serial == four
 
 
+def test_parallel_matches_serial_at_16_processors():
+    # The scaling machine: 16 snoopers make grant-order tie-breaks (and
+    # the heap scheduler behind them) far busier than the 4p grid above.
+    from dataclasses import replace
+
+    from repro.interconnect.topology import Topology
+
+    topology = Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=2)
+    tasks = [
+        ExperimentTask(name, replace(config, topology=topology), 300,
+                       seed=seed, warmup_fraction=0.0)
+        for name in ("barnes", "ocean")
+        for config in (SystemConfig.paper_baseline(),
+                       SystemConfig.paper_cgct(512))
+        for seed in (0, 1)
+    ]
+    serial = ParallelRunner(workers=0).run(tasks)
+    fanned = ParallelRunner(workers=4).run(tasks)
+    assert serial == fanned
+
+
 def test_cache_replay_is_identical_and_simulates_nothing(tmp_path):
     tasks = grid_tasks(seeds=(0,))  # 4 cells
     disk = DiskCache(tmp_path / "cache")

@@ -1,0 +1,167 @@
+"""Perf benchmark suite: configs, measurement payloads, and the CI gate.
+
+The measurement itself is timed wall-clock and therefore not asserted on
+(host speed is not a test invariant); everything around it is — config
+construction, payload shape, fingerprint determinism, the speedup
+attachment, and both failure modes of ``check_against``.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.harness.perfbench import (
+    PERF_CONFIGS,
+    attach_reference,
+    bench_config,
+    check_against,
+    host_metadata,
+    measure_config,
+    perf_command,
+    render,
+    run_suite,
+)
+
+
+class TestConfigs:
+    def test_canonical_points_cover_4_8_16(self):
+        assert [(p, c) for _, p, c in PERF_CONFIGS] == [
+            (4, False), (4, True), (8, False), (8, True),
+            (16, False), (16, True),
+        ]
+
+    @pytest.mark.parametrize("name,processors,cgct", PERF_CONFIGS)
+    def test_bench_config_matches_its_point(self, name, processors, cgct):
+        config = bench_config(name)
+        assert config.num_processors == processors
+        assert config.cgct_enabled == cgct
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            bench_config("2p-baseline")
+
+    def test_host_metadata_fields(self):
+        host = host_metadata()
+        assert host["python"]
+        assert host["cpu_count"] >= 1
+
+
+class TestMeasurement:
+    def test_cell_shape_and_fingerprint_determinism(self):
+        a = measure_config("4p-cgct", 400, repeats=1)
+        b = measure_config("4p-cgct", 400, repeats=1)
+        assert a["processors"] == 4
+        assert a["mode"] == "cgct"
+        assert a["simulated_ops"] == 4 * 400
+        assert a["wall_s"] > 0
+        assert a["ops_per_host_second"] > 0
+        # Wall time is host noise; the simulated behaviour is not.
+        assert a["fingerprint"] == b["fingerprint"]
+        assert a["fingerprint"]["cycles"] > 0
+
+    def test_run_suite_payload(self):
+        payload = run_suite(ops_per_processor=300, repeats=1,
+                            configs=["4p-baseline", "4p-cgct"])
+        assert set(payload["configs"]) == {"4p-baseline", "4p-cgct"}
+        assert payload["suite"]["ops_per_processor"] == 300
+        assert payload["host"]["python"]
+        assert "speedup" not in payload
+
+    def test_run_suite_rejects_unknown_config(self):
+        with pytest.raises(ValueError):
+            run_suite(ops_per_processor=300, configs=["nope"])
+
+
+def fake_payload(rate=1000.0, cycles=123):
+    return {
+        "suite": {"workload": "barnes", "ops_per_processor": 300,
+                  "seed": 0, "warmup_fraction": 0.0, "repeats": 1},
+        "configs": {
+            "4p-cgct": {
+                "processors": 4, "mode": "cgct", "simulated_ops": 1200,
+                "wall_s": 1.2, "ops_per_host_second": rate,
+                "fingerprint": {"cycles": cycles, "broadcasts": 7},
+            },
+        },
+    }
+
+
+class TestCheckAgainst:
+    def test_identical_measurement_passes(self):
+        payload = fake_payload()
+        assert check_against(payload, copy.deepcopy(payload)) == []
+
+    def test_faster_run_passes(self):
+        assert check_against(fake_payload(rate=2000.0), fake_payload()) == []
+
+    def test_throughput_regression_fails(self):
+        failures = check_against(fake_payload(rate=700.0), fake_payload(),
+                                 threshold=0.25)
+        assert len(failures) == 1
+        assert "4p-cgct" in failures[0]
+
+    def test_regression_inside_threshold_passes(self):
+        assert check_against(fake_payload(rate=800.0), fake_payload(),
+                             threshold=0.25) == []
+
+    def test_fingerprint_mismatch_fails_even_when_fast(self):
+        failures = check_against(fake_payload(rate=9000.0, cycles=999),
+                                 fake_payload())
+        assert len(failures) == 1
+        assert "fingerprint" in failures[0]
+
+    def test_fingerprint_not_compared_across_suite_params(self):
+        baseline = fake_payload(cycles=999)
+        baseline["suite"]["ops_per_processor"] = 600
+        assert check_against(fake_payload(), baseline) == []
+
+    def test_configs_missing_from_baseline_are_skipped(self):
+        baseline = fake_payload()
+        del baseline["configs"]["4p-cgct"]
+        assert check_against(fake_payload(rate=1.0), baseline) == []
+
+
+class TestReferenceAndRender:
+    def test_attach_reference_computes_speedup(self):
+        payload = fake_payload(rate=3000.0)
+        attach_reference(payload, fake_payload(rate=1000.0))
+        assert payload["speedup"]["4p-cgct"] == 3.0
+        assert payload["reference"]["configs"]["4p-cgct"][
+            "ops_per_host_second"] == 1000.0
+
+    def test_render_mentions_every_config(self):
+        payload = fake_payload()
+        attach_reference(payload, fake_payload(rate=500.0))
+        table = render(payload)
+        assert "4p-cgct" in table
+        assert "2.00x" in table
+
+
+class TestCommand:
+    def test_quick_run_writes_payload_and_checks_itself(self, tmp_path,
+                                                        capsys):
+        out = tmp_path / "BENCH_core.json"
+        assert perf_command([
+            "--quick", "--ops", "200", "--configs", "4p-cgct",
+            "--output", str(out),
+        ]) == 0
+        payload = json.loads(out.read_text())
+        # --quick overrides --ops down to its fixed smoke size.
+        assert payload["suite"]["ops_per_processor"] == 3000
+        assert "4p-cgct" in payload["configs"]
+        assert perf_command([
+            "--quick", "--configs", "4p-cgct", "--no-write",
+            "--check", str(out), "--threshold", "0.9",
+        ]) == 0
+
+    def test_check_exits_nonzero_on_regression(self, tmp_path, capsys):
+        baseline = fake_payload(rate=10_000_000.0)
+        baseline["suite"]["ops_per_processor"] = 3000
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        assert perf_command([
+            "--quick", "--configs", "4p-cgct", "--no-write",
+            "--check", str(path),
+        ]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err

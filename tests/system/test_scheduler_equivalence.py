@@ -1,0 +1,144 @@
+"""Heap scheduler ≡ linear scheduler, bit for bit.
+
+The hot-path overhaul replaced the run loop's O(P) ``min()`` scan with a
+heap keyed ``(next_time, proc_id)``. The original scan is kept as
+``scheduler="linear"`` precisely so these tests can assert the two
+orderings are indistinguishable — same cycles, same stats, same latency
+distributions — on hand-built traces, on randomized traces, and at 16
+processors where tie-breaks actually matter.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect.topology import Topology
+from repro.system.simulator import Simulator
+from repro.telemetry.registry import TelemetryRegistry
+from repro.workloads.benchmarks import build_benchmark
+from repro.workloads.trace import TraceOp
+
+from tests.conftest import loads, make_config, multitrace
+
+
+def run_with(scheduler, config, workload, seed=0, telemetry=False):
+    registry = TelemetryRegistry(interval=5_000) if telemetry else None
+    simulator = Simulator(
+        config, seed=seed, telemetry=registry, scheduler=scheduler
+    )
+    result = simulator.run(workload)
+    return simulator, result
+
+
+def assert_equivalent(config, workload, seed=0, telemetry=False):
+    """Run both schedulers and compare everything observable."""
+    heap_sim, heap = run_with("heap", config, workload, seed, telemetry)
+    linear_sim, linear = run_with("linear", config, workload, seed, telemetry)
+    assert heap.per_processor_cycles == linear.per_processor_cycles
+    assert heap.per_processor_stalls == linear.per_processor_stalls
+    assert heap.per_processor_gaps == linear.per_processor_gaps
+    assert heap.stats == linear.stats
+    assert heap.broadcasts == linear.broadcasts
+    assert heap.l1_hits == linear.l1_hits
+    assert heap.l2_hits == linear.l2_hits
+    assert heap.l2_misses == linear.l2_misses
+    assert heap.demand_latency_mean == linear.demand_latency_mean
+    assert heap.bus_queue_cycles == linear.bus_queue_cycles
+    assert heap.rca_allocations == linear.rca_allocations
+    assert heap.rca_self_invalidations == linear.rca_self_invalidations
+    assert heap_sim.machine.request_paths == linear_sim.machine.request_paths
+    heap_lat = {
+        key: (s.count, s.mean, s.minimum, s.maximum)
+        for key, s in heap_sim.machine.path_latency.items()
+    }
+    linear_lat = {
+        key: (s.count, s.mean, s.minimum, s.maximum)
+        for key, s in linear_sim.machine.path_latency.items()
+    }
+    assert heap_lat == linear_lat
+
+
+def contended_workload(procs=4, lines=24):
+    """Every processor walks the same lines with staggered gaps, so grant
+    order constantly interleaves and exercises the tie-break."""
+    per_proc = []
+    for proc in range(procs):
+        addresses = [0x40000 + i * 64 for i in range(lines)]
+        per_proc.append(loads(addresses, gap=3 + proc))
+    return multitrace(per_proc)
+
+
+class TestSchedulerEquivalence:
+    def test_contended_trace(self):
+        assert_equivalent(make_config(cgct=True), contended_workload())
+
+    def test_baseline_machine(self):
+        assert_equivalent(make_config(cgct=False), contended_workload())
+
+    def test_with_telemetry(self):
+        assert_equivalent(
+            make_config(cgct=True), contended_workload(), telemetry=True
+        )
+
+    def test_with_timing_perturbation(self):
+        # Perturbation draws from the per-run RNG; identical draws in both
+        # schedulers prove the event *order* (which drives RNG consumption
+        # order) is the same, not just the totals.
+        config = make_config(cgct=True, perturbation=20)
+        for seed in (0, 1, 2):
+            assert_equivalent(config, contended_workload(), seed=seed)
+
+    def test_simultaneous_ready_times_break_by_proc_id(self):
+        # All processors become ready at exactly the same cycle: the only
+        # thing ordering them is the proc-id tie-break.
+        per_proc = [[(TraceOp.LOAD, 0x8000, 10)] * 6 for _ in range(4)]
+        assert_equivalent(make_config(cgct=True), multitrace(per_proc))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from([TraceOp.LOAD, TraceOp.STORE]),
+                    st.integers(min_value=0, max_value=0x7FFF).map(
+                        lambda a: a * 64
+                    ),
+                    st.integers(min_value=0, max_value=12),
+                ),
+                min_size=1,
+                max_size=30,
+            ),
+            min_size=4,
+            max_size=4,
+        ),
+        seed=st.integers(min_value=0, max_value=7),
+        cgct=st.booleans(),
+    )
+    def test_randomized_traces(self, data, seed, cgct):
+        config = make_config(cgct=cgct, perturbation=8)
+        assert_equivalent(config, multitrace(data), seed=seed)
+
+
+class TestSixteenProcessorDeterminism:
+    """Serial determinism of the 16p scaling machine, both schedulers."""
+
+    TOPOLOGY = Topology(
+        cores_per_chip=2, chips_per_switch=2, switches_per_board=2, boards=2
+    )
+
+    def workload(self):
+        return build_benchmark(
+            "barnes", num_processors=16, ops_per_processor=300, seed=0
+        )
+
+    def test_heap_equals_linear_at_16p(self):
+        config = make_config(cgct=True, topology=self.TOPOLOGY)
+        assert_equivalent(config, self.workload(), seed=3)
+
+    def test_repeat_runs_identical_at_16p(self):
+        config = make_config(cgct=True, topology=self.TOPOLOGY)
+        workload = self.workload()
+        _, a = run_with("heap", config, workload, seed=3)
+        _, b = run_with("heap", config, workload, seed=3)
+        assert a.per_processor_cycles == b.per_processor_cycles
+        assert a.stats == b.stats
+        assert a.broadcasts == b.broadcasts

@@ -48,6 +48,43 @@ class TestRunLoop:
         assert sim.machine.stats.total_broadcasts == 4
 
 
+class TestDegenerateWorkloads:
+    """Empty traces must produce a zero result, not a crash.
+
+    Regression tests for the run loop's empty-sequence guards: ``cycles``
+    over no per-processor clocks, ``_collect``'s end time, and the warmup
+    target of a zero-length trace all reduce over empty sequences.
+    """
+
+    def test_empty_traces_complete_with_zero_cycles(self):
+        workload = multitrace([[], [], [], []])
+        result = run_workload(make_config(cgct=True), workload)
+        assert result.cycles == 0
+        assert result.stats.total_external == 0
+        assert result.per_processor_cycles == [0, 0, 0, 0]
+
+    def test_empty_traces_with_warmup_and_telemetry(self):
+        from repro.telemetry.registry import TelemetryRegistry
+
+        workload = multitrace([[], [], [], []])
+        result = run_workload(
+            make_config(cgct=False), workload, warmup_fraction=0.5,
+            telemetry=TelemetryRegistry(),
+        )
+        assert result.cycles == 0
+
+    def test_cycles_of_zero_processor_result_is_zero(self):
+        from dataclasses import replace
+
+        workload = four_proc_workload(lines_per_proc=2)
+        result = run_workload(make_config(cgct=False), workload)
+        empty = replace(
+            result, per_processor_cycles=[], per_processor_stalls=[],
+            per_processor_gaps=[],
+        )
+        assert empty.cycles == 0
+
+
 class TestDeterminism:
     def test_same_seed_bitwise_identical(self):
         workload = four_proc_workload()
