@@ -11,7 +11,8 @@ without the cache knowing anything about regions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from itertools import chain
+from typing import Callable, List, Optional, Tuple
 
 from repro.cache.setassoc import SetAssociativeArray
 from repro.coherence.line_states import LineState
@@ -238,6 +239,27 @@ class L2Cache:
         """Yield ``(line, state)`` for every resident line."""
         for _set_index, _tag, entry in self._array:
             yield entry.line, entry.state
+
+    def resident_items(self) -> List[Tuple[int, LineState]]:
+        """Every resident ``(line, state)`` as a list, in one pass.
+
+        The bulk form of :meth:`resident_lines` — exhaustive auditors
+        walk every L2 every trigger. ``map``/``chain`` keep the sweep
+        over the (mostly empty) backing sets in C; only actual entries
+        reach the Python-level comprehension.
+        """
+        return [(entry.line, entry.state) for entry in self.iter_entries()]
+
+    def iter_entries(self):
+        """Iterate every resident :class:`L2Line`, C-speed over the sets.
+
+        ``filter(None, ...)`` drops the empty sets before ``values()``
+        view objects are even created — with thousands of sets and a few
+        hundred resident lines, the empty-set sweep is the real cost.
+        """
+        return chain.from_iterable(
+            map(dict.values, filter(None, self._sets))
+        )
 
     def attach_telemetry(self, registry) -> None:
         """Register interval probes over this cache's counters.

@@ -5,8 +5,12 @@
 * :mod:`repro.harness.cache` — on-disk, content-addressed result store
   (configuration + workload + code version), so repeated invocations
   only execute changed cells.
-* :mod:`repro.harness.parallel` — process-pool experiment runner with
-  retry-once semantics; bit-identical to serial execution.
+* :mod:`repro.harness.parallel` — supervised process-pool experiment
+  runner (heartbeats, timeouts, taxonomy-routed retries, checkpoint /
+  resume); bit-identical to serial execution.
+* :mod:`repro.harness.supervisor` — the fault-isolating pool itself,
+  plus :class:`RetryPolicy`, :class:`CircuitBreaker` and
+  :class:`SweepCheckpoint` (see ``docs/robustness.md``).
 * :mod:`repro.harness.runlog` — JSON-lines per-run observability
   (wall time, cache hit/miss, worker, peak RSS, failures).
 * :mod:`repro.harness.render` — plain-text table/bar rendering.
@@ -37,18 +41,28 @@ from repro.harness.parallel import (
     warm_cache,
 )
 from repro.harness.render import render_table
+from repro.harness.supervisor import (
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedPool,
+    SweepCheckpoint,
+)
 from repro.harness.runcache import RunCache
 from repro.harness.runlog import RunLog, read_runlog, summarize
 
 __all__ = [
     "EXPERIMENTS",
+    "CircuitBreaker",
     "DiskCache",
     "ExperimentResult",
     "ExperimentTask",
     "ParallelRunner",
     "RunCache",
+    "RetryPolicy",
     "RunLog",
     "RunOptions",
+    "SupervisedPool",
+    "SweepCheckpoint",
     "cache_key",
     "code_version",
     "experiment_tasks",

@@ -35,6 +35,15 @@ trace dump (``--trace-dump``).
 The ``perf`` subcommand benchmarks the simulation core itself —
 simulated ops per host second across the canonical 4/8/16-processor
 configs — and writes ``BENCH_core.json`` (see ``docs/performance.md``).
+
+Robustness (see ``docs/robustness.md``): ``--check-invariants
+{sampled,deep}`` audits every *executed* simulation with the runtime
+coherence sanitizer (a violation aborts the run and writes a
+diagnostics bundle); ``--task-timeout`` bounds each parallel cell's
+wall clock; ``--checkpoint PATH`` makes interrupted sweeps resumable
+from the result cache, bit-identically. The ``validate`` subcommand
+runs the sanitizer matrix directly — every requested workload ×
+machine configuration under sampled or deep auditing.
 """
 
 from __future__ import annotations
@@ -146,11 +155,120 @@ def _telemetry_command(argv) -> int:
     return 0
 
 
+def _validate_command(argv) -> int:
+    """``python -m repro.harness validate [...]``.
+
+    Runs the coherence-invariant sanitizer over a workload ×
+    configuration matrix — by default every registered benchmark on all
+    six canonical machine points (4/8/16 processors × baseline/CGCT).
+    Exit 0 means every cell passed every audit; a violation prints the
+    diagnostics-bundle path and the command exits 1 after finishing the
+    remaining cells.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness validate",
+        description="Audit simulations against the paper's coherence "
+                    "invariants (single owner, shared implies no remote "
+                    "M, Table 1 region-state consistency).",
+    )
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="workloads to audit (default: all registered)")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        help="machine points to audit, by perf-config name "
+                             "(default: all of 4p/8p/16p × baseline/cgct)")
+    parser.add_argument("--mode", choices=("sampled", "deep"),
+                        default="deep",
+                        help="sampled = rotating subset every 4096 events; "
+                             "deep = exhaustive every 256 events "
+                             "(default deep — this is a debugging tool)")
+    parser.add_argument("--ops", type=int, default=4_000,
+                        help="memory operations per processor "
+                             "(default 4000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="perturbation seed (default 0)")
+    parser.add_argument("--warmup", type=float, default=0.4,
+                        help="warm-up fraction (default 0.4)")
+    parser.add_argument("--bundle-dir", metavar="DIR", default="diagnostics",
+                        help="where violation bundles are written "
+                             "(default diagnostics/)")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append one JSON-lines record per audited "
+                             "cell to PATH")
+    args = parser.parse_args(argv)
+
+    from repro.common.errors import InvariantViolation
+    from repro.harness.perfbench import PERF_CONFIGS, bench_config
+    from repro.system.simulator import Simulator
+    from repro.validate.sanitizer import CoherenceSanitizer
+    from repro.workloads.benchmarks import BENCHMARKS, build_benchmark
+
+    benchmarks = args.benchmarks or sorted(BENCHMARKS)
+    config_names = args.configs or [n for n, _, _ in PERF_CONFIGS]
+    configs = {name: bench_config(name) for name in config_names}
+
+    runlog = RunLog(args.runlog) if args.runlog else None
+    traces = {}
+    failed = []
+    started = time.time()
+    try:
+        for benchmark in benchmarks:
+            for name, config in configs.items():
+                trace_key = (benchmark, config.num_processors)
+                if trace_key not in traces:
+                    traces[trace_key] = build_benchmark(
+                        benchmark, num_processors=config.num_processors,
+                        ops_per_processor=args.ops, seed=0,
+                    )
+                sanitizer = CoherenceSanitizer(
+                    mode=args.mode, bundle_dir=args.bundle_dir,
+                )
+                simulator = Simulator(config, seed=args.seed,
+                                      sanitizer=sanitizer)
+                cell = f"{benchmark}/{name}"
+                try:
+                    simulator.run(traces[trace_key],
+                                  warmup_fraction=args.warmup)
+                except InvariantViolation as exc:
+                    failed.append(cell)
+                    print(f"FAIL {cell}: {exc}")
+                    if runlog is not None:
+                        runlog.record(
+                            "validate", cell=cell, mode=args.mode,
+                            status="violation", error=str(exc),
+                            bundle=(str(exc.bundle_path)
+                                    if exc.bundle_path else None),
+                            violations=list(exc.violations),
+                        )
+                else:
+                    print(f"ok   {cell} ({args.mode}: "
+                          f"{sanitizer.checks} audits, "
+                          f"{sanitizer.lines_checked} line and "
+                          f"{sanitizer.regions_checked} region checks)")
+                    if runlog is not None:
+                        runlog.record(
+                            "validate", cell=cell, mode=args.mode,
+                            status="ok", checks=sanitizer.checks,
+                            lines_checked=sanitizer.lines_checked,
+                            regions_checked=sanitizer.regions_checked,
+                        )
+    finally:
+        if runlog is not None:
+            runlog.close()
+    cells = len(benchmarks) * len(configs)
+    verdict = (f"{len(failed)} of {cells} cells FAILED" if failed
+               else f"all {cells} cells clean")
+    print(f"[validate {args.mode}: {verdict} in "
+          f"{time.time() - started:.1f}s]")
+    return 1 if failed else 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "telemetry":
         return _telemetry_command(argv[1:])
+    if argv and argv[0] == "validate":
+        return _validate_command(argv[1:])
     if argv and argv[0] == "perf":
         from repro.harness.perfbench import perf_command
 
@@ -185,6 +303,20 @@ def main(argv=None) -> int:
                         help="bypass the on-disk result cache entirely")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append per-simulation JSON-lines records to PATH")
+    parser.add_argument("--check-invariants", choices=("sampled", "deep"),
+                        default="", dest="check_invariants",
+                        help="audit every executed simulation with the "
+                             "runtime coherence sanitizer (cache hits were "
+                             "audited when first computed; see "
+                             "docs/robustness.md)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per parallel cell; a worker "
+                             "past it is killed and the cell retried")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="record per-cell completion at PATH so an "
+                             "interrupted sweep resumes from the result "
+                             "cache (requires the cache; bit-identical)")
     parser.add_argument("--telemetry", action="store_true",
                         help="instrument every executed simulation and "
                              "export the merged metrics (forces serial; "
@@ -221,6 +353,11 @@ def main(argv=None) -> int:
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     disk = None if args.no_cache else DiskCache(args.cache_dir)
     cache = RunCache(disk=disk)
+    if args.check_invariants:
+        from repro.validate.sanitizer import CoherenceSanitizer
+
+        mode = args.check_invariants
+        cache.sanitizer_factory = lambda: CoherenceSanitizer(mode=mode)
     profiler = None
     if args.telemetry:
         from repro.telemetry import Profiler, TelemetryRegistry
@@ -233,12 +370,20 @@ def main(argv=None) -> int:
             print("[--telemetry runs serially: worker processes cannot "
                   "hand registries back]")
     runlog = RunLog(args.runlog) if args.runlog else None
+    checkpoint = None
+    if args.checkpoint:
+        from repro.harness.supervisor import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(args.checkpoint)
     try:
-        if (args.workers > 1 or runlog is not None) and not args.telemetry:
+        if (args.workers > 1 or runlog is not None
+                or checkpoint is not None) and not args.telemetry:
             # Execute the whole grid up-front (in parallel when asked);
             # the per-experiment rendering below then runs from cache.
             warm_cache(wanted, options, cache, workers=args.workers,
-                       runlog=runlog)
+                       runlog=runlog, task_timeout=args.task_timeout,
+                       checkpoint=checkpoint,
+                       check_invariants=args.check_invariants)
         results = []
         for experiment_id in wanted:
             started = time.time()

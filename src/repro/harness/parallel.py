@@ -8,15 +8,28 @@ module fans that grid out across worker processes:
   (benchmark, configuration, trace length, seeds, warm-up). Tasks are
   frozen and hashable, so grids de-duplicate naturally.
 * :class:`ParallelRunner` — executes a task list through a
-  ``ProcessPoolExecutor`` (or serially with ``workers <= 1``, the
-  determinism oracle), consulting an optional :class:`DiskCache` and
-  appending per-cell records to an optional :class:`RunLog`. A task
-  whose worker raises — or whose worker process dies — is retried once
-  (``retries=1``) before the failure is surfaced.
+  :class:`~repro.harness.supervisor.SupervisedPool` (or serially with
+  ``workers <= 1``, the determinism oracle), consulting an optional
+  :class:`DiskCache` and appending per-cell records to an optional
+  :class:`RunLog`.
 * :func:`experiment_tasks` / :func:`warm_cache` — enumerate every
   simulation the registered paper experiments will request and run them
   up-front, preloading a :class:`RunCache` so the experiment functions
   themselves execute entirely from memory.
+
+Fault tolerance
+---------------
+Failures route through the taxonomy in :mod:`repro.common.errors`:
+*transient* failures (worker death, hang past the per-task timeout, OS
+pressure) are retried up to ``retries`` times with the
+:class:`~repro.harness.supervisor.RetryPolicy`'s exponential backoff,
+while *deterministic* failures (simulation bugs — guaranteed to recur on
+the bit-identical rerun) are quarantined immediately and never retried.
+Repeated pool-level faults trip the circuit breaker, after which the
+remaining cells degrade gracefully to serial in-process execution. An
+optional :class:`~repro.harness.supervisor.SweepCheckpoint` records
+per-cell completion so an interrupted sweep resumes from the result
+cache, bit-identical to an uninterrupted run.
 
 Determinism contract
 --------------------
@@ -26,7 +39,7 @@ replicate seeds are derived with :func:`repro.common.rng.derive_seed`
 (see :func:`replicated_tasks`) rather than drawn from any shared RNG.
 Workers share no state and results are returned in task order, so the
 parallel runner is bit-identical to serial execution regardless of
-worker count or scheduling.
+worker count, scheduling, retries, or resume.
 
 Worker processes are forked where the platform allows (inheriting the
 already-imported library); on platforms without ``fork`` the default
@@ -36,26 +49,30 @@ be importable by name.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import time
 import traceback
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 try:  # Unix-only; peak-RSS reporting degrades to 0 elsewhere.
     import resource
 except ImportError:  # pragma: no cover
     resource = None
 
-from repro.common.errors import SimulationError
+from repro.common.errors import FailureClass, SimulationError, classify_failure
 from repro.common.rng import derive_seed
 from repro.harness.cache import DiskCache, cache_key, code_version, \
     config_fingerprint
 from repro.harness.runcache import RunCache
 from repro.harness.runlog import RunLog
+from repro.harness.supervisor import (
+    CircuitBreaker,
+    RetryPolicy,
+    SupervisedPool,
+    SweepCheckpoint,
+    TaskFailure,
+)
 from repro.system.config import SystemConfig
 from repro.system.simulator import RunResult, run_workload
 from repro.workloads.benchmarks import build_benchmark
@@ -65,13 +82,6 @@ def _peak_rss_kb() -> int:
     if resource is None:  # pragma: no cover
         return 0
     return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
-
-
-def _mp_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover
-        return multiprocessing.get_context()
 
 
 # ----------------------------------------------------------------------
@@ -122,8 +132,13 @@ class ExperimentTask:
             "config": config_fingerprint(config),
         }
 
-    def execute(self) -> RunResult:
-        """Build the trace and run the simulation for this cell."""
+    def execute(self, sanitizer=None) -> RunResult:
+        """Build the trace and run the simulation for this cell.
+
+        ``sanitizer`` (a
+        :class:`~repro.validate.sanitizer.CoherenceSanitizer`) audits
+        the run; results are bit-identical with or without it.
+        """
         workload = build_benchmark(
             self.benchmark,
             num_processors=self.config.num_processors,
@@ -131,7 +146,8 @@ class ExperimentTask:
             ops_per_processor=self.ops_per_processor,
         )
         return run_workload(self.config, workload, seed=self.seed,
-                            warmup_fraction=self.warmup_fraction)
+                            warmup_fraction=self.warmup_fraction,
+                            sanitizer=sanitizer)
 
 
 def replicated_tasks(
@@ -164,12 +180,19 @@ def replicated_tasks(
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class _Envelope:
-    """A task plus everything a worker needs to execute it."""
+    """A task plus everything a worker needs to execute it.
+
+    ``check_invariants`` ("" | "sampled" | "deep") rides on the envelope
+    rather than the task: the sanitizer never changes results, so
+    sanitized and unsanitized runs share cache keys — and, like
+    telemetry, cache hits skip the audit.
+    """
 
     index: int
     task: ExperimentTask
     cache_dir: Optional[str]
     code_version: Optional[str]
+    check_invariants: str = ""
 
 
 @dataclass
@@ -202,7 +225,12 @@ def execute_envelope(envelope: _Envelope) -> TaskOutcome:
         result = disk.load(key)
         status = "hit" if result is not None else "miss"
     if result is None:
-        result = task.execute()
+        sanitizer = None
+        if envelope.check_invariants:
+            from repro.validate.sanitizer import CoherenceSanitizer
+
+            sanitizer = CoherenceSanitizer(mode=envelope.check_invariants)
+        result = task.execute(sanitizer=sanitizer)
         if disk is not None:
             disk.store(key, result, metadata=task.describe())
     return TaskOutcome(
@@ -215,11 +243,23 @@ def execute_envelope(envelope: _Envelope) -> TaskOutcome:
     )
 
 
+def _failure_from_exception(index: int, exc: BaseException) -> TaskFailure:
+    return TaskFailure(
+        index=index,
+        kind="exception",
+        exc_type=type(exc).__name__,
+        message=str(exc),
+        traceback="".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__)),
+        failure_class=classify_failure(exc),
+    )
+
+
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
 class ParallelRunner:
-    """Executes experiment tasks across processes, with retry-once.
+    """Executes experiment tasks across supervised processes.
 
     Parameters
     ----------
@@ -233,15 +273,34 @@ class ParallelRunner:
         sweep-start/sweep-end bookends (written by the coordinator, so
         the log has a single writer).
     retries:
-        How many times a failed cell is re-executed before the failure
-        is surfaced (default 1 — the transient-worker-death budget).
+        Transient-failure retry budget per cell (default 1).
+        Deterministic failures never consume it — they quarantine on
+        first sight.
     strict:
         If True (default), raise :class:`SimulationError` after the
-        sweep when any cell exhausted its retries; if False, that cell's
-        slot in the result list is None.
+        sweep when any cell failed (retries exhausted or quarantined);
+        if False, that cell's slot in the result list is None.
     execute:
         The per-cell callable, ``f(envelope) -> TaskOutcome``; override
         for failure injection in tests. Must be picklable.
+    task_timeout:
+        Per-cell wall-clock budget in seconds for pooled execution;
+        a worker past it is SIGKILLed and the cell requeued (transient).
+        ``None`` (default) disables the deadline.
+    policy:
+        :class:`~repro.harness.supervisor.RetryPolicy` controlling the
+        backoff between retry attempts.
+    checkpoint:
+        Optional :class:`~repro.harness.supervisor.SweepCheckpoint`.
+        Together with a disk cache this makes sweeps resumable: cells
+        recorded complete are loaded from the cache instead of re-run,
+        bit-identical either way.
+    circuit_threshold:
+        Consecutive pool faults (crashes/timeouts) before the pool is
+        abandoned and the remaining cells run serially in-process.
+    check_invariants:
+        "" (off), "sampled" or "deep": run the coherence sanitizer
+        inside every simulation this sweep actually executes.
     """
 
     def __init__(
@@ -252,6 +311,12 @@ class ParallelRunner:
         retries: int = 1,
         strict: bool = True,
         execute: Optional[Callable[[_Envelope], TaskOutcome]] = None,
+        task_timeout: Optional[float] = None,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[SweepCheckpoint] = None,
+        circuit_threshold: int = 4,
+        check_invariants: str = "",
+        heartbeat_interval: float = 0.25,
     ) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
@@ -259,30 +324,46 @@ class ParallelRunner:
         self.retries = max(0, int(retries))
         self.strict = strict
         self.execute = execute if execute is not None else execute_envelope
+        self.task_timeout = task_timeout
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.checkpoint = checkpoint
+        self.circuit_threshold = max(1, int(circuit_threshold))
+        self.check_invariants = check_invariants
+        self.heartbeat_interval = heartbeat_interval
         self.failures: List[Dict] = []
+        self.quarantined: List[Dict] = []
+        self._attempts: Dict[int, int] = {}
+        self._version: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[ExperimentTask]) -> List[Optional[RunResult]]:
         """Execute every task; results come back in task order."""
         tasks = list(tasks)
         self.failures = []
+        self.quarantined = []
         cache_dir = None
         version = None
         if self.cache is not None and self.cache.enabled:
             cache_dir = str(self.cache.cache_dir)
             version = code_version()
+        self._version = version
         envelopes = [
-            _Envelope(i, task, cache_dir, version)
+            _Envelope(i, task, cache_dir, version, self.check_invariants)
             for i, task in enumerate(tasks)
         ]
+        self._attempts = {envelope.index: 1 for envelope in envelopes}
+        pending, resumed = self._resume(envelopes)
         self._log("sweep-start", tasks=len(envelopes),
                   workers=self.workers or 1,
-                  cache="on" if cache_dir else "off")
+                  cache="on" if cache_dir else "off",
+                  resumed=len(resumed),
+                  check_invariants=self.check_invariants or "off")
         started = time.perf_counter()
-        if self.workers > 1 and len(envelopes) > 1:
-            outcomes = self._run_pool(envelopes)
+        if self.workers > 1 and len(pending) > 1:
+            outcomes = self._run_pool(pending)
         else:
-            outcomes = self._run_serial(envelopes)
+            outcomes = self._run_serial(pending)
+        outcomes = resumed + outcomes
         results: List[Optional[RunResult]] = [None] * len(envelopes)
         for outcome in outcomes:
             results[outcome.index] = outcome.result
@@ -293,7 +374,10 @@ class ParallelRunner:
             simulated=sum(1 for o in outcomes if o.cache != "hit"),
             cache_hits=sum(1 for o in outcomes if o.cache == "hit"),
             failures=len(self.failures),
+            quarantined=len(self.quarantined),
         )
+        if self.checkpoint is not None and not self.failures:
+            self.checkpoint.finish()
         if self.failures and self.strict:
             details = "; ".join(
                 f"task {f['index']} ({f['task']['benchmark']}): "
@@ -308,72 +392,142 @@ class ParallelRunner:
         return results
 
     # ------------------------------------------------------------------
+    # Checkpoint / resume
+    # ------------------------------------------------------------------
+    def _resume(
+        self, envelopes: List[_Envelope]
+    ) -> Tuple[List[_Envelope], List[TaskOutcome]]:
+        """Split envelopes into (still to run, resumed-from-cache)."""
+        if self.checkpoint is None:
+            return envelopes, []
+        keys = [e.task.cache_key(self._version) for e in envelopes]
+        completed: Set[int] = self.checkpoint.begin(keys)
+        if not completed:
+            return envelopes, []
+        disk = self.cache if self.cache is not None and self.cache.enabled \
+            else None
+        pending: List[_Envelope] = []
+        resumed: List[TaskOutcome] = []
+        for envelope in envelopes:
+            result = None
+            if envelope.index in completed and disk is not None:
+                result = disk.load(keys[envelope.index])
+            if result is None:
+                # Not checkpointed — or checkpointed but the cache entry
+                # is gone/corrupt, in which case the cell simply re-runs
+                # (bit-identical by the determinism contract).
+                pending.append(envelope)
+                continue
+            outcome = TaskOutcome(
+                index=envelope.index, result=result, cache="hit",
+                wall_seconds=0.0, peak_rss_kb=0, worker_pid=os.getpid(),
+            )
+            resumed.append(outcome)
+            self._log("run", index=envelope.index,
+                      task=envelope.task.describe(), status="ok",
+                      cache="hit", resumed=True, wall_s=0.0,
+                      worker=os.getpid(), peak_rss_kb=0, attempt=0)
+        return pending, resumed
+
+    def _mark_done(self, envelope: _Envelope, outcome: TaskOutcome) -> None:
+        if self.checkpoint is not None:
+            self.checkpoint.mark_done(
+                envelope.index,
+                envelope.task.cache_key(self._version),
+                outcome.cache,
+            )
+
+    # ------------------------------------------------------------------
+    # Execution paths
+    # ------------------------------------------------------------------
     def _run_serial(self, envelopes: List[_Envelope]) -> List[TaskOutcome]:
         outcomes = []
         for envelope in envelopes:
-            for attempt in range(1, self.retries + 2):
+            while True:
+                attempt = self._attempts[envelope.index]
                 try:
                     outcome = self.execute(envelope)
                 except Exception as exc:  # noqa: BLE001 — surfaced via log
-                    self._record_error(envelope, exc, attempt,
-                                       will_retry=attempt <= self.retries)
+                    failure = _failure_from_exception(envelope.index, exc)
+                    delay = self._decide_retry(envelope, failure)
+                    if delay is None:
+                        break
+                    time.sleep(delay)
                 else:
                     self._record_outcome(envelope, outcome, attempt)
+                    self._mark_done(envelope, outcome)
                     outcomes.append(outcome)
                     break
         return outcomes
 
     def _run_pool(self, envelopes: List[_Envelope]) -> List[TaskOutcome]:
-        outcomes: List[TaskOutcome] = []
-        attempts = {envelope.index: 1 for envelope in envelopes}
-        executor = ProcessPoolExecutor(max_workers=self.workers,
-                                       mp_context=_mp_context())
-        pending = {
-            executor.submit(self.execute, envelope): envelope
-            for envelope in envelopes
-        }
-        try:
-            while pending:
-                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-                pool_broken = False
-                retry_envelopes: List[_Envelope] = []
-                for future in done:
-                    envelope = pending.pop(future)
-                    try:
-                        outcome = future.result()
-                    except BrokenProcessPool as exc:
-                        # The worker died (and took the pool with it);
-                        # transient death is exactly what the retry
-                        # budget is for.
-                        pool_broken = True
-                        self._handle_failure(envelope, exc, attempts,
-                                             retry_envelopes)
-                    except Exception as exc:  # noqa: BLE001
-                        self._handle_failure(envelope, exc, attempts,
-                                             retry_envelopes)
-                    else:
-                        self._record_outcome(envelope, outcome,
-                                             attempts[envelope.index])
-                        outcomes.append(outcome)
-                if pool_broken:
-                    executor.shutdown(wait=False, cancel_futures=True)
-                    executor = ProcessPoolExecutor(max_workers=self.workers,
-                                                   mp_context=_mp_context())
-                for envelope in retry_envelopes:
-                    pending[executor.submit(self.execute, envelope)] = envelope
-        finally:
-            executor.shutdown(wait=False, cancel_futures=True)
+        breaker = CircuitBreaker(self.circuit_threshold)
+        pool = SupervisedPool(
+            self.workers, self.execute,
+            task_timeout=self.task_timeout,
+            heartbeat_interval=self.heartbeat_interval,
+            breaker=breaker,
+        )
+
+        def on_outcome(envelope: _Envelope, outcome: TaskOutcome) -> None:
+            self._record_outcome(envelope, outcome,
+                                 self._attempts[envelope.index])
+            self._mark_done(envelope, outcome)
+
+        outcomes, unfinished = pool.run(envelopes, on_outcome,
+                                        self._decide_retry)
+        if unfinished:
+            # The pool circuit-broke: finish the remaining cells
+            # serially in this process. Determinism makes the fallback
+            # transparent — the same cells produce the same results.
+            self._log("circuit-break",
+                      remaining=len(unfinished),
+                      crashes=pool.crashes,
+                      timeouts=pool.timeouts,
+                      consecutive_faults=breaker.consecutive_faults)
+            unfinished = sorted(unfinished, key=lambda e: e.index)
+            outcomes = outcomes + self._run_serial(unfinished)
         return outcomes
 
-    def _handle_failure(self, envelope: _Envelope, exc: BaseException,
-                        attempts: Dict[int, int],
-                        retry_envelopes: List[_Envelope]) -> None:
-        attempt = attempts[envelope.index]
-        will_retry = attempt <= self.retries
-        self._record_error(envelope, exc, attempt, will_retry)
+    # ------------------------------------------------------------------
+    # Failure handling (shared by both paths)
+    # ------------------------------------------------------------------
+    def _decide_retry(
+        self, envelope: _Envelope, failure: TaskFailure
+    ) -> Optional[float]:
+        """Apply the taxonomy: delay seconds to retry, None to give up."""
+        attempt = self._attempts[envelope.index]
+        deterministic = failure.failure_class is FailureClass.DETERMINISTIC
+        will_retry = not deterministic and attempt <= self.retries
+        self._record_failure(envelope, failure, attempt, will_retry)
+        if not will_retry:
+            return None
+        self._attempts[envelope.index] = attempt + 1
+        return self.policy.delay(attempt, key=envelope.index)
+
+    def _record_failure(self, envelope: _Envelope, failure: TaskFailure,
+                        attempt: int, will_retry: bool) -> None:
+        text = failure.traceback or failure.describe()
+        self._log("run", index=envelope.index, task=envelope.task.describe(),
+                  status="error", error=text, attempt=attempt,
+                  will_retry=will_retry, kind=failure.kind,
+                  failure_class=failure.failure_class.value)
         if will_retry:
-            attempts[envelope.index] = attempt + 1
-            retry_envelopes.append(envelope)
+            return
+        entry = {
+            "index": envelope.index,
+            "task": envelope.task.describe(),
+            "error": text,
+            "kind": failure.kind,
+            "class": failure.failure_class.value,
+        }
+        self.failures.append(entry)
+        if failure.failure_class is FailureClass.DETERMINISTIC:
+            self.quarantined.append(entry)
+            if self.checkpoint is not None:
+                self.checkpoint.mark_quarantined(
+                    envelope.index, failure.describe()
+                )
 
     # ------------------------------------------------------------------
     def _log(self, event: str, **fields) -> None:
@@ -387,20 +541,6 @@ class ParallelRunner:
                   wall_s=round(outcome.wall_seconds, 4),
                   worker=outcome.worker_pid,
                   peak_rss_kb=outcome.peak_rss_kb, attempt=attempt)
-
-    def _record_error(self, envelope: _Envelope, exc: BaseException,
-                      attempt: int, will_retry: bool) -> None:
-        text = "".join(traceback.format_exception(
-            type(exc), exc, exc.__traceback__))
-        self._log("run", index=envelope.index, task=envelope.task.describe(),
-                  status="error", error=text, attempt=attempt,
-                  will_retry=will_retry)
-        if not will_retry:
-            self.failures.append({
-                "index": envelope.index,
-                "task": envelope.task.describe(),
-                "error": text,
-            })
 
 
 # ----------------------------------------------------------------------
@@ -490,6 +630,9 @@ def warm_cache(
     workers: int = 0,
     runlog: Optional[RunLog] = None,
     retries: int = 1,
+    task_timeout: Optional[float] = None,
+    checkpoint: Optional[SweepCheckpoint] = None,
+    check_invariants: str = "",
 ) -> int:
     """Fan the experiments' simulation grid out, preloading *cache*.
 
@@ -502,7 +645,10 @@ def warm_cache(
     if not tasks:
         return 0
     runner = ParallelRunner(workers=workers, cache=cache.disk,
-                            runlog=runlog, retries=retries)
+                            runlog=runlog, retries=retries,
+                            task_timeout=task_timeout,
+                            checkpoint=checkpoint,
+                            check_invariants=check_invariants)
     results = runner.run(tasks)
     for task, result in zip(tasks, results):
         if result is not None:

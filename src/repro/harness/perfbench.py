@@ -97,6 +97,63 @@ def _git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
+def load_measurement(path, flag: str, current_host: Optional[Dict] = None,
+                     ) -> Dict:
+    """Load and vet a ``BENCH_core.json`` for ``--reference``/``--check``.
+
+    Raises :class:`~repro.common.errors.ConfigurationError` with an
+    actionable message when the file is missing, unreadable, or the
+    wrong schema. Pass ``current_host`` (from :func:`host_metadata`) to
+    additionally require the measurement to come from a compatible host
+    — speedup ratios (``--reference``) are meaningless across hosts,
+    while regression checks (``--check``) tolerate host drift via their
+    threshold, so only ``--reference`` callers should pass it.
+    """
+    from repro.common.errors import ConfigurationError
+
+    path = Path(path)
+    regenerate = (
+        f"regenerate it with `python -m repro.harness perf --output {path}`"
+    )
+    if not path.exists():
+        raise ConfigurationError(
+            f"{flag}: no measurement at {path} — {regenerate}, or point "
+            f"{flag} at an existing bench-core measurement (the committed "
+            f"one lives at the repo root as BENCH_core.json)"
+        )
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(
+            f"{flag}: {path} is not a readable JSON measurement "
+            f"({exc}) — {regenerate}"
+        ) from None
+    schema = payload.get("schema") if isinstance(payload, dict) else None
+    if schema != SCHEMA:
+        raise ConfigurationError(
+            f"{flag}: {path} has schema {schema!r}, expected {SCHEMA!r} — "
+            f"it is not a perf-suite measurement; {regenerate}"
+        )
+    if current_host is not None:
+        host = payload.get("host", {})
+        mismatched = [
+            f"{field}: {host.get(field)!r} (file) vs "
+            f"{current_host.get(field)!r} (this host)"
+            for field in ("machine", "implementation")
+            if host.get(field) != current_host.get(field)
+        ]
+        if mismatched:
+            raise ConfigurationError(
+                f"{flag}: {path} was measured on an incompatible host — "
+                + "; ".join(mismatched)
+                + ". Speedups are only meaningful against a same-host "
+                "reference: re-measure the reference on this machine, or "
+                "use --check (whose threshold tolerates host drift) "
+                "instead."
+            )
+    return payload
+
+
 def measure_config(
     name: str,
     ops_per_processor: int,
@@ -105,6 +162,7 @@ def measure_config(
     warmup_fraction: float = 0.0,
     repeats: int = 2,
     profiler=None,
+    check_invariants: str = "",
 ) -> Dict:
     """Time one config; returns its ``configs`` cell for the payload.
 
@@ -127,7 +185,12 @@ def measure_config(
     best_wall = None
     result = None
     for _ in range(max(1, repeats)):
-        simulator = Simulator(config, seed=seed)
+        sanitizer = None
+        if check_invariants:
+            from repro.validate.sanitizer import CoherenceSanitizer
+
+            sanitizer = CoherenceSanitizer(mode=check_invariants)
+        simulator = Simulator(config, seed=seed, sanitizer=sanitizer)
         start = time.perf_counter()
         if profiler is not None:
             with profiler.phase(f"simulate:{name}"):
@@ -164,8 +227,16 @@ def run_suite(
     repeats: int = 2,
     configs: Optional[Sequence[str]] = None,
     profiler=None,
+    check_invariants: str = "",
 ) -> Dict:
-    """Measure every requested config; returns the full JSON payload."""
+    """Measure every requested config; returns the full JSON payload.
+
+    ``check_invariants`` ("sampled" or "deep") runs the coherence
+    sanitizer inside every timed repeat — that is how the sanitizer's
+    overhead is itself measured. The mode is recorded in the suite
+    block, so such payloads never fingerprint-compare against
+    plain measurements with a differently-shaped suite.
+    """
     names = [n for n, _, _ in PERF_CONFIGS]
     if configs:
         unknown = [c for c in configs if c not in names]
@@ -185,11 +256,13 @@ def run_suite(
         },
         "configs": {},
     }
+    if check_invariants:
+        payload["suite"]["check_invariants"] = check_invariants
     for name in names:
         payload["configs"][name] = measure_config(
             name, ops_per_processor, workload=workload, seed=seed,
             warmup_fraction=warmup_fraction, repeats=repeats,
-            profiler=profiler,
+            profiler=profiler, check_invariants=check_invariants,
         )
     return payload
 
@@ -323,9 +396,31 @@ def perf_command(argv) -> int:
                              "for --check (default 0.25)")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append the profile and measurement to PATH")
+    parser.add_argument("--check-invariants", choices=("sampled", "deep"),
+                        default="", dest="check_invariants",
+                        help="run the coherence sanitizer inside every "
+                             "timed repeat (measures its overhead; "
+                             "results stay bit-identical)")
     args = parser.parse_args(argv)
 
+    from repro.common.errors import ConfigurationError
     from repro.telemetry.profile import Profiler
+
+    # Vet the comparison files up-front — before minutes of measurement
+    # that would be thrown away by a typo'd path. Host compatibility is
+    # only required of --reference (speedups need a same-host pair);
+    # --check runs against measurements from other hosts (CI does) and
+    # relies on its threshold instead.
+    try:
+        reference = baseline = None
+        if args.reference:
+            reference = load_measurement(args.reference, "--reference",
+                                         current_host=host_metadata())
+        if args.check:
+            baseline = load_measurement(args.check, "--check")
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     ops = 3_000 if args.quick else args.ops
     repeats = 1 if args.quick else args.repeats
@@ -333,10 +428,9 @@ def perf_command(argv) -> int:
     payload = run_suite(
         ops_per_processor=ops, workload=args.workload, seed=args.seed,
         warmup_fraction=args.warmup, repeats=repeats, configs=args.configs,
-        profiler=profiler,
+        profiler=profiler, check_invariants=args.check_invariants,
     )
-    if args.reference:
-        reference = json.loads(Path(args.reference).read_text())
+    if reference is not None:
         attach_reference(payload, reference)
     print(render(payload))
     if not args.no_write:
@@ -348,8 +442,7 @@ def perf_command(argv) -> int:
         with RunLog(args.runlog) as runlog:
             profiler.emit(runlog, command="perf", host=payload["host"],
                           configs=payload["configs"])
-    if args.check:
-        baseline = json.loads(Path(args.check).read_text())
+    if baseline is not None:
         failures = check_against(payload, baseline,
                                  threshold=args.threshold)
         if failures:

@@ -65,17 +65,26 @@ class RunCache:
     to merge and export. Cache hits — in-memory or disk — skip the
     simulator and therefore capture no telemetry, so telemetry-gathering
     invocations should bypass the disk store (``--no-cache``).
+
+    ``sanitizer_factory`` works the same way for the runtime coherence
+    sanitizer (a zero-argument callable returning a
+    :class:`~repro.validate.sanitizer.CoherenceSanitizer`): only
+    simulations actually executed are audited — cache hits were audited
+    (or not) when they were first computed. Results are bit-identical
+    either way, so sanitized and unsanitized runs share cache entries.
     """
 
     def __init__(
         self,
         disk: Optional[DiskCache] = None,
         telemetry_factory=None,
+        sanitizer_factory=None,
     ) -> None:
         self._traces: Dict[Tuple, MultiTrace] = {}
         self._runs: Dict[Tuple, RunResult] = {}
         self.disk = disk
         self.telemetry_factory = telemetry_factory
+        self.sanitizer_factory = sanitizer_factory
         self.telemetry_registries: list = []
 
     def trace(
@@ -126,10 +135,14 @@ class RunCache:
                 telemetry = None
                 if self.telemetry_factory is not None:
                     telemetry = self.telemetry_factory()
+                sanitizer = None
+                if self.sanitizer_factory is not None:
+                    sanitizer = self.sanitizer_factory()
                 result = run_workload(
                     config, workload, seed=seed,
                     warmup_fraction=warmup_fraction,
                     telemetry=telemetry,
+                    sanitizer=sanitizer,
                 )
                 if telemetry is not None:
                     self.telemetry_registries.append(telemetry)

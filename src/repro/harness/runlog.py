@@ -9,17 +9,28 @@ by successive invocations, and summarised without loading everything.
 
 Record shapes (all carry ``event`` and a Unix ``ts``):
 
-``{"event": "sweep-start", "tasks": N, "workers": W, "cache": "on|off"}``
-    Written once per runner invocation, before any task.
+``{"event": "sweep-start", "tasks": N, "workers": W, "cache": "on|off",
+"resumed": n, "check_invariants": "off|sampled|deep"}``
+    Written once per runner invocation, before any task. ``resumed``
+    counts cells restored from a sweep checkpoint.
 ``{"event": "run", "index": i, "task": {...}, "status": "ok",
 "cache": "hit|miss|off", "wall_s": f, "worker": pid,
 "peak_rss_kb": n, "attempt": k}``
-    One successful cell.
+    One successful cell. Checkpoint-resumed cells carry ``"cache":
+    "hit"`` plus ``"resumed": true`` and ``"attempt": 0``.
 ``{"event": "run", "index": i, "task": {...}, "status": "error",
-"error": traceback, "attempt": k, "will_retry": bool}``
-    One failed attempt; ``will_retry: false`` marks a surfaced failure.
+"error": traceback, "attempt": k, "will_retry": bool,
+"kind": "exception|timeout|crash", "failure_class":
+"transient|deterministic"}``
+    One failed attempt; ``will_retry: false`` marks a surfaced failure
+    (retry budget exhausted, or a deterministic failure quarantined on
+    first sight — see :mod:`repro.common.errors`).
+``{"event": "circuit-break", "remaining": n, "crashes": n,
+"timeouts": n, "consecutive_faults": n}``
+    The supervised pool tripped its circuit breaker; the ``remaining``
+    cells re-run serially in the coordinator process.
 ``{"event": "sweep-end", "wall_s": f, "completed": n, "simulated": n,
-"cache_hits": n, "failures": n}``
+"cache_hits": n, "failures": n, "quarantined": n}``
     Written once per runner invocation, after the last task.
 ``{"event": "profile", "elapsed_s": f, "phases": {name: {"seconds": f,
 "entries": n, "events": n, "events_per_sec": f}}, ...}``
@@ -95,6 +106,10 @@ def summarize(records: Iterable[Dict]) -> Dict:
         "cache_hits": sum(1 for r in completed if r.get("cache") == "hit"),
         "retries": sum(1 for r in errors if r.get("will_retry")),
         "failures": sum(1 for r in errors if not r.get("will_retry")),
+        "quarantined": sum(
+            1 for r in errors
+            if not r.get("will_retry")
+            and r.get("failure_class") == "deterministic"),
         "wall_seconds": round(
             sum(float(r.get("wall_s", 0.0)) for r in completed), 3),
         "peak_rss_kb": max(

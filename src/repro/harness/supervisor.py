@@ -1,0 +1,539 @@
+"""Supervised worker pool: heartbeats, timeouts, SIGKILL + requeue.
+
+``ProcessPoolExecutor`` treats one dead worker as a broken pool and a
+hung worker as invisible. This module replaces it for experiment sweeps
+with a coordinator that owns each worker individually:
+
+* every worker gets its **own pipe pair** (inbox + results), so a
+  process killed mid-write corrupts only its own channel, which the
+  coordinator discards along with the process;
+* workers emit **heartbeats** from a daemon thread; a silent worker is
+  presumed wedged and replaced;
+* each dispatched task carries a **wall-clock deadline**; a worker that
+  blows it is SIGKILLed and the task is requeued;
+* requeues go through the caller's retry callback, which applies the
+  :class:`~repro.common.errors.FailureClass` taxonomy and the
+  :class:`RetryPolicy` backoff;
+* repeated pool-level faults (crashes/timeouts, not in-task exceptions)
+  trip the :class:`CircuitBreaker`; the pool stops and hands the
+  unfinished tasks back so the caller can degrade to serial execution.
+
+Determinism is unaffected by any of this: tasks carry their seeds, so a
+requeued task re-executes bit-identically, and result ordering is
+restored by task index downstream. :class:`SweepCheckpoint` persists
+per-task completion so an interrupted sweep resumes from the result
+cache instead of restarting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import json
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.common.errors import FailureClass, classify_failure
+from repro.common.rng import derive_seed
+
+
+# ----------------------------------------------------------------------
+# Retry policy and circuit breaker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with deterministic jitter.
+
+    The delay before attempt ``a``'s retry is
+    ``min(cap, base * factor**(a-1))`` stretched by up to ``jitter``
+    (fractionally), where the stretch is derived — not drawn from a
+    shared RNG — so reruns of the same sweep back off identically.
+    """
+
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap: float = 2.0
+    jitter: float = 0.25
+
+    def delay(self, attempt: int, key: object = 0) -> float:
+        base = min(
+            self.backoff_cap,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        if self.jitter <= 0.0:
+            return base
+        fraction = derive_seed(0, "backoff", str(key), attempt) % 1000 / 1000.0
+        return base * (1.0 + self.jitter * fraction)
+
+
+class CircuitBreaker:
+    """Counts consecutive pool faults; trips at ``threshold``.
+
+    Only environmental faults (worker crashes, timeouts, dispatch
+    failures) count — an in-task exception means the pool machinery is
+    healthy. Any successful completion resets the count.
+    """
+
+    def __init__(self, threshold: int = 4) -> None:
+        self.threshold = max(1, int(threshold))
+        self.consecutive_faults = 0
+        self.tripped = False
+
+    def record_fault(self) -> None:
+        self.consecutive_faults += 1
+        if self.consecutive_faults >= self.threshold:
+            self.tripped = True
+
+    def record_success(self) -> None:
+        self.consecutive_faults = 0
+
+
+# ----------------------------------------------------------------------
+# Failure description (crosses the process boundary as plain data)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt, as seen by the coordinator.
+
+    ``kind`` is ``"exception"`` (the task raised in a healthy worker),
+    ``"timeout"`` (deadline blown, worker SIGKILLed) or ``"crash"``
+    (worker died or went silent). Exceptions are carried as text — the
+    original object may not survive pickling.
+    """
+
+    index: int
+    kind: str
+    exc_type: str
+    message: str
+    traceback: str
+    failure_class: FailureClass
+
+    def describe(self) -> str:
+        return f"{self.exc_type}: {self.message}".strip(": ")
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _worker_main(execute, inbox, results, heartbeat_interval: float) -> None:
+    """Worker loop: recv envelope, execute, send outcome; beat meanwhile."""
+    lock = threading.Lock()
+
+    def send(message) -> bool:
+        with lock:
+            try:
+                results.send(message)
+                return True
+            except (BrokenPipeError, OSError):
+                return False
+
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(heartbeat_interval):
+            if not send(("hb",)):
+                return
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                envelope = inbox.recv()
+            except (EOFError, OSError):
+                break
+            if envelope is None:
+                break
+            try:
+                outcome = execute(envelope)
+            except BaseException as exc:  # noqa: BLE001 — shipped as data
+                send((
+                    "fail",
+                    envelope.index,
+                    type(exc).__name__,
+                    str(exc),
+                    traceback.format_exc(),
+                    classify_failure(exc).value,
+                ))
+            else:
+                if not send(("done", envelope.index, outcome)):
+                    break
+    finally:
+        stop.set()
+
+
+class _Worker:
+    """Coordinator-side handle for one worker process."""
+
+    __slots__ = (
+        "proc", "inbox", "results", "inflight", "deadline", "last_seen",
+    )
+
+    def __init__(self, proc, inbox, results) -> None:
+        self.proc = proc
+        self.inbox = inbox
+        self.results = results
+        self.inflight = None
+        self.deadline: Optional[float] = None
+        self.last_seen = time.monotonic()
+
+    def discard(self) -> None:
+        """Kill the process (if needed) and drop both channels."""
+        if self.proc.is_alive():
+            self.proc.kill()
+        self.proc.join(timeout=5.0)
+        for conn in (self.inbox, self.results):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class SupervisedPool:
+    """Fault-isolating process pool (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (capped by the number of queued tasks).
+    execute:
+        Per-task callable ``f(envelope) -> outcome``, run in the worker.
+        Must be picklable on platforms without ``fork``.
+    task_timeout:
+        Per-task wall-clock budget in seconds; ``None`` disables hang
+        detection by deadline (heartbeat supervision stays on).
+    heartbeat_interval / heartbeat_grace:
+        Workers beat every ``interval`` seconds; one silent for
+        ``grace`` seconds is presumed wedged and replaced.
+    breaker:
+        A :class:`CircuitBreaker`; a fresh ``CircuitBreaker()`` when
+        omitted.
+    """
+
+    _POLL_SECONDS = 0.05
+
+    def __init__(
+        self,
+        workers: int,
+        execute: Callable,
+        task_timeout: Optional[float] = None,
+        heartbeat_interval: float = 0.25,
+        heartbeat_grace: float = 30.0,
+        breaker: Optional[CircuitBreaker] = None,
+        mp_context=None,
+    ) -> None:
+        if mp_context is None:
+            import multiprocessing
+
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-fork platforms
+                mp_context = multiprocessing.get_context()
+        self._ctx = mp_context
+        self.workers = max(1, int(workers))
+        self.execute = execute
+        self.task_timeout = task_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_grace = heartbeat_grace
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        #: Counters for logs/tests.
+        self.timeouts = 0
+        self.crashes = 0
+        self.respawns = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        envelopes: Sequence,
+        on_outcome: Callable[[object, object], None],
+        on_failure: Callable[[object, TaskFailure], Optional[float]],
+    ) -> Tuple[List, List]:
+        """Execute *envelopes*; returns ``(outcomes, unfinished)``.
+
+        ``on_outcome(envelope, outcome)`` fires per completion.
+        ``on_failure(envelope, failure)`` decides retries: return the
+        delay in seconds to requeue the envelope, or ``None`` to drop
+        it (quarantine/exhausted). ``unfinished`` is non-empty only when
+        the circuit breaker tripped; the caller should run those
+        serially.
+        """
+        ready = deque(envelopes)
+        delayed: List[Tuple[float, int, object]] = []
+        seq = 0
+        outcomes: List = []
+
+        def requeue(delay: float, envelope) -> None:
+            nonlocal seq
+            seq += 1
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + max(0.0, delay), seq, envelope),
+            )
+
+        pool: List[_Worker] = [
+            self._spawn() for _ in range(min(self.workers, len(ready)))
+        ]
+        try:
+            while not self.breaker.tripped:
+                now = time.monotonic()
+                while delayed and delayed[0][0] <= now:
+                    ready.append(heapq.heappop(delayed)[2])
+                for worker in pool:
+                    if worker.inflight is None and ready:
+                        self._dispatch(worker, ready)
+                if not ready and not delayed and not any(
+                    w.inflight is not None for w in pool
+                ):
+                    break
+                self._pump(pool, outcomes, on_outcome, on_failure, requeue)
+                self._sweep(pool, on_failure, requeue)
+            unfinished = list(ready)
+            unfinished.extend(env for _, _, env in delayed)
+            unfinished.extend(
+                w.inflight for w in pool if w.inflight is not None
+            )
+            return outcomes, unfinished
+        finally:
+            self._shutdown(pool)
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> _Worker:
+        inbox_r, inbox_w = self._ctx.Pipe(duplex=False)
+        result_r, result_w = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(self.execute, inbox_r, result_w, self.heartbeat_interval),
+            daemon=True,
+        )
+        proc.start()
+        # The child holds its own copies of these ends.
+        inbox_r.close()
+        result_w.close()
+        return _Worker(proc, inbox_w, result_r)
+
+    def _dispatch(self, worker: _Worker, ready: deque) -> None:
+        envelope = ready.popleft()
+        try:
+            worker.inbox.send(envelope)
+        except (BrokenPipeError, OSError):
+            # Worker died between sweeps; put the task back untouched —
+            # the sweep will account for the crash and respawn.
+            ready.appendleft(envelope)
+            return
+        now = time.monotonic()
+        worker.inflight = envelope
+        worker.last_seen = now
+        worker.deadline = (
+            now + self.task_timeout if self.task_timeout else None
+        )
+
+    def _pump(self, pool, outcomes, on_outcome, on_failure, requeue) -> None:
+        """Drain every readable result channel (bounded by one poll)."""
+        readers = {w.results: w for w in pool}
+        try:
+            readable = connection.wait(
+                list(readers), timeout=self._POLL_SECONDS
+            )
+        except OSError:  # pragma: no cover - raced with a dying worker
+            readable = []
+        for conn in readable:
+            worker = readers[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                # Channel collapsed: the sweep handles the dead process.
+                worker.last_seen = 0.0
+                continue
+            worker.last_seen = time.monotonic()
+            kind = message[0]
+            if kind == "hb":
+                continue
+            envelope = worker.inflight
+            worker.inflight = None
+            worker.deadline = None
+            if envelope is None:  # pragma: no cover - stale message
+                continue
+            if kind == "done":
+                self.breaker.record_success()
+                outcomes.append(message[2])
+                on_outcome(envelope, message[2])
+            else:
+                failure = TaskFailure(
+                    index=message[1],
+                    kind="exception",
+                    exc_type=message[2],
+                    message=message[3],
+                    traceback=message[4],
+                    failure_class=FailureClass(message[5]),
+                )
+                delay = on_failure(envelope, failure)
+                if delay is not None:
+                    requeue(delay, envelope)
+
+    def _sweep(self, pool, on_failure, requeue) -> None:
+        """Replace dead/wedged workers, enforce deadlines."""
+        now = time.monotonic()
+        for i, worker in enumerate(pool):
+            failure_kind = None
+            if not worker.proc.is_alive():
+                failure_kind = "crash"
+            elif worker.deadline is not None and now > worker.deadline:
+                failure_kind = "timeout"
+            elif (
+                worker.inflight is not None
+                and now - worker.last_seen > self.heartbeat_grace
+            ):
+                failure_kind = "crash"
+            if failure_kind is None:
+                continue
+            envelope = worker.inflight
+            worker.inflight = None
+            worker.discard()
+            self.breaker.record_fault()
+            if failure_kind == "timeout":
+                self.timeouts += 1
+            else:
+                self.crashes += 1
+            if not self.breaker.tripped:
+                pool[i] = self._spawn()
+                self.respawns += 1
+            if envelope is None:
+                continue
+            if failure_kind == "timeout":
+                failure = TaskFailure(
+                    index=envelope.index,
+                    kind="timeout",
+                    exc_type="TaskTimeout",
+                    message=(
+                        f"task exceeded its {self.task_timeout:g}s "
+                        f"wall-clock budget; worker SIGKILLed"
+                    ),
+                    traceback="",
+                    failure_class=FailureClass.TRANSIENT,
+                )
+            else:
+                failure = TaskFailure(
+                    index=envelope.index,
+                    kind="crash",
+                    exc_type="WorkerCrash",
+                    message=(
+                        f"worker pid={worker.proc.pid} died or went "
+                        f"silent (exitcode={worker.proc.exitcode})"
+                    ),
+                    traceback="",
+                    failure_class=FailureClass.TRANSIENT,
+                )
+            delay = on_failure(envelope, failure)
+            if delay is not None:
+                requeue(delay, envelope)
+
+    def _shutdown(self, pool) -> None:
+        for worker in pool:
+            try:
+                worker.inbox.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        deadline = time.monotonic() + 1.0
+        for worker in pool:
+            worker.proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            worker.discard()
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpointing
+# ----------------------------------------------------------------------
+def sweep_fingerprint(keys: Sequence[str]) -> str:
+    """Content address of an ordered task list (cache keys + count)."""
+    digest = hashlib.sha256()
+    for key in keys:
+        digest.update(key.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()[:32]
+
+
+class SweepCheckpoint:
+    """Append-only JSON-lines record of a sweep's per-task completion.
+
+    The first line identifies the sweep by the fingerprint of its
+    ordered task cache keys; one line is appended per completed task.
+    ``begin`` on an existing file with the *same* fingerprint returns
+    the completed task indices — the caller loads their results from
+    the disk cache (bit-identical, since the cache key pins config,
+    seeds and code version) and runs only the remainder. A fingerprint
+    mismatch (different grid or changed code) restarts from scratch.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self._fingerprint: Optional[str] = None
+
+    def begin(self, keys: Sequence[str]) -> Set[int]:
+        """Open (or adopt) the checkpoint; returns completed indices."""
+        fingerprint = sweep_fingerprint(keys)
+        self._fingerprint = fingerprint
+        completed: Set[int] = set()
+        if self.path.exists():
+            records = self._read()
+            if (
+                records
+                and records[0].get("record") == "sweep"
+                and records[0].get("fingerprint") == fingerprint
+            ):
+                completed = {
+                    r["index"] for r in records[1:]
+                    if r.get("record") == "done"
+                }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if not completed:
+            header = {
+                "record": "sweep",
+                "fingerprint": fingerprint,
+                "tasks": len(keys),
+            }
+            self.path.write_text(
+                json.dumps(header, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        return completed
+
+    def mark_done(self, index: int, key: str, cache: str) -> None:
+        self._append({
+            "record": "done", "index": index, "key": key, "cache": cache,
+        })
+
+    def mark_quarantined(self, index: int, reason: str) -> None:
+        self._append({
+            "record": "quarantined", "index": index, "reason": reason,
+        })
+
+    def finish(self) -> None:
+        self._append({"record": "complete"})
+
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def _read(self) -> List[dict]:
+        records = []
+        try:
+            for line in self.path.read_text(encoding="utf-8").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    # A torn trailing line from an interrupted append is
+                    # expected; everything before it is still usable.
+                    break
+        except OSError:
+            return []
+        return records

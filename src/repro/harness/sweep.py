@@ -109,6 +109,9 @@ class ConfigSweep:
         cache: RunCache = None,
         workers: int = 0,
         runlog=None,
+        task_timeout=None,
+        checkpoint=None,
+        check_invariants: str = "",
     ) -> List[Dict]:
         """Run the full grid × workload matrix; returns tidy records.
 
@@ -120,13 +123,28 @@ class ConfigSweep:
         ``telemetry_factory`` instruments every simulated cell; such
         sweeps run in-process (the parallel warm-up is skipped — worker
         processes cannot hand their registries back).
+
+        The fault-tolerance knobs mirror
+        :class:`~repro.harness.parallel.ParallelRunner`:
+        ``task_timeout`` bounds each cell's wall clock, ``checkpoint``
+        (a :class:`~repro.harness.supervisor.SweepCheckpoint`) makes
+        the sweep resumable, and ``check_invariants`` ("sampled" or
+        "deep") audits every simulated cell with the coherence
+        sanitizer — records are bit-identical either way.
         """
         cache = cache if cache is not None else RunCache()
         workloads = list(workloads)
+        if check_invariants and cache.sanitizer_factory is None:
+            from repro.validate.sanitizer import CoherenceSanitizer
+
+            cache.sanitizer_factory = (
+                lambda: CoherenceSanitizer(mode=check_invariants)
+            )
         if (workers > 1 or runlog is not None) and \
                 cache.telemetry_factory is None:
             self._warm(workloads, ops_per_processor, warmup_fraction, seed,
-                       cache, workers, runlog)
+                       cache, workers, runlog, task_timeout, checkpoint,
+                       check_invariants)
         records: List[Dict] = []
         for name in workloads:
             base_run = cache.run(
@@ -147,7 +165,8 @@ class ConfigSweep:
         return records
 
     def _warm(self, workloads, ops_per_processor, warmup_fraction, seed,
-              cache, workers, runlog) -> None:
+              cache, workers, runlog, task_timeout=None, checkpoint=None,
+              check_invariants: str = "") -> None:
         """Execute every grid cell through the parallel runner up-front."""
         from repro.harness.parallel import ExperimentTask, ParallelRunner
 
@@ -162,7 +181,9 @@ class ConfigSweep:
                     seed=seed, warmup_fraction=warmup_fraction))
         tasks = list(dict.fromkeys(tasks))
         runner = ParallelRunner(workers=workers, cache=cache.disk,
-                                runlog=runlog)
+                                runlog=runlog, task_timeout=task_timeout,
+                                checkpoint=checkpoint,
+                                check_invariants=check_invariants)
         for task, result in zip(tasks, runner.run(tasks)):
             if result is not None:
                 cache.preload(task.benchmark, task.config,

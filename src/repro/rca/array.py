@@ -23,6 +23,7 @@ the node flushes its lines (decrementing the count via
 from __future__ import annotations
 
 from collections import Counter
+from itertools import chain
 from typing import Callable, Optional
 
 from repro.cache.setassoc import SetAssociativeArray
@@ -290,6 +291,19 @@ class RegionCoherenceArray:
         """Yield every resident :class:`RegionEntry`."""
         for _set_index, _tag, entry in self._array:
             yield entry
+
+    def entries_list(self):
+        """Every resident :class:`RegionEntry` as a list, in one pass.
+
+        Bulk form of :meth:`entries` for exhaustive auditors —
+        ``map``/``chain`` keep the sweep over the (mostly empty) backing
+        sets in C instead of the tuple-yielding array iterator, and
+        ``filter(None, ...)`` drops empty sets before a ``values()`` view
+        is even created.
+        """
+        return list(
+            chain.from_iterable(map(dict.values, filter(None, self._sets)))
+        )
 
     def __len__(self) -> int:
         return len(self._array)

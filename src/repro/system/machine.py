@@ -1242,6 +1242,23 @@ class Machine:
         """
         self.event_log = log
         self._log_enabled = log is not None or self.telemetry is not None
+        self._refresh_log_funnel()
+
+    def _refresh_log_funnel(self) -> None:
+        """Install or clear the fast per-instance event funnel.
+
+        A sink exposing a ``funnel(now, proc, request, path, address,
+        latency)`` callable (the call-site argument order) gets wired
+        straight into the request funnel as an instance-level
+        ``_log_event`` shadow — one bound call per event instead of the
+        generic method's log/telemetry dispatch. Only possible while no
+        telemetry registry needs the same stream.
+        """
+        fast = getattr(self.event_log, "funnel", None)
+        if fast is not None and self.telemetry is None:
+            self._log_event = fast
+        else:
+            self.__dict__.pop("_log_event", None)
 
     def attach_telemetry(self, registry) -> None:
         """Instrument the whole machine with a telemetry registry.
@@ -1269,6 +1286,7 @@ class Machine:
         """
         self.telemetry = registry
         self._log_enabled = registry is not None or self.event_log is not None
+        self._refresh_log_funnel()
         self._tel_event_metrics = {}
         if registry is None:
             self._tel_demand_hist = None
@@ -1457,25 +1475,16 @@ class Machine:
             self.telemetry.reset()
 
     def check_coherence_invariants(self) -> None:
-        """Global single-writer/multiple-reader check (tests/debugging)."""
-        owners: Dict[int, List[Tuple[int, LineState]]] = {}
-        for node in self.nodes:
-            for line, state in node.l2.resident_lines():
-                owners.setdefault(line, []).append((node.proc_id, state))
-        for line, holders in owners.items():
-            exclusive = [
-                (p, s)
-                for p, s in holders
-                if s in (LineState.MODIFIED, LineState.EXCLUSIVE)
-            ]
-            if exclusive and len(holders) > 1:
-                raise AssertionError(
-                    f"line {line:#x}: exclusive copy coexists with others: {holders}"
-                )
-            dirty = [(p, s) for p, s in holders if s.is_dirty]
-            if len(dirty) > 1:
-                raise AssertionError(
-                    f"line {line:#x}: multiple dirty copies: {holders}"
-                )
-        for node in self.nodes:
-            node.check_inclusion()
+        """Exhaustive coherence audit (tests/debugging).
+
+        Delegates to :func:`repro.validate.invariants.check_machine`:
+        single-writer/multiple-reader line states, Table 1 region-state
+        consistency, presence-bitmask agreement and per-node inclusion.
+        Raises :class:`AssertionError` (the historical contract) with
+        every violation joined into the message.
+        """
+        from repro.validate.invariants import check_machine
+
+        violations = check_machine(self, deep=True)
+        if violations:
+            raise AssertionError("; ".join(violations))

@@ -313,7 +313,7 @@ class ProcessorNode:
 
         Meant for tests and debugging; raises AssertionError on violation.
         """
-        l2_lines = {line for line, _state in self.l2.resident_lines()}
+        l2_lines = {line for line, _state in self.l2.resident_items()}
         for line in self.l1d.resident_lines():
             assert line in l2_lines, f"L1D line {line:#x} not in L2"
         for line in self.l1i.resident_lines():

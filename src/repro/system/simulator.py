@@ -123,11 +123,19 @@ class Simulator:
     (the default, O(log P) per operation) or ``"linear"`` (the original
     O(P) ``min()`` scan). Both produce bit-identical results; the linear
     scheduler exists as the reference for the equivalence tests.
+
+    ``sanitizer`` (a
+    :class:`~repro.validate.sanitizer.CoherenceSanitizer`) audits the
+    machine's coherence state every N steps and once more at the end of
+    the run. Like telemetry, it only observes — results are bit-identical
+    with or without it — but it *raises*
+    :class:`~repro.common.errors.InvariantViolation` when the MOESI/RCA
+    state drifts from the paper's invariants.
     """
 
     def __init__(
         self, config: SystemConfig, seed: int = 0, telemetry=None,
-        scheduler: str = "heap",
+        scheduler: str = "heap", sanitizer=None,
     ) -> None:
         if scheduler not in ("heap", "linear"):
             raise SimulationError(
@@ -137,6 +145,7 @@ class Simulator:
         self.seed = seed
         self.telemetry = telemetry
         self.scheduler = scheduler
+        self.sanitizer = sanitizer
         self.machine = Machine(config, seed=seed)
         if telemetry is not None:
             self.machine.attach_telemetry(telemetry)
@@ -169,6 +178,10 @@ class Simulator:
             TraceProcessor(p, trace, self.machine)
             for p, trace in enumerate(workload.per_processor)
         ]
+        if self.sanitizer is not None:
+            self.sanitizer.bind(
+                self.machine, workload=workload.name, seed=self.seed
+            )
         measure_from = 0
         if warmup_fraction > 0.0:
             targets = [int(len(p.trace) * warmup_fraction) for p in processors]
@@ -202,6 +215,11 @@ class Simulator:
         re-keying or lazy invalidation is needed. O(log P) per operation
         instead of O(P).
         """
+        if self.sanitizer is not None:
+            # Both schedulers step identically, so the checked loop (a
+            # heap loop with a sanitizer stride) serves either setting.
+            self._run_until_checked(processors, targets)
+            return
         if self.scheduler == "linear":
             self._run_until_linear(processors, targets)
             return
@@ -237,6 +255,44 @@ class Simulator:
                 telemetry.maybe_sample(issue_time)
                 next_sample = telemetry.next_sample_time
             soonest.step()
+            i = soonest.index
+            if i < targets[proc_id]:
+                heappush(
+                    heap,
+                    (soonest.clock + soonest._gaps[i], proc_id, soonest),
+                )
+
+    def _run_until_checked(
+        self, processors: List[TraceProcessor], targets: List[int]
+    ) -> None:
+        """Sanitizer variant: identical stepping plus a periodic audit.
+
+        Kept separate from the plain/telemetry loops so the sanitizer
+        costs nothing when disabled. The sanitizer only reads machine
+        state, so the simulated results stay bit-identical.
+        """
+        telemetry = self.telemetry
+        sanitizer = self.sanitizer
+        stride = sanitizer.every
+        budget = stride
+        heap = [
+            (p.next_time, p.proc_id, p)
+            for p in processors if p.index < targets[p.proc_id]
+        ]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        next_sample = telemetry.next_sample_time if telemetry is not None \
+            else None
+        while heap:
+            issue_time, proc_id, soonest = heappop(heap)
+            if next_sample is not None and issue_time >= next_sample:
+                telemetry.maybe_sample(issue_time)
+                next_sample = telemetry.next_sample_time
+            soonest.step()
+            budget -= 1
+            if budget <= 0:
+                sanitizer.check(soonest.clock)
+                budget = stride
             i = soonest.index
             if i < targets[proc_id]:
                 heappush(
@@ -304,6 +360,10 @@ class Simulator:
             rca_self_inv = sum(n.rca.self_invalidations for n in machine.nodes)
             rca_allocs = sum(n.rca.allocations for n in machine.nodes)
         end_time = max(p.clock for p in processors) if processors else 0
+        if self.sanitizer is not None:
+            # Exhaustive end-of-run audit in either mode: even a sampled
+            # run ends with the whole machine swept once.
+            self.sanitizer.final_check(end_time)
         if self.telemetry is not None:
             # Flush the trailing partial interval and set the end-of-run
             # gauges. The registry is NOT part of the (picklable,
@@ -343,8 +403,9 @@ def run_workload(
     seed: int = 0,
     warmup_fraction: float = 0.0,
     telemetry=None,
+    sanitizer=None,
 ) -> RunResult:
     """One-shot convenience: build a simulator, run, return the result."""
-    return Simulator(config, seed=seed, telemetry=telemetry).run(
-        workload, warmup_fraction=warmup_fraction
-    )
+    return Simulator(
+        config, seed=seed, telemetry=telemetry, sanitizer=sanitizer
+    ).run(workload, warmup_fraction=warmup_fraction)

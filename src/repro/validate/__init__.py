@@ -1,0 +1,11 @@
+"""Runtime validation: coherence invariants and the opt-in sanitizer."""
+
+from repro.validate.invariants import check_lines, check_machine, check_regions
+from repro.validate.sanitizer import CoherenceSanitizer
+
+__all__ = [
+    "CoherenceSanitizer",
+    "check_lines",
+    "check_machine",
+    "check_regions",
+]

@@ -1,0 +1,324 @@
+"""Runtime coherence sanitizer: opt-in invariant monitoring during runs.
+
+The sanitizer sits in the simulator's stepping loop and, every ``every``
+processor steps, audits the machine against the paper-level invariants
+in :mod:`repro.validate.invariants`. Two modes trade coverage for cost:
+
+* ``sampled`` (default) — each trigger inspects a bounded, rotating
+  window of resident lines and tracked regions, so a long run sweeps the
+  whole machine incrementally at a few percent overhead. The final
+  check at end of run is always exhaustive.
+* ``deep`` — every trigger is an exhaustive sweep including the
+  presence-bitmask audit and per-node inclusion assertions. Orders of
+  magnitude more work per trigger; debug-only.
+
+The sanitizer only reads machine state, so simulation results are
+bit-identical with and without it. On a violation it writes a
+**diagnostics bundle** — a JSON file with the configuration, seed, the
+last-K coherence events, a telemetry snapshot when telemetry was
+attached, and the violations themselves — then raises
+:class:`~repro.common.errors.InvariantViolation` pointing at the bundle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import json
+from collections import deque
+from pathlib import Path
+from typing import List, Optional
+
+from repro.common.errors import ConfigurationError, InvariantViolation
+from repro.validate.invariants import check_lines, check_machine, check_regions
+
+#: Default check cadence per mode, in processor steps.
+_DEFAULT_EVERY = {"sampled": 4096, "deep": 256}
+
+#: Sampled-mode window sizes per trigger.
+_SAMPLE_LINES = 128
+_SAMPLE_REGIONS = 64
+
+
+class _EventRing:
+    """Minimal event sink: a bounded ring of plain tuples.
+
+    Satisfies the machine's event-sink protocol at a fraction of
+    :class:`~repro.system.eventlog.EventLog`'s cost, so attaching the
+    sanitizer to an uninstrumented machine stays within the sampled-mode
+    overhead budget.
+    """
+
+    __slots__ = ("_events",)
+
+    def __init__(self, capacity: int) -> None:
+        self._events = deque(maxlen=capacity)
+
+    def record(self, time, processor, request, address, path, latency) -> None:
+        # Raw args only — the enum .value lookups wait until tail(), off
+        # the simulation's hot path.
+        self._events.append((time, processor, request, address, path, latency))
+
+    def funnel(self, now, proc, request, path, address, latency) -> None:
+        # Fast sink the machine installs as its per-instance _log_event
+        # shadow: call-site argument order, raw enums, one bound call
+        # per event.
+        self._events.append((now, proc, request, address, path, latency))
+
+    def tail(self, n: Optional[int] = None) -> List[dict]:
+        events = list(self._events)
+        if n is not None:
+            events = events[-n:]
+        return [
+            {
+                "time": t, "processor": p, "request": r.value,
+                "address": a,
+                "path": path if isinstance(path, str) else path.value,
+                "latency": lat,
+            }
+            for t, p, r, a, path, lat in events
+        ]
+
+
+class CoherenceSanitizer:
+    """Periodic machine-state auditor (see module docstring).
+
+    Parameters
+    ----------
+    mode:
+        ``"sampled"`` or ``"deep"``.
+    every:
+        Steps between triggers; defaults to 4096 (sampled) / 256 (deep).
+    bundle_dir:
+        Where diagnostics bundles are written on failure; ``None``
+        disables bundle writing (the exception still carries the
+        violations).
+    keep_events:
+        How many trailing coherence events the bundle includes.
+    """
+
+    def __init__(
+        self,
+        mode: str = "sampled",
+        every: Optional[int] = None,
+        bundle_dir: Optional[str] = "diagnostics",
+        keep_events: int = 256,
+    ) -> None:
+        if mode not in _DEFAULT_EVERY:
+            raise ConfigurationError(
+                f"sanitizer mode must be 'sampled' or 'deep', got {mode!r}"
+            )
+        if every is not None and every < 1:
+            raise ConfigurationError(
+                f"sanitizer cadence must be >= 1 step, got {every}"
+            )
+        self.mode = mode
+        self.every = int(every) if every is not None else _DEFAULT_EVERY[mode]
+        self.bundle_dir = bundle_dir
+        self.keep_events = int(keep_events)
+        self.machine = None
+        self.workload: Optional[str] = None
+        self.seed: Optional[int] = None
+        self.checks = 0
+        self.lines_checked = 0
+        self.regions_checked = 0
+        self._line_cursor = 0
+        self._region_cursor = 0
+        self._ring: Optional[_EventRing] = None
+
+    # ------------------------------------------------------------------
+    def bind(
+        self, machine, workload: Optional[str] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Attach to *machine* before a run.
+
+        When the machine has no event log, a lightweight ring sink is
+        attached so a failure bundle can still show the last-K events.
+        """
+        self.machine = machine
+        self.workload = workload
+        self.seed = seed
+        if machine.event_log is None:
+            self._ring = _EventRing(self.keep_events)
+            machine.attach_event_log(self._ring)
+        else:
+            self._ring = None
+
+    # ------------------------------------------------------------------
+    def check(self, now: int) -> None:
+        """One trigger: sampled window or (deep mode) exhaustive sweep."""
+        machine = self.machine
+        if machine is None:
+            raise ConfigurationError("sanitizer used before bind()")
+        self.checks += 1
+        with _gc_paused():
+            if self.mode == "deep":
+                violations = self._check_deep(machine)
+            else:
+                violations = self._check_sampled(machine)
+        if violations:
+            self._fail(violations, now)
+
+    def final_check(self, now: int) -> None:
+        """End-of-run exhaustive sweep, run in either mode.
+
+        Exhaustive means every resident line and every tracked region;
+        the deep-only extras (stale-bitmask audit, inclusion) stay deep
+        mode's, keeping the sampled end-of-run cost within the overhead
+        budget on short runs.
+        """
+        machine = self.machine
+        if machine is None:
+            raise ConfigurationError("sanitizer used before bind()")
+        self.checks += 1
+        with _gc_paused():
+            violations = self._check_machine(machine, deep=self.mode == "deep")
+        if violations:
+            self._fail(violations, now)
+
+    def _check_deep(self, machine) -> List[str]:
+        return self._check_machine(machine, deep=True)
+
+    def _check_machine(self, machine, deep: bool) -> List[str]:
+        self.lines_checked += len(machine._line_holders)
+        self.regions_checked += len(machine._region_trackers)
+        return check_machine(machine, deep=deep)
+
+    def _check_sampled(self, machine) -> List[str]:
+        lines = list(machine._line_holders)
+        regions = list(machine._region_trackers)
+        line_window = _rotate(lines, self._line_cursor, _SAMPLE_LINES)
+        region_window = _rotate(regions, self._region_cursor, _SAMPLE_REGIONS)
+        self._line_cursor += len(line_window)
+        self._region_cursor += len(region_window)
+        self.lines_checked += len(line_window)
+        self.regions_checked += len(region_window)
+        violations = check_lines(machine, line_window)
+        violations.extend(check_regions(machine, region_window))
+        return violations
+
+    # ------------------------------------------------------------------
+    def _fail(self, violations: List[str], now: int) -> None:
+        bundle_path = None
+        if self.bundle_dir is not None:
+            bundle_path = self.write_bundle(violations, now)
+        shown = "; ".join(violations[:3])
+        more = len(violations) - 3
+        if more > 0:
+            shown += f" (+{more} more)"
+        where = f" (diagnostics bundle: {bundle_path})" if bundle_path else ""
+        raise InvariantViolation(
+            f"coherence invariant violated at t={now}: {shown}{where}",
+            violations=violations,
+            bundle_path=str(bundle_path) if bundle_path else None,
+        )
+
+    def write_bundle(self, violations: List[str], now: int) -> Path:
+        """Write the diagnostics bundle JSON and return its path.
+
+        File names are derived from the workload/seed plus a collision
+        counter (no timestamps), so repeated failures of the same run
+        are distinguishable and tests can predict the name.
+        """
+        machine = self.machine
+        directory = Path(self.bundle_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = f"bundle-{self.workload or 'run'}"
+        if self.seed is not None:
+            stem += f"-seed{self.seed}"
+        path = directory / f"{stem}.json"
+        suffix = 1
+        while path.exists():
+            path = directory / f"{stem}-{suffix}.json"
+            suffix += 1
+        payload = {
+            "schema": "cgct-diagnostics/v1",
+            "workload": self.workload,
+            "seed": self.seed,
+            "mode": self.mode,
+            "every": self.every,
+            "sim_time": now,
+            "checks": self.checks,
+            "violations": violations,
+            "config": dataclasses.asdict(machine.config),
+            "events": self._recent_events(),
+            "telemetry": self._telemetry_snapshot(),
+            "occupancy": [
+                {
+                    "processor": node.proc_id,
+                    "l2_lines": len(node.l2),
+                    "rca_entries": (
+                        len(node.rca) if node.rca is not None else None
+                    ),
+                }
+                for node in machine.nodes
+            ],
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    def _recent_events(self) -> List[dict]:
+        if self._ring is not None:
+            return self._ring.tail(self.keep_events)
+        log = self.machine.event_log
+        if log is None or not hasattr(log, "tail"):
+            return []
+        return [
+            {
+                "time": e.time, "processor": e.processor,
+                "request": e.request.value, "address": e.address,
+                "path": e.path, "latency": e.latency,
+            }
+            for e in log.tail(self.keep_events)
+        ]
+
+    def _telemetry_snapshot(self) -> Optional[dict]:
+        registry = getattr(self.machine, "telemetry", None)
+        if registry is None:
+            return None
+        try:
+            from repro.telemetry.export import to_json
+            return json.loads(to_json(registry))
+        except Exception:  # noqa: BLE001 — the bundle must still be written
+            return None
+
+
+class _gc_paused:
+    """Pause the cycle collector across one audit sweep.
+
+    A sweep allocates tens of thousands of short-lived tuples and lists;
+    crossing the collector's thresholds mid-sweep promotes those
+    temporaries through generations whose scans are dominated by the
+    large, live machine — measured at several times the sweep's own
+    cost. The sweep is read-only and its temporaries are acyclic, so
+    pausing collection loses nothing: they die by refcount when the
+    sweep returns, leaving no allocation debt behind.
+    """
+
+    __slots__ = ("_was_enabled",)
+
+    def __enter__(self) -> None:
+        self._was_enabled = gc.isenabled()
+        if self._was_enabled:
+            gc.disable()
+
+    def __exit__(self, *exc_info) -> None:
+        if self._was_enabled:
+            gc.enable()
+
+
+def _rotate(items: List[int], cursor: int, count: int) -> List[int]:
+    """A ``count``-wide window into *items* starting at ``cursor`` (wrapped)."""
+    if not items:
+        return []
+    if len(items) <= count:
+        return items
+    start = cursor % len(items)
+    window = items[start:start + count]
+    if len(window) < count:
+        window += items[:count - len(window)]
+    return window

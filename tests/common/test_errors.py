@@ -1,0 +1,91 @@
+"""Failure taxonomy: what retries, what quarantines, what rides along.
+
+The classifier is the routing core of the fault-tolerant runner: a
+transient verdict buys a retry with backoff, a deterministic verdict
+quarantines the task (it would fail identically on the bit-identical
+rerun). These tests pin the verdicts the runner depends on.
+"""
+
+import pytest
+
+from repro.common.errors import (
+    CGCTError,
+    ConfigurationError,
+    FailureClass,
+    InvariantViolation,
+    ProtocolError,
+    SimulationError,
+    TaskTimeout,
+    WorkerCrash,
+    classify_failure,
+)
+
+
+class TestClassifyFailure:
+    @pytest.mark.parametrize("exc", [
+        TaskTimeout("deadline blown"),
+        WorkerCrash("pid 123 died"),
+        OSError("fork failed"),
+        MemoryError(),
+        TimeoutError(),
+        ConnectionError(),
+        InterruptedError(),
+    ])
+    def test_environmental_failures_are_transient(self, exc):
+        assert classify_failure(exc) is FailureClass.TRANSIENT
+
+    @pytest.mark.parametrize("exc", [
+        CGCTError("simulator bug"),
+        ProtocolError("bad transition"),
+        SimulationError("impossible latency"),
+        ConfigurationError("bad region size"),
+        InvariantViolation("two owners"),
+        AssertionError(),
+        ValueError("bad input"),
+        TypeError(),
+        KeyError("missing"),
+        ZeroDivisionError(),
+        AttributeError(),
+    ])
+    def test_code_failures_are_deterministic(self, exc):
+        assert classify_failure(exc) is FailureClass.DETERMINISTIC
+
+    def test_unknown_exceptions_default_to_transient(self):
+        # RuntimeError could be either; retrying once is cheap and the
+        # deterministic case still surfaces after the budget runs out.
+        assert classify_failure(RuntimeError("boom")) is FailureClass.TRANSIENT
+
+        class Weird(Exception):
+            pass
+
+        assert classify_failure(Weird()) is FailureClass.TRANSIENT
+
+    def test_accepts_types_as_well_as_instances(self):
+        assert classify_failure(TaskTimeout) is FailureClass.TRANSIENT
+        assert classify_failure(ValueError) is FailureClass.DETERMINISTIC
+
+    def test_transient_wins_over_deterministic_base(self):
+        # TaskTimeout/WorkerCrash subclass CGCTError (a deterministic
+        # family); the transient check must run first or every timeout
+        # would be quarantined.
+        assert issubclass(TaskTimeout, CGCTError)
+        assert issubclass(WorkerCrash, CGCTError)
+        assert classify_failure(TaskTimeout("t")) is FailureClass.TRANSIENT
+        assert classify_failure(WorkerCrash("c")) is FailureClass.TRANSIENT
+
+
+class TestInvariantViolation:
+    def test_carries_violations_and_bundle_path(self):
+        exc = InvariantViolation(
+            "coherence invariant violated",
+            violations=["line 0x10: two owners", "region 0x2: bad count"],
+            bundle_path="diagnostics/bundle-barnes-seed0.json",
+        )
+        assert len(exc.violations) == 2
+        assert exc.bundle_path.endswith(".json")
+        assert isinstance(exc, ProtocolError)
+
+    def test_defaults_are_empty(self):
+        exc = InvariantViolation("bad")
+        assert list(exc.violations) == []
+        assert exc.bundle_path is None

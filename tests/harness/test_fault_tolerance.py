@@ -1,0 +1,313 @@
+"""Fault injection against the supervised runner.
+
+Every scenario ends with the same assertion: the surviving results are
+*bit-identical* to an undisturbed serial run (full ``RunResult``
+equality). Faults — killed workers, hangs past the deadline, corrupted
+cache entries, interrupted sweeps — may cost wall clock, never bits.
+
+Injection goes through the runner's ``execute`` hook with on-disk
+markers (the idiom of ``test_parallel.py``), so a fault fires a
+controlled number of times across worker processes.
+"""
+
+import json
+import os
+import signal
+import time
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.common.errors import FailureClass, WorkerCrash
+from repro.harness.cache import DiskCache, code_version
+from repro.harness.parallel import (
+    ExperimentTask,
+    ParallelRunner,
+    execute_envelope,
+)
+from repro.harness.runlog import RunLog, read_runlog, summarize
+from repro.harness.supervisor import (
+    RetryPolicy,
+    SupervisedPool,
+    SweepCheckpoint,
+    sweep_fingerprint,
+)
+from repro.system.config import SystemConfig
+
+
+def grid_tasks(ops=800):
+    """2 benchmarks × 2 configs — 4 cells, a cheap but real grid."""
+    tasks = []
+    for name in ("barnes", "tpc-w"):
+        for config in (SystemConfig.paper_baseline(),
+                       SystemConfig.paper_cgct(512)):
+            tasks.append(ExperimentTask(name, config, ops,
+                                        warmup_fraction=0.25))
+    return tasks
+
+
+def undisturbed(tasks):
+    return ParallelRunner(workers=0).run(tasks)
+
+
+# ----------------------------------------------------------------------
+# Injected execute hooks (top-level: workers must reach them)
+# ----------------------------------------------------------------------
+def _sigkill_once_execute(envelope, marker):
+    """SIGKILL the worker mid-task 0, exactly once across the sweep."""
+    if envelope.index == 0:
+        path = Path(marker)
+        if not path.exists():
+            path.write_text("killed")
+            os.kill(os.getpid(), signal.SIGKILL)
+    return execute_envelope(envelope)
+
+
+def _hang_once_execute(envelope, marker):
+    """Wedge the worker on task 1 (far past the deadline), once."""
+    if envelope.index == 1:
+        path = Path(marker)
+        if not path.exists():
+            path.write_text("hung")
+            time.sleep(120)
+    return execute_envelope(envelope)
+
+
+def _bad_cell_execute(envelope):
+    """Task 0 hits a deterministic simulator bug; the rest are fine."""
+    if envelope.index == 0:
+        raise ValueError("impossible region transition (injected)")
+    return execute_envelope(envelope)
+
+
+def _worker_hostile_execute(envelope, parent_pid):
+    """Die instantly in any worker process; succeed in the parent."""
+    if os.getpid() != parent_pid:
+        os._exit(17)
+    return execute_envelope(envelope)
+
+
+def _crashy_execute(envelope, marker, fail_times):
+    """Raise WorkerCrash for tasks 2+ until the marker counts out."""
+    if envelope.index >= 2:
+        path = Path(marker)
+        seen = len(path.read_text()) if path.exists() else 0
+        if seen < fail_times:
+            path.write_text("x" * (seen + 1))
+            raise WorkerCrash("injected transient infrastructure fault")
+    return execute_envelope(envelope)
+
+
+# ----------------------------------------------------------------------
+# Scenario 1: worker killed mid-task
+# ----------------------------------------------------------------------
+def test_sigkilled_worker_is_replaced_and_results_are_identical(tmp_path):
+    tasks = grid_tasks()
+    expected = undisturbed(tasks)
+    log = tmp_path / "run.jsonl"
+    execute = partial(_sigkill_once_execute,
+                      marker=str(tmp_path / "marker"))
+    with RunLog(log) as runlog:
+        runner = ParallelRunner(workers=2, runlog=runlog, retries=2,
+                                execute=execute)
+        results = runner.run(tasks)
+    assert results == expected
+    records = read_runlog(log)
+    crashes = [r for r in records if r.get("status") == "error"
+               and r.get("kind") == "crash"]
+    assert len(crashes) == 1
+    assert crashes[0]["will_retry"] is True
+    assert crashes[0]["failure_class"] == "transient"
+
+
+# ----------------------------------------------------------------------
+# Scenario 2: worker hangs past the wall-clock budget
+# ----------------------------------------------------------------------
+def test_hung_worker_is_killed_at_deadline_and_task_requeued(tmp_path):
+    tasks = grid_tasks()
+    expected = undisturbed(tasks)
+    log = tmp_path / "run.jsonl"
+    execute = partial(_hang_once_execute, marker=str(tmp_path / "marker"))
+    with RunLog(log) as runlog:
+        runner = ParallelRunner(workers=2, runlog=runlog, retries=2,
+                                execute=execute, task_timeout=2.0)
+        results = runner.run(tasks)
+    assert results == expected
+    timeouts = [r for r in read_runlog(log) if r.get("status") == "error"
+                and r.get("kind") == "timeout"]
+    assert len(timeouts) == 1
+    assert timeouts[0]["will_retry"] is True
+    assert "wall-clock budget" in timeouts[0]["error"]
+
+
+# ----------------------------------------------------------------------
+# Scenario 3: corrupted cache entry
+# ----------------------------------------------------------------------
+def test_corrupt_cache_entry_is_resimulated_identically(tmp_path):
+    tasks = grid_tasks()
+    expected = undisturbed(tasks)
+    disk = DiskCache(tmp_path / "cache")
+    ParallelRunner(workers=0, cache=disk).run(tasks)
+
+    # Truncate-and-garble one entry on disk.
+    victim = disk._path(tasks[0].cache_key(code_version()))
+    assert victim.exists()
+    victim.write_bytes(b"not a pickle at all")
+
+    log = tmp_path / "run.jsonl"
+    with RunLog(log) as runlog:
+        results = ParallelRunner(workers=0, cache=disk,
+                                 runlog=runlog).run(tasks)
+    assert results == expected
+    summary = summarize(read_runlog(log))
+    assert summary["simulated"] == 1  # only the corrupted cell re-ran
+    assert summary["cache_hits"] == len(tasks) - 1
+    assert summary["failures"] == 0
+
+
+# ----------------------------------------------------------------------
+# Scenario 4: sweep interrupted, checkpointed, resumed
+# ----------------------------------------------------------------------
+def test_checkpoint_resume_mid_sweep_is_bit_identical(tmp_path):
+    tasks = grid_tasks()
+    expected = undisturbed(tasks)
+    disk = DiskCache(tmp_path / "cache")
+    checkpoint_path = tmp_path / "sweep.ckpt"
+
+    # First attempt: tasks 2+ fail transiently until the retry budget
+    # runs out — the sweep ends with half the grid done. fail_times
+    # covers exactly this sweep's four attempts (2 tasks × 2 tries), so
+    # the fault has cleared by the resume.
+    execute = partial(_crashy_execute, marker=str(tmp_path / "marker"),
+                      fail_times=4)
+    first = ParallelRunner(workers=0, cache=disk, retries=1, strict=False,
+                           checkpoint=SweepCheckpoint(checkpoint_path),
+                           execute=execute)
+    partial_results = first.run(tasks)
+    assert partial_results[:2] == expected[:2]
+    assert partial_results[2:] == [None, None]
+    assert len(first.failures) == 2
+
+    # Resume: completed cells come from the checkpoint + cache, the
+    # rest simulate now that the fault has cleared.
+    log = tmp_path / "resume.jsonl"
+    with RunLog(log) as runlog:
+        second = ParallelRunner(workers=0, cache=disk, runlog=runlog,
+                                checkpoint=SweepCheckpoint(checkpoint_path),
+                                execute=execute)
+        results = second.run(tasks)
+    assert results == expected
+    records = read_runlog(log)
+    start = next(r for r in records if r["event"] == "sweep-start")
+    assert start["resumed"] == 2
+    resumed = [r for r in records
+               if r["event"] == "run" and r.get("resumed")]
+    assert {r["index"] for r in resumed} == {0, 1}
+    assert summarize(records)["simulated"] == 2
+
+
+def test_checkpoint_fingerprint_mismatch_restarts(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    checkpoint = SweepCheckpoint(path)
+    assert checkpoint.begin(["key-a", "key-b"]) == set()
+    checkpoint.mark_done(0, "key-a", "miss")
+    assert SweepCheckpoint(path).begin(["key-a", "key-b"]) == {0}
+    # A different grid (or code version, baked into real keys) restarts.
+    assert SweepCheckpoint(path).begin(["key-a", "key-c"]) == set()
+
+
+def test_checkpoint_tolerates_torn_trailing_line(tmp_path):
+    path = tmp_path / "sweep.ckpt"
+    checkpoint = SweepCheckpoint(path)
+    checkpoint.begin(["key-a", "key-b"])
+    checkpoint.mark_done(0, "key-a", "miss")
+    with path.open("a") as handle:
+        handle.write('{"record": "done", "ind')  # interrupted append
+    assert SweepCheckpoint(path).begin(["key-a", "key-b"]) == {0}
+
+
+# ----------------------------------------------------------------------
+# Scenario 5: deterministic failures quarantine, never retry
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers", [0, 2])
+def test_deterministic_failure_quarantines_without_retry(tmp_path, workers):
+    tasks = grid_tasks()
+    log = tmp_path / "run.jsonl"
+    with RunLog(log) as runlog:
+        runner = ParallelRunner(workers=workers, runlog=runlog, retries=3,
+                                strict=False, execute=_bad_cell_execute)
+        results = runner.run(tasks)
+    assert results[0] is None
+    assert [r is not None for r in results[1:]] == [True, True, True]
+    assert len(runner.quarantined) == 1
+    assert runner.quarantined[0]["class"] == "deterministic"
+    errors = [r for r in read_runlog(log) if r.get("status") == "error"]
+    assert len(errors) == 1  # one attempt total — no retries burned
+    assert errors[0]["will_retry"] is False
+    summary = summarize(read_runlog(log))
+    assert summary["quarantined"] == 1
+    assert summary["retries"] == 0
+
+
+def test_quarantine_is_recorded_in_checkpoint(tmp_path):
+    tasks = grid_tasks()
+    checkpoint_path = tmp_path / "sweep.ckpt"
+    runner = ParallelRunner(workers=0, strict=False,
+                            checkpoint=SweepCheckpoint(checkpoint_path),
+                            execute=_bad_cell_execute)
+    runner.run(tasks)
+    records = [json.loads(line) for line in
+               checkpoint_path.read_text().splitlines()]
+    quarantined = [r for r in records if r["record"] == "quarantined"]
+    assert len(quarantined) == 1
+    assert quarantined[0]["index"] == 0
+    assert "injected" in quarantined[0]["reason"]
+
+
+# ----------------------------------------------------------------------
+# Scenario 6: circuit breaker → graceful serial degradation
+# ----------------------------------------------------------------------
+def test_circuit_break_degrades_to_serial_with_identical_results(tmp_path):
+    tasks = grid_tasks()
+    expected = undisturbed(tasks)
+    log = tmp_path / "run.jsonl"
+    execute = partial(_worker_hostile_execute, parent_pid=os.getpid())
+    with RunLog(log) as runlog:
+        runner = ParallelRunner(workers=2, runlog=runlog, retries=8,
+                                circuit_threshold=2, execute=execute)
+        results = runner.run(tasks)
+    assert results == expected
+    records = read_runlog(log)
+    breaks = [r for r in records if r["event"] == "circuit-break"]
+    assert len(breaks) == 1
+    assert breaks[0]["remaining"] >= 1
+    assert breaks[0]["consecutive_faults"] >= 2
+    assert summarize(records)["completed"] == len(tasks)
+
+
+# ----------------------------------------------------------------------
+# Retry policy: deterministic backoff
+# ----------------------------------------------------------------------
+class TestRetryPolicy:
+    def test_delays_are_deterministic_per_key(self):
+        policy = RetryPolicy()
+        assert policy.delay(1, key=7) == policy.delay(1, key=7)
+        assert policy.delay(1, key=7) != policy.delay(1, key=8)
+
+    def test_backoff_grows_to_the_cap(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_cap=0.5, jitter=0.0)
+        delays = [policy.delay(a) for a in (1, 2, 3, 4, 5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_is_bounded(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=1.0,
+                             backoff_cap=1.0, jitter=0.25)
+        for key in range(20):
+            assert 1.0 <= policy.delay(1, key=key) < 1.25
+
+
+def test_sweep_fingerprint_is_order_sensitive():
+    assert sweep_fingerprint(["a", "b"]) != sweep_fingerprint(["b", "a"])
+    assert sweep_fingerprint(["a", "b"]) == sweep_fingerprint(["a", "b"])

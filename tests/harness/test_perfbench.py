@@ -11,12 +11,15 @@ import json
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.harness.perfbench import (
     PERF_CONFIGS,
+    SCHEMA,
     attach_reference,
     bench_config,
     check_against,
     host_metadata,
+    load_measurement,
     measure_config,
     perf_command,
     render,
@@ -75,6 +78,7 @@ class TestMeasurement:
 
 def fake_payload(rate=1000.0, cycles=123):
     return {
+        "schema": SCHEMA,
         "suite": {"workload": "barnes", "ops_per_processor": 300,
                   "seed": 0, "warmup_fraction": 0.0, "repeats": 1},
         "configs": {
@@ -165,3 +169,90 @@ class TestCommand:
             "--check", str(path),
         ]) == 1
         assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+class TestLoadMeasurement:
+    """--reference/--check file vetting: actionable errors, host compat."""
+
+    def _write(self, tmp_path, payload):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_valid_measurement_loads(self, tmp_path):
+        path = self._write(tmp_path, fake_payload())
+        assert load_measurement(path, "--check")["configs"]
+
+    def test_missing_file_names_the_fix(self, tmp_path):
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_measurement(tmp_path / "gone.json", "--check")
+        message = str(excinfo.value)
+        assert "--check" in message
+        assert "python -m repro.harness perf" in message
+
+    def test_unparseable_file_is_rejected(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text("{truncated")
+        with pytest.raises(ConfigurationError, match="not a readable JSON"):
+            load_measurement(path, "--reference")
+
+    def test_wrong_schema_is_rejected(self, tmp_path):
+        payload = fake_payload()
+        payload["schema"] = "bench-core/v99"
+        path = self._write(tmp_path, payload)
+        with pytest.raises(ConfigurationError, match="bench-core/v1"):
+            load_measurement(path, "--check")
+
+    def test_reference_requires_compatible_host(self, tmp_path):
+        payload = fake_payload()
+        payload["host"] = {"machine": "sparc64", "implementation": "Jython"}
+        path = self._write(tmp_path, payload)
+        with pytest.raises(ConfigurationError) as excinfo:
+            load_measurement(path, "--reference",
+                             current_host=host_metadata())
+        message = str(excinfo.value)
+        assert "incompatible host" in message
+        assert "sparc64" in message
+        assert "--check" in message  # points at the host-tolerant option
+
+    def test_check_tolerates_foreign_hosts(self, tmp_path):
+        # CI runs --check against a measurement from a different host;
+        # only the speedup-computing --reference needs host parity.
+        payload = fake_payload()
+        payload["host"] = {"machine": "sparc64", "implementation": "Jython"}
+        path = self._write(tmp_path, payload)
+        assert load_measurement(path, "--check")["host"]["machine"] == \
+            "sparc64"
+
+
+class TestCommandVetting:
+    def test_missing_check_file_exits_2_before_measuring(self, tmp_path,
+                                                         capsys):
+        assert perf_command([
+            "--quick", "--configs", "4p-cgct", "--no-write",
+            "--check", str(tmp_path / "gone.json"),
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "error: --check" in err
+
+    def test_cross_host_reference_exits_2(self, tmp_path, capsys):
+        payload = fake_payload()
+        payload["host"] = {"machine": "sparc64", "implementation": "Jython"}
+        path = tmp_path / "ref.json"
+        path.write_text(json.dumps(payload))
+        assert perf_command([
+            "--quick", "--configs", "4p-cgct", "--no-write",
+            "--reference", str(path),
+        ]) == 2
+        assert "incompatible host" in capsys.readouterr().err
+
+
+class TestSanitizedMeasurement:
+    def test_check_invariants_is_recorded_and_bit_identical(self):
+        plain = measure_config("4p-cgct", 400, repeats=1)
+        audited = run_suite(ops_per_processor=400, repeats=1,
+                            configs=["4p-cgct"],
+                            check_invariants="sampled")
+        assert audited["suite"]["check_invariants"] == "sampled"
+        assert audited["configs"]["4p-cgct"]["fingerprint"] == \
+            plain["fingerprint"]
