@@ -1,0 +1,47 @@
+"""Differential conformance fuzzing for the coherence protocol.
+
+The sanitizer (:mod:`repro.validate`) checks invariants on whatever
+traces the experiments happen to run; this package *searches* for
+protocol-breaking inputs instead:
+
+* :mod:`repro.conformance.golden` — a deliberately simple, obviously
+  correct reference model of line ownership (flat per-line map, no RCA,
+  no timing) that yields ground-truth may-hold / last-writer state and
+  per-access must-broadcast verdicts;
+* :mod:`repro.conformance.fuzz` — a seeded generator of adversarial
+  multiprocessor traces (ping-pong, false sharing, upgrade storms,
+  region-boundary straddles, eviction pressure, DCB mixes);
+* :mod:`repro.conformance.differential` — replays fuzzed traces on the
+  real :mod:`repro.system` simulator and diffs coherence events and
+  final state against the golden model, flagging any broadcast the
+  region protocol skipped while a remote copy existed;
+* :mod:`repro.conformance.shrink` — a delta-debugging minimizer that
+  reduces a failing trace to a minimal reproducer and writes a
+  ``cgct-diagnostics/v1``-style bundle plus a ready-to-commit corpus
+  file;
+* :mod:`repro.conformance.campaign` — the parallel, checkpointable,
+  runlogged fuzzing campaign behind
+  ``python -m repro.harness conformance``.
+
+See ``docs/conformance.md`` for the golden-model contract and the
+shrink → corpus workflow.
+"""
+
+from repro.conformance.differential import (
+    ConformanceProbe,
+    DifferentialOutcome,
+    run_differential,
+)
+from repro.conformance.fuzz import fuzz_trace
+from repro.conformance.golden import GoldenModel
+from repro.conformance.shrink import shrink_trace, write_reproducer
+
+__all__ = [
+    "ConformanceProbe",
+    "DifferentialOutcome",
+    "GoldenModel",
+    "fuzz_trace",
+    "run_differential",
+    "shrink_trace",
+    "write_reproducer",
+]

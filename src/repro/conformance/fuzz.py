@@ -1,0 +1,211 @@
+"""Seeded adversarial trace generator for the conformance campaign.
+
+Each fuzzed trace is a random composition of *schedules* — short access
+patterns chosen to stress exactly the transitions the region protocol
+optimises away:
+
+* ``ping_pong`` — one line bounced between processors with stores, the
+  migratory/upgrade-heavy worst case for exclusive-region tracking;
+* ``false_sharing`` — each processor writes its own line of one shared
+  region, so region state and line state disagree maximally;
+* ``upgrade_storm`` — everyone reads a line, then everyone tries to
+  write it (a chain of UPGRADEs invalidating each other);
+* ``region_straddle`` — a walk crossing a region boundary, catching
+  off-by-one region bookkeeping;
+* ``eviction_pressure`` — more same-set lines than the L2 has ways,
+  forcing evictions (and region-forced RCA evictions) mid-pattern;
+* ``dcb_mix`` — DCBZ/DCBF/DCBI thrown at lines other processors are
+  actively reading and writing;
+* ``migratory`` — read-modify-write migrating processor to processor;
+* ``private_burst`` — per-processor private regions, the exclusive
+  (CI/DI) fast-path the protocol must *prove* safe;
+* ``generator_slice`` — a slice of a :mod:`repro.workloads.generator`
+  profile, so the fuzzer also covers the realistic address mix.
+
+Streams are independent per ``(root seed, trace id, processor count)``
+via :func:`repro.common.rng.derive_seed` — two campaign iterations, or
+the same iteration at two machine sizes, never share a stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Sequence, Tuple
+
+from repro.common.rng import derive_seed
+from repro.workloads.benchmarks import BENCHMARKS
+from repro.workloads.generator import SyntheticWorkload
+from repro.workloads.trace import MultiTrace, Trace, TraceOp
+
+LINE = 64
+REGION = 512
+#: Stride between L2 sets' aliases (1 MiB / 2 ways): lines this far
+#: apart land in the same set, so >2 of them force evictions.
+_SET_ALIAS_STRIDE = 512 * 1024
+
+#: One record: (op, byte address, pre-issue gap in cycles).
+Record = Tuple[TraceOp, int, int]
+
+#: A schedule appends records to the per-processor lists it is handed.
+Schedule = Callable[[random.Random, List[List[Record]]], None]
+
+
+def _gap(rng: random.Random) -> int:
+    return rng.randrange(0, 4)
+
+
+def _region_base(rng: random.Random) -> int:
+    """A random region-aligned base inside a compact, collision-prone pool."""
+    return rng.randrange(0, 256) * REGION
+
+
+def _far_base(rng: random.Random) -> int:
+    """A random base in a wide pool (distinct regions, RCA pressure)."""
+    return rng.randrange(0, 1 << 20) * REGION
+
+
+def _ping_pong(rng: random.Random, procs: List[List[Record]]) -> None:
+    address = _region_base(rng) + rng.randrange(0, REGION // LINE) * LINE
+    for _ in range(rng.randrange(2, 5)):
+        for proc in range(len(procs)):
+            op = TraceOp.STORE if rng.random() < 0.6 else TraceOp.LOAD
+            procs[proc].append((op, address, _gap(rng)))
+
+
+def _false_sharing(rng: random.Random, procs: List[List[Record]]) -> None:
+    base = _region_base(rng)
+    lines = REGION // LINE
+    for _ in range(rng.randrange(1, 4)):
+        for proc in range(len(procs)):
+            address = base + (proc % lines) * LINE
+            procs[proc].append((TraceOp.STORE, address, _gap(rng)))
+            if rng.random() < 0.5:
+                other = base + rng.randrange(0, lines) * LINE
+                procs[proc].append((TraceOp.LOAD, other, _gap(rng)))
+
+
+def _upgrade_storm(rng: random.Random, procs: List[List[Record]]) -> None:
+    address = _region_base(rng)
+    for proc in range(len(procs)):
+        procs[proc].append((TraceOp.LOAD, address, _gap(rng)))
+    for proc in range(len(procs)):
+        procs[proc].append((TraceOp.STORE, address, _gap(rng)))
+
+
+def _region_straddle(rng: random.Random, procs: List[List[Record]]) -> None:
+    boundary = _region_base(rng) + REGION
+    for proc in range(len(procs)):
+        start = boundary - 2 * LINE
+        for i in range(4):  # two lines either side of the boundary
+            op = TraceOp.STORE if rng.random() < 0.4 else TraceOp.LOAD
+            procs[proc].append((op, start + i * LINE, _gap(rng)))
+
+
+def _eviction_pressure(rng: random.Random, procs: List[List[Record]]) -> None:
+    base = _region_base(rng)
+    aliases = [base + i * _SET_ALIAS_STRIDE for i in range(4)]
+    for proc in range(len(procs)):
+        for address in aliases:
+            op = TraceOp.STORE if rng.random() < 0.3 else TraceOp.LOAD
+            procs[proc].append((op, address, _gap(rng)))
+        procs[proc].append((TraceOp.LOAD, aliases[0], _gap(rng)))
+
+
+def _dcb_mix(rng: random.Random, procs: List[List[Record]]) -> None:
+    base = _region_base(rng)
+    lines = REGION // LINE
+    dcb_ops = (TraceOp.DCBZ, TraceOp.DCBF, TraceOp.DCBI)
+    for proc in range(len(procs)):
+        for _ in range(rng.randrange(2, 5)):
+            address = base + rng.randrange(0, lines) * LINE
+            roll = rng.random()
+            if roll < 0.4:
+                procs[proc].append((rng.choice(dcb_ops), address, _gap(rng)))
+            elif roll < 0.7:
+                procs[proc].append((TraceOp.STORE, address, _gap(rng)))
+            else:
+                procs[proc].append((TraceOp.LOAD, address, _gap(rng)))
+
+
+def _migratory(rng: random.Random, procs: List[List[Record]]) -> None:
+    address = _far_base(rng)
+    for proc in range(len(procs)):
+        procs[proc].append((TraceOp.LOAD, address, _gap(rng)))
+        procs[proc].append((TraceOp.STORE, address, _gap(rng)))
+
+
+def _private_burst(rng: random.Random, procs: List[List[Record]]) -> None:
+    for proc in range(len(procs)):
+        base = (1 + proc) * (1 << 30) + _region_base(rng)
+        for i in range(rng.randrange(3, 8)):
+            op = TraceOp.STORE if rng.random() < 0.4 else TraceOp.LOAD
+            procs[proc].append((op, base + i * LINE, _gap(rng)))
+
+
+def _ifetch_sharing(rng: random.Random, procs: List[List[Record]]) -> None:
+    address = _region_base(rng)
+    for proc in range(len(procs)):
+        procs[proc].append((TraceOp.IFETCH, address, _gap(rng)))
+    writer = rng.randrange(0, len(procs))
+    procs[writer].append((TraceOp.STORE, address, _gap(rng)))
+    for proc in range(len(procs)):
+        procs[proc].append((TraceOp.IFETCH, address, _gap(rng)))
+
+
+_SCHEDULES: Sequence[Schedule] = (
+    _ping_pong,
+    _false_sharing,
+    _upgrade_storm,
+    _region_straddle,
+    _eviction_pressure,
+    _dcb_mix,
+    _migratory,
+    _private_burst,
+    _ifetch_sharing,
+)
+
+
+def _generator_slice(
+    rng: random.Random, procs: List[List[Record]], budget: int
+) -> None:
+    """Layer in a realistic slice from the synthetic workload generator."""
+    profile = BENCHMARKS[rng.choice(sorted(BENCHMARKS))]
+    take = max(4, budget // 2)
+    workload = SyntheticWorkload(profile, len(procs)).build(
+        seed=rng.randrange(1 << 30), ops_per_processor=take
+    )
+    for proc, trace in enumerate(workload.per_processor):
+        for op, address, gap in zip(
+            trace.ops.tolist(), trace.addresses.tolist(), trace.gaps.tolist()
+        ):
+            procs[proc].append((TraceOp(op), int(address), min(int(gap), 8)))
+
+
+def fuzz_trace(
+    trace_id: int,
+    num_processors: int,
+    ops_per_processor: int = 48,
+    seed: int = 0,
+) -> MultiTrace:
+    """Build one adversarial workload, deterministically.
+
+    The stream is scoped by ``(seed, trace_id, num_processors)``:
+    re-running a campaign regenerates identical traces, while any other
+    (trace id, machine size) combination draws an independent stream.
+    """
+    rng = random.Random(
+        derive_seed(seed, "conformance", trace_id, num_processors)
+    )
+    procs: List[List[Record]] = [[] for _ in range(num_processors)]
+    if rng.random() < 0.25:
+        _generator_slice(rng, procs, ops_per_processor)
+    while min(len(records) for records in procs) < ops_per_processor:
+        schedule = rng.choice(_SCHEDULES)
+        schedule(rng, procs)
+    traces = [
+        Trace.from_records(
+            records[:ops_per_processor], name=f"fuzz{trace_id}.p{proc}"
+        )
+        for proc, records in enumerate(procs)
+    ]
+    return MultiTrace(per_processor=traces, name=f"fuzz-{trace_id}")

@@ -1,0 +1,239 @@
+"""Delta-debugging minimizer and the reproducer/corpus file formats.
+
+A failing fuzz trace is usually hundreds of accesses; the bug is almost
+always reachable in a handful. :func:`shrink_trace` flattens the
+multiprocessor trace into one global record list (round-robin by
+position, so per-processor program order is preserved by construction),
+then applies classic ddmin chunk elimination, a single-record sweep,
+and a gap-zeroing polish — re-running the caller's failure predicate at
+every candidate.
+
+The minimized trace is written out twice by :func:`write_reproducer`:
+
+* a ``cgct-diagnostics/v1``-style **bundle** next to the sanitizer's
+  own bundles, carrying the mismatches and the machine configuration
+  that exposed them;
+* a ``cgct-conformance-corpus/v1`` **corpus file** — the ready-to-commit
+  regression test. Drop it into ``tests/conformance/corpus/`` and
+  ``test_corpus.py`` replays it forever (see ``docs/conformance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.common.errors import SimulationError
+from repro.workloads.trace import MultiTrace, Trace, TraceOp
+
+#: One flattened record: (processor, op code, byte address, gap).
+FlatRecord = Tuple[int, int, int, int]
+
+CORPUS_SCHEMA = "cgct-conformance-corpus/v1"
+BUNDLE_SCHEMA = "cgct-diagnostics/v1"
+
+
+# ----------------------------------------------------------------------
+# Trace <-> flat record list
+# ----------------------------------------------------------------------
+def flatten(workload: MultiTrace) -> List[FlatRecord]:
+    """Interleave the per-processor traces round-robin by position."""
+    columns = [
+        list(zip(t.ops.tolist(), t.addresses.tolist(), t.gaps.tolist()))
+        for t in workload.per_processor
+    ]
+    flat: List[FlatRecord] = []
+    for k in range(max((len(c) for c in columns), default=0)):
+        for proc, column in enumerate(columns):
+            if k < len(column):
+                op, address, gap = column[k]
+                flat.append((proc, int(op), int(address), int(gap)))
+    return flat
+
+
+def rebuild(
+    flat: Sequence[FlatRecord], num_processors: int, name: str
+) -> MultiTrace:
+    """Reassemble a :class:`MultiTrace`; silent processors get empty traces."""
+    per_proc: List[List[Tuple[int, int, int]]] = [
+        [] for _ in range(num_processors)
+    ]
+    for proc, op, address, gap in flat:
+        per_proc[proc].append((op, address, gap))
+    traces = [
+        Trace.from_records(records, name=f"{name}.p{proc}")
+        for proc, records in enumerate(per_proc)
+    ]
+    return MultiTrace(per_processor=traces, name=name)
+
+
+# ----------------------------------------------------------------------
+# ddmin
+# ----------------------------------------------------------------------
+def shrink_trace(
+    workload: MultiTrace,
+    is_failing: Callable[[MultiTrace], bool],
+    max_evals: int = 400,
+) -> Tuple[MultiTrace, int]:
+    """Minimize *workload* while ``is_failing`` stays true.
+
+    Returns the smallest failing trace found and the number of
+    predicate evaluations spent. Raises
+    :class:`~repro.common.errors.SimulationError` when the input does not
+    fail to begin with — a shrink of a passing trace means the caller's
+    predicate is broken, not the trace.
+    """
+    nprocs = workload.num_processors
+    name = f"{workload.name}-min"
+    evals = 0
+
+    def failing(flat: Sequence[FlatRecord]) -> bool:
+        nonlocal evals
+        evals += 1
+        return is_failing(rebuild(flat, nprocs, name))
+
+    flat = flatten(workload)
+    if not failing(flat):
+        raise SimulationError(
+            f"shrink of {workload.name}: the unmodified trace does not fail"
+        )
+
+    # Phase 1: ddmin chunk elimination.
+    granularity = 2
+    while len(flat) >= 2 and evals < max_evals:
+        chunk = max(1, (len(flat) + granularity - 1) // granularity)
+        reduced = False
+        start = 0
+        while start < len(flat) and evals < max_evals:
+            candidate = flat[:start] + flat[start + chunk:]
+            if candidate and failing(candidate):
+                flat = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # Re-test from the top of the shrunk list.
+                start = 0
+            else:
+                start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(flat))
+
+    # Phase 2: drop records one at a time (catches stragglers ddmin's
+    # chunk boundaries kept).
+    i = 0
+    while i < len(flat) and evals < max_evals:
+        candidate = flat[:i] + flat[i + 1:]
+        if candidate and failing(candidate):
+            flat = candidate
+        else:
+            i += 1
+
+    # Phase 3: zero the think-time gaps when the failure survives it —
+    # reproducers read best with no incidental timing noise.
+    if any(gap for _, _, _, gap in flat) and evals < max_evals:
+        zeroed = [(proc, op, address, 0) for proc, op, address, _ in flat]
+        if failing(zeroed):
+            flat = zeroed
+
+    return rebuild(flat, nprocs, name), evals
+
+
+# ----------------------------------------------------------------------
+# Reproducer output
+# ----------------------------------------------------------------------
+def _fresh_path(directory: Path, stem: str) -> Path:
+    path = directory / f"{stem}.json"
+    suffix = 1
+    while path.exists():
+        path = directory / f"{stem}-{suffix}.json"
+        suffix += 1
+    return path
+
+
+def corpus_payload(
+    workload: MultiTrace,
+    name: str,
+    description: str,
+    seed: int,
+    configs: Optional[Sequence[str]] = None,
+) -> dict:
+    """The committed-corpus JSON for *workload*."""
+    return {
+        "schema": CORPUS_SCHEMA,
+        "name": name,
+        "description": description,
+        "num_processors": workload.num_processors,
+        "seed": seed,
+        "configs": list(configs) if configs else None,
+        "records": [
+            [proc, TraceOp(op).name.lower(), address, gap]
+            for proc, op, address, gap in flatten(workload)
+        ],
+    }
+
+
+def load_corpus_file(path) -> Tuple[MultiTrace, dict]:
+    """Read a corpus JSON back into a replayable workload."""
+    meta = json.loads(Path(path).read_text(encoding="utf-8"))
+    if meta.get("schema") != CORPUS_SCHEMA:
+        raise SimulationError(
+            f"{path}: expected schema {CORPUS_SCHEMA}, "
+            f"got {meta.get('schema')!r}"
+        )
+    flat = [
+        (int(proc), int(TraceOp[op.upper()]), int(address), int(gap))
+        for proc, op, address, gap in meta["records"]
+    ]
+    workload = rebuild(flat, int(meta["num_processors"]), meta["name"])
+    return workload, meta
+
+
+def write_reproducer(
+    workload: MultiTrace,
+    outcome,
+    directory,
+    description: str = "",
+    shrink_evals: Optional[int] = None,
+) -> Tuple[Path, Path]:
+    """Write the diagnostics bundle and the corpus file for a failure.
+
+    ``outcome`` is the :class:`~repro.conformance.differential.
+    DifferentialOutcome` of the *minimized* trace. Returns
+    ``(bundle_path, corpus_path)``.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"reproducer-{workload.name}-{outcome.config_name}"
+    corpus = corpus_payload(
+        workload,
+        name=workload.name,
+        description=description or (
+            f"shrunk conformance failure on {outcome.config_name} "
+            f"(seed {outcome.seed})"
+        ),
+        seed=outcome.seed,
+        configs=[outcome.config_name],
+    )
+    bundle_path = _fresh_path(directory, stem)
+    bundle = {
+        "schema": BUNDLE_SCHEMA,
+        "kind": "conformance-reproducer",
+        "workload": workload.name,
+        "seed": outcome.seed,
+        "config": outcome.config_name,
+        "telemetry": outcome.telemetry,
+        "accesses": sum(len(t) for t in workload.per_processor),
+        "mismatches": list(outcome.mismatches),
+        "shrink_evals": shrink_evals,
+        "corpus": corpus,
+    }
+    bundle_path.write_text(
+        json.dumps(bundle, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    corpus_path = _fresh_path(directory, f"corpus-{stem}")
+    corpus_path.write_text(
+        json.dumps(corpus, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return bundle_path, corpus_path

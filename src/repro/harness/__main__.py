@@ -36,6 +36,12 @@ The ``perf`` subcommand benchmarks the simulation core itself —
 simulated ops per host second across the canonical 4/8/16-processor
 configs — and writes ``BENCH_core.json`` (see ``docs/performance.md``).
 
+The ``conformance`` subcommand fuzzes the coherence protocol
+differentially against the golden reference model (see
+``docs/conformance.md``): seeded adversarial traces across all six
+canonical machine points, parallel and checkpointable through the
+supervised pool, with failing traces shrunk to minimal reproducers.
+
 Robustness (see ``docs/robustness.md``): ``--check-invariants
 {sampled,deep}`` audits every *executed* simulation with the runtime
 coherence sanitizer (a violation aborts the run and writes a
@@ -262,6 +268,97 @@ def _validate_command(argv) -> int:
     return 1 if failed else 0
 
 
+def _conformance_command(argv) -> int:
+    """``python -m repro.harness conformance [...]``.
+
+    Differential conformance fuzzing (see ``docs/conformance.md``):
+    every iteration fuzzes one adversarial trace per machine size and
+    replays it on all six canonical configurations against the golden
+    model, with the runtime sanitizer attached. Exit 0 means every cell
+    of every iteration agreed with the golden model; on failures the
+    command exits 1 after (optionally) shrinking each distinct failure
+    to a minimal reproducer bundle + corpus file.
+    """
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness conformance",
+        description="Fuzz the coherence protocol differentially against "
+                    "the golden reference model.",
+    )
+    parser.add_argument("--iterations", type=int, default=200,
+                        help="fuzzed trace ids to run (default 200)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="campaign root seed (default 0)")
+    parser.add_argument("--ops", type=int, default=48,
+                        help="accesses per processor per trace (default 48)")
+    parser.add_argument("--time-budget", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop starting new iterations past this wall "
+                             "clock (completed iterations still count)")
+    parser.add_argument("--shrink", action="store_true",
+                        help="minimize each distinct failure and write a "
+                             "reproducer bundle + corpus file")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="fan iterations out across N supervised worker "
+                             "processes (default 0 = serial)")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per parallel iteration")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        help="machine points to fuzz, by perf-config name "
+                             "(default: all of 4p/8p/16p × baseline/cgct)")
+    parser.add_argument("--bundle-dir", metavar="DIR", default="diagnostics",
+                        help="where reproducer bundles and corpus files are "
+                             "written (default diagnostics/)")
+    parser.add_argument("--runlog", metavar="PATH", default=None,
+                        help="append one JSON-lines record per iteration")
+    parser.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="record per-iteration completion so an "
+                             "interrupted campaign resumes where it stopped")
+    args = parser.parse_args(argv)
+
+    from repro.conformance.campaign import run_campaign
+
+    checkpoint = None
+    if args.checkpoint:
+        from repro.harness.supervisor import SweepCheckpoint
+
+        checkpoint = SweepCheckpoint(args.checkpoint)
+    runlog = RunLog(args.runlog) if args.runlog else None
+    try:
+        result = run_campaign(
+            iterations=args.iterations,
+            seed=args.seed,
+            ops=args.ops,
+            workers=args.workers,
+            time_budget=args.time_budget,
+            shrink=args.shrink,
+            config_names=args.configs,
+            bundle_dir=args.bundle_dir,
+            runlog=runlog,
+            checkpoint=checkpoint,
+            task_timeout=args.task_timeout,
+            progress=print,
+        )
+    finally:
+        if runlog is not None:
+            runlog.close()
+    budget_note = " (stopped by --time-budget)" if result.stopped_by_budget \
+        else ""
+    if result.ok:
+        print(f"[conformance: {result.iterations} iterations / "
+              f"{result.cells} cells clean in {result.elapsed:.1f}s"
+              f"{budget_note}]")
+        return 0
+    print(f"[conformance: {len(result.failures)} failing cells across "
+          f"{result.iterations} iterations in {result.elapsed:.1f}s"
+          f"{budget_note}]")
+    for bundle, corpus in result.reproducers:
+        print(f"[reproducer: {bundle}]")
+        print(f"[corpus file (commit under tests/conformance/corpus/): "
+              f"{corpus}]")
+    return 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = list(sys.argv[1:]) if argv is None else list(argv)
@@ -269,6 +366,8 @@ def main(argv=None) -> int:
         return _telemetry_command(argv[1:])
     if argv and argv[0] == "validate":
         return _validate_command(argv[1:])
+    if argv and argv[0] == "conformance":
+        return _conformance_command(argv[1:])
     if argv and argv[0] == "perf":
         from repro.harness.perfbench import perf_command
 
@@ -280,8 +379,9 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiments", nargs="+",
         help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
-             "or the 'telemetry' / 'perf' subcommands (see --help of "
-             "'python -m repro.harness telemetry' / '... perf')",
+             "or the 'telemetry' / 'validate' / 'perf' / 'conformance' "
+             "subcommands (see --help of "
+             "'python -m repro.harness <subcommand>')",
     )
     parser.add_argument("--ops", type=int, default=60_000,
                         help="memory operations per processor (default 60000)")

@@ -131,11 +131,18 @@ class Simulator:
     with or without it — but it *raises*
     :class:`~repro.common.errors.InvariantViolation` when the MOESI/RCA
     state drifts from the paper's invariants.
+
+    ``step_observer`` is a callable invoked as ``step_observer(proc_id)``
+    immediately before each processor step issues, in global step order.
+    The conformance harness (:mod:`repro.conformance`) uses it to learn
+    the exact interleaving the scheduler chose, so the golden model can
+    replay the same access order. Observed runs take a dedicated loop;
+    the plain hot loops are untouched and pay nothing.
     """
 
     def __init__(
         self, config: SystemConfig, seed: int = 0, telemetry=None,
-        scheduler: str = "heap", sanitizer=None,
+        scheduler: str = "heap", sanitizer=None, step_observer=None,
     ) -> None:
         if scheduler not in ("heap", "linear"):
             raise SimulationError(
@@ -146,6 +153,7 @@ class Simulator:
         self.telemetry = telemetry
         self.scheduler = scheduler
         self.sanitizer = sanitizer
+        self.step_observer = step_observer
         self.machine = Machine(config, seed=seed)
         if telemetry is not None:
             self.machine.attach_telemetry(telemetry)
@@ -215,6 +223,11 @@ class Simulator:
         re-keying or lazy invalidation is needed. O(log P) per operation
         instead of O(P).
         """
+        if self.step_observer is not None:
+            # Observed runs fold telemetry, the sanitizer and the
+            # observer into one loop; stepping stays identical.
+            self._run_until_observed(processors, targets)
+            return
         if self.sanitizer is not None:
             # Both schedulers step identically, so the checked loop (a
             # heap loop with a sanitizer stride) serves either setting.
@@ -293,6 +306,52 @@ class Simulator:
             if budget <= 0:
                 sanitizer.check(soonest.clock)
                 budget = stride
+            i = soonest.index
+            if i < targets[proc_id]:
+                heappush(
+                    heap,
+                    (soonest.clock + soonest._gaps[i], proc_id, soonest),
+                )
+
+    def _run_until_observed(
+        self, processors: List[TraceProcessor], targets: List[int]
+    ) -> None:
+        """Observer variant: the checked/telemetry loop plus a per-step
+        ``step_observer(proc_id)`` callback fired *before* the step
+        issues.
+
+        Firing before the step means that while the machine processes
+        access *k*, the observer has already seen exactly ``k + 1``
+        notifications — an event sink attached to the machine can
+        therefore attribute every coherence event to the access that
+        produced it. Stepping order and machine behaviour are identical
+        to the unobserved loops.
+        """
+        telemetry = self.telemetry
+        sanitizer = self.sanitizer
+        observe = self.step_observer
+        stride = sanitizer.every if sanitizer is not None else 0
+        budget = stride
+        heap = [
+            (p.next_time, p.proc_id, p)
+            for p in processors if p.index < targets[p.proc_id]
+        ]
+        heapq.heapify(heap)
+        heappush, heappop = heapq.heappush, heapq.heappop
+        next_sample = telemetry.next_sample_time if telemetry is not None \
+            else None
+        while heap:
+            issue_time, proc_id, soonest = heappop(heap)
+            if next_sample is not None and issue_time >= next_sample:
+                telemetry.maybe_sample(issue_time)
+                next_sample = telemetry.next_sample_time
+            observe(proc_id)
+            soonest.step()
+            if sanitizer is not None:
+                budget -= 1
+                if budget <= 0:
+                    sanitizer.check(soonest.clock)
+                    budget = stride
             i = soonest.index
             if i < targets[proc_id]:
                 heappush(

@@ -246,7 +246,14 @@ class _ProcessorStream:
         self.profile = profile
         self.proc = proc
         self.nprocs = nprocs
-        self.rng = random.Random(derive_seed(seed, profile.name, "proc", proc))
+        # The stream scope includes the machine size: a processor's
+        # episode choices depend on nprocs (owner rotation, heap
+        # interleaving), so a 4p and an 8p build sharing P0's stream
+        # would produce correlated-but-diverging traces. Distinct
+        # machine sizes must draw fully independent streams.
+        self.rng = random.Random(
+            derive_seed(seed, profile.name, "nprocs", nprocs, "proc", proc)
+        )
         chunk = profile.chunk_bytes
         self.private_chunks = max(1, profile.private_bytes // chunk)
         self.ro_chunks = max(1, profile.shared_ro_bytes // chunk)

@@ -143,7 +143,10 @@ def uniform_random(
     """Uniformly random lines from one shared pool (worst-case locality)."""
     traces = []
     for proc in range(num_processors):
-        rng = make_rng(seed, "uniform_random", proc)
+        # Scope the stream by machine size too: pool contention differs
+        # with the processor count, and distinct machine points must not
+        # replay each other's draws (see tests/workloads).
+        rng = make_rng(seed, "uniform_random", num_processors, proc)
         lines = rng.integers(0, pool_lines, size=ops_per_processor)
         stores = rng.random(size=ops_per_processor) < store_fraction
         records = [

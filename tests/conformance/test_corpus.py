@@ -1,0 +1,53 @@
+"""Replay every committed corpus trace through the differential harness.
+
+The corpus is the conformance campaign's long-term memory: each file is
+either a hand-written scenario targeting one protocol mechanism or a
+shrunk reproducer of a real past failure (see ``docs/conformance.md``
+for how the shrinker emits ready-to-commit files). Every trace must
+stay green on every config it names, forever.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.differential import run_differential
+from repro.conformance.shrink import load_corpus_file
+from repro.harness.perfbench import bench_config
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.json"))
+
+
+def test_corpus_is_populated():
+    assert len(CORPUS_FILES) >= 10
+
+
+@pytest.mark.parametrize(
+    "path", CORPUS_FILES, ids=lambda p: p.stem,
+)
+def test_corpus_trace_conforms(path):
+    workload, meta = load_corpus_file(path)
+    configs = meta["configs"] or [
+        f"{workload.num_processors}p-baseline",
+        f"{workload.num_processors}p-cgct",
+    ]
+    for config_name in configs:
+        outcome = run_differential(
+            workload, bench_config(config_name), config_name,
+            seed=meta.get("seed", 0), bundle_dir=None,
+        )
+        assert outcome.ok, (
+            f"{path.name} on {config_name}: {outcome.mismatches[:5]}"
+        )
+
+
+def test_corpus_files_are_well_formed():
+    for path in CORPUS_FILES:
+        workload, meta = load_corpus_file(path)
+        assert meta["schema"] == "cgct-conformance-corpus/v1"
+        assert meta["description"]
+        assert workload.num_processors == meta["num_processors"]
+        assert sum(len(t) for t in workload.per_processor) == len(
+            meta["records"]
+        )

@@ -1,0 +1,88 @@
+"""The fuzzer's contract: deterministic, independent, well-formed."""
+
+import numpy as np
+import pytest
+
+from repro.conformance.fuzz import fuzz_trace
+from repro.memory.geometry import Geometry
+from repro.workloads.trace import TraceOp
+
+
+def _flat_addresses(workload):
+    return np.concatenate([t.addresses for t in workload.per_processor])
+
+
+class TestDeterminism:
+    def test_same_arguments_same_trace(self):
+        a = fuzz_trace(5, 4, ops_per_processor=40, seed=1)
+        b = fuzz_trace(5, 4, ops_per_processor=40, seed=1)
+        for ta, tb in zip(a.per_processor, b.per_processor):
+            assert np.array_equal(ta.ops, tb.ops)
+            assert np.array_equal(ta.addresses, tb.addresses)
+            assert np.array_equal(ta.gaps, tb.gaps)
+
+    def test_trace_ids_draw_independent_streams(self):
+        a = fuzz_trace(0, 4, ops_per_processor=40, seed=1)
+        b = fuzz_trace(1, 4, ops_per_processor=40, seed=1)
+        assert not np.array_equal(_flat_addresses(a), _flat_addresses(b))
+
+    def test_machine_sizes_draw_independent_streams(self):
+        a = fuzz_trace(3, 4, ops_per_processor=40, seed=1)
+        b = fuzz_trace(3, 8, ops_per_processor=40, seed=1)
+        assert not np.array_equal(
+            a.per_processor[0].addresses, b.per_processor[0].addresses
+        )
+
+    def test_seeds_draw_independent_streams(self):
+        a = fuzz_trace(3, 4, ops_per_processor=40, seed=0)
+        b = fuzz_trace(3, 4, ops_per_processor=40, seed=1)
+        assert not np.array_equal(_flat_addresses(a), _flat_addresses(b))
+
+
+class TestShape:
+    @pytest.mark.parametrize("nprocs", [2, 4, 8])
+    def test_exact_op_counts(self, nprocs):
+        workload = fuzz_trace(2, nprocs, ops_per_processor=32, seed=0)
+        assert workload.num_processors == nprocs
+        assert all(len(t) == 32 for t in workload.per_processor)
+
+    def test_names(self):
+        workload = fuzz_trace(7, 4, ops_per_processor=16, seed=0)
+        assert workload.name == "fuzz-7"
+        assert workload.per_processor[2].name == "fuzz7.p2"
+
+    @pytest.mark.parametrize("trace_id", range(8))
+    def test_validates_against_geometry(self, trace_id):
+        workload = fuzz_trace(trace_id, 4, ops_per_processor=48, seed=0)
+        workload.validate(Geometry())
+
+    def test_covers_the_interesting_op_classes(self):
+        # Across a handful of traces the adversarial schedules must
+        # exercise stores, loads and the DCB family — otherwise the
+        # campaign quietly stops testing whole protocol paths.
+        present = set()
+        for trace_id in range(12):
+            workload = fuzz_trace(trace_id, 4, ops_per_processor=48, seed=0)
+            for trace in workload.per_processor:
+                present.update(trace.ops.tolist())
+        assert int(TraceOp.LOAD) in present
+        assert int(TraceOp.STORE) in present
+        assert int(TraceOp.IFETCH) in present
+        assert present & {
+            int(TraceOp.DCBZ), int(TraceOp.DCBF), int(TraceOp.DCBI)
+        }
+
+    def test_schedules_collide_across_processors(self):
+        # The whole point of the fuzzer: processors must actually meet
+        # in the address space, or no coherence traffic gets tested.
+        workload = fuzz_trace(1, 4, ops_per_processor=48, seed=0)
+        per_proc_lines = [
+            {a >> 6 for a in t.addresses.tolist()}
+            for t in workload.per_processor
+        ]
+        collisions = sum(
+            len(a & b)
+            for i, a in enumerate(per_proc_lines)
+            for b in per_proc_lines[i + 1:]
+        )
+        assert collisions > 0

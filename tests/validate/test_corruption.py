@@ -1,0 +1,133 @@
+"""Direct corruption injection: the sanitizer's detection floor.
+
+The sanitizer tests in ``test_sanitizer.py`` seed *protocol* bugs and
+let the machine corrupt itself. These tests skip the middleman: they run
+a small healthy simulation, then reach into the machine and plant one
+specific inconsistency — a second dirty copy, a phantom region holder, a
+lost invalidation — and assert the very next exhaustive sweep reports
+exactly that corruption, with a diagnostics bundle a human could debug
+from. If any of these passes silently, the sanitizer is decorative.
+"""
+
+import json
+
+import pytest
+
+from repro.coherence.line_states import LineState
+from repro.common.errors import InvariantViolation
+from repro.rca.states import RegionState
+from repro.system.machine import Machine
+from repro.validate.sanitizer import CoherenceSanitizer
+from tests.conftest import make_config
+
+LINE = 64
+
+
+def _warm_machine(cgct: bool) -> Machine:
+    """A small machine with a few genuinely-shared lines resident."""
+    machine = Machine(make_config(cgct=cgct))
+    now = 0
+    for i in range(4):
+        address = 0x1_0000 + i * LINE
+        now += machine.load(0, address, now) + 10
+        now += machine.load(1, address, now) + 10
+    now += machine.store(0, 0x2_0000, now) + 10
+    machine._injection_now = now  # test bookkeeping only
+    return machine
+
+
+def _final_check(machine, mode="sampled", bundle_dir=None):
+    sanitizer = CoherenceSanitizer(
+        mode=mode,
+        bundle_dir=str(bundle_dir) if bundle_dir is not None else None,
+    )
+    sanitizer.bind(machine, workload="injected", seed=0)
+    sanitizer.final_check(now=machine._injection_now)
+    return sanitizer
+
+
+class TestHealthyBaseline:
+    @pytest.mark.parametrize("cgct", [False, True])
+    def test_uncorrupted_machine_passes(self, cgct):
+        # The control: every injection test below must fail *because of
+        # the injection*, not because the setup was already broken.
+        _final_check(_warm_machine(cgct), mode="deep")
+
+
+class TestStaleDirtyLine:
+    def test_second_dirty_copy_is_caught(self, tmp_path):
+        machine = _warm_machine(cgct=False)
+        # P0 holds 0x2_0000 in M. Plant a *second* dirty copy at P1, as
+        # a lost writeback race would: presence callbacks fire normally,
+        # so only the single-writer invariant can see the corruption.
+        machine.nodes[1].l2.fill(0x2_0000, LineState.MODIFIED)
+        with pytest.raises(InvariantViolation) as excinfo:
+            _final_check(machine, bundle_dir=tmp_path)
+        assert any(
+            "multiple dirty copies" in v for v in excinfo.value.violations
+        ), excinfo.value.violations
+
+    def test_bundle_is_debuggable(self, tmp_path):
+        machine = _warm_machine(cgct=False)
+        machine.nodes[1].l2.fill(0x2_0000, LineState.MODIFIED)
+        with pytest.raises(InvariantViolation) as excinfo:
+            _final_check(machine, bundle_dir=tmp_path)
+        bundle_path = excinfo.value.bundle_path
+        assert bundle_path is not None
+        bundle = json.loads(open(bundle_path, encoding="utf-8").read())
+        assert bundle["schema"] == "cgct-diagnostics/v1"
+        assert bundle["workload"] == "injected"
+        assert any("multiple dirty copies" in v for v in bundle["violations"])
+        assert bundle["config"]["l2_bytes"] == machine.config.l2_bytes
+        assert len(bundle["occupancy"]) == machine.topology.num_processors
+        assert all("l2_lines" in entry for entry in bundle["occupancy"])
+
+
+class TestPhantomRegionHolder:
+    def test_phantom_tracker_bit_is_caught(self):
+        machine = _warm_machine(cgct=True)
+        region = 0x1_0000 >> machine._region_shift
+        assert region in machine._region_trackers
+        # Claim P3 tracks the region although its RCA has no entry —
+        # the shape of a dropped RCA eviction notification.
+        machine._region_trackers[region] |= 1 << 3
+        with pytest.raises(InvariantViolation) as excinfo:
+            _final_check(machine, mode="deep")
+        assert any(
+            "tracker bitmask" in v and "disagrees" in v
+            for v in excinfo.value.violations
+        ), excinfo.value.violations
+
+
+class TestLostInvalidation:
+    def test_externally_invalid_with_remote_copy_is_caught(self):
+        machine = _warm_machine(cgct=True)
+        region = 0x1_0000 >> machine._region_shift
+        entry = machine.nodes[0].rca.probe(region)
+        assert entry is not None
+        # P0's tracker claims nobody else caches the region, while P1
+        # demonstrably holds lines of it: the externally-invalid state a
+        # lost invalidation (or a Table 1 bug) would leave behind.
+        entry.state = RegionState.CLEAN_INVALID
+        with pytest.raises(InvariantViolation) as excinfo:
+            _final_check(machine)
+        assert any(
+            "externally invalid but line" in v and "cached by" in v
+            for v in excinfo.value.violations
+        ), excinfo.value.violations
+
+    def test_violation_carries_the_event_tail(self, tmp_path):
+        machine = _warm_machine(cgct=True)
+        region = 0x1_0000 >> machine._region_shift
+        entry = machine.nodes[0].rca.probe(region)
+        entry.state = RegionState.CLEAN_INVALID
+        with pytest.raises(InvariantViolation) as excinfo:
+            _final_check(machine, bundle_dir=tmp_path)
+        bundle = json.loads(
+            open(excinfo.value.bundle_path, encoding="utf-8").read()
+        )
+        # The machine ran without an event log, so the sanitizer's own
+        # ring was attached at bind(); post-bind events would appear
+        # here. The field must exist (and be a list) either way.
+        assert isinstance(bundle["events"], list)
+        assert bundle["mode"] == "sampled"

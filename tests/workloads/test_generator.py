@@ -78,6 +78,30 @@ class TestDeterminism:
             mt.per_processor[0].addresses, mt.per_processor[1].addresses
         )
 
+    def test_machine_sizes_have_distinct_streams(self, profile):
+        # Regression: the per-processor RNG used to be scoped only by
+        # (seed, profile, proc), so a 4p and an 8p build of the same
+        # profile replayed identical draws for their common processors
+        # even though episode choices depend on the machine size. The
+        # stream must be scoped by the processor count as well. (The
+        # simulator's paired perturbation stream in Machine is shared
+        # across configs *on purpose* — that one must NOT be scoped.)
+        t4 = SyntheticWorkload(profile, num_processors=4).build(seed=7)
+        t8 = SyntheticWorkload(profile, num_processors=8).build(seed=7)
+        assert not np.array_equal(
+            t4.per_processor[0].addresses[:200],
+            t8.per_processor[0].addresses[:200],
+        )
+
+    def test_uniform_random_scoped_by_machine_size(self):
+        from repro.workloads.microbench import uniform_random
+
+        a = uniform_random(num_processors=4, ops_per_processor=300, seed=3)
+        b = uniform_random(num_processors=8, ops_per_processor=300, seed=3)
+        assert not np.array_equal(
+            a.per_processor[0].addresses, b.per_processor[0].addresses
+        )
+
 
 class TestStructure:
     def test_exact_op_count(self, profile):
