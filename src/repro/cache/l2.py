@@ -58,6 +58,12 @@ class EvictedLine:
 class L2Cache:
     """Set-associative MOESI L2 (Table 3: 1 MB, 2-way, 64 B lines)."""
 
+    #: Machine-installed deferred snoop-probe accounting (bitmask snoop
+    #: mode). The fast broadcast path never visits non-holders, so their
+    #: tag-probe counts are reconstructed on read from the machine's
+    #: broadcast totals; ``None`` means every probe was counted live.
+    _probe_debt: Optional[Callable[[], int]] = None
+
     def __init__(
         self,
         geometry: Geometry,
@@ -89,8 +95,30 @@ class L2Cache:
         self.evictions = 0
         self.writebacks = 0
         self.region_forced_evictions = 0
-        self.snoop_probes = 0
+        self._snoop_probes = 0
         self.snoop_hits = 0
+
+    @property
+    def snoop_probes(self) -> int:
+        """External tag probes, exact in either snoop mode.
+
+        In bitmask snoop mode the machine's fast broadcast path skips
+        non-holding caches entirely; the probes those broadcasts *would*
+        have charged (the snoop still occupies the tag port in hardware)
+        are reconstructed here from the machine-installed debt closure.
+        Every read is therefore exact without any flush points.
+        """
+        debt = self._probe_debt
+        if debt is None:
+            return self._snoop_probes
+        return self._snoop_probes + debt()
+
+    @snoop_probes.setter
+    def snoop_probes(self, value: int) -> None:
+        # Value-exact assignment: a later read returns *value* plus any
+        # debt accrued after this point (reset_stats relies on this).
+        debt = self._probe_debt
+        self._snoop_probes = value if debt is None else value - debt()
 
     # ------------------------------------------------------------------
     # Indexing
@@ -187,7 +215,7 @@ class L2Cache:
     # ------------------------------------------------------------------
     def snoop_probe(self, line: int) -> Optional[L2Line]:
         """Tag probe on behalf of an external request (counts lookups)."""
-        self.snoop_probes += 1
+        self._snoop_probes += 1
         entry = self._sets[line & self._set_mask].get(line >> self._set_bits)
         if entry is not None:
             self.snoop_hits += 1

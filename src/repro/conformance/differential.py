@@ -154,8 +154,15 @@ def run_differential(
     telemetry: bool = False,
     bundle_dir: Optional[str] = None,
     sanitizer_every: int = 512,
+    snoop: str = "bitmask",
 ) -> DifferentialOutcome:
-    """Replay *workload* on *config* and diff it against the golden model."""
+    """Replay *workload* on *config* and diff it against the golden model.
+
+    ``snoop`` selects the machine's phase-1 snoop path (see
+    :class:`~repro.system.machine.Machine`); the default exercises the
+    holder-bitmask fast path, so every corpus replay and fuzz campaign
+    checks the fast holder bookkeeping against the golden model.
+    """
     from repro.system.simulator import Simulator
     from repro.validate.sanitizer import CoherenceSanitizer
 
@@ -170,7 +177,7 @@ def run_differential(
     order: List[int] = []
     simulator = Simulator(
         config, seed=seed, telemetry=registry, sanitizer=sanitizer,
-        step_observer=order.append,
+        step_observer=order.append, snoop=snoop,
     )
     probe = ConformanceProbe(simulator.machine, order)
     # Attached before run(): the sanitizer's bind() then reuses the probe

@@ -181,7 +181,8 @@ def _validate_command(argv) -> int:
                         help="workloads to audit (default: all registered)")
     parser.add_argument("--configs", nargs="*", default=None,
                         help="machine points to audit, by perf-config name "
-                             "(default: all of 4p/8p/16p × baseline/cgct)")
+                             "(default: every perf config, 4p–64p × "
+                             "baseline/cgct)")
     parser.add_argument("--mode", choices=("sampled", "deep"),
                         default="deep",
                         help="sampled = rotating subset every 4096 events; "
@@ -305,7 +306,8 @@ def _conformance_command(argv) -> int:
                         help="wall-clock budget per parallel iteration")
     parser.add_argument("--configs", nargs="*", default=None,
                         help="machine points to fuzz, by perf-config name "
-                             "(default: all of 4p/8p/16p × baseline/cgct)")
+                             "(default: every perf config up to 32p × "
+                             "baseline/cgct)")
     parser.add_argument("--bundle-dir", metavar="DIR", default="diagnostics",
                         help="where reproducer bundles and corpus files are "
                              "written (default diagnostics/)")

@@ -34,7 +34,9 @@ SCHEMA = "bench-core/v1"
 
 #: Canonical machine points: (config name, processors, cgct?). The 4p
 #: pair is the paper machine; 8p/16p follow the scaling experiment's
-#: topologies, where per-op work grows with the snooper count.
+#: topologies, where per-op work grows with the snooper count; 32p/64p
+#: extend the sweep past the paper's measured range, into the multi-chip
+#: scales where broadcast filtering matters most.
 PERF_CONFIGS = (
     ("4p-baseline", 4, False),
     ("4p-cgct", 4, True),
@@ -42,11 +44,15 @@ PERF_CONFIGS = (
     ("8p-cgct", 8, True),
     ("16p-baseline", 16, False),
     ("16p-cgct", 16, True),
+    ("32p-baseline", 32, False),
+    ("32p-cgct", 32, True),
+    ("64p-baseline", 64, False),
+    ("64p-cgct", 64, True),
 )
 
 
 def _topology_for(processors: int):
-    """The scaling experiment's machine shapes (4, 8, 16 processors)."""
+    """The scaling experiment's machine shapes (4–64 processors)."""
     from repro.interconnect.topology import Topology
 
     if processors == 4:
@@ -57,6 +63,12 @@ def _topology_for(processors: int):
     if processors == 16:
         return Topology(cores_per_chip=2, chips_per_switch=2,
                         switches_per_board=2, boards=2)
+    if processors == 32:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=4)
+    if processors == 64:
+        return Topology(cores_per_chip=2, chips_per_switch=2,
+                        switches_per_board=2, boards=8)
     raise ValueError(f"no topology defined for {processors} processors")
 
 
@@ -267,8 +279,39 @@ def run_suite(
     return payload
 
 
+def missing_configs(payload: Dict, other: Dict) -> List[str]:
+    """Config names *other* measured that *payload* did not.
+
+    The comparison helpers treat these as coverage loss: a comparison
+    file naming a config the new run lacks means a benchmark point
+    silently disappeared (renamed, dropped from ``PERF_CONFIGS``, or
+    lost to a typo), which must fail loudly rather than shrink the
+    comparison. The opposite direction — new configs absent from an
+    older file — is growth, and stays tolerated.
+    """
+    measured = payload.get("configs", {})
+    return sorted(n for n in other.get("configs", {}) if n not in measured)
+
+
 def attach_reference(payload: Dict, reference: Dict) -> Dict:
-    """Embed a same-host pre-optimisation measurement and the speedups."""
+    """Embed a same-host pre-optimisation measurement and the speedups.
+
+    Raises :class:`~repro.common.errors.ConfigurationError` when the
+    reference covers a config this run did not measure — a silently
+    shrunken comparison would report "all points sped up" while points
+    were disappearing.
+    """
+    from repro.common.errors import ConfigurationError
+
+    missing = missing_configs(payload, reference)
+    if missing:
+        raise ConfigurationError(
+            "--reference: reference measurement covers configs missing "
+            f"from this run: {', '.join(missing)} — a config disappeared "
+            "from the suite (renamed, or dropped from PERF_CONFIGS?). "
+            "Measure the full suite, or restrict the run explicitly with "
+            "--configs."
+        )
     payload["reference"] = {
         "host": reference.get("host", {}),
         "suite": reference.get("suite", {}),
@@ -302,9 +345,17 @@ def check_against(payload: Dict, baseline: Dict,
       noise, which is why the threshold is generous);
     * behaviour: when the two measurements used identical suite
       parameters, fingerprints must match exactly — a cheap whole-system
-      bit-identity check that is host-independent.
+      bit-identity check that is host-independent;
+    * coverage: every config the baseline measured must be present in
+      *payload* — a config disappearing from the run is coverage loss,
+      not a pass. (Configs new to *payload* are growth and compare
+      against nothing.)
     """
-    failures = []
+    failures = [
+        f"{name}: config present in the baseline but missing from this "
+        f"run — benchmark coverage was lost, not merely unchanged"
+        for name in missing_configs(payload, baseline)
+    ]
     same_suite = {
         k: v for k, v in payload.get("suite", {}).items() if k != "repeats"
     } == {
@@ -421,6 +472,18 @@ def perf_command(argv) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.configs:
+        # An explicit --configs restriction is a deliberate subset: trim
+        # the comparison files to the requested names so only configs
+        # that disappear *within* the requested set fail loudly.
+        for comparison in (reference, baseline):
+            if comparison is not None:
+                comparison["configs"] = {
+                    name: cell
+                    for name, cell in comparison.get("configs", {}).items()
+                    if name in args.configs
+                }
 
     ops = 3_000 if args.quick else args.ops
     repeats = 1 if args.quick else args.repeats

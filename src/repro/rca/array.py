@@ -91,6 +91,7 @@ class RegionCoherenceArray:
         self._set_bits = num_sets.bit_length() - 1
         self._set_mask = num_sets - 1
         self._region_shift = geometry._region_bits - geometry._line_bits
+        self._lines_per_region = geometry.lines_per_region
         # The per-set dicts, referenced directly: lookup/probe run one
         # dict operation instead of a call into the array.
         self._sets = self._array._sets
@@ -235,33 +236,40 @@ class RegionCoherenceArray:
     # Line-count maintenance (driven by L2 callbacks)
     # ------------------------------------------------------------------
     def line_allocated(self, line: int) -> None:
-        """An L2 line belonging to a tracked region was installed."""
-        entry = self.probe(line >> self._region_shift)
+        """An L2 line belonging to a tracked region was installed.
+
+        Fires on every L2 fill, so the probe is inlined to one dict get.
+        """
+        region = line >> self._region_shift
+        entry = self._sets[region & self._set_mask].get(region >> self._set_bits)
         if entry is None:
             raise ProtocolError(
                 f"L2 allocated line {line:#x} with no region entry; "
                 "region⊇cache inclusion violated"
             )
-        entry.line_count += 1
-        if entry.line_count > self.geometry.lines_per_region:
+        count = entry.line_count + 1
+        entry.line_count = count
+        if count > self._lines_per_region:
             raise ProtocolError(
-                f"region {entry.region:#x} line count {entry.line_count} exceeds "
-                f"{self.geometry.lines_per_region} lines per region"
+                f"region {entry.region:#x} line count {count} exceeds "
+                f"{self._lines_per_region} lines per region"
             )
 
     def line_removed(self, line: int) -> None:
         """An L2 line belonging to a tracked region left the cache."""
-        entry = self.probe(line >> self._region_shift)
+        region = line >> self._region_shift
+        entry = self._sets[region & self._set_mask].get(region >> self._set_bits)
         if entry is None:
             raise ProtocolError(
                 f"L2 removed line {line:#x} with no region entry; "
                 "line counts are out of sync"
             )
-        if entry.line_count == 0:
+        count = entry.line_count
+        if count == 0:
             raise ProtocolError(
                 f"region {entry.region:#x} line count would go negative"
             )
-        entry.line_count -= 1
+        entry.line_count = count - 1
 
     # ------------------------------------------------------------------
     # Introspection

@@ -37,6 +37,7 @@ from repro.coherence.line_states import LineState
 from repro.coherence.requests import RequestType
 from repro.common.errors import ProtocolError
 from repro.rca.response import (
+    CLEAN_AND_DIRTY_COPIES,
     CLEAN_COPIES,
     DIRTY_COPIES,
     NO_COPIES,
@@ -79,15 +80,62 @@ class RegionProtocol:
     )
 
     def __post_init__(self) -> None:
-        # Per-instance memo tables over the finite transition spaces.
-        # The key spaces are small (states × requests × a few response
-        # values), every input is hashable, and the transition functions
-        # are pure, so caching is exact. Error paths are never cached —
-        # they raise before the table is written. ``dataclasses.replace``
-        # re-runs ``__init__`` and therefore starts with fresh caches.
-        object.__setattr__(self, "_local_cache", {})
-        object.__setattr__(self, "_external_cache", {})
-        object.__setattr__(self, "_response_cache", {})
+        # Transition tables over the finite input spaces. The transition
+        # functions are pure, so tabulating them is exact, and every
+        # input space is small enough to enumerate eagerly (the snoop
+        # response is one of four interned values, or None). The tables
+        # are flattened to dense ``state.index``/``request.index`` lists
+        # — the region snoop phase of every broadcast and every local
+        # fill reads them, and list indexing beats tuple-key hashing
+        # there. Error paths are never tabulated: a combination whose
+        # reference implementation raises is stored as ``None`` and
+        # re-dispatched to it on use, so it still raises.
+        # ``dataclasses.replace`` re-runs ``__init__`` and therefore
+        # rebuilds the tables (e.g. when telemetry swaps protocols).
+        response_table = []
+        for state in RegionState:
+            response_table.append((
+                self._response_for_uncached(state, 1),
+                self._response_for_uncached(state, 0),
+            ))
+        object.__setattr__(self, "_response_table", response_table)
+        external_table = []
+        for state in RegionState:
+            rows = []
+            for request in RequestType:
+                row = []
+                for fills_exclusive in (None, True, False):
+                    try:
+                        row.append(self._after_external_request(
+                            state, request, fills_exclusive
+                        ))
+                    except ProtocolError:
+                        row.append(None)
+                rows.append(tuple(row))
+            external_table.append(rows)
+        object.__setattr__(self, "_external_table", external_table)
+        # Local-request transitions, indexed [state][request][fill_state]
+        # [response] where the response slot is 0 for None and
+        # ``1 + clean + 2*dirty`` for the four interned response values.
+        local_table = []
+        for state in RegionState:
+            rows = []
+            for request in RequestType:
+                fills = []
+                for fill_state in LineState:
+                    cell = []
+                    for response in (None, NO_COPIES, CLEAN_COPIES,
+                                     DIRTY_COPIES, CLEAN_AND_DIRTY_COPIES):
+                        try:
+                            cell.append(self._after_local_request(
+                                state, request, fill_state, response
+                            ))
+                        except ProtocolError:
+                            cell.append(None)
+                    fills.append(cell)
+                rows.append(fills)
+            local_table.append(rows)
+        object.__setattr__(self, "_local_table", local_table)
 
     # ------------------------------------------------------------------
     # Local requests (Figures 3 and 4)
@@ -122,12 +170,12 @@ class RegionProtocol:
             with no region entry — the upgraded line's residency implies
             a region entry exists).
         """
-        key = (state, request, fill_state, response)
-        new_state = self._local_cache.get(key)
-        if new_state is None:
+        new_state = self._local_table[state.index][request.index][
+            fill_state.index][
+            0 if response is None else 1 + response.clean + 2 * response.dirty]
+        if new_state is None:  # tabulated error path: re-raise via reference
             new_state = self._after_local_request(state, request, fill_state,
                                                   response)
-            self._local_cache[key] = new_state
         if self.transitions is not None:
             self.transitions.record(state, f"local.{request.value}", new_state)
         return new_state
@@ -248,13 +296,14 @@ class RegionProtocol:
             cache the line ourselves (Section 3.1); ``None`` means
             unknown, which degrades conservatively to "dirty".
         """
-        key = (state, request, requestor_fills_exclusive)
-        new_state = self._external_cache.get(key)
-        if new_state is None:
+        new_state = self._external_table[state.index][request.index][
+            0 if requestor_fills_exclusive is None
+            else 1 if requestor_fills_exclusive else 2
+        ]
+        if new_state is None:  # tabulated error path: re-raise from source
             new_state = self._after_external_request(
                 state, request, requestor_fills_exclusive
             )
-            self._external_cache[key] = new_state
         if self.transitions is not None:
             self.transitions.record(
                 state, f"external.{request.value}", new_state
@@ -311,12 +360,8 @@ class RegionProtocol:
         """
         if line_count < 0:
             raise ProtocolError(f"negative region line count: {line_count}")
-        key = (state, line_count == 0)
-        outcome = self._response_cache.get(key)
-        if outcome is None:
-            outcome = self._response_for_uncached(state, line_count)
-            self._response_cache[key] = outcome
-        return outcome
+        pair = self._response_table[state.index]
+        return pair[1] if line_count == 0 else pair[0]
 
     def _response_for_uncached(
         self, state: RegionState, line_count: int

@@ -178,6 +178,11 @@ _FROM_PARTS = {
 # Classification flags as plain member attributes — instance-dict loads,
 # no descriptor calls on the per-request routing path. Assigned before
 # the decision tables below, whose reference implementations read them.
+# ``index`` is the dense ordinal for list-based protocol tables,
+# mirroring RequestType.index and LineState.index.
+for _index, _rstate in enumerate(RegionState):
+    _rstate.index = _index
+del _index
 for _rstate in RegionState:
     _rstate.is_valid = _rstate is not RegionState.INVALID
     _rstate.is_exclusive = _rstate in (

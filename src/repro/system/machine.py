@@ -46,6 +46,7 @@ from repro.coherence.snoop import (
     SnoopResult,
     combine_line_responses,
 )
+from repro.common.errors import ConfigurationError, ProtocolError
 from repro.common.intervals import IntervalCounter
 from repro.common.rng import derive_seed
 from repro.common.stats import RunningStat
@@ -55,10 +56,14 @@ from repro.interconnect.network import DataNetwork
 from repro.memory.address_map import AddressMap
 from repro.memory.dram import MemoryController
 from repro.rca.response import (
+    CLEAN_AND_DIRTY_COPIES,
+    CLEAN_COPIES,
+    DIRTY_COPIES,
     NO_COPIES,
     RegionSnoopResponse,
     combine_region_responses,
 )
+from repro.rca.array import RegionEntry
 from repro.rca.states import LocalPart, RegionState
 from repro.system.config import SystemConfig
 from repro.system.node import PendingWriteback, ProcessorNode
@@ -238,9 +243,27 @@ class ExternalRequestStats:
 
 
 class Machine:
-    """The multiprocessor memory system (baseline or CGCT)."""
+    """The multiprocessor memory system (baseline or CGCT).
 
-    def __init__(self, config: SystemConfig, seed: int = 0) -> None:
+    ``snoop`` selects the phase-1 snoop implementation: ``"bitmask"``
+    (the default) visits only the caches whose maintained holder bit is
+    set — O(holders) per broadcast instead of O(P) — with skipped tag
+    probes reconstructed exactly from per-processor broadcast totals;
+    ``"walk"`` is the original per-peer loop, kept as the reference the
+    snoop-equivalence tests check against. Both produce bit-identical
+    results. Machines with RegionScout/Jetty filters always run the
+    general loop (those filters must observe every broadcast) whatever
+    ``snoop`` says.
+    """
+
+    def __init__(
+        self, config: SystemConfig, seed: int = 0, snoop: str = "bitmask"
+    ) -> None:
+        if snoop not in ("walk", "bitmask"):
+            raise ConfigurationError(
+                f"snoop must be 'walk' or 'bitmask', got {snoop!r}"
+            )
+        self.snoop = snoop
         self.config = config
         self.geometry = config.geometry
         self.topology = config.topology
@@ -316,6 +339,28 @@ class Machine:
         # L2 and RCA in the system.
         self._line_holders: Dict[int, int] = {}
         self._region_trackers: Dict[int, int] = {}
+        # Per-region class masks: region → {class: pid bitmask}, where a
+        # class packs (region state, line count == 0) as
+        # ``(state.index << 1) | empty`` — exactly the pair a region
+        # snoop's outcome depends on. Phase 2 of a broadcast iterates
+        # the one-to-three classes present in a region with integer
+        # operations instead of probing every tracker's RCA entry;
+        # observer entries are only materialised when their state
+        # actually changes (or they self-invalidate). Maintained by the
+        # residency callbacks and every state-writing site while the
+        # inline region snoop is eligible; rebuilt from the arrays by
+        # _refresh_region_snoop_tables whenever eligibility changes.
+        # Mutated in place, never rebound: the residency closures
+        # capture the dict once.
+        self._region_classes: Dict[int, Dict[int, int]] = {}
+        self._inline_region_snoop = False
+        #: Owner hints are advisory and only ever read by the Section 6
+        #: owner-prediction extension; with the extension off they are
+        #: dead stores, and the inline snoop paths skip writing them.
+        self._owner_hints_on = config.owner_prediction
+        # Per-broadcast config flags, hoisted off the config dataclass.
+        self._line_resp_visible = config.line_response_visible
+        self._two_bit = config.two_bit_response
         for node in self.nodes:
             self._track_presence(node)
         #: No RegionScout/Jetty filter anywhere → phase-1 snoops can take
@@ -335,6 +380,27 @@ class Machine:
             )
             for p in range(self.topology.num_processors)
         ]
+        #: Bitmask snoop mode: phase-1 broadcasts iterate the set bits of
+        #: the holder mask instead of walking every peer. Non-holders are
+        #: never visited, so their tag-probe counts are carried as
+        #: per-processor debt — broadcasts a processor neither issued nor
+        #: answered as a holder are exactly its skipped probes — and
+        #: reconstructed on every ``L2Cache.snoop_probes`` read.
+        self._bitmask_snoop = self._plain_snoop and snoop == "bitmask"
+        self._fast_broadcasts = 0
+        self._fast_issued = [0] * self.topology.num_processors
+        self._fast_holder_visits = [0] * self.topology.num_processors
+        if self._bitmask_snoop:
+            for node in self.nodes:
+                self._install_probe_debt(node)
+        # Region-snoop fast path: flat per-node transition tables (see
+        # _refresh_region_snoop_tables) plus hoisted prefetch-filter
+        # constants (line → region shift, filter switch).
+        self._line_region_shift = (
+            self.geometry._region_bits - self.geometry._line_bits
+        )
+        self._prefetch_region_filter = config.prefetch_region_filter
+        self._refresh_region_snoop_tables()
         #: Bound L1 lookup methods, indexed by processor: every access
         #: starts here, so the common L1-hit path is one list index and
         #: one call (the L1 objects live as long as the machine, so the
@@ -390,27 +456,171 @@ class Machine:
         holders = self._line_holders
         inner_allocated = node.l2.on_line_allocated
         inner_removed = node.l2.on_line_removed
+        rca = node.rca
+        fuse_rca = (
+            rca is not None
+            and getattr(inner_allocated, "__func__", None)
+            is type(rca).line_allocated
+            and getattr(inner_allocated, "__self__", None) is rca
+            and getattr(inner_removed, "__func__", None)
+            is type(rca).line_removed
+            and getattr(inner_removed, "__self__", None) is rca
+        )
 
-        def line_allocated(line: int) -> None:
-            holders[line] = holders.get(line, 0) | bit
-            inner_allocated(line)
+        machine = self
+        region_classes = self._region_classes
+        if fuse_rca:
+            # The node's only line hooks are the RCA counters: fold them
+            # into the holder-bit closures so every L2 fill/eviction runs
+            # one callback instead of two. Count discipline, error
+            # wording and the inclusion guards match
+            # RegionCoherenceArray.line_allocated / line_removed exactly.
+            # Empty↔non-empty crossings change the region's snoop class,
+            # so they move this processor's bit between the empty and
+            # non-empty variants of its state's class mask.
+            rsets = rca._sets
+            rshift = rca._region_shift
+            rmask = rca._set_mask
+            rbits = rca._set_bits
+            lines_per_region = rca._lines_per_region
 
-        def line_removed(line: int) -> None:
-            remaining = holders.get(line, 0) & ~bit
-            if remaining:
-                holders[line] = remaining
-            else:
-                holders.pop(line, None)
-            inner_removed(line)
+            def line_allocated(line: int) -> None:
+                holders[line] = holders.get(line, 0) | bit
+                region = line >> rshift
+                entry = rsets[region & rmask].get(region >> rbits)
+                if entry is None:
+                    raise ProtocolError(
+                        f"L2 allocated line {line:#x} with no region entry; "
+                        "region⊇cache inclusion violated"
+                    )
+                count = entry.line_count + 1
+                entry.line_count = count
+                if count == 1:
+                    if machine._inline_region_snoop:
+                        cls = region_classes[region]
+                        c = (entry.state.index << 1) | 1
+                        left = cls[c] & ~bit
+                        if left:
+                            cls[c] = left
+                        else:
+                            del cls[c]
+                        nc = c ^ 1
+                        cls[nc] = cls.get(nc, 0) | bit
+                elif count > lines_per_region:
+                    raise ProtocolError(
+                        f"region {entry.region:#x} line count {count} exceeds "
+                        f"{lines_per_region} lines per region"
+                    )
+
+            def line_removed(line: int) -> None:
+                remaining = holders.get(line, 0) & ~bit
+                if remaining:
+                    holders[line] = remaining
+                else:
+                    holders.pop(line, None)
+                region = line >> rshift
+                entry = rsets[region & rmask].get(region >> rbits)
+                if entry is None:
+                    raise ProtocolError(
+                        f"L2 removed line {line:#x} with no region entry; "
+                        "line counts are out of sync"
+                    )
+                count = entry.line_count
+                if count == 0:
+                    raise ProtocolError(
+                        f"region {entry.region:#x} line count would go negative"
+                    )
+                if count == 1 and machine._inline_region_snoop:
+                    cls = region_classes[region]
+                    c = entry.state.index << 1
+                    left = cls[c] & ~bit
+                    if left:
+                        cls[c] = left
+                    else:
+                        del cls[c]
+                    nc = c | 1
+                    cls[nc] = cls.get(nc, 0) | bit
+                entry.line_count = count - 1
+        elif rca is not None:
+            # Stacked line filters (Jetty/RegionScout) kept the node's
+            # composed hooks: run them, then detect empty↔non-empty
+            # crossings by re-probing the entry the inner RCA counter
+            # just updated.
+            rsets = rca._sets
+            rshift = rca._region_shift
+            rmask = rca._set_mask
+            rbits = rca._set_bits
+
+            def line_allocated(line: int) -> None:
+                holders[line] = holders.get(line, 0) | bit
+                inner_allocated(line)
+                if machine._inline_region_snoop:
+                    region = line >> rshift
+                    entry = rsets[region & rmask].get(region >> rbits)
+                    if entry is not None and entry.line_count == 1:
+                        cls = region_classes[region]
+                        c = (entry.state.index << 1) | 1
+                        left = cls[c] & ~bit
+                        if left:
+                            cls[c] = left
+                        else:
+                            del cls[c]
+                        nc = c ^ 1
+                        cls[nc] = cls.get(nc, 0) | bit
+
+            def line_removed(line: int) -> None:
+                remaining = holders.get(line, 0) & ~bit
+                if remaining:
+                    holders[line] = remaining
+                else:
+                    holders.pop(line, None)
+                inner_removed(line)
+                if machine._inline_region_snoop:
+                    region = line >> rshift
+                    entry = rsets[region & rmask].get(region >> rbits)
+                    if entry is not None and entry.line_count == 0:
+                        cls = region_classes[region]
+                        c = entry.state.index << 1
+                        left = cls[c] & ~bit
+                        if left:
+                            cls[c] = left
+                        else:
+                            del cls[c]
+                        nc = c | 1
+                        cls[nc] = cls.get(nc, 0) | bit
+        else:
+            def line_allocated(line: int) -> None:
+                holders[line] = holders.get(line, 0) | bit
+                inner_allocated(line)
+
+            def line_removed(line: int) -> None:
+                remaining = holders.get(line, 0) & ~bit
+                if remaining:
+                    holders[line] = remaining
+                else:
+                    holders.pop(line, None)
+                inner_removed(line)
 
         node.l2.on_line_allocated = line_allocated
         node.l2.on_line_removed = line_removed
 
         if node.rca is not None:
             trackers = self._region_trackers
+            rsets2 = node.rca._sets
+            rmask2 = node.rca._set_mask
+            rbits2 = node.rca._set_bits
 
             def region_tracked(region: int) -> None:
                 trackers[region] = trackers.get(region, 0) | bit
+                if machine._inline_region_snoop:
+                    entry = rsets2[region & rmask2].get(region >> rbits2)
+                    c = (entry.state.index << 1) | (
+                        1 if entry.line_count == 0 else 0
+                    )
+                    cls = region_classes.get(region)
+                    if cls is None:
+                        cls = region_classes[region] = {}
+                    cls[c] = cls.get(c, 0) | bit
 
             def region_untracked(region: int) -> None:
                 remaining = trackers.get(region, 0) & ~bit
@@ -418,9 +628,145 @@ class Machine:
                     trackers[region] = remaining
                 else:
                     trackers.pop(region, None)
+                if machine._inline_region_snoop:
+                    cls = region_classes.get(region)
+                    if cls:
+                        for c, m in cls.items():
+                            if m & bit:
+                                m &= ~bit
+                                if m:
+                                    cls[c] = m
+                                else:
+                                    del cls[c]
+                                break
+                        if not cls:
+                            del region_classes[region]
 
             node.rca.on_region_tracked = region_tracked
             node.rca.on_region_untracked = region_untracked
+
+    def _install_probe_debt(self, node: ProcessorNode) -> None:
+        """Give *node*'s L2 its deferred snoop-probe reconstruction.
+
+        In bitmask mode a processor's skipped tag probes are exactly the
+        fast-path broadcasts it neither issued nor was visited for as a
+        holder; the closure computes that from the machine's live
+        totals, so ``l2.snoop_probes`` reads are exact at any time.
+        """
+        pid = node.proc_id
+
+        def probe_debt() -> int:
+            return (
+                self._fast_broadcasts
+                - self._fast_issued[pid]
+                - self._fast_holder_visits[pid]
+            )
+
+        node.l2._probe_debt = probe_debt
+
+    def _refresh_region_snoop_tables(self) -> None:
+        """(Re)derive the tables and class masks behind inline region snoops.
+
+        The protocol's response and external-transition tables are
+        reshaped to *class* indexing — a class packs (state, line count
+        == 0) as ``(state.index << 1) | empty``, the exact pair one
+        observer's snoop outcome depends on — and hoisted machine-wide
+        alongside the local-transition table and per-pid RCA set lists.
+        The per-region class masks are rebuilt from the arrays so they
+        are trustworthy from any starting state. This runs at
+        construction and again whenever :meth:`attach_telemetry`
+        replaces the protocols.
+        """
+        cgct_nodes = [n for n in self.nodes if n.rca is not None]
+        # Region → home controller in closed form (the interleave unit
+        # is >= the region size, so the shift never goes negative); the
+        # allocation path uses this instead of two method calls and a
+        # bounds check that valid regions pass by construction.
+        self._region_home_shift = (
+            self.address_map._shift
+            - self.address_map.geometry.region_offset_bits
+        )
+        self._region_home_mod = self.address_map.num_controllers
+        self._rcas_by_pid = [n.rca for n in self.nodes]
+        self._rca_sets_by_pid = [
+            n.rca._sets if n.rca is not None else None for n in self.nodes
+        ]
+        self._rca_set_mask = 0
+        self._rca_set_bits = 0
+        self._rca_ways = 0
+        self._class_info = None
+        self._region_local_table = None
+        inline = False
+        if cgct_nodes:
+            # All RCAs share one organisation; the loop hoists the set
+            # index / tag split out of the per-observer visits.
+            rca = cgct_nodes[0].rca
+            self._rca_set_mask = rca._set_mask
+            self._rca_set_bits = rca._set_bits
+            self._rca_ways = rca._array.ways
+            # The protocols are value-equal across nodes (one config
+            # builds them all), so their tables are interchangeable and
+            # hoisted machine-wide; the inline loop is only eligible
+            # while no transition matrix is recording (telemetry swaps
+            # protocols and must observe every transition).
+            protocol = cgct_nodes[0].protocol
+            inline = all(
+                n.protocol.transitions is None and n.protocol == protocol
+                for n in cgct_nodes
+            )
+            if inline:
+                resp_rows = [
+                    (
+                        (o1.self_invalidate, o1.response.clean,
+                         o1.response.dirty),
+                        (o0.self_invalidate, o0.response.clean,
+                         o0.response.dirty),
+                    )
+                    for o1, o0 in protocol._response_table
+                ]
+                # One class × request table carrying everything the
+                # snoop loop needs in a single subscript: the response
+                # triple (self_invalidate, clean, dirty) plus the
+                # hint-indexed external targets. An external transition
+                # never changes the line count, so a class's target
+                # keeps its empty bit; targets carry ``(new_class,
+                # new_state)`` so the loop can update both the masks and
+                # the moved entries. ``None`` marks the tabulated error
+                # combinations (re-dispatched to the raising reference
+                # implementation).
+                ext = protocol._external_table
+                self._class_info = [
+                    [
+                        (
+                            resp_rows[c >> 1][c & 1][0],
+                            resp_rows[c >> 1][c & 1][1],
+                            resp_rows[c >> 1][c & 1][2],
+                            [
+                                None if ns is None
+                                else ((ns.index << 1) | (c & 1), ns)
+                                for ns in req_row
+                            ],
+                        )
+                        for req_row in ext[c >> 1]
+                    ]
+                    for c in range(len(ext) * 2)
+                ]
+                self._region_local_table = protocol._local_table
+        self._inline_region_snoop = inline
+        self._region_classes.clear()
+        if inline:
+            classes = self._region_classes
+            for node in cgct_nodes:
+                node_bit = 1 << node.proc_id
+                for entries in node.rca._sets:
+                    for entry in entries.values():
+                        c = (entry.state.index << 1) | (
+                            1 if entry.line_count == 0 else 0
+                        )
+                        cls = classes.get(entry.region)
+                        if cls is None:
+                            cls = classes[entry.region] = {}
+                        cls[c] = cls.get(c, 0) | node_bit
 
     # ------------------------------------------------------------------
     # Accounting views over the flat arrays
@@ -607,18 +953,27 @@ class Machine:
         if node.prefetcher is None:
             return
         candidates = node.prefetcher.observe_access(line, is_store, was_miss)
+        if not candidates:
+            return
+        holders = self._line_holders
+        geometry = self.geometry
+        offset_bits = geometry.line_offset_bits
+        rca = node.rca
+        filtered = self._prefetch_region_filter and rca is not None
         for candidate in candidates:
-            if (self._line_holders.get(candidate.line, 0) >> proc) & 1:
+            cline = candidate.line
+            if (holders.get(cline, 0) >> proc) & 1:
                 continue  # already resident in this node's L2
-            address = candidate.line << self.geometry.line_offset_bits
-            if not self.geometry.contains(address):
+            address = cline << offset_bits
+            if not geometry.contains(address):
                 continue
-            if self.config.prefetch_region_filter and node.rca is not None:
+            if filtered:
                 # Section 6: externally-dirty regions make poor prefetch
                 # targets — the data is probably in another cache and
                 # would be stolen back.
-                entry = node.rca.probe(
-                    self.geometry.region_of_line(candidate.line))
+                cregion = cline >> self._line_region_shift
+                entry = rca._sets[cregion & rca._set_mask].get(
+                    cregion >> rca._set_bits)
                 if entry is not None and entry.state.is_externally_dirty:
                     self.prefetches_filtered += 1
                     continue
@@ -668,9 +1023,19 @@ class Machine:
 
         entry = None
         state = RegionState.INVALID
-        if node.rca is not None:
-            entry = node.rca.lookup(region)
-            if entry is not None:
+        sets = self._rca_sets_by_pid[proc]
+        if sets is not None:
+            # Inlined RegionCoherenceArray.lookup — one pop/reinsert pair
+            # on the set dict plus the hit/miss counters, without the
+            # method call. Per-op on the routing path.
+            entries = sets[region & self._rca_set_mask]
+            tag = region >> self._rca_set_bits
+            entry = entries.pop(tag, None)
+            if entry is None:
+                self._rcas_by_pid[proc].misses += 1
+            else:
+                entries[tag] = entry  # reinsertion makes it MRU
+                self._rcas_by_pid[proc].hits += 1
                 state = entry.state
 
         if state.completes_without[request.index]:
@@ -681,7 +1046,7 @@ class Machine:
                 fill_state=fill_state_for(request, SNOOP_NOT_SHARED),
                 region_response=None,
                 fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
-                now=now,
+                now=now, region_entry=entry,
             )
             if self._log_enabled:
                 self._log_event(now, proc, request, RequestPath.NO_REQUEST,
@@ -699,7 +1064,7 @@ class Machine:
                 fill_state=fill_state_for(request, synthetic),
                 region_response=None,
                 fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
-                now=now,
+                now=now, region_entry=entry,
             )
             if self._log_enabled:
                 self._log_event(now, proc, request, RequestPath.DIRECT,
@@ -772,7 +1137,7 @@ class Machine:
         latency = self._broadcast_request(
             proc, request, address, now + probe_penalty,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
-            requestor_region_state=state,
+            requestor_region_state=state, requestor_region_entry=entry,
         )
         latency += probe_penalty
         self._request_path_counts[request.rp_base + _BROADCAST_I] += 1
@@ -823,13 +1188,15 @@ class Machine:
         fill_l1i: bool = False,
         l1_writable: bool = False,
         requestor_region_state: RegionState = RegionState.INVALID,
+        requestor_region_entry=None,
     ) -> int:
         """The conventional snooping path, plus region-response handling.
 
-        ``requestor_region_state`` is the requestor's own RCA state for
-        the address's region, already looked up by the caller (nothing
-        between that lookup and this call can touch the requestor's RCA,
-        so re-probing would read the same entry).
+        ``requestor_region_state`` / ``requestor_region_entry`` are the
+        requestor's own RCA state and entry for the address's region,
+        already looked up by the caller (nothing between that lookup and
+        this call can touch the requestor's RCA, so re-probing would read
+        the same entry).
         """
         node = self.nodes[proc]
         line = address >> self._line_shift
@@ -847,7 +1214,28 @@ class Machine:
 
         responses = []
         remote_region_free = True
-        if self._plain_snoop:
+        if self._bitmask_snoop:
+            # Fastest path: visit only the actual holders, in ascending
+            # processor order (identical combine order to the walk). A
+            # non-holder contributes nothing to the combine and its tag
+            # probe is reconstructed later from these three counters, so
+            # results and statistics stay bit-identical to the walk.
+            self._fast_broadcasts += 1
+            self._fast_issued[proc] += 1
+            visits = self._fast_holder_visits
+            nodes = self.nodes
+            mask = holders_before & ~(1 << proc)
+            while mask:
+                low = mask & -mask
+                mask ^= low
+                pid = low.bit_length() - 1
+                visits[pid] += 1
+                response, wrote_back = nodes[pid].snoop_line(line, request)
+                responses.append((pid, response))
+                if wrote_back:
+                    home = self.address_map.home_of(address)
+                    self.controllers[home].write_back(snoop_done)
+        elif self._plain_snoop:
             # Fast path (no RegionScout/Jetty anywhere): a node whose
             # holder bit is clear cannot hit — count its tag probe (the
             # snoop still happens in hardware) and omit its all-zeros
@@ -912,28 +1300,165 @@ class Machine:
         if node.rca is not None:
             remote_trackers = self._region_trackers.get(region, 0) & ~(1 << proc)
             if remote_trackers:
-                fills_exclusive = self._requestor_fills_exclusive(request, combined)
-                # One observer's hint depends only on whether *it* cached
-                # the line — two possible values, computed once.
-                holder_hint = self._exclusivity_hint(fills_exclusive, True)
-                non_holder_hint = self._exclusivity_hint(fills_exclusive, False)
                 nodes = self.nodes
-                collected = []
-                mask = remote_trackers
-                while mask:
-                    low = mask & -mask
-                    mask ^= low
-                    pid = low.bit_length() - 1
-                    hint = (
-                        holder_hint if (holders_before >> pid) & 1
-                        else non_holder_hint
+                if self._inline_region_snoop:
+                    # Exclusivity hints as dense ints (None→0, True→1,
+                    # False→2): the closed forms of
+                    # _requestor_fills_exclusive composed with
+                    # _exclusivity_hint for holders / non-holders, with
+                    # the method calls evaluated away.
+                    if (request is RequestType.READ
+                            or request is RequestType.PREFETCH):
+                        if self._line_resp_visible:
+                            hint_h = hint_n = 2 if combined.shared else 1
+                        else:
+                            hint_h = 2
+                            hint_n = 0
+                    elif request is RequestType.IFETCH:
+                        hint_h = 2
+                        hint_n = 2 if self._line_resp_visible else 0
+                    else:
+                        hint_h = hint_n = 0
+                    # Inline fast path over *state classes*, not
+                    # observers. The region's class masks partition its
+                    # trackers by (state, empty) — everything one
+                    # observer's snoop outcome depends on — so the
+                    # response bits, the self-invalidation set and every
+                    # state transition fall out of integer operations on
+                    # the handful of present classes. Entry objects are
+                    # touched only for observers whose state actually
+                    # changes (or that self-invalidate, which runs the
+                    # real invalidate path and its hooks); skipping an
+                    # identity observer is exact because it has no
+                    # effects at all. The effects are node.snoop_region's
+                    # for every tracker, merely batched by class.
+                    req_i = request.index
+                    wants_mod_hints = (
+                        request.wants_modifiable and self._owner_hints_on
                     )
-                    collected.append(
-                        nodes[pid].snoop_region(region, request, hint,
-                                                requestor=proc)
+                    cls = self._region_classes[region]
+                    info = self._class_info
+                    any_clean = any_dirty = False
+                    moves = None
+                    inv = 0
+                    hint_pids = 0
+                    # Self-invalidations are deferred into ``inv``: each
+                    # observer's invalidate is independent of every other
+                    # observer's effect, so running them after the scan
+                    # is exact — and lets the scan iterate the class dict
+                    # without copying it (the invalidate hooks mutate it).
+                    for c, full in cls.items():
+                        m = full & remote_trackers
+                        if not m:
+                            continue
+                        self_inv, clean, dirty, row = info[c][req_i]
+                        if clean:
+                            any_clean = True
+                        if dirty:
+                            any_dirty = True
+                        if self_inv:
+                            inv |= m
+                            continue
+                        if hint_h == hint_n:
+                            tgt = row[hint_h]
+                            if tgt is None:  # tabulated error path
+                                self._region_snoop_errors(
+                                    m, region, request,
+                                    (None, True, False)[hint_h])
+                            elif tgt[0] != c:
+                                if moves is None:
+                                    moves = []
+                                moves.append((c, m, tgt))
+                        else:
+                            mh = m & holders_before
+                            mn = m ^ mh
+                            if mh:
+                                tgt = row[hint_h]
+                                if tgt is None:
+                                    self._region_snoop_errors(
+                                        mh, region, request,
+                                        (None, True, False)[hint_h])
+                                elif tgt[0] != c:
+                                    if moves is None:
+                                        moves = []
+                                    moves.append((c, mh, tgt))
+                            if mn:
+                                tgt = row[hint_n]
+                                if tgt is None:
+                                    self._region_snoop_errors(
+                                        mn, region, request,
+                                        (None, True, False)[hint_n])
+                                elif tgt[0] != c:
+                                    if moves is None:
+                                        moves = []
+                                    moves.append((c, mn, tgt))
+                        if wants_mod_hints:
+                            hint_pids |= m
+                    if inv:
+                        rcas = self._rcas_by_pid
+                        while inv:
+                            low = inv & -inv
+                            inv ^= low
+                            rcas[low.bit_length() - 1].invalidate(region)
+                    if moves is not None or hint_pids:
+                        sets_by_pid = self._rca_sets_by_pid
+                        set_i = region & self._rca_set_mask
+                        tag = region >> self._rca_set_bits
+                        if moves is not None:
+                            for c, bits, (tc, new_state) in moves:
+                                left = cls[c] & ~bits
+                                if left:
+                                    cls[c] = left
+                                else:
+                                    del cls[c]
+                                cls[tc] = cls.get(tc, 0) | bits
+                                while bits:
+                                    low = bits & -bits
+                                    bits ^= low
+                                    sets_by_pid[low.bit_length() - 1][
+                                        set_i][tag].state = new_state
+                        while hint_pids:
+                            low = hint_pids & -hint_pids
+                            hint_pids ^= low
+                            sets_by_pid[low.bit_length() - 1][
+                                set_i][tag].owner_hint = proc
+                    if any_dirty:
+                        region_response = (
+                            CLEAN_AND_DIRTY_COPIES if any_clean
+                            else DIRTY_COPIES
+                        )
+                    elif any_clean:
+                        region_response = CLEAN_COPIES
+                    else:
+                        region_response = NO_COPIES
+                else:
+                    fills_exclusive = self._requestor_fills_exclusive(
+                        request, combined
                     )
-                region_response = combine_region_responses(collected)
-                if not self.config.two_bit_response:
+                    # One observer's hint depends only on whether *it*
+                    # cached the line — two possible values, computed once.
+                    holder_hint = self._exclusivity_hint(
+                        fills_exclusive, True
+                    )
+                    non_holder_hint = self._exclusivity_hint(
+                        fills_exclusive, False
+                    )
+                    collected = []
+                    mask = remote_trackers
+                    while mask:
+                        low = mask & -mask
+                        mask ^= low
+                        pid = low.bit_length() - 1
+                        hint = (
+                            holder_hint if (holders_before >> pid) & 1
+                            else non_holder_hint
+                        )
+                        collected.append(
+                            nodes[pid].snoop_region(region, request, hint,
+                                                    requestor=proc)
+                        )
+                    region_response = combine_region_responses(collected)
+                if not self._two_bit:
                     region_response = region_response.collapsed()
             else:
                 # No remote RCA tracks the region: the combine of zero
@@ -958,14 +1483,53 @@ class Machine:
             fill_state=fill_state,
             region_response=region_response,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
-            now=now,
+            now=now, region_entry=requestor_region_entry,
         )
         # Remember who owned the region's dirty data (owner prediction).
-        if node.rca is not None and combined.owned and combined.supplier is not None:
+        # Advisory and unread unless the Section 6 extension is on.
+        if (
+            self._owner_hints_on
+            and node.rca is not None
+            and combined.owned
+            and combined.supplier is not None
+        ):
             updated = node.rca.probe(region)
             if updated is not None:
                 updated.owner_hint = combined.supplier
         return latency
+
+    def _region_snoop_errors(
+        self, bits: int, region: int, request: RequestType, hint
+    ) -> None:
+        """Re-run tabulated-error observers through the raising reference.
+
+        The class-indexed external table stores ``None`` where the
+        protocol's reference implementation raises; dispatching the
+        affected observers back through it reproduces the exact
+        :class:`ProtocolError` a per-entry walk would have raised.
+        """
+        set_i = region & self._rca_set_mask
+        tag = region >> self._rca_set_bits
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            pid = low.bit_length() - 1
+            entry = self._rca_sets_by_pid[pid][set_i][tag]
+            self.nodes[pid].protocol.after_external_request(
+                entry.state, request, hint
+            )
+
+    def _move_region_class(
+        self, region: int, bit: int, old: int, new: int
+    ) -> None:
+        """Move one processor's bit between two of a region's class masks."""
+        cls = self._region_classes[region]
+        left = cls[old] & ~bit
+        if left:
+            cls[old] = left
+        else:
+            del cls[old]
+        cls[new] = cls.get(new, 0) | bit
 
     def _targeted_request(
         self,
@@ -998,9 +1562,28 @@ class Machine:
             return None
         self.targeted_hits += 1
         self.c2c_transfers += 1
+        # The point-to-point snoop goes through the node's canonical
+        # path; with the inline loop active, mirror any class change
+        # into the region's masks (self-invalidation cleans up via the
+        # untracked hook on its own).
+        pre = None
+        if self._inline_region_snoop and target.rca is not None:
+            pre = target.rca.probe(region)
+            if pre is not None:
+                pre_class = (pre.state.index << 1) | (
+                    1 if pre.line_count == 0 else 0
+                )
         target.snoop_region(
             region, request, requestor_fills_exclusive=False, requestor=proc
         )
+        if pre is not None and target.rca.probe(region) is pre:
+            post_class = (pre.state.index << 1) | (
+                1 if pre.line_count == 0 else 0
+            )
+            if post_class != pre_class:
+                self._move_region_class(
+                    region, 1 << owner, pre_class, post_class
+                )
         latency = (
             self._direct_to_proc[proc][owner]
             + self._cache_access_cycles
@@ -1014,7 +1597,7 @@ class Machine:
             fill_state=fill_state_for(request, SNOOP_SHARED),
             region_response=None,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
-            now=now,
+            now=now, region_entry=entry,
         )
         if self._log_enabled:
             self._log_event(now, proc, request, RequestPath.TARGETED,
@@ -1096,14 +1679,32 @@ class Machine:
         if node.rca.victim_for(region) is not None:
             return  # never evict real state for a prefetch
         responses = []
+        inline = self._inline_region_snoop
         for other in self.nodes:
             if other.proc_id == node.proc_id:
                 continue
+            # Canonical per-node snoop; with the inline loop active,
+            # mirror any class change into the region's masks.
+            pre = None
+            if inline and other.rca is not None:
+                pre = other.rca.probe(region)
+                if pre is not None:
+                    pre_class = (pre.state.index << 1) | (
+                        1 if pre.line_count == 0 else 0
+                    )
             responses.append(
                 other.snoop_region(
                     region, RequestType.PREFETCH, requestor_fills_exclusive=False
                 )
             )
+            if pre is not None and other.rca.probe(region) is pre:
+                post_class = (pre.state.index << 1) | (
+                    1 if pre.line_count == 0 else 0
+                )
+                if post_class != pre_class:
+                    self._move_region_class(
+                        region, 1 << other.proc_id, pre_class, post_class
+                    )
         combined = combine_region_responses(responses)
         if not self.config.two_bit_response:
             combined = combined.collapsed()
@@ -1171,26 +1772,86 @@ class Machine:
         fill_l1i: bool,
         l1_writable: bool,
         now: int,
+        region_entry=None,
     ) -> None:
+        """Install the line locally and update the requestor's region state.
+
+        ``region_entry`` is the requestor's RCA entry for the address's
+        region as looked up at routing time (``None`` when untracked);
+        nothing on any routing path touches the requestor's RCA between
+        that lookup and this call, so it is used as-is instead of
+        re-probing.
+        """
         node = self.nodes[proc]
         line = address >> self._line_shift
         region = address >> self._region_shift
 
         # Region state first: inclusion requires the entry to exist before
         # the L2 fill's allocation callback fires.
-        if node.rca is not None and request is not RequestType.WRITEBACK:
-            entry = node.rca.probe(region)
+        rca = node.rca
+        if rca is not None and request is not RequestType.WRITEBACK:
+            entry = region_entry
             current = entry.state if entry is not None else RegionState.INVALID
-            new_state = node.protocol.after_local_request(
-                current, request, fill_state, region_response
-            )
+            if self._inline_region_snoop:
+                # Flat-table twin of protocol.after_local_request (no
+                # transition matrix is recording in inline mode).
+                new_state = self._region_local_table[current.index][
+                    request.index][fill_state.index][
+                    0 if region_response is None
+                    else 1 + region_response.clean + 2 * region_response.dirty]
+                if new_state is None:  # tabulated error path
+                    new_state = node.protocol.after_local_request(
+                        current, request, fill_state, region_response
+                    )
+            else:
+                new_state = node.protocol.after_local_request(
+                    current, request, fill_state, region_response
+                )
             if entry is not None:
-                entry.state = new_state
+                if new_state is not current:
+                    if self._inline_region_snoop:
+                        empty = 1 if entry.line_count == 0 else 0
+                        self._move_region_class(
+                            region, 1 << proc,
+                            (current.index << 1) | empty,
+                            (new_state.index << 1) | empty,
+                        )
+                    entry.state = new_state
             elif new_state.is_valid and request.allocates_line:
-                home = self.address_map.home_of_region(region)
-                _entry, writebacks = node.allocate_region(region, new_state, home)
-                for writeback in writebacks:
-                    self._emit_writeback(proc, writeback, now)
+                home = (region >> self._region_home_shift) % self._region_home_mod
+                allocated_fast = False
+                if self._inline_region_snoop:
+                    # Fused allocation: with a free way (the common case
+                    # by far — region evictions are rare) the insert is
+                    # one dict store, with the stats bump and the
+                    # on_region_tracked effects (tracker bit + class
+                    # mask, for a fresh entry: line_count 0, so the
+                    # empty variant of the state's class) applied
+                    # inline. A full set falls through to the canonical
+                    # two-step eviction conversation.
+                    entries = self._rca_sets_by_pid[proc][
+                        region & self._rca_set_mask]
+                    if len(entries) < self._rca_ways:
+                        entries[region >> self._rca_set_bits] = RegionEntry(
+                            region, new_state, home
+                        )
+                        rca.allocations += 1
+                        pid_bit = 1 << proc
+                        trackers = self._region_trackers
+                        trackers[region] = trackers.get(region, 0) | pid_bit
+                        classes = self._region_classes
+                        cls = classes.get(region)
+                        if cls is None:
+                            cls = classes[region] = {}
+                        c = (new_state.index << 1) | 1
+                        cls[c] = cls.get(c, 0) | pid_bit
+                        allocated_fast = True
+                if not allocated_fast:
+                    _entry, writebacks = node.allocate_region(
+                        region, new_state, home
+                    )
+                    for writeback in writebacks:
+                        self._emit_writeback(proc, writeback, now)
 
         if request is RequestType.UPGRADE:
             node.l2.set_state(line, LineState.MODIFIED)
@@ -1299,6 +1960,7 @@ class Machine:
                 )
                 if node.rca is not None:
                     node.rca._telemetry_eviction_hist = None
+            self._refresh_region_snoop_tables()
             return
 
         self._tel_demand_hist = registry.histogram(
@@ -1328,6 +1990,7 @@ class Machine:
             node.l2.attach_telemetry(registry)
             if node.rca is not None:
                 node.rca.attach_telemetry(registry)
+        self._refresh_region_snoop_tables()
 
         # Figure 2/7/10 aggregates as interval probes: each series records
         # the per-window delta of its cumulative source, so series totals
@@ -1462,6 +2125,12 @@ class Machine:
         self.network.transfers = 0
         self.bus.broadcasts = 0
         self.bus.traffic = IntervalCounter(self.bus.traffic.window)
+        # Zero the fast-path broadcast totals *before* the per-node
+        # resets: each L2's snoop_probes setter bakes the current debt
+        # into its private counter, so the debts must already be zero.
+        self._fast_broadcasts = 0
+        self._fast_issued = [0] * self.topology.num_processors
+        self._fast_holder_visits = [0] * self.topology.num_processors
         for node in self.nodes:
             node.l1i.reset_stats()
             node.l1d.reset_stats()

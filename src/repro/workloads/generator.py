@@ -266,7 +266,14 @@ class _ProcessorStream:
             1, profile.heap_bytes // profile.heap_chunk_bytes // max(1, nprocs)
         )
         self.private_base = PRIVATE_BASE + proc * PRIVATE_STRIDE
-        self.fresh_base = FRESH_BASE + proc * FRESH_STRIDE
+        # The fresh pools must sit above *every* private pool: past 48
+        # processors a fixed FRESH_BASE would place the upper private
+        # pools (PRIVATE_BASE + 48·PRIVATE_STRIDE = FRESH_BASE) on top
+        # of the low processors' fresh pools, silently sharing pages
+        # that are supposed to be private. max() lifts the floor only
+        # then, so every ≤48-processor trace stays bit-identical.
+        fresh_floor = max(FRESH_BASE, PRIVATE_BASE + nprocs * PRIVATE_STRIDE)
+        self.fresh_base = fresh_floor + proc * FRESH_STRIDE
         self.fresh_cursor = 0
         self.lines_per_chunk = chunk // LINE
         # Output accumulators

@@ -44,6 +44,29 @@ class TestCleanMachine:
         outcome = _run(workload, "4p-cgct", telemetry=telemetry)
         assert outcome.ok, outcome.mismatches[:5]
 
+    def test_campaign_matrix_fuzzes_32p(self):
+        assert "32p-baseline" in campaign_config_names()
+        assert "32p-cgct" in campaign_config_names()
+
+    @pytest.mark.parametrize("config_name", ["4p-cgct", "32p-cgct"])
+    def test_both_snoop_paths_conform_identically(self, config_name):
+        # The golden model knows nothing about snoop implementations:
+        # walk and bitmask must both conform, over the same accesses
+        # and the same coherence event stream.
+        nprocs = int(config_name.split("p-")[0])
+        workload = fuzz_trace(4, nprocs, ops_per_processor=24, seed=0)
+        outcomes = {
+            snoop: run_differential(
+                workload, bench_config(config_name), config_name,
+                seed=0, snoop=snoop,
+            )
+            for snoop in ("walk", "bitmask")
+        }
+        for snoop, outcome in outcomes.items():
+            assert outcome.ok, (snoop, outcome.mismatches[:5])
+        assert outcomes["walk"].accesses == outcomes["bitmask"].accesses
+        assert outcomes["walk"].events == outcomes["bitmask"].events
+
     def test_run_iteration_covers_every_requested_config(self):
         outcomes = run_iteration(
             trace_id=3, seed=0, ops=16,

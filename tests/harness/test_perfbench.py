@@ -28,10 +28,11 @@ from repro.harness.perfbench import (
 
 
 class TestConfigs:
-    def test_canonical_points_cover_4_8_16(self):
+    def test_canonical_points_cover_4_through_64(self):
         assert [(p, c) for _, p, c in PERF_CONFIGS] == [
             (4, False), (4, True), (8, False), (8, True),
-            (16, False), (16, True),
+            (16, False), (16, True), (32, False), (32, True),
+            (64, False), (64, True),
         ]
 
     @pytest.mark.parametrize("name,processors,cgct", PERF_CONFIGS)
@@ -121,9 +122,30 @@ class TestCheckAgainst:
         assert check_against(fake_payload(), baseline) == []
 
     def test_configs_missing_from_baseline_are_skipped(self):
+        # Growth direction: the new run measures a config the committed
+        # baseline predates. Nothing to compare against — tolerated.
         baseline = fake_payload()
         del baseline["configs"]["4p-cgct"]
         assert check_against(fake_payload(rate=1.0), baseline) == []
+
+    def test_config_disappearing_from_the_run_fails_loudly(self):
+        # Loss direction: the baseline measured a config the new run
+        # did not. That is coverage loss, never a silent pass.
+        baseline = fake_payload()
+        baseline["configs"]["8p-cgct"] = copy.deepcopy(
+            baseline["configs"]["4p-cgct"]
+        )
+        failures = check_against(fake_payload(), baseline)
+        assert len(failures) == 1
+        assert "8p-cgct" in failures[0]
+        assert "coverage" in failures[0]
+
+    def test_empty_run_reports_every_lost_config(self):
+        payload = fake_payload()
+        payload["configs"] = {}
+        failures = check_against(payload, fake_payload())
+        assert len(failures) == 1
+        assert "4p-cgct" in failures[0]
 
 
 class TestReferenceAndRender:
@@ -133,6 +155,30 @@ class TestReferenceAndRender:
         assert payload["speedup"]["4p-cgct"] == 3.0
         assert payload["reference"]["configs"]["4p-cgct"][
             "ops_per_host_second"] == 1000.0
+
+    def test_reference_covering_a_missing_config_is_rejected(self):
+        # A reference measured at a config this run skipped would make
+        # the speedup table silently shrink — refuse instead.
+        reference = fake_payload(rate=500.0)
+        reference["configs"]["16p-cgct"] = copy.deepcopy(
+            reference["configs"]["4p-cgct"]
+        )
+        with pytest.raises(ConfigurationError, match="16p-cgct"):
+            attach_reference(fake_payload(), reference)
+
+    def test_explicit_configs_restriction_trims_the_comparison(self, tmp_path):
+        # `--configs 4p-cgct --check <full baseline>` is a deliberate
+        # subset: the untouched baseline configs must not fail the run.
+        baseline = fake_payload()
+        baseline["configs"]["8p-baseline"] = copy.deepcopy(
+            baseline["configs"]["4p-cgct"]
+        )
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(baseline))
+        assert perf_command([
+            "--quick", "--configs", "4p-cgct", "--no-write",
+            "--check", str(path), "--threshold", "0.99",
+        ]) == 0
 
     def test_render_mentions_every_config(self):
         payload = fake_payload()

@@ -161,6 +161,43 @@ class TestStructure:
         lines = [set((t.addresses >> 6).tolist()) for t in mt.per_processor]
         assert not (lines[0] & lines[1])
 
+    def test_private_pools_stay_disjoint_at_64_processors(self):
+        # Regression: with a fixed FRESH_BASE, processor 48's private
+        # pool landed exactly on processor 0's fresh pool (PRIVATE_BASE
+        # + 48 * PRIVATE_STRIDE == FRESH_BASE), silently sharing pages
+        # meant to be private. The fresh floor now lifts past every
+        # private pool on machines larger than 48 processors.
+        profile = WorkloadProfile(
+            name="private64", description="", category="Test",
+            stream_fraction=0.0,
+            phases=(PhaseSpec(fraction=1.0, p_private=0.5, p_shared_ro=0.0,
+                              p_shared_rw=0.0, p_code=0.0, p_page_zero=0.5),),
+        )
+        mt = SyntheticWorkload(profile, num_processors=64).build(
+            seed=0, ops_per_processor=400
+        )
+        lines = [set((t.addresses >> 6).tolist()) for t in mt.per_processor]
+        for i in range(64):
+            for j in range(i + 1, 64):
+                assert not (lines[i] & lines[j]), (
+                    f"processors {i} and {j} share supposedly-private lines"
+                )
+
+    def test_fresh_pool_layout_unchanged_up_to_48_processors(self):
+        # The 64p fix must not move any existing machine's addresses:
+        # up to 48 processors the fresh floor is still FRESH_BASE.
+        from repro.workloads.generator import (
+            FRESH_BASE, FRESH_STRIDE, _ProcessorStream,
+        )
+
+        profile = WorkloadProfile(name="layout", description="",
+                                  category="Test")
+        for nprocs in (1, 4, 16, 48):
+            stream = _ProcessorStream(profile, nprocs - 1, nprocs, seed=0)
+            assert stream.fresh_base == FRESH_BASE + (nprocs - 1) * FRESH_STRIDE
+        stream = _ProcessorStream(profile, 0, 64, seed=0)
+        assert stream.fresh_base > FRESH_BASE
+
     def test_code_private_flag_separates_ifetch_streams(self):
         base = dict(
             description="", category="Test",
