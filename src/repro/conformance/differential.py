@@ -133,6 +133,9 @@ class DifferentialOutcome:
     events: int = 0
     mismatches: List[str] = field(default_factory=list)
     bundle_path: Optional[str] = None
+    #: Flight-recorder causal history (transaction records) captured at
+    #: the end of a failing run; rides into the reproducer bundle.
+    flight: Optional[List[dict]] = None
 
     @property
     def ok(self) -> bool:
@@ -198,6 +201,10 @@ def run_differential(
     outcome.events = len(probe.events)
     outcome.mismatches.extend(probe.violations)
     _diff_against_golden(workload, simulator.machine, order, probe, outcome)
+    if not outcome.ok and sanitizer.flight is not None:
+        # Causal history of the trailing transactions: what the machine
+        # did right before (and while) the disagreement built up.
+        outcome.flight = sanitizer.flight.history(last=16)
     return outcome
 
 

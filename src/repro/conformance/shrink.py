@@ -227,6 +227,7 @@ def write_reproducer(
         "accesses": sum(len(t) for t in workload.per_processor),
         "mismatches": list(outcome.mismatches),
         "shrink_evals": shrink_evals,
+        "flight_recorder": outcome.flight,
         "corpus": corpus,
     }
     bundle_path.write_text(

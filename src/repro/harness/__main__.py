@@ -32,6 +32,12 @@ telemetry plus an event log, exports all three formats, and can merge
 the event stream with the interval series into a chronological
 trace dump (``--trace-dump``).
 
+The ``trace`` subcommand records causal span traces — per-transaction
+coherence traces on the simulated clock, or wall-clock spans for a
+supervised sweep — summarizes them, decomposes the critical path
+against the telemetry histograms, and exports Chrome trace-event JSON
+that Perfetto loads directly (see ``docs/tracing.md``).
+
 The ``perf`` subcommand benchmarks the simulation core itself —
 simulated ops per host second across the canonical 4/8/16-processor
 configs — and writes ``BENCH_core.json`` (see ``docs/performance.md``).
@@ -374,6 +380,10 @@ def main(argv=None) -> int:
         from repro.harness.perfbench import perf_command
 
         return perf_command(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.obs.cli import trace_command
+
+        return trace_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -382,7 +392,7 @@ def main(argv=None) -> int:
         "experiments", nargs="+",
         help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
              "or the 'telemetry' / 'validate' / 'perf' / 'conformance' "
-             "subcommands (see --help of "
+             "/ 'trace' subcommands (see --help of "
              "'python -m repro.harness <subcommand>')",
     )
     parser.add_argument("--ops", type=int, default=60_000,

@@ -301,6 +301,17 @@ class ParallelRunner:
     check_invariants:
         "" (off), "sampled" or "deep": run the coherence sanitizer
         inside every simulation this sweep actually executes.
+    spans:
+        Optional :class:`~repro.obs.wallclock.WallSpanRecorder`. Each
+        :meth:`run` opens one ``sweep`` span and records one ``task``
+        span per executed cell (worker pid, cache status, attempt) and
+        one instant ``retry`` span per failed attempt, all parented so
+        a Perfetto view of the sweep attributes wall time directly.
+        Spans are recorded by the coordinator only — the single-writer
+        contract the run log already relies on.
+    span_parent:
+        Parent span id for the sweep span (a campaign running several
+        sweeps opens its own root span and passes its id here).
     """
 
     def __init__(
@@ -317,6 +328,8 @@ class ParallelRunner:
         circuit_threshold: int = 4,
         check_invariants: str = "",
         heartbeat_interval: float = 0.25,
+        spans=None,
+        span_parent: Optional[str] = None,
     ) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
@@ -330,10 +343,13 @@ class ParallelRunner:
         self.circuit_threshold = max(1, int(circuit_threshold))
         self.check_invariants = check_invariants
         self.heartbeat_interval = heartbeat_interval
+        self.spans = spans
+        self.span_parent = span_parent
         self.failures: List[Dict] = []
         self.quarantined: List[Dict] = []
         self._attempts: Dict[int, int] = {}
         self._version: Optional[str] = None
+        self._sweep_span: Optional[str] = None
 
     # ------------------------------------------------------------------
     def run(self, tasks: Sequence[ExperimentTask]) -> List[Optional[RunResult]]:
@@ -358,6 +374,12 @@ class ParallelRunner:
                   cache="on" if cache_dir else "off",
                   resumed=len(resumed),
                   check_invariants=self.check_invariants or "off")
+        if self.spans is not None:
+            self._sweep_span = self.spans.start(
+                "sweep", parent_id=self.span_parent,
+                tasks=len(envelopes), workers=self.workers or 1,
+                resumed=len(resumed),
+            )
         started = time.perf_counter()
         if self.workers > 1 and len(pending) > 1:
             outcomes = self._run_pool(pending)
@@ -376,6 +398,13 @@ class ParallelRunner:
             failures=len(self.failures),
             quarantined=len(self.quarantined),
         )
+        if self.spans is not None:
+            self.spans.finish(
+                self._sweep_span, completed=len(outcomes),
+                failures=len(self.failures),
+                quarantined=len(self.quarantined),
+            )
+            self._sweep_span = None
         if self.checkpoint is not None and not self.failures:
             self.checkpoint.finish()
         if self.failures and self.strict:
@@ -512,6 +541,16 @@ class ParallelRunner:
                   status="error", error=text, attempt=attempt,
                   will_retry=will_retry, kind=failure.kind,
                   failure_class=failure.failure_class.value)
+        if self.spans is not None:
+            instant = self.spans.now()
+            self.spans.add(
+                "retry", instant, instant, parent_id=self._sweep_span,
+                index=envelope.index,
+                benchmark=envelope.task.benchmark,
+                attempt=attempt, kind=failure.kind,
+                failure_class=failure.failure_class.value,
+                will_retry=will_retry,
+            )
         if will_retry:
             return
         entry = {
@@ -541,6 +580,19 @@ class ParallelRunner:
                   wall_s=round(outcome.wall_seconds, 4),
                   worker=outcome.worker_pid,
                   peak_rss_kb=outcome.peak_rss_kb, attempt=attempt)
+        if self.spans is not None:
+            # The worker measured its own wall time; the span is placed
+            # retroactively, ending at the instant the outcome arrived.
+            end = self.spans.now()
+            self.spans.add(
+                "task", end - outcome.wall_seconds, end,
+                parent_id=self._sweep_span,
+                index=envelope.index,
+                benchmark=envelope.task.benchmark,
+                cache=outcome.cache,
+                worker_pid=outcome.worker_pid,
+                attempt=attempt,
+            )
 
 
 # ----------------------------------------------------------------------
@@ -633,6 +685,8 @@ def warm_cache(
     task_timeout: Optional[float] = None,
     checkpoint: Optional[SweepCheckpoint] = None,
     check_invariants: str = "",
+    spans=None,
+    span_parent: Optional[str] = None,
 ) -> int:
     """Fan the experiments' simulation grid out, preloading *cache*.
 
@@ -648,7 +702,8 @@ def warm_cache(
                             runlog=runlog, retries=retries,
                             task_timeout=task_timeout,
                             checkpoint=checkpoint,
-                            check_invariants=check_invariants)
+                            check_invariants=check_invariants,
+                            spans=spans, span_parent=span_parent)
     results = runner.run(tasks)
     for task, result in zip(tasks, results):
         if result is not None:

@@ -7,7 +7,15 @@ on failure — the full traceback plus whether a retry follows. The format
 is one JSON object per line so logs can be tailed, grepped, appended to
 by successive invocations, and summarised without loading everything.
 
-Record shapes (all carry ``event`` and a Unix ``ts``):
+Every record carries ``schema: "runlog/v1"``, the writing ``hostname``
+and ``pid``, ``event`` and a Unix ``ts`` — the provenance stamps let
+logs from several machines or coordinator processes be concatenated and
+still attributed. Readers must tolerate records without the stamps:
+logs written before the ``runlog/v1`` tag (and hand-rolled test
+fixtures) simply lack them, and :func:`read_runlog` /
+:func:`summarize` treat them identically.
+
+Record shapes (beyond the common stamps):
 
 ``{"event": "sweep-start", "tasks": N, "workers": W, "cache": "on|off",
 "resumed": n, "check_invariants": "off|sampled|deep"}``
@@ -43,9 +51,14 @@ Record shapes (all carry ``event`` and a Unix ``ts``):
 from __future__ import annotations
 
 import json
+import os
+import socket
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Union
+
+#: Schema tag stamped on every record this writer produces.
+RUNLOG_SCHEMA = "runlog/v1"
 
 
 class RunLog:
@@ -55,10 +68,19 @@ class RunLog:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        # Resolved once: the stamps are per-writer, not per-record.
+        self._hostname = socket.gethostname()
+        self._pid = os.getpid()
 
     def record(self, event: str, **fields) -> Dict:
         """Append one record; returns the dictionary written."""
-        entry: Dict = {"event": event, "ts": round(time.time(), 3)}
+        entry: Dict = {
+            "schema": RUNLOG_SCHEMA,
+            "event": event,
+            "ts": round(time.time(), 3),
+            "hostname": self._hostname,
+            "pid": self._pid,
+        }
         entry.update(fields)
         self._handle.write(json.dumps(entry, sort_keys=True, default=str))
         self._handle.write("\n")

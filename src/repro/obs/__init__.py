@@ -1,0 +1,33 @@
+"""Causal span tracing across the simulated machine and the harness.
+
+Two layers share one span schema (``cgct-span/v1``, see
+:mod:`repro.obs.span`):
+
+* **Simulation layer** (:mod:`repro.obs.simtrace`): every memory access
+  opens a transaction span with a monotonically assigned trace id;
+  child spans cover the L1/L2 lookups, the RCA lookup and its
+  region-state routing decision, the phase-1 line snoop, the phase-2
+  region snoop, the DRAM access and the fill — each stamped with cycle
+  timestamps and the CGCT verdict (broadcast avoided vs required vs
+  mispredicted). The tracer attaches to a
+  :class:`~repro.system.machine.Machine` through the same
+  zero-overhead-when-disabled hook pattern as the telemetry event
+  funnel, and never changes simulated results (equivalence-tested).
+  A bounded ring configuration turns the same tracer into the *flight
+  recorder* that diagnostics bundles embed.
+* **Harness layer** (:mod:`repro.obs.wallclock`): wall-clock spans for
+  campaign → sweep → task → retry, threaded through the parallel
+  runner and the supervised pool with parent ids.
+
+:mod:`repro.obs.export` writes/reads span JSONL and converts either
+layer to Chrome trace-event JSON (loadable in Perfetto);
+:mod:`repro.obs.analyze` summarises traces and reconciles the
+critical-path latency decomposition against telemetry histograms;
+:mod:`repro.obs.cli` is the ``trace`` subcommand. See docs/tracing.md.
+"""
+
+from repro.obs.simtrace import SimTracer
+from repro.obs.span import SPAN_SCHEMA, make_span
+from repro.obs.wallclock import WallSpanRecorder
+
+__all__ = ["SPAN_SCHEMA", "SimTracer", "WallSpanRecorder", "make_span"]

@@ -1,0 +1,301 @@
+"""Trace analysis: summaries and the critical-path decomposition.
+
+Works on lists of ``cgct-span/v1`` records from either layer (the
+functions branch on the trace's clock):
+
+* :func:`summarize` — the shape of a trace: transaction counts by
+  routing path and CGCT verdict plus latency statistics (cycles), or
+  span counts, busy time and parallelism (wall).
+* :func:`critical_path` — where the cycles went: per-path mean latency
+  decomposed into mean cycles per pipeline phase (L2 lookup, bus
+  queueing, line snoop, region snoop, DRAM, data transfer). Phases
+  overlap by design (CGCT overlaps DRAM with the snoop, Section 3), so
+  the per-phase means are occupancy, not an additive partition — the
+  gap between the path mean and the phase sum is exactly the overlap
+  won. Given a telemetry JSON export from the same run, the report
+  reconciles the per-path means against the ``machine.latency.<path>``
+  histograms: a full-sample trace sees the identical event population,
+  so the means must agree to float rounding (this cross-check is
+  enforced by ``tests/obs/test_analyze.py``).
+
+Every function takes plain span dicts so it can run on a file read
+back with :func:`repro.obs.export.read_spans`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.obs.export import trace_clock
+from repro.obs.span import CLOCK_CYCLES
+
+#: Child-span names that decompose a transaction's latency, in pipeline
+#: order (rendering order for the critical-path report).
+PHASES = (
+    "l1_lookup", "l2_lookup", "rca_lookup", "bus_queue", "line_snoop",
+    "region_snoop", "dram", "data_transfer", "c2c_transfer", "fill",
+)
+
+#: Route child-span names (those carrying request/path/latency attrs).
+_ROUTE_NAMES = ("external", "prefetch", "nested")
+
+
+def _transactions(spans: List[Dict]) -> Dict[str, Dict]:
+    """Group cycles spans: ``{trace_id: {"root": span, "children": []}}``."""
+    txns: Dict[str, Dict] = {}
+    for span in spans:
+        if span["parent_id"] is None:
+            txns.setdefault(span["trace_id"], {"root": None, "children": []})
+            txns[span["trace_id"]]["root"] = span
+    for span in spans:
+        if span["parent_id"] is not None:
+            entry = txns.get(span["trace_id"])
+            if entry is not None:
+                entry["children"].append(span)
+    return {tid: entry for tid, entry in txns.items()
+            if entry["root"] is not None}
+
+
+# ----------------------------------------------------------------------
+# Summary
+# ----------------------------------------------------------------------
+def summarize(spans: List[Dict]) -> Dict:
+    """A trace's shape as a JSON-ready dict (see module docstring)."""
+    clock = trace_clock(spans)
+    if clock == CLOCK_CYCLES:
+        return _summarize_cycles(spans)
+    return _summarize_wall(spans)
+
+
+def _summarize_cycles(spans: List[Dict]) -> Dict:
+    txns = _transactions(spans)
+    by_path: Dict[str, int] = defaultdict(int)
+    by_verdict: Dict[str, int] = defaultdict(int)
+    latency: Dict[str, List[float]] = defaultdict(list)
+    for entry in txns.values():
+        root = entry["root"]
+        path = root["attrs"].get("path", "?")
+        by_path[path] += 1
+        by_verdict[root["attrs"].get("verdict", "?")] += 1
+        latency[path].append(root["end"] - root["start"])
+    paths = {
+        path: {
+            "count": len(values),
+            "mean_cycles": sum(values) / len(values),
+            "max_cycles": max(values),
+        }
+        for path, values in latency.items()
+    }
+    return {
+        "clock": CLOCK_CYCLES,
+        "spans": len(spans),
+        "transactions": len(txns),
+        "by_path": dict(sorted(by_path.items())),
+        "by_verdict": dict(sorted(by_verdict.items())),
+        "paths": dict(sorted(paths.items())),
+    }
+
+
+def _summarize_wall(spans: List[Dict]) -> Dict:
+    by_name: Dict[str, Dict] = {}
+    for span in spans:
+        entry = by_name.setdefault(
+            span["name"], {"count": 0, "total_seconds": 0.0,
+                           "max_seconds": 0.0}
+        )
+        duration = span["end"] - span["start"]
+        entry["count"] += 1
+        entry["total_seconds"] += duration
+        entry["max_seconds"] = max(entry["max_seconds"], duration)
+    sweeps = [s for s in spans if s["name"] == "sweep"]
+    tasks = [s for s in spans if s["name"] == "task"]
+    out = {
+        "clock": "wall",
+        "spans": len(spans),
+        "by_name": dict(sorted(by_name.items())),
+    }
+    if sweeps and tasks:
+        wall = sum(s["end"] - s["start"] for s in sweeps)
+        busy = sum(s["end"] - s["start"] for s in tasks)
+        out["sweep_seconds"] = wall
+        out["task_seconds"] = busy
+        # Mean tasks in flight over the sweep: >1 means the pool
+        # actually overlapped work.
+        out["parallelism"] = busy / wall if wall > 0 else 0.0
+        slowest = sorted(tasks, key=lambda s: s["start"] - s["end"])[:5]
+        out["slowest_tasks"] = [
+            {"seconds": s["end"] - s["start"], **s["attrs"]}
+            for s in slowest
+        ]
+    return out
+
+
+def render_summary(summary: Dict) -> str:
+    """The :func:`summarize` dict as a terminal report."""
+    lines = []
+    if summary["clock"] == CLOCK_CYCLES:
+        lines.append(
+            f"{summary['transactions']} transactions "
+            f"({summary['spans']} spans)"
+        )
+        lines.append("  by path:")
+        for path, count in summary["by_path"].items():
+            stats = summary["paths"].get(path)
+            mean = f"  mean {stats['mean_cycles']:8.1f} cy" if stats else ""
+            lines.append(f"    {path:<10s} {count:>8d}{mean}")
+        lines.append("  by verdict:")
+        for verdict, count in summary["by_verdict"].items():
+            lines.append(f"    {verdict:<12s} {count:>8d}")
+        return "\n".join(lines)
+    lines.append(f"{summary['spans']} wall-clock spans")
+    for name, entry in summary["by_name"].items():
+        lines.append(
+            f"    {name:<8s} {entry['count']:>6d}  "
+            f"total {entry['total_seconds']:8.3f}s  "
+            f"max {entry['max_seconds']:7.3f}s"
+        )
+    if "parallelism" in summary:
+        lines.append(
+            f"  sweep {summary['sweep_seconds']:.3f}s, task time "
+            f"{summary['task_seconds']:.3f}s, parallelism "
+            f"{summary['parallelism']:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Critical path
+# ----------------------------------------------------------------------
+def critical_path(spans: List[Dict],
+                  telemetry: Optional[Dict] = None) -> Dict:
+    """Per-path latency decomposition, optionally reconciled against a
+    telemetry JSON snapshot (``registry.to_dict()`` shape)."""
+    clock = trace_clock(spans)
+    if clock != CLOCK_CYCLES:
+        return _critical_path_wall(spans)
+    txns = _transactions(spans)
+    per_path: Dict[str, Dict] = {}
+    route_latency: Dict[str, List[float]] = defaultdict(list)
+    for entry in txns.values():
+        root = entry["root"]
+        path = root["attrs"].get("path", "?")
+        acc = per_path.setdefault(path, {
+            "count": 0, "total": 0.0,
+            "phase_total": defaultdict(float),
+        })
+        acc["count"] += 1
+        acc["total"] += root["end"] - root["start"]
+        for child in entry["children"]:
+            if child["name"] in _ROUTE_NAMES:
+                route_latency[child["attrs"]["path"]].append(
+                    child["attrs"]["latency"]
+                )
+                continue
+            acc["phase_total"][child["name"]] += (
+                child["end"] - child["start"]
+            )
+    report = {
+        "clock": CLOCK_CYCLES,
+        "paths": {
+            path: {
+                "count": acc["count"],
+                "mean_cycles": acc["total"] / acc["count"],
+                "phases": {
+                    name: acc["phase_total"][name] / acc["count"]
+                    for name in PHASES if name in acc["phase_total"]
+                },
+            }
+            for path, acc in sorted(per_path.items())
+        },
+    }
+    if telemetry is not None:
+        report["reconciliation"] = _reconcile(route_latency, telemetry)
+    return report
+
+
+def _reconcile(route_latency: Dict[str, List[float]],
+               telemetry: Dict) -> Dict:
+    """Trace-side per-path latency means vs the run's telemetry
+    ``machine.latency.<path>`` histograms."""
+    histograms = telemetry.get("histograms", {})
+    out = {}
+    names = set(route_latency)
+    names.update(
+        name.rsplit(".", 1)[1] for name in histograms
+        if name.startswith("machine.latency.")
+        and name != "machine.latency.demand"
+    )
+    for path in sorted(names):
+        values = route_latency.get(path, [])
+        hist = histograms.get(f"machine.latency.{path}")
+        trace_mean = sum(values) / len(values) if values else None
+        tele_mean = hist.get("mean") if hist else None
+        entry = {
+            "trace_count": len(values),
+            "trace_mean": trace_mean,
+            "telemetry_count": hist.get("count") if hist else None,
+            "telemetry_mean": tele_mean,
+        }
+        if trace_mean is not None and tele_mean is not None:
+            entry["mean_delta"] = trace_mean - tele_mean
+        out[path] = entry
+    return out
+
+
+def _critical_path_wall(spans: List[Dict]) -> Dict:
+    """Wall traces: per-worker busy time and the longest tasks."""
+    tasks = [s for s in spans if s["name"] == "task"]
+    workers: Dict[int, Dict] = {}
+    for span in tasks:
+        pid = int(span["attrs"].get("worker_pid", 0))
+        entry = workers.setdefault(pid, {"count": 0, "busy_seconds": 0.0})
+        entry["count"] += 1
+        entry["busy_seconds"] += span["end"] - span["start"]
+    longest = sorted(tasks, key=lambda s: s["start"] - s["end"])[:5]
+    return {
+        "clock": "wall",
+        "workers": {str(pid): entry for pid, entry in sorted(workers.items())},
+        "longest_tasks": [
+            {"seconds": s["end"] - s["start"], **s["attrs"]}
+            for s in longest
+        ],
+    }
+
+
+def render_critical_path(report: Dict) -> str:
+    """The :func:`critical_path` dict as a terminal report."""
+    lines = []
+    if report["clock"] != CLOCK_CYCLES:
+        lines.append("per-worker busy time:")
+        for pid, entry in report["workers"].items():
+            who = f"worker {pid}" if pid != "0" else "coordinator"
+            lines.append(f"    {who:<16s} {entry['count']:>5d} tasks  "
+                         f"{entry['busy_seconds']:8.3f}s busy")
+        if report["longest_tasks"]:
+            lines.append("longest tasks:")
+            for task in report["longest_tasks"]:
+                label = {k: v for k, v in task.items() if k != "seconds"}
+                lines.append(f"    {task['seconds']:8.3f}s  {label}")
+        return "\n".join(lines)
+    lines.append("mean demand latency by path (cycles; phases overlap):")
+    for path, entry in report["paths"].items():
+        lines.append(f"  {path:<10s} n={entry['count']:<8d} "
+                     f"mean {entry['mean_cycles']:.1f}")
+        for name, mean in entry["phases"].items():
+            lines.append(f"      {name:<14s} {mean:8.1f}")
+    recon = report.get("reconciliation")
+    if recon:
+        lines.append("reconciliation vs telemetry machine.latency.<path>:")
+        for path, entry in recon.items():
+            t = entry["trace_mean"]
+            m = entry["telemetry_mean"]
+            delta = entry.get("mean_delta")
+            lines.append(
+                f"  {path:<10s} trace {t if t is None else round(t, 3)} "
+                f"({entry['trace_count']})  telemetry "
+                f"{m if m is None else round(m, 3)} "
+                f"({entry['telemetry_count']})"
+                + (f"  delta {delta:+.3f}" if delta is not None else "")
+            )
+    return "\n".join(lines)

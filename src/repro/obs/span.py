@@ -1,0 +1,87 @@
+"""The common span record shared by both tracing layers.
+
+One span is one JSON object (``cgct-span/v1``):
+
+``{"schema": "cgct-span/v1", "clock": "cycles" | "wall",
+"trace_id": str, "span_id": str, "parent_id": str | null,
+"name": str, "start": number, "end": number, "attrs": {...}}``
+
+* ``clock`` discriminates the two time bases: ``"cycles"`` spans carry
+  simulated CPU cycles (simulation layer), ``"wall"`` spans carry Unix
+  epoch seconds (harness layer). The two never mix inside one trace
+  file; exporters refuse to guess.
+* ``trace_id`` groups the spans of one transaction (simulation layer:
+  one memory access) or one campaign (harness layer). Simulation trace
+  ids are assigned monotonically in access-issue order, so they double
+  as a global access ordinal.
+* ``span_id`` / ``parent_id`` encode causality. Root spans have
+  ``parent_id: null``.
+* ``start``/``end`` are instants on the declared clock; instant
+  events use ``start == end``.
+
+Records are written one per line (JSONL) so traces can be streamed,
+tailed and concatenated; see :mod:`repro.obs.export`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Schema tag stamped on every span record.
+SPAN_SCHEMA = "cgct-span/v1"
+
+#: Allowed ``clock`` values.
+CLOCK_CYCLES = "cycles"
+CLOCK_WALL = "wall"
+
+#: Required keys of a v1 span record.
+REQUIRED_KEYS = (
+    "schema", "clock", "trace_id", "span_id", "parent_id",
+    "name", "start", "end", "attrs",
+)
+
+
+def make_span(
+    trace_id: str,
+    span_id: str,
+    parent_id: Optional[str],
+    name: str,
+    clock: str,
+    start,
+    end,
+    attrs: Optional[Dict] = None,
+) -> Dict:
+    """Build one schema-complete span record."""
+    return {
+        "schema": SPAN_SCHEMA,
+        "clock": clock,
+        "trace_id": trace_id,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "name": name,
+        "start": start,
+        "end": end,
+        "attrs": attrs if attrs is not None else {},
+    }
+
+
+def validate_span(record: Dict) -> None:
+    """Raise ``ValueError`` unless *record* is a well-formed v1 span."""
+    if not isinstance(record, dict):
+        raise ValueError(f"span record must be an object, got {type(record)}")
+    for key in REQUIRED_KEYS:
+        if key not in record:
+            raise ValueError(f"span record missing {key!r}: {record}")
+    if record["schema"] != SPAN_SCHEMA:
+        raise ValueError(f"unknown span schema {record['schema']!r}")
+    if record["clock"] not in (CLOCK_CYCLES, CLOCK_WALL):
+        raise ValueError(f"unknown span clock {record['clock']!r}")
+    if not isinstance(record["name"], str) or not record["name"]:
+        raise ValueError(f"span name must be a non-empty string: {record}")
+    start, end = record["start"], record["end"]
+    if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+        raise ValueError(f"span start/end must be numbers: {record}")
+    if end < start:
+        raise ValueError(f"span ends before it starts: {record}")
+    if not isinstance(record["attrs"], dict):
+        raise ValueError(f"span attrs must be an object: {record}")

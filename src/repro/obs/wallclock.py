@@ -1,0 +1,104 @@
+"""Harness-layer wall-clock spans: campaign → sweep → task → retry.
+
+:class:`WallSpanRecorder` collects ``cgct-span/v1`` records on the wall
+clock (Unix epoch seconds). The coordinator is the single writer: the
+:class:`~repro.harness.parallel.ParallelRunner` opens a ``sweep`` span
+per invocation, one ``task`` span per executed cell (parented to the
+sweep, stamped with the worker pid and cache status) and one ``retry``
+span per failed attempt, so a slow or crash-looping cell is directly
+attributable in a Perfetto view of the sweep. Callers that run several
+sweeps (campaigns) open their own root span and pass its id down as the
+sweep's parent.
+
+Spans can be mirrored into a :class:`~repro.harness.runlog.RunLog` as
+``{"event": "span", ...}`` records — same file, same single writer —
+and written standalone with :func:`repro.obs.export.write_spans`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.span import CLOCK_WALL, make_span
+
+
+class WallSpanRecorder:
+    """Collects wall-clock spans for one process (the coordinator).
+
+    Parameters
+    ----------
+    trace_id:
+        Groups this recorder's spans; defaults to ``"<pid>-<epoch_ms>"``
+        so concurrent coordinators never collide.
+    runlog:
+        Optional :class:`~repro.harness.runlog.RunLog`; every finished
+        span is also appended there as an ``event: "span"`` record.
+    clock:
+        Injectable time source (tests); defaults to :func:`time.time`.
+    """
+
+    def __init__(self, trace_id: Optional[str] = None, runlog=None,
+                 clock=time.time) -> None:
+        self._clock = clock
+        if trace_id is None:
+            trace_id = f"{os.getpid()}-{int(clock() * 1000)}"
+        self.trace_id = str(trace_id)
+        self.runlog = runlog
+        self.spans: List[Dict] = []
+        self._next_id = 0
+        self._open: Dict[str, Dict] = {}
+
+    # ------------------------------------------------------------------
+    def now(self) -> float:
+        """The recorder's clock (injectable in tests), for callers that
+        compute span bounds themselves before :meth:`add`."""
+        return self._clock()
+
+    def start(self, name: str, parent_id: Optional[str] = None,
+              **attrs) -> str:
+        """Open a span now; returns its id for children and finish()."""
+        span_id = f"{self.trace_id}:{self._next_id}"
+        self._next_id += 1
+        self._open[span_id] = make_span(
+            self.trace_id, span_id, parent_id, name, CLOCK_WALL,
+            self._clock(), self._clock(), dict(attrs),
+        )
+        return span_id
+
+    def finish(self, span_id: str, **attrs) -> Dict:
+        """Close an open span; extra attrs merge into the record."""
+        span = self._open.pop(span_id)
+        span["end"] = self._clock()
+        span["attrs"].update(attrs)
+        self._emit(span)
+        return span
+
+    def add(self, name: str, start: float, end: float,
+            parent_id: Optional[str] = None, **attrs) -> str:
+        """Record a span retroactively from measured start/end instants
+        (e.g. a worker task whose duration the outcome reports)."""
+        span_id = f"{self.trace_id}:{self._next_id}"
+        self._next_id += 1
+        self._emit(make_span(
+            self.trace_id, span_id, parent_id, name, CLOCK_WALL,
+            start, max(start, end), dict(attrs),
+        ))
+        return span_id
+
+    def _emit(self, span: Dict) -> None:
+        self.spans.append(span)
+        if self.runlog is not None:
+            self.runlog.record(
+                "span",
+                clock=span["clock"], trace_id=span["trace_id"],
+                span_id=span["span_id"], parent_id=span["parent_id"],
+                name=span["name"], start=span["start"], end=span["end"],
+                attrs=span["attrs"],
+            )
+
+    # ------------------------------------------------------------------
+    def to_spans(self) -> List[Dict]:
+        """Finished spans, in completion order."""
+        return list(self.spans)

@@ -441,6 +441,9 @@ class Machine:
         #: True when an event log or telemetry is attached; lets the
         #: request funnel skip the _log_event call entirely otherwise.
         self._log_enabled = False
+        #: Optional causal span tracer (see attach_tracer). A detached
+        #: machine pays one ``is None`` check per instrumented site.
+        self._tracer = None
 
     def _track_presence(self, node: ProcessorNode) -> None:
         """Wrap *node*'s residency callbacks to maintain the bitmasks.
@@ -814,22 +817,34 @@ class Machine:
         """Demand data load; returns processor stall cycles."""
         if self._l1d_lookups[proc](address):
             self.l1_hits += 1
+            if self._tracer is not None:
+                self._tracer.l1_hit(proc, "load", address, now)
             return self._l1_hit_cycles
+        if self._tracer is not None:
+            self._tracer.begin(proc, "load", address, now)
         latency = self._l2_data_access(proc, address, now, is_store=False)
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
             self._tel_demand_hist.observe(latency)
+        if self._tracer is not None:
+            self._tracer.commit(latency)
         return latency
 
     def store(self, proc: int, address: int, now: int) -> int:
         """Demand store; returns processor stall cycles (partial overlap)."""
         if self._l1d_lookups[proc](address, True):
             self.l1_hits += 1
+            if self._tracer is not None:
+                self._tracer.l1_hit(proc, "store", address, now)
             return self._l1_hit_cycles
+        if self._tracer is not None:
+            self._tracer.begin(proc, "store", address, now)
         latency = self._l2_data_access(proc, address, now, is_store=True)
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
             self._tel_demand_hist.observe(latency)
+        if self._tracer is not None:
+            self._tracer.commit(latency)
         return max(
             self._l1_hit_cycles,
             int(latency * self._store_stall_fraction),
@@ -839,9 +854,15 @@ class Machine:
         """Instruction fetch; returns processor stall cycles."""
         if self._l1i_lookups[proc](address):
             self.l1_hits += 1
+            if self._tracer is not None:
+                self._tracer.l1_hit(proc, "ifetch", address, now)
             return self._l1_hit_cycles
+        if self._tracer is not None:
+            self._tracer.begin(proc, "ifetch", address, now)
         node = self.nodes[proc]
         entry = node.l2.lookup(address)
+        if self._tracer is not None:
+            self._tracer.l2(entry is not None, now)
         if entry is not None:
             self.l2_hits += 1
             node.l1i.fill(address, writable=False)
@@ -854,12 +875,18 @@ class Machine:
         self.demand_latency.add(latency)
         if self._tel_demand_hist is not None:
             self._tel_demand_hist.observe(latency)
+        if self._tracer is not None:
+            self._tracer.commit(latency)
         return latency
 
     def dcbz(self, proc: int, address: int, now: int) -> int:
         """Data Cache Block Zero: allocate a zeroed, modifiable line."""
+        if self._tracer is not None:
+            self._tracer.begin(proc, "dcbz", address, now, l1=False)
         node = self.nodes[proc]
         entry = node.l2.lookup(address)
+        if self._tracer is not None:
+            self._tracer.l2(entry is not None, now)
         external = 0
         if entry is not None and entry.state.can_silently_modify:
             node.l2.set_state(address >> self._line_shift, LineState.MODIFIED)
@@ -871,6 +898,8 @@ class Machine:
             )
             external = outcome.latency
         latency = self._l2_hit_cycles + external
+        if self._tracer is not None:
+            self._tracer.commit(latency)
         return max(
             self._l1_hit_cycles,
             int(latency * self._store_stall_fraction),
@@ -887,6 +916,8 @@ class Machine:
     def _dcb_kill(
         self, proc: int, request: RequestType, address: int, now: int
     ) -> int:
+        if self._tracer is not None:
+            self._tracer.begin(proc, request.value, address, now, l1=False)
         node = self.nodes[proc]
         line = address >> self._line_shift
         local = node.l2.peek(line)
@@ -901,6 +932,8 @@ class Machine:
                 )
         outcome = self._external_request(proc, request, address, now)
         latency = self._l2_hit_cycles + outcome.latency
+        if self._tracer is not None:
+            self._tracer.commit(latency)
         return max(
             self._l1_hit_cycles,
             int(latency * self._store_stall_fraction),
@@ -916,6 +949,8 @@ class Machine:
         node = self.nodes[proc]
         line = address >> self._line_shift
         entry = node.l2.lookup(address)
+        if self._tracer is not None:
+            self._tracer.l2(entry is not None, now)
         was_miss = entry is None
         external = 0
         if entry is not None:
@@ -1037,6 +1072,8 @@ class Machine:
                 entries[tag] = entry  # reinsertion makes it MRU
                 self._rcas_by_pid[proc].hits += 1
                 state = entry.state
+        if self._tracer is not None and sets is not None:
+            self._tracer.rca(request, region, entry is not None, state, now)
 
         if state.completes_without[request.index]:
             self.stats.no_requests._counts[category] += 1
@@ -1051,6 +1088,9 @@ class Machine:
             if self._log_enabled:
                 self._log_event(now, proc, request, RequestPath.NO_REQUEST,
                                 address, 0)
+            if self._tracer is not None:
+                self._tracer.route(request, RequestPath.NO_REQUEST, address,
+                                   0, now)
             return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
 
         if node.rca is not None and not state.broadcast_needed[request.index]:
@@ -1069,6 +1109,9 @@ class Machine:
             if self._log_enabled:
                 self._log_event(now, proc, request, RequestPath.DIRECT,
                                 address, latency)
+            if self._tracer is not None:
+                self._tracer.route(request, RequestPath.DIRECT, address,
+                                   latency, now)
             return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
 
         # RegionScout alternative (Section 2): an NSRT hit proves no other
@@ -1092,6 +1135,9 @@ class Machine:
                 if self._log_enabled:
                     self._log_event(now, proc, request, RequestPath.NO_REQUEST,
                                     address, 0)
+                if self._tracer is not None:
+                    self._tracer.route(request, RequestPath.NO_REQUEST,
+                                       address, 0, now)
                 return AccessOutcome(RequestPath.NO_REQUEST, 0, request)
             latency = self._direct_request(proc, request, address, None, now)
             self.stats.directs._counts[category] += 1
@@ -1107,6 +1153,9 @@ class Machine:
             if self._log_enabled:
                 self._log_event(now, proc, request, RequestPath.DIRECT,
                                 address, latency)
+            if self._tracer is not None:
+                self._tracer.route(request, RequestPath.DIRECT, address,
+                                   latency, now)
             return AccessOutcome(RequestPath.DIRECT, latency + jitter, request)
 
         # Owner-prediction extension (Section 6): a read into an
@@ -1145,6 +1194,9 @@ class Machine:
         if self._log_enabled:
             self._log_event(now, proc, request, RequestPath.BROADCAST,
                             address, latency)
+        if self._tracer is not None:
+            self._tracer.route(request, RequestPath.BROADCAST, address,
+                               latency, now)
         return AccessOutcome(RequestPath.BROADCAST, latency + jitter, request)
 
     def _note_latency(
@@ -1176,6 +1228,8 @@ class Machine:
         ready = controller.access_direct(arrive)
         start = self.network.acquire_processor_link(proc, ready)
         done = start + self._transfer_to_mc[proc][home]
+        if self._tracer is not None:
+            self._tracer.data("dram", arrive, ready, start, done, home, False)
         return done - now
 
     def _broadcast_request(
@@ -1288,9 +1342,13 @@ class Machine:
             node.regionscout.nsrt.record(region)
 
         # Oracle classification (Figure 2): was this broadcast necessary?
-        if self._broadcast_unnecessary(request, combined):
+        unnecessary = self._broadcast_unnecessary(request, combined)
+        if unnecessary:
             self.stats.unnecessary_broadcasts._counts[category] += 1
         self.stats.broadcasts._counts[category] += 1
+        if self._tracer is not None:
+            self._tracer.snoop1(now, grant, snoop_done, holders_before,
+                                combined, unnecessary)
 
         # Phase 2: region snoops (CGCT only). Only nodes whose RCA
         # tracks the region are visited: an untracked observer's
@@ -1464,6 +1522,9 @@ class Machine:
                 # No remote RCA tracks the region: the combine of zero
                 # responses, collapsed or not, is the all-zeros response.
                 region_response = NO_COPIES
+            if self._tracer is not None:
+                self._tracer.snoop2(grant, snoop_done, region,
+                                    remote_trackers, region_response)
 
         # Latency: supplier cache, memory, or address-only.
         latency = self._broadcast_latency(
@@ -1602,6 +1663,9 @@ class Machine:
         if self._log_enabled:
             self._log_event(now, proc, request, RequestPath.TARGETED,
                             address, latency)
+        if self._tracer is not None:
+            self._tracer.route(request, RequestPath.TARGETED, address,
+                               latency, now)
         return AccessOutcome(RequestPath.TARGETED, latency, request)
 
     @staticmethod
@@ -1650,6 +1714,9 @@ class Machine:
             ready = snoop_done + self._cache_access_cycles
             start = self.network.acquire_processor_link(proc, ready)
             done = start + self._transfer_to_proc[proc][combined.supplier]
+            if self._tracer is not None:
+                self._tracer.data("cache", snoop_done, ready, start, done,
+                                  combined.supplier, speculate)
             return done - now
         home = self.address_map.home_of(address)
         if speculate:
@@ -1659,6 +1726,9 @@ class Machine:
             ready = self.controllers[home].access_direct(snoop_done)
         start = self.network.acquire_processor_link(proc, ready)
         done = start + self._transfer_to_mc[proc][home]
+        if self._tracer is not None:
+            self._tracer.data("dram", snoop_done, ready, start, done, home,
+                              speculate)
         return done - now
 
     def _prefetch_region_state(self, node, region: int) -> None:
@@ -1864,6 +1934,8 @@ class Machine:
             address, fill_state,
             fill_l1d=fill_l1d, fill_l1i=fill_l1i, l1_writable=l1_writable,
         )
+        if self._tracer is not None:
+            self._tracer.fill(now, fill_state.name, len(writebacks))
         for writeback in writebacks:
             self._emit_writeback(proc, writeback, now)
 
@@ -1879,6 +1951,8 @@ class Machine:
             self.stats.directs._counts[_WRITEBACK_C] += 1
             if self._tel_wb_direct is not None:
                 self._tel_wb_direct.inc()
+            if self._tracer is not None:
+                self._tracer.writeback(True, now)
             return
         grant = self.bus.broadcast(now)
         snoop_done = grant + self._snoop_cycles
@@ -1889,10 +1963,29 @@ class Machine:
         self.stats.unnecessary_broadcasts._counts[_WRITEBACK_C] += 1
         if self._tel_wb_broadcast is not None:
             self._tel_wb_broadcast.inc()
+        if self._tracer is not None:
+            self._tracer.writeback(False, now)
 
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
+    def attach_tracer(self, tracer) -> None:
+        """Attach a causal span tracer (pass ``None`` to detach).
+
+        *tracer* is a :class:`repro.obs.simtrace.SimTracer` (or anything
+        with the same hook methods). The machine calls it at each stage
+        of every memory access — lookups, RCA routing decision, bus
+        grant, phase-1/phase-2 snoops, DRAM, data transfer, fill,
+        castouts — with the cycle timestamps it already computed; the
+        tracer only observes, so simulated results are bit-identical
+        with or without it (the equivalence tests assert this). A
+        detached machine pays one ``is None`` check per site, like the
+        event funnel and telemetry.
+        """
+        self._tracer = tracer
+        if tracer is not None:
+            tracer.bind(self)
+
     def attach_event_log(self, log) -> None:
         """Record every resolved external request into *log*.
 
@@ -2142,6 +2235,11 @@ class Machine:
             # freshly-zeroed sources, so post-warmup interval series
             # reconcile with the measured-portion aggregates.
             self.telemetry.reset()
+        if self._tracer is not None:
+            # Drop warm-up transactions so captured traces cover the
+            # measured portion, like every other statistic (trace ids
+            # keep advancing: they are global access ordinals).
+            self._tracer.reset()
 
     def check_coherence_invariants(self) -> None:
         """Exhaustive coherence audit (tests/debugging).

@@ -144,12 +144,19 @@ class Simulator:
     the exact interleaving the scheduler chose, so the golden model can
     replay the same access order. Observed runs take a dedicated loop;
     the plain hot loops are untouched and pay nothing.
+
+    ``tracer`` (a :class:`~repro.obs.simtrace.SimTracer`) records causal
+    per-transaction spans — every memory access with its lookup, snoop,
+    DRAM and fill phases. Like telemetry and the sanitizer it only
+    observes: simulated cycles and fingerprints are bit-identical with
+    or without it (equivalence-tested), and a machine without a tracer
+    pays one ``is None`` check per instrumented site.
     """
 
     def __init__(
         self, config: SystemConfig, seed: int = 0, telemetry=None,
         scheduler: str = "heap", sanitizer=None, step_observer=None,
-        snoop: str = "bitmask",
+        snoop: str = "bitmask", tracer=None,
     ) -> None:
         if scheduler not in ("heap", "linear"):
             raise SimulationError(
@@ -166,9 +173,12 @@ class Simulator:
         self.snoop = snoop
         self.sanitizer = sanitizer
         self.step_observer = step_observer
+        self.tracer = tracer
         self.machine = Machine(config, seed=seed, snoop=snoop)
         if telemetry is not None:
             self.machine.attach_telemetry(telemetry)
+        if tracer is not None:
+            self.machine.attach_tracer(tracer)
 
     def run(
         self,
@@ -526,9 +536,10 @@ def run_workload(
     telemetry=None,
     sanitizer=None,
     snoop: str = "bitmask",
+    tracer=None,
 ) -> RunResult:
     """One-shot convenience: build a simulator, run, return the result."""
     return Simulator(
         config, seed=seed, telemetry=telemetry, sanitizer=sanitizer,
-        snoop=snoop,
+        snoop=snoop, tracer=tracer,
     ).run(workload, warmup_fraction=warmup_fraction)

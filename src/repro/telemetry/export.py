@@ -38,8 +38,32 @@ def _prom_name(name: str) -> str:
 
 
 def _prom_escape(value: str) -> str:
-    """Escape a Prometheus label value."""
+    """Escape a Prometheus label value (backslash, quote, newline)."""
     return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_help_escape(text: str) -> str:
+    """Escape HELP text: the exposition format allows any UTF-8 there
+    except a raw newline (which would terminate the comment mid-text and
+    corrupt the next line), with ``\\`` as the escape character."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+_UNESCAPE_MAP = {"n": "\n", '"': '"', "\\": "\\"}
+
+
+def _prom_unescape(value: str) -> str:
+    """Invert :func:`_prom_escape` / :func:`_prom_help_escape`.
+
+    A single left-to-right pass over escape pairs: sequential
+    ``str.replace`` calls would mis-decode a literal backslash followed
+    by ``n`` (``\\\\n``) as a newline, because the first replace eats
+    the backslash pair the second then misreads.
+    """
+    return _UNESCAPE_RE.sub(
+        lambda m: _UNESCAPE_MAP.get(m.group(1), m.group(0)), value
+    )
 
 
 def _fmt(value) -> str:
@@ -148,7 +172,7 @@ def to_prometheus(registry) -> str:
     lines = []
     for metric in registry.metrics():
         name = _prom_name(metric.name)
-        help_text = metric.help or metric.name
+        help_text = _prom_help_escape(metric.help or metric.name)
         kind = metric.kind
         if kind == "counter":
             lines.append(f"# HELP {name} {help_text}")
@@ -203,14 +227,17 @@ _LABEL_RE = re.compile(r'(\w+)="((?:[^"\\]|\\.)*)"')
 def load_prometheus(path_or_text) -> Dict:
     """Parse :func:`to_prometheus` output.
 
-    Returns ``{"types": {name: type}, "samples": [(name, labels, value)]}``
-    — enough for round-trip assertions, not a full exposition parser.
+    Returns ``{"types": {name: type}, "helps": {name: text},
+    "samples": [(name, labels, value)]}`` — enough for round-trip
+    assertions, not a full exposition parser. HELP text and label
+    values are unescaped (single pass; see :func:`_prom_unescape`).
     """
     text = path_or_text
     if "\n" not in text and not text.startswith("#"):
         with open(path_or_text, "r", encoding="utf-8") as fh:
             text = fh.read()
     types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
     samples = []
     for line in text.splitlines():
         line = line.strip()
@@ -221,16 +248,20 @@ def load_prometheus(path_or_text) -> Dict:
             name, _, kind = rest.partition(" ")
             types[name] = kind
             continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            helps[name] = _prom_unescape(help_text)
+            continue
         if line.startswith("#"):
             continue
         match = _SAMPLE_RE.match(line)
         if not match:
             raise ValueError(f"unparseable Prometheus sample line: {line!r}")
         labels = {
-            key: value.replace('\\"', '"').replace("\\n", "\n")
-            .replace("\\\\", "\\")
+            key: _prom_unescape(value)
             for key, value in _LABEL_RE.findall(match.group("labels") or "")
         }
         samples.append((match.group("name"), labels,
                         float(match.group("value"))))
-    return {"types": types, "samples": samples}
+    return {"types": types, "helps": helps, "samples": samples}

@@ -18,6 +18,15 @@ bit-identical with and without it. On a violation it writes a
 last-K coherence events, a telemetry snapshot when telemetry was
 attached, and the violations themselves — then raises
 :class:`~repro.common.errors.InvariantViolation` pointing at the bundle.
+
+By default :meth:`bind` also attaches a **flight recorder** — a
+:class:`~repro.obs.simtrace.SimTracer` ring keeping the last
+``flight_depth`` transactions — and the bundle embeds the causal
+history of every line/region named in a violation: the full span tree
+of each recent transaction that touched it (lookups, routing decision,
+snoop phases, data sourcing, fill). Like the sanitizer itself the
+tracer only reads, so results stay bit-identical; pass
+``flight_recorder=False`` to opt out.
 """
 
 from __future__ import annotations
@@ -25,6 +34,7 @@ from __future__ import annotations
 import dataclasses
 import gc
 import json
+import re
 from collections import deque
 from pathlib import Path
 from typing import List, Optional
@@ -95,6 +105,14 @@ class CoherenceSanitizer:
         violations).
     keep_events:
         How many trailing coherence events the bundle includes.
+    flight_recorder:
+        Attach a :class:`~repro.obs.simtrace.SimTracer` ring at bind
+        time (default True) so bundles carry the causal history of the
+        violating line/region. A tracer the caller already attached is
+        reused, never replaced.
+    flight_depth:
+        Ring capacity: how many trailing transactions the flight
+        recorder keeps (default 64).
     """
 
     def __init__(
@@ -103,6 +121,8 @@ class CoherenceSanitizer:
         every: Optional[int] = None,
         bundle_dir: Optional[str] = "diagnostics",
         keep_events: int = 256,
+        flight_recorder: bool = True,
+        flight_depth: int = 64,
     ) -> None:
         if mode not in _DEFAULT_EVERY:
             raise ConfigurationError(
@@ -125,6 +145,9 @@ class CoherenceSanitizer:
         self._line_cursor = 0
         self._region_cursor = 0
         self._ring: Optional[_EventRing] = None
+        self.flight_recorder = flight_recorder
+        self.flight_depth = int(flight_depth)
+        self._flight = None
 
     # ------------------------------------------------------------------
     def bind(
@@ -134,7 +157,9 @@ class CoherenceSanitizer:
         """Attach to *machine* before a run.
 
         When the machine has no event log, a lightweight ring sink is
-        attached so a failure bundle can still show the last-K events.
+        attached so a failure bundle can still show the last-K events;
+        unless disabled, a flight-recorder tracer is attached the same
+        way (an existing tracer is reused, not replaced).
         """
         self.machine = machine
         self.workload = workload
@@ -144,6 +169,19 @@ class CoherenceSanitizer:
             machine.attach_event_log(self._ring)
         else:
             self._ring = None
+        self._flight = None
+        if self.flight_recorder:
+            if machine._tracer is None:
+                from repro.obs.simtrace import SimTracer
+
+                machine.attach_tracer(SimTracer(ring=self.flight_depth))
+            self._flight = machine._tracer
+
+    @property
+    def flight(self):
+        """The attached flight-recorder tracer (None before bind or when
+        disabled)."""
+        return self._flight
 
     # ------------------------------------------------------------------
     def check(self, now: int) -> None:
@@ -243,6 +281,7 @@ class CoherenceSanitizer:
             "violations": violations,
             "config": dataclasses.asdict(machine.config),
             "events": self._recent_events(),
+            "flight_recorder": self._flight_history(violations),
             "telemetry": self._telemetry_snapshot(),
             "occupancy": [
                 {
@@ -260,6 +299,42 @@ class CoherenceSanitizer:
             encoding="utf-8",
         )
         return path
+
+    _VIOLATION_ADDR_RE = re.compile(r"\b(line|region) (0x[0-9a-fA-F]+)")
+
+    def _flight_history(self, violations: List[str]) -> Optional[dict]:
+        """Causal history for the bundle: every recorded transaction
+        touching a line/region named in *violations*, plus the last few
+        transactions overall for ordering context."""
+        flight = self._flight
+        if flight is None:
+            return None
+        lines = set()
+        regions = set()
+        for violation in violations:
+            for kind, addr in self._VIOLATION_ADDR_RE.findall(violation):
+                (lines if kind == "line" else regions).add(int(addr, 16))
+        involved = []
+        seen = set()
+        for line in sorted(lines):
+            for record in flight.history(line=line):
+                if record["trace_id"] not in seen:
+                    seen.add(record["trace_id"])
+                    involved.append(record)
+        for region in sorted(regions):
+            for record in flight.history(region=region):
+                if record["trace_id"] not in seen:
+                    seen.add(record["trace_id"])
+                    involved.append(record)
+        involved.sort(key=lambda r: r["trace_id"])
+        return {
+            "depth": flight.ring,
+            "accesses_seen": flight.accesses,
+            "lines": [hex(line) for line in sorted(lines)],
+            "regions": [hex(region) for region in sorted(regions)],
+            "involved": involved,
+            "recent": flight.history(last=8),
+        }
 
     def _recent_events(self) -> List[dict]:
         if self._ring is not None:

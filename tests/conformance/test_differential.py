@@ -153,3 +153,33 @@ class TestSeededBug:
         workload = fuzz_trace(1, 4, ops_per_processor=16, seed=0)
         with pytest.raises(SimulationError, match="does not fail"):
             shrink_trace(workload, lambda w: not _run(w, "4p-cgct").ok)
+
+
+class TestFlightRecorder:
+    def test_passing_outcomes_carry_no_flight_history(self):
+        workload = fuzz_trace(1, 4, ops_per_processor=24, seed=0)
+        assert _run(workload, "4p-cgct").flight is None
+
+    def test_failing_outcome_and_reproducer_carry_flight_history(
+        self, tmp_path
+    ):
+        saved = _break_clean_clean_upgrade()
+        try:
+            workload, outcome = _find_failing_trace()
+            assert workload is not None
+            # The sanitizer's flight recorder was live during the run;
+            # the failing outcome carries its tail...
+            assert outcome.flight
+            assert len(outcome.flight) <= 16
+            for record in outcome.flight:
+                assert record["op"]
+                assert record["spans"]
+            # ... and the written reproducer embeds it, so a bundle
+            # alone shows what the machine did before diverging.
+            bundle_path, _ = write_reproducer(
+                workload, outcome, tmp_path, shrink_evals=0,
+            )
+            bundle = json.loads(bundle_path.read_text(encoding="utf-8"))
+            assert bundle["flight_recorder"] == outcome.flight
+        finally:
+            RegionState.CLEAN_CLEAN.broadcast_needed = saved

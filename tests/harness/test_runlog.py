@@ -1,8 +1,10 @@
 """JSON-lines run log: writing, reading back, summarising."""
 
 import json
+import os
+import socket
 
-from repro.harness.runlog import RunLog, read_runlog, summarize
+from repro.harness.runlog import RUNLOG_SCHEMA, RunLog, read_runlog, summarize
 
 
 def test_records_append_and_read_back(tmp_path):
@@ -35,6 +37,52 @@ def test_parent_directories_created(tmp_path):
     with RunLog(path) as log:
         log.record("sweep-start", tasks=0)
     assert path.exists()
+
+
+def test_records_are_stamped_with_schema_host_and_pid(tmp_path):
+    path = tmp_path / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record("sweep-start", tasks=1)
+        log.record("run", status="ok")
+    for record in read_runlog(path):
+        assert record["schema"] == RUNLOG_SCHEMA == "runlog/v1"
+        assert record["hostname"] == socket.gethostname()
+        assert record["pid"] == os.getpid()
+
+
+def test_caller_fields_cannot_be_shadowed_by_stamps(tmp_path):
+    # A caller passing its own hostname (say, relaying a worker's)
+    # wins over the coordinator's stamp.
+    path = tmp_path / "runs.jsonl"
+    with RunLog(path) as log:
+        log.record("run", status="ok", hostname="worker-7", pid=1234)
+    record = read_runlog(path)[0]
+    assert record["hostname"] == "worker-7"
+    assert record["pid"] == 1234
+
+
+def test_old_unstamped_records_still_read_and_summarize(tmp_path):
+    # Logs written before runlog/v1 carry no schema/hostname/pid; they
+    # must keep reading back and summarising unchanged.
+    path = tmp_path / "runs.jsonl"
+    old = [
+        {"event": "sweep-start", "ts": 1.0, "tasks": 1},
+        {"event": "run", "ts": 2.0, "status": "ok", "cache": "miss",
+         "wall_s": 0.5, "peak_rss_kb": 100},
+        {"event": "sweep-end", "ts": 3.0},
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in old))
+    with RunLog(path) as log:  # a new writer appends stamped records
+        log.record("run", status="ok", cache="hit", wall_s=0.0,
+                   peak_rss_kb=50)
+    records = read_runlog(path)
+    assert len(records) == 4
+    assert "schema" not in records[0]
+    assert records[-1]["schema"] == RUNLOG_SCHEMA
+    summary = summarize(records)
+    assert summary["runs"] == 2
+    assert summary["simulated"] == 1
+    assert summary["cache_hits"] == 1
 
 
 def test_summarize_counts_every_bucket():

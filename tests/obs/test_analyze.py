@@ -1,0 +1,184 @@
+"""Trace analysis: summaries, critical paths, telemetry reconciliation."""
+
+import pytest
+
+from repro.harness.perfbench import bench_config
+from repro.obs.analyze import (
+    PHASES,
+    critical_path,
+    render_critical_path,
+    render_summary,
+    summarize,
+)
+from repro.obs.simtrace import SimTracer
+from repro.obs.span import CLOCK_CYCLES, CLOCK_WALL, make_span
+from repro.system.simulator import run_workload
+from repro.telemetry import TelemetryRegistry
+from repro.workloads.benchmarks import build_benchmark
+
+OPS = 500
+
+
+def traced_run(config_name="8p-cgct", telemetry=None, sample=1):
+    config = bench_config(config_name)
+    workload = build_benchmark(
+        "barnes", num_processors=config.num_processors,
+        ops_per_processor=OPS, seed=0,
+    )
+    tracer = SimTracer(sample=sample)
+    run_workload(config, workload, seed=0, tracer=tracer,
+                 telemetry=telemetry)
+    return tracer
+
+
+# ----------------------------------------------------------------------
+# Cycles traces
+# ----------------------------------------------------------------------
+def test_summary_accounts_for_every_transaction():
+    tracer = traced_run()
+    spans = list(tracer.to_spans())
+    summary = summarize(spans)
+    assert summary["clock"] == CLOCK_CYCLES
+    assert summary["spans"] == len(spans)
+    assert summary["transactions"] == tracer.recorded
+    assert sum(summary["by_path"].values()) == tracer.recorded
+    assert sum(summary["by_verdict"].values()) == tracer.recorded
+    # A CGCT run exercises both routes plus cache hits.
+    assert summary["by_path"].get("broadcast", 0) > 0
+    assert summary["by_path"].get("direct", 0) > 0
+    assert summary["by_path"].get("l1_hit", 0) > 0
+    assert set(summary["by_verdict"]) <= {
+        "avoided", "required", "mispredicted", "hit"
+    }
+    for stats in summary["paths"].values():
+        assert stats["count"] > 0
+        assert 0 <= stats["mean_cycles"] <= stats["max_cycles"]
+
+
+def test_summary_latency_means_match_the_raw_spans():
+    tracer = traced_run()
+    summary = summarize(list(tracer.to_spans()))
+    broadcast = [
+        t.end - t.start for t in tracer.transactions
+        if t.resolved_path == "broadcast"
+    ]
+    stats = summary["paths"]["broadcast"]
+    assert stats["count"] == len(broadcast)
+    assert stats["mean_cycles"] == pytest.approx(
+        sum(broadcast) / len(broadcast))
+
+
+def test_critical_path_phases_stay_within_the_mean():
+    tracer = traced_run()
+    report = critical_path(list(tracer.to_spans()))
+    assert set(report["paths"]) == {"broadcast", "direct", "l1_hit",
+                                    "l2_hit"}
+    for path in ("broadcast", "direct"):
+        entry = report["paths"][path]
+        assert entry["count"] > 0
+        assert entry["phases"], path
+        for name, mean in entry["phases"].items():
+            assert name in PHASES
+            # Phases overlap, but no single phase can outlast the
+            # transaction on average.
+            assert 0 <= mean <= entry["mean_cycles"] + 1e-9
+    # The broadcast path snoops every transaction.
+    assert "line_snoop" in report["paths"]["broadcast"]["phases"]
+    assert "dram" in report["paths"]["direct"]["phases"]
+
+
+def test_direct_demand_requests_never_line_snoop():
+    # The point of CGCT: the demand portion of a direct transaction (the
+    # children before its "external" route record) skips the snoop.
+    # Nested prefetches may still broadcast, so the per-path phase
+    # aggregate can show line_snoop — the demand window must not.
+    tracer = traced_run()
+    directs = 0
+    for txn in tracer.transactions:
+        if txn.resolved_path != "direct":
+            continue
+        directs += 1
+        demand = []
+        for name, _, _, _ in txn.children:
+            if name == "external":
+                break
+            demand.append(name)
+        assert "line_snoop" not in demand, (txn.trace_id, demand)
+        assert "dram" in demand, (txn.trace_id, demand)
+    assert directs > 0
+
+
+def test_reconciliation_is_exact_at_full_sampling():
+    registry = TelemetryRegistry()
+    tracer = traced_run(telemetry=registry)
+    snapshot = registry.to_dict()
+    report = critical_path(list(tracer.to_spans()), telemetry=snapshot)
+    recon = report["reconciliation"]
+    assert recon, "no machine.latency.<path> histograms to reconcile"
+    for path, entry in recon.items():
+        assert entry["trace_count"] == entry["telemetry_count"], path
+        assert entry["trace_mean"] == pytest.approx(
+            entry["telemetry_mean"]), path
+        assert entry["mean_delta"] == pytest.approx(0.0), path
+
+
+def test_reconciliation_reports_gaps_under_sampling():
+    registry = TelemetryRegistry()
+    tracer = traced_run(telemetry=registry, sample=13)
+    report = critical_path(list(tracer.to_spans()),
+                           telemetry=registry.to_dict())
+    # A sampled trace sees fewer events than telemetry; the report says
+    # so instead of papering over it.
+    assert any(
+        entry["trace_count"] < (entry["telemetry_count"] or 0)
+        for entry in report["reconciliation"].values()
+    )
+
+
+def test_renderers_produce_text():
+    tracer = traced_run()
+    spans = list(tracer.to_spans())
+    text = render_summary(summarize(spans))
+    assert "by path" in text and "broadcast" in text
+    text = render_critical_path(critical_path(spans))
+    assert "mean demand latency" in text and "dram" in text
+
+
+# ----------------------------------------------------------------------
+# Wall traces
+# ----------------------------------------------------------------------
+def wall_trace():
+    return [
+        make_span("w", "w:0", None, "sweep", CLOCK_WALL, 0.0, 10.0,
+                  {"tasks": 3}),
+        make_span("w", "w:1", "w:0", "task", CLOCK_WALL, 0.0, 6.0,
+                  {"worker_pid": 11, "benchmark": "barnes", "index": 0}),
+        make_span("w", "w:2", "w:0", "task", CLOCK_WALL, 0.0, 9.0,
+                  {"worker_pid": 22, "benchmark": "ocean", "index": 1}),
+        make_span("w", "w:3", "w:0", "task", CLOCK_WALL, 6.0, 10.0,
+                  {"worker_pid": 11, "benchmark": "tpc-w", "index": 2}),
+        make_span("w", "w:4", "w:0", "retry", CLOCK_WALL, 2.0, 2.0,
+                  {"index": 1, "attempt": 1}),
+    ]
+
+
+def test_wall_summary_measures_parallelism():
+    summary = summarize(wall_trace())
+    assert summary["clock"] == "wall"
+    assert summary["by_name"]["task"]["count"] == 3
+    assert summary["by_name"]["task"]["max_seconds"] == 9.0
+    assert summary["sweep_seconds"] == 10.0
+    assert summary["task_seconds"] == 19.0
+    assert summary["parallelism"] == pytest.approx(1.9)
+    assert summary["slowest_tasks"][0]["benchmark"] == "ocean"
+    assert summary["slowest_tasks"][0]["seconds"] == 9.0
+
+
+def test_wall_critical_path_attributes_busy_time_per_worker():
+    report = critical_path(wall_trace())
+    assert report["clock"] == "wall"
+    assert report["workers"]["11"] == {"count": 2, "busy_seconds": 10.0}
+    assert report["workers"]["22"] == {"count": 1, "busy_seconds": 9.0}
+    assert report["longest_tasks"][0]["benchmark"] == "ocean"
+    text = render_critical_path(report)
+    assert "worker 11" in text and "busy" in text

@@ -1,0 +1,184 @@
+"""Span files and the Chrome trace-event (Perfetto) exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_spans,
+    to_chrome_trace,
+    trace_clock,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_spans,
+)
+from repro.obs.span import CLOCK_CYCLES, CLOCK_WALL, make_span
+
+
+def sim_spans():
+    """Two tiny transactions on different processors."""
+    spans = []
+    for tid, proc in (("0", 2), ("1", 5)):
+        spans.append(make_span(tid, f"{tid}:0", None, "transaction",
+                               CLOCK_CYCLES, 100, 400,
+                               {"proc": proc, "op": "load"}))
+        spans.append(make_span(tid, f"{tid}:1", f"{tid}:0", "l1_lookup",
+                               CLOCK_CYCLES, 100, 102))
+        spans.append(make_span(tid, f"{tid}:2", f"{tid}:0", "dram",
+                               CLOCK_CYCLES, 150, 400))
+    return spans
+
+
+def wall_spans():
+    sweep = make_span("w", "w:0", None, "sweep", CLOCK_WALL,
+                      1000.0, 1010.0, {"tasks": 2})
+    return [
+        make_span("w", "w:1", "w:0", "task", CLOCK_WALL, 1000.5, 1004.0,
+                  {"worker_pid": 111, "benchmark": "barnes"}),
+        make_span("w", "w:2", "w:0", "task", CLOCK_WALL, 1001.0, 1009.0,
+                  {"worker_pid": 222, "benchmark": "ocean"}),
+        sweep,
+    ]
+
+
+# ----------------------------------------------------------------------
+# JSONL round-trip
+# ----------------------------------------------------------------------
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    spans = sim_spans()
+    assert write_spans(spans, path) == len(spans)
+    assert read_spans(path) == spans
+
+
+def test_write_rejects_invalid_spans(tmp_path):
+    bad = sim_spans()
+    bad[1]["schema"] = "not-a-span"
+    with pytest.raises(ValueError, match="schema"):
+        write_spans(bad, tmp_path / "trace.jsonl")
+
+
+def test_read_errors_carry_file_and_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    good = sim_spans()[0]
+    path.write_text(json.dumps(good) + "\n" + "{broken\n")
+    with pytest.raises(ValueError, match=r"trace\.jsonl:2.*not JSON"):
+        read_spans(path)
+    record = dict(good)
+    record["end"] = record["start"] - 1
+    path.write_text(json.dumps(good) + "\n\n" + json.dumps(record) + "\n")
+    with pytest.raises(ValueError, match=r"trace\.jsonl:3"):
+        read_spans(path)
+
+
+def test_blank_lines_are_skipped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    span = sim_spans()[0]
+    path.write_text("\n" + json.dumps(span) + "\n\n")
+    assert read_spans(path) == [span]
+
+
+# ----------------------------------------------------------------------
+# Clock discipline
+# ----------------------------------------------------------------------
+def test_trace_clock_detects_each_layer():
+    assert trace_clock(sim_spans()) == CLOCK_CYCLES
+    assert trace_clock(wall_spans()) == CLOCK_WALL
+
+
+def test_mixed_clocks_are_refused():
+    with pytest.raises(ValueError, match="mixed clocks"):
+        trace_clock(sim_spans() + wall_spans())
+    with pytest.raises(ValueError, match="mixed clocks"):
+        to_chrome_trace(sim_spans() + wall_spans())
+
+
+def test_empty_trace_is_refused():
+    with pytest.raises(ValueError, match="empty"):
+        trace_clock([])
+
+
+# ----------------------------------------------------------------------
+# Chrome conversion
+# ----------------------------------------------------------------------
+def test_cycles_spans_land_on_their_processor_track():
+    trace = to_chrome_trace(sim_spans())
+    assert validate_chrome_trace(trace) == 6
+    assert trace["otherData"]["clock"] == CLOCK_CYCLES
+    events = {e["args"]["span_id"]: e
+              for e in trace["traceEvents"] if e["ph"] == "X"}
+    # Children inherit the transaction's processor via trace_id.
+    assert events["0:0"]["pid"] == 2
+    assert events["0:1"]["pid"] == 2
+    assert events["1:2"]["pid"] == 5
+    # One cycle is one microsecond; durations are end - start.
+    assert events["0:0"]["ts"] == 100.0
+    assert events["0:0"]["dur"] == 300.0
+    labels = {e["pid"]: e["args"]["name"]
+              for e in trace["traceEvents"] if e["ph"] == "M"}
+    assert labels == {2: "cpu2 (simulated)", 5: "cpu5 (simulated)"}
+
+
+def test_wall_spans_land_on_worker_tracks_relative_to_origin():
+    trace = to_chrome_trace(wall_spans())
+    assert validate_chrome_trace(trace) == 3
+    events = {e["args"]["span_id"]: e
+              for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert events["w:0"]["pid"] == 0          # coordinator track
+    assert events["w:1"]["pid"] == 111
+    assert events["w:2"]["pid"] == 222
+    # Timestamps are microseconds past the earliest span.
+    assert events["w:0"]["ts"] == 0.0
+    assert events["w:1"]["ts"] == pytest.approx(0.5e6)
+    assert events["w:2"]["dur"] == pytest.approx(8e6)
+    labels = {e["pid"]: e["args"]["name"]
+              for e in trace["traceEvents"] if e["ph"] == "M"}
+    assert labels == {0: "coordinator", 111: "worker 111",
+                      222: "worker 222"}
+
+
+def test_span_identity_survives_in_args():
+    trace = to_chrome_trace(sim_spans())
+    child = next(e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and e["args"]["span_id"] == "0:1")
+    assert child["args"]["trace_id"] == "0"
+    assert child["args"]["parent_id"] == "0:0"
+    root = next(e for e in trace["traceEvents"]
+                if e["ph"] == "X" and e["args"]["span_id"] == "0:0")
+    assert "parent_id" not in root["args"]
+    assert root["args"]["op"] == "load"
+
+
+def test_write_chrome_trace_is_loadable_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(wall_spans(), path)
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == 3
+    assert loaded["displayTimeUnit"] == "ms"
+
+
+@pytest.mark.parametrize("mutate,fragment", [
+    (lambda t: t.clear(), "traceEvents"),
+    (lambda t: t.update(traceEvents="nope"), "traceEvents"),
+    (lambda t: t["traceEvents"].append("nope"), "not an object"),
+    (lambda t: t["traceEvents"].append({"ph": "Z", "name": "x",
+                                        "pid": 0, "tid": 0}), "ph"),
+    (lambda t: t["traceEvents"].append({"ph": "X", "pid": 0, "tid": 0}),
+     "name"),
+    (lambda t: t["traceEvents"].append(
+        {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": "soon",
+         "dur": 1}), "number"),
+    (lambda t: t["traceEvents"].append(
+        {"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0,
+         "dur": -5}), "negative"),
+])
+def test_validate_chrome_trace_rejections(mutate, fragment):
+    trace = to_chrome_trace(sim_spans())
+    mutate(trace)
+    with pytest.raises(ValueError, match=fragment):
+        validate_chrome_trace(trace)
+
+
+def test_validate_chrome_trace_rejects_non_object():
+    with pytest.raises(ValueError, match="object"):
+        validate_chrome_trace([1, 2, 3])

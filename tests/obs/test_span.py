@@ -1,0 +1,50 @@
+"""The cgct-span/v1 record: construction and validation."""
+
+import pytest
+
+from repro.obs.span import (
+    CLOCK_CYCLES,
+    CLOCK_WALL,
+    REQUIRED_KEYS,
+    SPAN_SCHEMA,
+    make_span,
+    validate_span,
+)
+
+
+def test_make_span_is_schema_complete():
+    span = make_span("7", "7:0", None, "transaction", CLOCK_CYCLES, 10, 20,
+                     {"proc": 3})
+    assert span["schema"] == SPAN_SCHEMA
+    assert set(span) == set(REQUIRED_KEYS)
+    validate_span(span)
+
+
+def test_instant_span_is_valid():
+    validate_span(make_span("t", "t:1", "t:0", "fill", CLOCK_WALL, 5.0, 5.0))
+
+
+def test_missing_attrs_default_to_empty_dict():
+    span = make_span("t", "t:0", None, "x", CLOCK_CYCLES, 0, 1)
+    assert span["attrs"] == {}
+
+
+@pytest.mark.parametrize("mutation,fragment", [
+    (lambda s: s.pop("trace_id"), "missing"),
+    (lambda s: s.update(schema="cgct-span/v0"), "schema"),
+    (lambda s: s.update(clock="lamport"), "clock"),
+    (lambda s: s.update(name=""), "name"),
+    (lambda s: s.update(start="ten"), "numbers"),
+    (lambda s: s.update(end=-1, start=0), "before"),
+    (lambda s: s.update(attrs=[1, 2]), "attrs"),
+])
+def test_validate_rejects_malformed_records(mutation, fragment):
+    span = make_span("t", "t:0", None, "x", CLOCK_CYCLES, 0, 1)
+    mutation(span)
+    with pytest.raises(ValueError, match=fragment):
+        validate_span(span)
+
+
+def test_validate_rejects_non_dict():
+    with pytest.raises(ValueError):
+        validate_span(["not", "a", "span"])

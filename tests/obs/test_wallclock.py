@@ -1,0 +1,152 @@
+"""Wall-clock spans: the recorder, and the ParallelRunner's use of it."""
+
+from functools import partial
+from pathlib import Path
+
+import pytest
+
+from repro.harness.parallel import ExperimentTask, ParallelRunner, \
+    execute_envelope
+from repro.harness.runlog import RunLog, read_runlog
+from repro.obs.span import CLOCK_WALL, validate_span
+from repro.obs.wallclock import WallSpanRecorder
+from repro.system.config import SystemConfig
+
+
+class FakeClock:
+    def __init__(self, start=100.0):
+        self.t = start
+
+    def __call__(self):
+        self.t += 0.25
+        return self.t
+
+
+class TestRecorder:
+    def test_start_finish_nest_and_validate(self):
+        rec = WallSpanRecorder("run-1", clock=FakeClock())
+        campaign = rec.start("campaign", experiments=["fig2"])
+        sweep = rec.start("sweep", parent_id=campaign)
+        rec.finish(sweep, completed=3)
+        rec.finish(campaign)
+        spans = rec.to_spans()
+        assert [s["name"] for s in spans] == ["sweep", "campaign"]
+        for span in spans:
+            validate_span(span)
+            assert span["clock"] == CLOCK_WALL
+            assert span["trace_id"] == "run-1"
+        assert spans[0]["parent_id"] == campaign
+        assert spans[1]["parent_id"] is None
+        assert spans[0]["attrs"] == {"completed": 3}
+        # The campaign brackets the sweep it parented.
+        assert spans[1]["start"] < spans[0]["start"]
+        assert spans[1]["end"] > spans[0]["end"]
+
+    def test_add_records_retroactively_and_clamps(self):
+        rec = WallSpanRecorder("run-2", clock=FakeClock())
+        rec.add("task", 50.0, 58.5, benchmark="barnes")
+        rec.add("retry", 60.0, 59.0)  # end before start clamps to instant
+        first, second = rec.to_spans()
+        assert (first["start"], first["end"]) == (50.0, 58.5)
+        assert second["start"] == second["end"] == 60.0
+
+    def test_span_ids_are_unique_per_recorder(self):
+        rec = WallSpanRecorder("run-3", clock=FakeClock())
+        ids = {rec.add("x", 0, 1) for _ in range(5)}
+        ids.add(rec.start("y"))
+        assert len(ids) == 6
+
+    def test_default_trace_id_includes_pid(self):
+        import os
+
+        rec = WallSpanRecorder(clock=FakeClock())
+        assert rec.trace_id.startswith(f"{os.getpid()}-")
+
+    def test_spans_mirror_into_the_runlog(self, tmp_path):
+        log_path = tmp_path / "log.jsonl"
+        with RunLog(log_path) as log:
+            rec = WallSpanRecorder("run-4", runlog=log, clock=FakeClock())
+            sweep = rec.start("sweep")
+            rec.finish(sweep, completed=1)
+        records = read_runlog(log_path)
+        mirrored = [r for r in records if r["event"] == "span"]
+        assert len(mirrored) == 1
+        record = mirrored[0]
+        span = rec.to_spans()[0]
+        for key in ("trace_id", "span_id", "parent_id", "name",
+                    "start", "end", "attrs", "clock"):
+            assert record[key] == span[key]
+
+
+# ----------------------------------------------------------------------
+# ParallelRunner integration
+# ----------------------------------------------------------------------
+def tiny_tasks(count=2):
+    return [
+        ExperimentTask("barnes", SystemConfig.paper_baseline(), 300,
+                       seed=seed, warmup_fraction=0.0)
+        for seed in range(count)
+    ]
+
+
+def test_runner_records_sweep_and_task_spans():
+    rec = WallSpanRecorder("sweep-test")
+    campaign = rec.start("campaign")
+    runner = ParallelRunner(workers=0, spans=rec, span_parent=campaign)
+    results = runner.run(tiny_tasks())
+    rec.finish(campaign)
+    assert all(result is not None for result in results)
+    spans = {s["name"]: s for s in rec.to_spans()}
+    by_name = [s["name"] for s in rec.to_spans()]
+    assert by_name.count("task") == 2
+    assert by_name.count("sweep") == 1
+    sweep = spans["sweep"]
+    assert sweep["parent_id"] == campaign
+    assert sweep["attrs"] == {"tasks": 2, "workers": 1, "resumed": 0,
+                              "completed": 2, "failures": 0,
+                              "quarantined": 0}
+    tasks = [s for s in rec.to_spans() if s["name"] == "task"]
+    for span in tasks:
+        validate_span(span)
+        assert span["parent_id"] == sweep["span_id"]
+        assert span["attrs"]["benchmark"] == "barnes"
+        assert span["attrs"]["cache"] == "off"  # no DiskCache configured
+        assert span["attrs"]["worker_pid"] > 0
+        # Retroactive placement: the task ran inside the sweep window.
+        assert sweep["start"] <= span["start"] <= span["end"] <= sweep["end"]
+    assert {s["attrs"]["index"] for s in tasks} == {0, 1}
+
+
+def _poisoned_execute(envelope, marker, fail_times):
+    path = Path(marker)
+    if envelope.index == 0:
+        count = int(path.read_text()) if path.exists() else 0
+        if count < fail_times:
+            path.write_text(str(count + 1))
+            raise RuntimeError("injected transient fault")
+    return execute_envelope(envelope)
+
+
+def test_runner_records_an_instant_retry_span(tmp_path):
+    rec = WallSpanRecorder("retry-test")
+    execute = partial(_poisoned_execute, marker=str(tmp_path / "marker"),
+                      fail_times=1)
+    runner = ParallelRunner(workers=0, execute=execute, spans=rec)
+    results = runner.run(tiny_tasks())
+    assert all(result is not None for result in results)
+    retries = [s for s in rec.to_spans() if s["name"] == "retry"]
+    assert len(retries) == 1
+    retry = retries[0]
+    assert retry["start"] == retry["end"]
+    assert retry["attrs"]["index"] == 0
+    assert retry["attrs"]["attempt"] == 1
+    assert retry["attrs"]["will_retry"] is True
+    sweep = next(s for s in rec.to_spans() if s["name"] == "sweep")
+    assert retry["parent_id"] == sweep["span_id"]
+    assert sweep["attrs"]["failures"] == 0  # the retry succeeded
+
+
+def test_runner_without_spans_records_nothing():
+    runner = ParallelRunner(workers=0)
+    runner.run(tiny_tasks(1))
+    assert runner.spans is None

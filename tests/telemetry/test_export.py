@@ -122,3 +122,48 @@ class TestPrometheus:
         assert to_prometheus(empty) == ""
         assert load_csv(to_csv(empty)) == {}
         assert load_json(to_json(empty))["counters"] == {}
+
+    def test_every_metric_gets_help_and_type(self, registry):
+        parsed = load_prometheus(to_prometheus(registry))
+        assert set(parsed["helps"]) == set(parsed["types"])
+        assert parsed["helps"]["repro_machine_requests"] == \
+            "external requests"
+        # Metrics registered without help text fall back to their name.
+        assert parsed["helps"]["repro_bus_utilization"] == "bus.utilization"
+        for line in to_prometheus(registry).splitlines():
+            if line.startswith("# HELP") or line.startswith("# TYPE"):
+                assert len(line.split(" ", 3)) == 4 or \
+                    line.startswith("# TYPE")
+
+    def test_hostile_label_values_round_trip(self):
+        reg = TelemetryRegistry()
+        matrix = reg.transition_matrix("rca.hostile")
+        hostile = [
+            'quote"inside',
+            "back\\slash",
+            "new\nline",
+            "literal\\nbackslash-n",
+            'all\\"three\n',
+        ]
+        for i, state in enumerate(hostile):
+            matrix.record(state, f"event{i}", state)
+        text = to_prometheus(reg)
+        assert "\n\n" not in text  # no raw newline broke a sample line
+        parsed = load_prometheus(text)
+        seen = {
+            labels["from"]
+            for name, labels, _ in parsed["samples"]
+            if name == "repro_rca_hostile"
+        }
+        assert seen == set(hostile)
+
+    def test_hostile_help_text_round_trips(self):
+        reg = TelemetryRegistry()
+        help_text = 'multi\nline "help" with back\\slash and literal \\n'
+        reg.counter("machine.hostile", help=help_text).inc()
+        text = to_prometheus(reg)
+        # The exposition stays line-oriented: exactly one HELP, one
+        # TYPE, one sample.
+        assert len(text.splitlines()) == 3
+        parsed = load_prometheus(text)
+        assert parsed["helps"]["repro_machine_hostile"] == help_text

@@ -53,6 +53,38 @@ class TestMergedRecords:
             "address": 0x1000, "path": "broadcast", "latency": 50,
         }
 
+    def test_equal_timestamps_keep_insertion_order(self):
+        # Several grants can land on the same cycle; the merge must not
+        # shuffle them (the sort is stable over the (time, kind) key).
+        log = EventLog(capacity=16)
+        log.record(50, 3, RequestType.READ, 0x1000, "broadcast", 10)
+        log.record(50, 1, RequestType.RFO, 0x2000, "direct", 20)
+        log.record(50, 2, RequestType.READ, 0x3000, "broadcast", 30)
+        records = merged_records(None, log)
+        assert [r["processor"] for r in records] == [3, 1, 2]
+
+    def test_event_precedes_interval_at_the_same_time(self):
+        log = EventLog(capacity=4)
+        log.record(99, 0, RequestType.READ, 0x1000, "broadcast", 10)
+        registry = TelemetryRegistry(interval=100)
+        registry.interval_series("bus.broadcasts").record(0, 1.0)
+        kinds = [r["kind"] for r in merged_records(registry, log)]
+        assert kinds == ["event", "interval"]  # both at time 99
+
+    def test_empty_sources_merge_to_nothing(self):
+        # Empty is not None: an attached-but-idle log and a registry
+        # with no interval series must merge cleanly.
+        registry, log = TelemetryRegistry(interval=100), EventLog(capacity=4)
+        assert merged_records(registry, log) == []
+        assert render(registry, log) == ""
+
+    def test_empty_source_merges_with_a_full_one(self):
+        registry, log = make_sources()
+        events_only = merged_records(TelemetryRegistry(interval=100), log)
+        assert [r["kind"] for r in events_only] == ["event"] * 3
+        intervals_only = merged_records(registry, EventLog(capacity=4))
+        assert [r["kind"] for r in intervals_only] == ["interval"] * 2
+
     def test_either_source_may_be_none(self):
         registry, log = make_sources()
         only_events = merged_records(None, log)

@@ -1,0 +1,117 @@
+"""The sanitizer's flight recorder: causal history in diagnostics bundles.
+
+The sanitizer can say *what* invariant broke; the flight recorder says
+what the machine was doing just before. These tests bind the sanitizer
+*before* the workload runs (unlike the corruption tests, which bind at
+check time), so the ring has real history when the violation fires, and
+assert the bundle pinpoints the transactions that touched the violating
+line.
+"""
+
+import json
+
+import pytest
+
+from repro.coherence.line_states import LineState
+from repro.common.errors import InvariantViolation
+from repro.obs.simtrace import SimTracer
+from repro.system.machine import Machine
+from repro.validate.sanitizer import CoherenceSanitizer
+from tests.conftest import make_config
+
+LINE = 64
+
+
+def _bound_machine(tmp_path=None, **sanitizer_kwargs):
+    machine = Machine(make_config(cgct=False))
+    sanitizer = CoherenceSanitizer(
+        mode="sampled",
+        bundle_dir=str(tmp_path) if tmp_path is not None else None,
+        **sanitizer_kwargs,
+    )
+    sanitizer.bind(machine, workload="injected", seed=0)
+    return machine, sanitizer
+
+
+def _drive(machine):
+    now = 0
+    for i in range(4):
+        address = 0x1_0000 + i * LINE
+        now += machine.load(0, address, now) + 10
+        now += machine.load(1, address, now) + 10
+    now += machine.store(0, 0x2_0000, now) + 10
+    return now
+
+
+class TestBinding:
+    def test_bind_attaches_a_ring_tracer_by_default(self):
+        machine, sanitizer = _bound_machine(flight_depth=16)
+        assert sanitizer.flight is machine._tracer
+        assert isinstance(sanitizer.flight, SimTracer)
+        assert sanitizer.flight.ring == 16
+
+    def test_bind_reuses_an_existing_tracer(self):
+        machine = Machine(make_config(cgct=False))
+        mine = SimTracer()
+        machine.attach_tracer(mine)
+        sanitizer = CoherenceSanitizer(mode="sampled")
+        sanitizer.bind(machine, workload="injected", seed=0)
+        assert machine._tracer is mine
+        assert sanitizer.flight is mine
+
+    def test_flight_recorder_can_be_disabled(self):
+        machine, sanitizer = _bound_machine(flight_recorder=False)
+        assert machine._tracer is None
+        assert sanitizer.flight is None
+
+
+class TestBundleHistory:
+    def test_bundle_carries_causal_history_for_the_violation(self, tmp_path):
+        machine, sanitizer = _bound_machine(tmp_path)
+        now = _drive(machine)
+        # The lost-writeback shape: a second dirty copy of 0x2_0000.
+        machine.nodes[1].l2.fill(0x2_0000, LineState.MODIFIED)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sanitizer.final_check(now=now)
+        bundle = json.loads(
+            open(excinfo.value.bundle_path, encoding="utf-8").read()
+        )
+        flight = bundle["flight_recorder"]
+        assert flight is not None
+        assert flight["depth"] == sanitizer.flight_depth
+        assert flight["accesses_seen"] == 9
+        line = 0x2_0000 >> machine._line_shift
+        assert hex(line) in flight["lines"]
+        # The store to 0x2_0000 is the only transaction that touched the
+        # violating line; the recorder names it.
+        involved = flight["involved"]
+        assert len(involved) == 1
+        assert involved[0]["op"] == "store"
+        assert involved[0]["address"] == hex(0x2_0000)
+        assert involved[0]["spans"]
+        assert len(flight["recent"]) == 8
+
+    def test_disabled_recorder_leaves_the_field_null(self, tmp_path):
+        machine, sanitizer = _bound_machine(tmp_path, flight_recorder=False)
+        now = _drive(machine)
+        machine.nodes[1].l2.fill(0x2_0000, LineState.MODIFIED)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sanitizer.final_check(now=now)
+        bundle = json.loads(
+            open(excinfo.value.bundle_path, encoding="utf-8").read()
+        )
+        assert bundle["flight_recorder"] is None
+
+    def test_ring_bounds_the_history(self, tmp_path):
+        machine, sanitizer = _bound_machine(tmp_path, flight_depth=2)
+        now = _drive(machine)
+        machine.nodes[1].l2.fill(0x2_0000, LineState.MODIFIED)
+        with pytest.raises(InvariantViolation) as excinfo:
+            sanitizer.final_check(now=now)
+        bundle = json.loads(
+            open(excinfo.value.bundle_path, encoding="utf-8").read()
+        )
+        flight = bundle["flight_recorder"]
+        assert flight["depth"] == 2
+        assert flight["accesses_seen"] == 9  # seen, not retained
+        assert len(flight["recent"]) == 2
