@@ -1,0 +1,38 @@
+"""Stable digests over source files.
+
+Both on-disk caches key their entries partly by a digest of the code
+that produced the entry, so editing the producer invalidates stale
+entries instead of silently replaying them: the result cache
+(:mod:`repro.harness.cache`) hashes the whole ``repro`` package, while
+the workload store (:mod:`repro.workloads.store`) hashes only the
+generator's inputs — the ``repro.workloads`` modules and the seed
+derivation — so simulator-only edits keep generated traces valid.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Iterable, Optional, Union
+
+
+def source_digest(
+    paths: Iterable[Union[str, Path]],
+    root: Optional[Path] = None,
+    length: int = 16,
+) -> str:
+    """Hex digest (SHA-256 prefix) over the named files.
+
+    Each file contributes its label — the path relative to *root* when
+    given, else the bare file name — and its bytes, in sorted-path
+    order, so the digest is stable across machines and invocation
+    order. Hashing contents rather than, say, a git SHA keeps the
+    scheme working in exported trees and makes uncommitted edits
+    invalidate dependent caches too.
+    """
+    digest = hashlib.sha256()
+    for path in sorted(Path(p) for p in paths):
+        label = path.relative_to(root).as_posix() if root else path.name
+        digest.update(label.encode("utf-8"))
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:length]

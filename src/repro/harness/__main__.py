@@ -413,6 +413,11 @@ def main(argv=None) -> int:
                              f"(default {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the on-disk result cache entirely")
+    parser.add_argument("--workload-cache", metavar="DIR", default=None,
+                        dest="workload_cache",
+                        help="materialize generated workload traces under "
+                             "DIR and memory-map them back on reuse "
+                             "(also honoured via $REPRO_WORKLOAD_CACHE)")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append per-simulation JSON-lines records to PATH")
     parser.add_argument("--check-invariants", choices=("sampled", "deep"),
@@ -465,6 +470,10 @@ def main(argv=None) -> int:
     wanted = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
     disk = None if args.no_cache else DiskCache(args.cache_dir)
     cache = RunCache(disk=disk)
+    if args.workload_cache:
+        from repro.workloads.store import WorkloadStore, set_workload_store
+
+        set_workload_store(WorkloadStore(args.workload_cache))
     if args.check_invariants:
         from repro.validate.sanitizer import CoherenceSanitizer
 

@@ -33,6 +33,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 
 import repro
+from repro.common.digest import source_digest
 from repro.system.config import SystemConfig
 from repro.system.simulator import RunResult
 
@@ -52,11 +53,7 @@ def code_version() -> str:
     root = Path(repro.__file__).resolve().parent
     key = str(root)
     if key not in _CODE_VERSION:
-        digest = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
-            digest.update(path.read_bytes())
-        _CODE_VERSION[key] = digest.hexdigest()[:16]
+        _CODE_VERSION[key] = source_digest(root.rglob("*.py"), root=root)
     return _CODE_VERSION[key]
 
 

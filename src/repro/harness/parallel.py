@@ -76,6 +76,8 @@ from repro.harness.supervisor import (
 from repro.system.config import SystemConfig
 from repro.system.simulator import RunResult, run_workload
 from repro.workloads.benchmarks import build_benchmark
+from repro.workloads.store import WorkloadStore, active_store, \
+    set_workload_store
 
 
 def _peak_rss_kb() -> int:
@@ -185,7 +187,9 @@ class _Envelope:
     ``check_invariants`` ("" | "sampled" | "deep") rides on the envelope
     rather than the task: the sanitizer never changes results, so
     sanitized and unsanitized runs share cache keys — and, like
-    telemetry, cache hits skip the audit.
+    telemetry, cache hits skip the audit. ``workload_cache_dir``
+    likewise rides along so spawned (non-forked) workers install the
+    same materialized workload store the coordinator uses.
     """
 
     index: int
@@ -193,6 +197,7 @@ class _Envelope:
     cache_dir: Optional[str]
     code_version: Optional[str]
     check_invariants: str = ""
+    workload_cache_dir: Optional[str] = None
 
 
 @dataclass
@@ -215,6 +220,11 @@ def execute_envelope(envelope: _Envelope) -> TaskOutcome:
     a partial cache entry.
     """
     started = time.perf_counter()
+    if envelope.workload_cache_dir is not None:
+        current = active_store()
+        if current is None or \
+                str(current.cache_dir) != envelope.workload_cache_dir:
+            set_workload_store(WorkloadStore(envelope.workload_cache_dir))
     task = envelope.task
     result = None
     status = "off"
@@ -330,6 +340,7 @@ class ParallelRunner:
         heartbeat_interval: float = 0.25,
         spans=None,
         span_parent: Optional[str] = None,
+        workload_cache: Optional[WorkloadStore] = None,
     ) -> None:
         self.workers = max(0, int(workers))
         self.cache = cache
@@ -345,6 +356,11 @@ class ParallelRunner:
         self.heartbeat_interval = heartbeat_interval
         self.spans = spans
         self.span_parent = span_parent
+        #: Materialized workload store shared with the workers; defaults
+        #: to the process-wide active store (env-activated or wired by
+        #: the CLI), so sweeps reuse generated traces without plumbing.
+        self.workload_cache = workload_cache if workload_cache is not None \
+            else active_store()
         self.failures: List[Dict] = []
         self.quarantined: List[Dict] = []
         self._attempts: Dict[int, int] = {}
@@ -363,8 +379,16 @@ class ParallelRunner:
             cache_dir = str(self.cache.cache_dir)
             version = code_version()
         self._version = version
+        workload_dir = None
+        if self.workload_cache is not None and self.workload_cache.enabled:
+            workload_dir = str(self.workload_cache.cache_dir)
+            if active_store() is None:
+                # The coordinator may run cells itself (serial path,
+                # circuit-break fallback): give it the same store.
+                set_workload_store(self.workload_cache)
         envelopes = [
-            _Envelope(i, task, cache_dir, version, self.check_invariants)
+            _Envelope(i, task, cache_dir, version, self.check_invariants,
+                      workload_dir)
             for i, task in enumerate(tasks)
         ]
         self._attempts = {envelope.index: 1 for envelope in envelopes}
@@ -398,6 +422,14 @@ class ParallelRunner:
             failures=len(self.failures),
             quarantined=len(self.quarantined),
         )
+        store = self.workload_cache if self.workload_cache is not None \
+            else active_store()
+        if store is not None and store.enabled:
+            # Coordinator-side counters: forked workers account their
+            # own lookups, so under a pool this reports the cells the
+            # coordinator itself built (serial path, fallback, resume).
+            self._log("workload-cache", dir=str(store.cache_dir),
+                      entries=len(store), **store.stats())
         if self.spans is not None:
             self.spans.finish(
                 self._sweep_span, completed=len(outcomes),
@@ -687,6 +719,7 @@ def warm_cache(
     check_invariants: str = "",
     spans=None,
     span_parent: Optional[str] = None,
+    workload_cache: Optional[WorkloadStore] = None,
 ) -> int:
     """Fan the experiments' simulation grid out, preloading *cache*.
 
@@ -703,7 +736,8 @@ def warm_cache(
                             task_timeout=task_timeout,
                             checkpoint=checkpoint,
                             check_invariants=check_invariants,
-                            spans=spans, span_parent=span_parent)
+                            spans=spans, span_parent=span_parent,
+                            workload_cache=workload_cache)
     results = runner.run(tasks)
     for task, result in zip(tasks, results):
         if result is not None:

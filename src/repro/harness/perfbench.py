@@ -109,6 +109,29 @@ def _git_sha() -> Optional[str]:
     return sha if out.returncode == 0 and sha else None
 
 
+def version_drift_warning(flag: str, payload: Dict,
+                          current_sha: Optional[str]) -> Optional[str]:
+    """Loud warning when a comparison file predates the current code.
+
+    A committed ``BENCH_core.json`` goes stale the moment the simulator
+    changes: ``--check`` would gate against a measurement of *different
+    code*, and ``--reference`` speedups silently mix code drift with
+    host drift. Returns the warning text (None when the SHAs match or
+    either side is unknown — exported trees have no git metadata).
+    """
+    recorded = payload.get("host", {}).get("git_sha")
+    if not recorded or not current_sha or recorded == current_sha:
+        return None
+    return (
+        f"WARNING: {flag} measurement was recorded at git {recorded}, but "
+        f"the current tree is {current_sha} — the comparison spans "
+        "different code versions. For honest speedup ratios re-measure "
+        "the reference from that commit on this host (git worktree + "
+        "PYTHONPATH keeps it one command); for --check this usually "
+        "just means the committed baseline wants refreshing."
+    )
+
+
 def load_measurement(path, flag: str, current_host: Optional[Dict] = None,
                      ) -> Dict:
     """Load and vet a ``BENCH_core.json`` for ``--reference``/``--check``.
@@ -447,6 +470,11 @@ def perf_command(argv) -> int:
                              "for --check (default 0.25)")
     parser.add_argument("--runlog", metavar="PATH", default=None,
                         help="append the profile and measurement to PATH")
+    parser.add_argument("--workload-cache", metavar="DIR", default=None,
+                        dest="workload_cache",
+                        help="materialize generated traces under DIR and "
+                             "reuse them across configs and invocations "
+                             "(also honoured via $REPRO_WORKLOAD_CACHE)")
     parser.add_argument("--check-invariants", choices=("sampled", "deep"),
                         default="", dest="check_invariants",
                         help="run the coherence sanitizer inside every "
@@ -472,6 +500,18 @@ def perf_command(argv) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    current_sha = _git_sha()
+    for flag, comparison in (("--reference", reference),
+                             ("--check", baseline)):
+        if comparison is not None:
+            warning = version_drift_warning(flag, comparison, current_sha)
+            if warning:
+                print(warning, file=sys.stderr)
+
+    if args.workload_cache:
+        from repro.workloads.store import WorkloadStore, set_workload_store
+
+        set_workload_store(WorkloadStore(args.workload_cache))
 
     if args.configs:
         # An explicit --configs restriction is a deliberate subset: trim
@@ -499,12 +539,21 @@ def perf_command(argv) -> int:
     if not args.no_write:
         Path(args.output).write_text(json.dumps(payload, indent=2) + "\n")
         print(f"[benchmark written to {args.output}]")
+    from repro.workloads.store import active_store
+
+    store = active_store()
+    if store is not None and store.enabled:
+        print(f"[workload cache {store.cache_dir}: {store.hits} hits, "
+              f"{store.misses} misses, {len(store)} entries]")
     if args.runlog:
         from repro.harness.runlog import RunLog
 
         with RunLog(args.runlog) as runlog:
             profiler.emit(runlog, command="perf", host=payload["host"],
                           configs=payload["configs"])
+            if store is not None and store.enabled:
+                runlog.record("workload-cache", dir=str(store.cache_dir),
+                              entries=len(store), **store.stats())
     if baseline is not None:
         failures = check_against(payload, baseline,
                                  threshold=args.threshold)

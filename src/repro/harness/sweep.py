@@ -112,6 +112,7 @@ class ConfigSweep:
         task_timeout=None,
         checkpoint=None,
         check_invariants: str = "",
+        workload_cache=None,
     ) -> List[Dict]:
         """Run the full grid × workload matrix; returns tidy records.
 
@@ -131,7 +132,17 @@ class ConfigSweep:
         the sweep resumable, and ``check_invariants`` ("sampled" or
         "deep") audits every simulated cell with the coherence
         sanitizer — records are bit-identical either way.
+        ``workload_cache`` (a
+        :class:`~repro.workloads.store.WorkloadStore`) reuses
+        generated traces across the grid's repeated (workload,
+        processor-count) pairs and across invocations; when omitted,
+        the process-wide active store (``$REPRO_WORKLOAD_CACHE`` or
+        the CLI's ``--workload-cache``) applies.
         """
+        if workload_cache is not None:
+            from repro.workloads.store import set_workload_store
+
+            set_workload_store(workload_cache)
         cache = cache if cache is not None else RunCache()
         workloads = list(workloads)
         if check_invariants and cache.sanitizer_factory is None:
@@ -144,7 +155,7 @@ class ConfigSweep:
                 cache.telemetry_factory is None:
             self._warm(workloads, ops_per_processor, warmup_fraction, seed,
                        cache, workers, runlog, task_timeout, checkpoint,
-                       check_invariants)
+                       check_invariants, workload_cache)
         records: List[Dict] = []
         for name in workloads:
             base_run = cache.run(
@@ -166,7 +177,7 @@ class ConfigSweep:
 
     def _warm(self, workloads, ops_per_processor, warmup_fraction, seed,
               cache, workers, runlog, task_timeout=None, checkpoint=None,
-              check_invariants: str = "") -> None:
+              check_invariants: str = "", workload_cache=None) -> None:
         """Execute every grid cell through the parallel runner up-front."""
         from repro.harness.parallel import ExperimentTask, ParallelRunner
 
@@ -183,7 +194,8 @@ class ConfigSweep:
         runner = ParallelRunner(workers=workers, cache=cache.disk,
                                 runlog=runlog, task_timeout=task_timeout,
                                 checkpoint=checkpoint,
-                                check_invariants=check_invariants)
+                                check_invariants=check_invariants,
+                                workload_cache=workload_cache)
         for task, result in zip(tasks, runner.run(tasks)):
             if result is not None:
                 cache.preload(task.benchmark, task.config,

@@ -820,6 +820,15 @@ class Machine:
             if self._tracer is not None:
                 self._tracer.l1_hit(proc, "load", address, now)
             return self._l1_hit_cycles
+        return self.load_miss(proc, address, now)
+
+    def load_miss(self, proc: int, address: int, now: int) -> int:
+        """Load continuation once the L1-D lookup has already missed.
+
+        The run-ahead streak (:meth:`TraceProcessor.run_ahead`) probes the
+        L1 inline and calls this directly, so the lookup — with its miss
+        counter and LRU touch — happens exactly once either way.
+        """
         if self._tracer is not None:
             self._tracer.begin(proc, "load", address, now)
         latency = self._l2_data_access(proc, address, now, is_store=False)
@@ -837,6 +846,11 @@ class Machine:
             if self._tracer is not None:
                 self._tracer.l1_hit(proc, "store", address, now)
             return self._l1_hit_cycles
+        return self.store_miss(proc, address, now)
+
+    def store_miss(self, proc: int, address: int, now: int) -> int:
+        """Store continuation once the L1-D write-lookup has missed
+        (absent line, or a SHARED copy that cannot take the write)."""
         if self._tracer is not None:
             self._tracer.begin(proc, "store", address, now)
         latency = self._l2_data_access(proc, address, now, is_store=True)
@@ -857,6 +871,10 @@ class Machine:
             if self._tracer is not None:
                 self._tracer.l1_hit(proc, "ifetch", address, now)
             return self._l1_hit_cycles
+        return self.ifetch_miss(proc, address, now)
+
+    def ifetch_miss(self, proc: int, address: int, now: int) -> int:
+        """Instruction-fetch continuation once the L1-I lookup has missed."""
         if self._tracer is not None:
             self._tracer.begin(proc, "ifetch", address, now)
         node = self.nodes[proc]

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 from repro.common.errors import SimulationError
 from repro.system.config import SystemConfig
 from repro.system.machine import ExternalRequestStats, Machine, OracleCategory
-from repro.system.processor import TraceProcessor
+from repro.system.processor import NO_BOUND, TraceProcessor
 from repro.workloads.trace import MultiTrace
 
 
@@ -151,12 +151,24 @@ class Simulator:
     observes: simulated cycles and fingerprints are bit-identical with
     or without it (equivalence-tested), and a machine without a tracer
     pays one ``is None`` check per instrumented site.
+
+    ``runahead`` selects the heap scheduler's streak behaviour:
+    ``"streak"`` (the default) lets a popped processor keep stepping —
+    L1 hits through an inlined private path — for as long as its next
+    issue key stays below the heap top, i.e. exactly as long as the
+    reference order would pop it again anyway; ``"off"`` single-steps
+    every pop (the reference path for the run-ahead equivalence
+    battery). Both produce bit-identical results. Run-ahead applies to
+    the plain and telemetry heap loops only: observed runs disable it
+    (the observer must see every step boundary before it issues), the
+    sanitizer loop keeps its own audit stride, and the linear scheduler
+    is itself a reference path.
     """
 
     def __init__(
         self, config: SystemConfig, seed: int = 0, telemetry=None,
         scheduler: str = "heap", sanitizer=None, step_observer=None,
-        snoop: str = "bitmask", tracer=None,
+        snoop: str = "bitmask", tracer=None, runahead: str = "streak",
     ) -> None:
         if scheduler not in ("heap", "linear"):
             raise SimulationError(
@@ -166,11 +178,16 @@ class Simulator:
             raise SimulationError(
                 f"snoop must be 'walk' or 'bitmask', got {snoop!r}"
             )
+        if runahead not in ("streak", "off"):
+            raise SimulationError(
+                f"runahead must be 'streak' or 'off', got {runahead!r}"
+            )
         self.config = config
         self.seed = seed
         self.telemetry = telemetry
         self.scheduler = scheduler
         self.snoop = snoop
+        self.runahead = runahead
         self.sanitizer = sanitizer
         self.step_observer = step_observer
         self.tracer = tracer
@@ -279,7 +296,47 @@ class Simulator:
         # The re-push key is next_time inlined (clock + gap of the next
         # op) and the continue check is ``index < target`` alone: targets
         # never exceed trace length, so the ``done`` test is subsumed.
+        #
+        # Run-ahead variants: after the popped processor's (mandatory)
+        # step, if its next issue key still undercuts the heap top it
+        # runs a *streak* (TraceProcessor.run_ahead) bounded by that
+        # top key — the streak executes exactly the steps the reference
+        # loop would pop next, so ordering (and every result bit) is
+        # unchanged; only the heap traffic and per-step call chain
+        # disappear. The streak check replaces _drain_same_time: at an
+        # equal-time tie the popped processor keeps stepping while its
+        # (time, pid) key undercuts the top, which is the batch order
+        # the drain produces; remaining same-instant entries pop one at
+        # a time. The streak is entered only when it will run at least
+        # one step, so a pop with no streak (the common case at high
+        # processor counts) costs the reference loop plus two integer
+        # compares. With an empty heap (last active processor) the
+        # streak runs to its target unbounded.
         if telemetry is None:
+            if self.runahead == "streak":
+                while heap:
+                    issue_time, proc_id, soonest = heappop(heap)
+                    soonest.step()
+                    i = soonest.index
+                    target = targets[proc_id]
+                    if i >= target:
+                        continue
+                    next_time = soonest.clock + soonest._gaps[i]
+                    if heap:
+                        top = heap[0]
+                        top_time = top[0]
+                        if next_time < top_time or (
+                            next_time == top_time and proc_id < top[1]
+                        ):
+                            soonest.run_ahead(top_time, top[1], target)
+                            i = soonest.index
+                            if i >= target:
+                                continue
+                            next_time = soonest.clock + soonest._gaps[i]
+                        heappush(heap, (next_time, proc_id, soonest))
+                    else:
+                        soonest.run_ahead(NO_BOUND, -1, target)
+                return
             while heap:
                 issue_time, proc_id, soonest = heappop(heap)
                 if heap and heap[0][0] == issue_time:
@@ -301,8 +358,49 @@ class Simulator:
         # boundary captures exactly the events of the closed window.
         # One boundary check covers a whole same-timestamp batch:
         # sampling advances the boundary past the instant, so the
-        # per-entry checks it replaces would all be no-ops.
+        # per-entry checks it replaces would all be no-ops. Under
+        # run-ahead the streak is additionally bounded by the next
+        # sample boundary: the streak stops *before* the first issue at
+        # or past it, the processor re-enters the heap as the minimum,
+        # and the sample fires on its re-pop — the same step boundary,
+        # with the same counter values, as the reference loop.
         next_sample = telemetry.next_sample_time
+        if self.runahead == "streak":
+            while heap:
+                issue_time, proc_id, soonest = heappop(heap)
+                if issue_time >= next_sample:
+                    telemetry.maybe_sample(issue_time)
+                    next_sample = telemetry.next_sample_time
+                soonest.step()
+                i = soonest.index
+                target = targets[proc_id]
+                if i >= target:
+                    continue
+                next_time = soonest.clock + soonest._gaps[i]
+                if heap:
+                    top = heap[0]
+                    top_time = top[0]
+                    if next_time < next_sample and (
+                        next_time < top_time
+                        or (next_time == top_time and proc_id < top[1])
+                    ):
+                        soonest.run_ahead(
+                            top_time, top[1], target, next_sample
+                        )
+                        i = soonest.index
+                        if i >= target:
+                            continue
+                        next_time = soonest.clock + soonest._gaps[i]
+                    heappush(heap, (next_time, proc_id, soonest))
+                else:
+                    if next_time < next_sample:
+                        soonest.run_ahead(NO_BOUND, -1, target, next_sample)
+                        i = soonest.index
+                        if i >= target:
+                            continue
+                        next_time = soonest.clock + soonest._gaps[i]
+                    heappush(heap, (next_time, proc_id, soonest))
+            return
         while heap:
             issue_time, proc_id, soonest = heappop(heap)
             if issue_time >= next_sample:
@@ -537,9 +635,10 @@ def run_workload(
     sanitizer=None,
     snoop: str = "bitmask",
     tracer=None,
+    runahead: str = "streak",
 ) -> RunResult:
     """One-shot convenience: build a simulator, run, return the result."""
     return Simulator(
         config, seed=seed, telemetry=telemetry, sanitizer=sanitizer,
-        snoop=snoop, tracer=tracer,
+        snoop=snoop, tracer=tracer, runahead=runahead,
     ).run(workload, warmup_fraction=warmup_fraction)

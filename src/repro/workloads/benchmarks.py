@@ -338,7 +338,37 @@ def build_benchmark(
     seed: int = 0,
     ops_per_processor: Optional[int] = None,
 ) -> MultiTrace:
-    """Generate the named benchmark's multiprocessor trace."""
+    """Generate the named benchmark's multiprocessor trace.
+
+    This is the single funnel every harness layer builds workloads
+    through, so the materialized workload cache hooks in here: when a
+    :class:`~repro.workloads.store.WorkloadStore` is active (see
+    :func:`~repro.workloads.store.set_workload_store` and the
+    ``REPRO_WORKLOAD_CACHE`` environment variable), previously
+    generated traces are memory-mapped back instead of regenerated —
+    bit-identical arrays, so simulations cannot tell the difference.
+    """
+    from repro.workloads.generator import profile_digest
+    from repro.workloads.store import active_store, workload_key
+
     profile = get_profile(name)
-    workload = SyntheticWorkload(profile, num_processors=num_processors)
-    return workload.build(seed=seed, ops_per_processor=ops_per_processor)
+    ops = ops_per_processor or profile.ops_per_processor
+    store = active_store()
+    key = None
+    if store is not None and store.enabled:
+        key = workload_key(
+            name, num_processors, ops, seed, profile_digest(profile)
+        )
+        cached = store.load(key)
+        if cached is not None:
+            return cached
+    workload = SyntheticWorkload(profile, num_processors=num_processors) \
+        .build(seed=seed, ops_per_processor=ops)
+    if key is not None:
+        store.store(key, workload, metadata={
+            "benchmark": name,
+            "num_processors": num_processors,
+            "ops_per_processor": ops,
+            "seed": seed,
+        })
+    return workload

@@ -30,8 +30,10 @@ a phase schedule (TPC-H's parallel-scan-then-merge shape).
 
 from __future__ import annotations
 
+import hashlib
+import json
 import random
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -214,6 +216,18 @@ class WorkloadProfile:
             raise ConfigurationError(
                 f"{self.name}: heap_chunk_bytes must be a positive line multiple"
             )
+
+
+def profile_digest(profile: WorkloadProfile) -> str:
+    """Stable digest of every profile field (16 hex chars).
+
+    Part of the materialized workload cache's content address
+    (:mod:`repro.workloads.store`): two profiles that generate
+    different traces must never share a key, including profiles built
+    programmatically rather than drawn from the registry.
+    """
+    payload = json.dumps(asdict(profile), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class SyntheticWorkload:

@@ -24,6 +24,7 @@ from repro.harness.perfbench import (
     perf_command,
     render,
     run_suite,
+    version_drift_warning,
 )
 
 
@@ -269,6 +270,31 @@ class TestLoadMeasurement:
         path = self._write(tmp_path, payload)
         assert load_measurement(path, "--check")["host"]["machine"] == \
             "sparc64"
+
+
+class TestVersionDriftWarning:
+    def payload_at(self, sha):
+        payload = fake_payload()
+        payload["host"] = {"git_sha": sha}
+        return payload
+
+    def test_warns_when_shas_differ(self):
+        warning = version_drift_warning(
+            "--reference", self.payload_at("aaaa111"), "bbbb222")
+        assert warning is not None
+        assert "--reference" in warning
+        assert "aaaa111" in warning and "bbbb222" in warning
+
+    def test_silent_when_shas_match(self):
+        assert version_drift_warning(
+            "--check", self.payload_at("aaaa111"), "aaaa111") is None
+
+    def test_silent_when_either_side_unknown(self):
+        # Exported trees have no git metadata; old payloads no git_sha.
+        assert version_drift_warning(
+            "--check", self.payload_at("aaaa111"), None) is None
+        assert version_drift_warning(
+            "--check", fake_payload(), "bbbb222") is None
 
 
 class TestCommandVetting:

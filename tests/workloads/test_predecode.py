@@ -1,0 +1,93 @@
+"""Vectorized pre-decode ≡ the scalar reference loop, bit for bit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.memory.geometry import Geometry
+from repro.workloads.predecode import predecode, predecode_scalar
+from repro.workloads.trace import Trace, TraceOp
+
+
+def make_trace(records):
+    return Trace.from_records(records)
+
+
+def assert_same(vector, scalar):
+    assert np.array_equal(vector.lines, scalar.lines)
+    assert np.array_equal(vector.regions, scalar.regions)
+    assert np.array_equal(vector.issue_offsets, scalar.issue_offsets)
+    if scalar.sets is None:
+        assert vector.sets is None
+    else:
+        assert np.array_equal(vector.sets, scalar.sets)
+
+
+geometries = st.builds(
+    Geometry,
+    line_bytes=st.sampled_from([32, 64, 128]),
+    region_bytes=st.sampled_from([256, 512, 1024, 2048]),
+)
+
+records = st.lists(
+    st.tuples(
+        st.sampled_from([TraceOp.LOAD, TraceOp.STORE, TraceOp.IFETCH,
+                         TraceOp.DCBZ]),
+        st.integers(min_value=0, max_value=(1 << 40) - 1),
+        st.integers(min_value=0, max_value=5000),
+    ),
+    max_size=200,
+)
+
+
+class TestPreDecode:
+    @settings(max_examples=60, deadline=None)
+    @given(records=records, geometry=geometries,
+           num_sets=st.sampled_from([0, 1, 64, 4096]))
+    def test_matches_scalar_reference(self, records, geometry, num_sets):
+        trace = make_trace(records)
+        assert_same(
+            predecode(trace, geometry, num_sets),
+            predecode_scalar(trace, geometry, num_sets),
+        )
+
+    def test_empty_trace(self):
+        trace = make_trace([])
+        decoded = predecode(trace, Geometry(), num_sets=64)
+        scalar = predecode_scalar(trace, Geometry(), num_sets=64)
+        assert len(decoded) == len(scalar) == 0
+        assert_same(decoded, scalar)
+
+    def test_single_record(self):
+        trace = make_trace([(TraceOp.STORE, 0x1234, 7)])
+        geometry = Geometry()
+        decoded = predecode(trace, geometry, num_sets=64)
+        assert decoded.lines[0] == 0x1234 >> geometry.line_offset_bits
+        assert decoded.regions[0] == 0x1234 >> geometry.region_offset_bits
+        assert decoded.sets[0] == decoded.lines[0] & 63
+        assert decoded.issue_offsets[0] == 7
+        assert_same(decoded, predecode_scalar(trace, geometry, num_sets=64))
+
+    def test_issue_offsets_are_inclusive_prefix_sums(self):
+        trace = make_trace([
+            (TraceOp.LOAD, 0x0, 3),
+            (TraceOp.LOAD, 0x40, 0),
+            (TraceOp.LOAD, 0x80, 10),
+        ])
+        decoded = predecode(trace, Geometry())
+        assert decoded.issue_offsets.tolist() == [3, 3, 13]
+
+    def test_sets_skipped_when_not_requested(self):
+        trace = make_trace([(TraceOp.LOAD, 0x100, 0)])
+        assert predecode(trace, Geometry()).sets is None
+        assert predecode_scalar(trace, Geometry()).sets is None
+
+    @pytest.mark.parametrize("bad", [3, 12, 100])
+    def test_non_power_of_two_sets_rejected(self, bad):
+        trace = make_trace([(TraceOp.LOAD, 0x100, 0)])
+        with pytest.raises(ConfigurationError):
+            predecode(trace, Geometry(), num_sets=bad)
+        with pytest.raises(ConfigurationError):
+            predecode_scalar(trace, Geometry(), num_sets=bad)

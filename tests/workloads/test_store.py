@@ -1,0 +1,182 @@
+"""Materialized workload cache: keying, round-trips, activation."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.workloads.benchmarks import build_benchmark, get_profile
+from repro.workloads.generator import profile_digest
+from repro.workloads.store import (
+    WorkloadStore,
+    active_store,
+    generator_version,
+    set_workload_store,
+    workload_key,
+)
+from repro.workloads.trace import Trace, TraceOp, MultiTrace
+
+from repro.system.simulator import run_workload
+from tests.conftest import make_config
+
+
+@pytest.fixture(autouse=True)
+def isolated_store_state():
+    """Keep the module-level active store out of every other test."""
+    set_workload_store(None)
+    yield
+    set_workload_store(None)
+
+
+def sample_workload(procs=2, ops=16):
+    traces = []
+    for proc in range(procs):
+        records = [
+            (TraceOp.LOAD if i % 3 else TraceOp.STORE,
+             0x1000 * (proc + 1) + i * 64, i % 5)
+            for i in range(ops)
+        ]
+        traces.append(Trace.from_records(records, name=f"p{proc}"))
+    return MultiTrace(per_processor=traces, name="sample")
+
+
+def key_of(name="barnes", procs=2, ops=16, seed=0, version="v-test"):
+    return workload_key(name, procs, ops, seed,
+                        profile_digest(get_profile(name)), version=version)
+
+
+class TestWorkloadKey:
+    def test_varies_with_every_input(self):
+        base = key_of()
+        assert key_of(procs=4) != base
+        assert key_of(ops=32) != base
+        assert key_of(seed=1) != base
+        assert key_of(name="tpc-w") != base
+        assert key_of(version="v-other") != base
+        assert key_of() == base  # and is deterministic
+
+    def test_defaults_to_generator_version(self):
+        explicit = key_of(version=generator_version())
+        assert workload_key(
+            "barnes", 2, 16, 0, profile_digest(get_profile("barnes"))
+        ) == explicit
+
+
+class TestWorkloadStore:
+    def test_round_trip_is_bit_identical(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        workload = sample_workload()
+        key = key_of()
+        assert store.load(key) is None  # miss first
+        store.store(key, workload)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert loaded.name == workload.name
+        assert loaded.num_processors == workload.num_processors
+        for orig, back in zip(workload.per_processor, loaded.per_processor):
+            assert back.name == orig.name
+            for field in ("ops", "addresses", "gaps"):
+                a, b = getattr(orig, field), getattr(back, field)
+                assert a.dtype == b.dtype
+                assert np.array_equal(a, b)
+        assert store.stats() == {"hits": 1, "misses": 1}
+        assert len(store) == 1
+
+    def test_cached_workload_simulates_identically(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        workload = build_benchmark("barnes", num_processors=4,
+                                   ops_per_processor=120, seed=0)
+        key = key_of(procs=4, ops=120)
+        store.store(key, workload)
+        cached = store.load(key)
+        config = make_config(cgct=True)
+        fresh = run_workload(config, workload, seed=0)
+        replay = run_workload(config, cached, seed=0)
+        assert replay.per_processor_cycles == fresh.per_processor_cycles
+        assert replay.stats == fresh.stats
+        assert replay.broadcasts == fresh.broadcasts
+        assert replay.demand_latency_mean == fresh.demand_latency_mean
+
+    def test_store_is_noop_when_entry_exists(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        key = key_of()
+        store.store(key, sample_workload())
+        meta = store._entry_dir(key) / "meta.json"
+        before = meta.stat().st_mtime_ns
+        store.store(key, sample_workload())
+        assert meta.stat().st_mtime_ns == before
+
+    def test_corrupt_entry_is_a_miss_and_is_dropped(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        key = key_of()
+        store.store(key, sample_workload())
+        (store._entry_dir(key) / "meta.json").write_text("{truncated")
+        assert store.load(key) is None
+        assert not store._entry_dir(key).exists()
+        assert store.misses == 1
+
+    def test_missing_array_is_a_miss(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        key = key_of()
+        store.store(key, sample_workload())
+        (store._entry_dir(key) / "addresses_1.npy").unlink()
+        assert store.load(key) is None
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = WorkloadStore(tmp_path, enabled=False)
+        key = key_of()
+        store.store(key, sample_workload())
+        assert store.load(key) is None
+        assert not store.contains(key)
+        assert len(store) == 0
+
+    def test_invalidate_and_clear(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        store.store(key_of(seed=0), sample_workload())
+        store.store(key_of(seed=1), sample_workload())
+        assert len(store) == 2
+        assert store.invalidate(key_of(seed=0)) is True
+        assert store.invalidate(key_of(seed=0)) is False
+        assert store.clear() == 1
+        assert len(store) == 0
+
+    def test_metadata_sidecar_records_inputs(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        key = key_of()
+        store.store(key, sample_workload(), metadata={"benchmark": "barnes"})
+        meta = json.loads(
+            (store._entry_dir(key) / "meta.json").read_text())
+        assert meta["inputs"] == {"benchmark": "barnes"}
+
+
+class TestActivation:
+    def test_build_benchmark_miss_then_hit(self, tmp_path):
+        store = WorkloadStore(tmp_path)
+        set_workload_store(store)
+        first = build_benchmark("barnes", num_processors=2,
+                                ops_per_processor=50, seed=0)
+        assert store.stats() == {"hits": 0, "misses": 1}
+        second = build_benchmark("barnes", num_processors=2,
+                                 ops_per_processor=50, seed=0)
+        assert store.stats() == {"hits": 1, "misses": 1}
+        for a, b in zip(first.per_processor, second.per_processor):
+            assert np.array_equal(a.ops, b.ops)
+            assert np.array_equal(a.addresses, b.addresses)
+            assert np.array_equal(a.gaps, b.gaps)
+
+    def test_env_variable_activates_lazily(self, tmp_path, monkeypatch):
+        import repro.workloads.store as store_module
+
+        monkeypatch.setenv(store_module.STORE_ENV, str(tmp_path))
+        monkeypatch.setattr(store_module, "_ACTIVE", None)
+        monkeypatch.setattr(store_module, "_RESOLVED", False)
+        resolved = store_module.active_store()
+        assert resolved is not None
+        assert resolved.cache_dir == tmp_path
+
+    def test_explicit_none_beats_env(self, tmp_path, monkeypatch):
+        import repro.workloads.store as store_module
+
+        monkeypatch.setenv(store_module.STORE_ENV, str(tmp_path))
+        set_workload_store(None)
+        assert active_store() is None

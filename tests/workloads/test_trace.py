@@ -38,6 +38,12 @@ class TestTrace:
         with pytest.raises(SimulationError):
             trace.validate(Geometry())
 
+    def test_from_records_rejects_negative_addresses(self):
+        # uint64 conversion used to wrap -64 to 2**64 - 64 silently;
+        # construction must reject it at the source instead.
+        with pytest.raises(SimulationError, match="negative address"):
+            make([(TraceOp.LOAD, 0x100, 0), (TraceOp.STORE, -64, 2)])
+
     def test_validate_rejects_unknown_opcode(self):
         trace = Trace(
             ops=np.array([99], dtype=np.uint8),
