@@ -42,6 +42,16 @@ class ProtocolError(CGCTError):
     """
 
 
+class HarnessError(CGCTError):
+    """The experiment harness (not the simulation) was misused.
+
+    Examples: querying an unknown campaign from the service queue, or
+    resuming a campaign whose cell list no longer matches its durable
+    fingerprint. Deterministic — retrying the identical call fails
+    identically.
+    """
+
+
 class SimulationError(CGCTError):
     """The simulator reached an inconsistent runtime state.
 

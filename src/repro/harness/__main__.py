@@ -384,6 +384,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import trace_command
 
         return trace_command(argv[1:])
+    if argv and argv[0] == "campaign":
+        from repro.service.cli import campaign_command
+
+        return campaign_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -392,7 +396,7 @@ def main(argv=None) -> int:
         "experiments", nargs="+",
         help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
              "or the 'telemetry' / 'validate' / 'perf' / 'conformance' "
-             "/ 'trace' subcommands (see --help of "
+             "/ 'trace' / 'campaign' subcommands (see --help of "
              "'python -m repro.harness <subcommand>')",
     )
     parser.add_argument("--ops", type=int, default=60_000,

@@ -62,12 +62,17 @@ RUNLOG_SCHEMA = "runlog/v1"
 
 
 class RunLog:
-    """Append-only JSON-lines writer (flushes every record)."""
+    """Append-only JSON-lines writer (flushes + fsyncs every record).
 
-    def __init__(self, path: Union[str, Path]) -> None:
+    ``durable=False`` drops the per-record ``fsync`` (flush only) for
+    hot paths where losing the tail on a power cut is acceptable.
+    """
+
+    def __init__(self, path: Union[str, Path], durable: bool = True) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._durable = durable
         # Resolved once: the stamps are per-writer, not per-record.
         self._hostname = socket.gethostname()
         self._pid = os.getpid()
@@ -85,6 +90,8 @@ class RunLog:
         self._handle.write(json.dumps(entry, sort_keys=True, default=str))
         self._handle.write("\n")
         self._handle.flush()
+        if self._durable:
+            os.fsync(self._handle.fileno())
         return entry
 
     def close(self) -> None:
@@ -99,15 +106,30 @@ class RunLog:
 
 
 def read_runlog(path: Union[str, Path]) -> List[Dict]:
-    """All records in *path*, in order (empty list if it doesn't exist)."""
+    """All records in *path*, in order (empty list if it doesn't exist).
+
+    A torn trailing record — the writer died mid-append — is dropped
+    rather than raised: everything before it is intact (records are
+    flushed and fsynced whole). A record that fails to parse *before*
+    the last line still raises, since that indicates real corruption,
+    not an interrupted append.
+    """
     log_path = Path(path)
     if not log_path.exists():
         return []
     records = []
-    for line in log_path.read_text(encoding="utf-8").splitlines():
-        line = line.strip()
-        if line:
+    lines = [
+        line.strip()
+        for line in log_path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    for position, line in enumerate(lines):
+        try:
             records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if position == len(lines) - 1:
+                break
+            raise
     return records
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 import hashlib
 import heapq
 import json
+import os
 import threading
 import time
 import traceback
@@ -48,28 +49,36 @@ from repro.common.rng import derive_seed
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Exponential backoff with deterministic jitter.
+    """Exponential backoff with deterministic jitter and a hard ceiling.
 
     The delay before attempt ``a``'s retry is
     ``min(cap, base * factor**(a-1))`` stretched by up to ``jitter``
     (fractionally), where the stretch is derived — not drawn from a
     shared RNG — so reruns of the same sweep back off identically.
+    ``max_delay`` bounds the *jittered* value: whatever the attempt
+    number or jitter draw, ``delay`` never exceeds it, so a crash-looping
+    cell can be re-admitted on a predictable cadence instead of backing
+    off without bound. Invariant (covered by tests):
+    ``base <= delay(a, k) <= min(max_delay, base * (1 + jitter))``.
     """
 
     backoff_base: float = 0.05
     backoff_factor: float = 2.0
     backoff_cap: float = 2.0
     jitter: float = 0.25
+    max_delay: float = 5.0
 
     def delay(self, attempt: int, key: object = 0) -> float:
         base = min(
             self.backoff_cap,
             self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
         )
-        if self.jitter <= 0.0:
-            return base
-        fraction = derive_seed(0, "backoff", str(key), attempt) % 1000 / 1000.0
-        return base * (1.0 + self.jitter * fraction)
+        if self.jitter > 0.0:
+            fraction = (
+                derive_seed(0, "backoff", str(key), attempt) % 1000 / 1000.0
+            )
+            base *= 1.0 + self.jitter * fraction
+        return min(self.max_delay, base)
 
 
 class CircuitBreaker:
@@ -78,20 +87,105 @@ class CircuitBreaker:
     Only environmental faults (worker crashes, timeouts, dispatch
     failures) count — an in-task exception means the pool machinery is
     healthy. Any successful completion resets the count.
+
+    States (``state`` property): ``"closed"`` (healthy, dispatch
+    freely), ``"open"`` (tripped, dispatch nothing), ``"half-open"``
+    (cool-down elapsed, exactly one trial task may probe). With
+    ``cooldown=None`` — the default, and the historical behaviour — a
+    trip is permanent: :attr:`tripped` goes True immediately and the
+    supervised pool abandons parallel execution. With a cool-down in
+    seconds, an open breaker transitions to half-open once the cool-down
+    elapses; :meth:`begin_probe` then admits a single task. A probe
+    success closes the breaker, a probe fault re-opens it with the
+    cool-down doubled (capped at 8× the base), and ``max_probes``
+    consecutive failed probes exhaust the breaker for good
+    (:attr:`tripped` True).
     """
 
-    def __init__(self, threshold: int = 4) -> None:
+    def __init__(
+        self,
+        threshold: int = 4,
+        cooldown: Optional[float] = None,
+        max_probes: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
         self.threshold = max(1, int(threshold))
+        self.cooldown = cooldown
+        self.max_probes = max(1, int(max_probes))
+        self._clock = clock
         self.consecutive_faults = 0
+        self.failed_probes = 0
+        self._state = "closed"
+        self._opened_at: Optional[float] = None
+        self._probe_outstanding = False
         self.tripped = False
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``"closed"`` | ``"open"`` | ``"half-open"`` (after a poll)."""
+        self._poll()
+        return self._state
+
+    def _poll(self) -> None:
+        if self._state == "open" and self.cooldown is not None \
+                and not self.tripped:
+            waited = self._clock() - (self._opened_at or 0.0)
+            if waited >= self._current_cooldown():
+                self._state = "half-open"
+                self._probe_outstanding = False
+
+    def _current_cooldown(self) -> float:
+        return self.cooldown * min(8.0, 2.0 ** self.failed_probes)
+
+    def begin_probe(self) -> bool:
+        """In half-open, admit exactly one trial task; False otherwise."""
+        self._poll()
+        if self._state != "half-open" or self._probe_outstanding:
+            return False
+        self._probe_outstanding = True
+        return True
+
+    def allow_dispatch(self) -> bool:
+        """May the pool hand a task to a worker right now?
+
+        Closed: always. Open: never. Half-open: only the single probe
+        (this call *claims* the probe slot when it returns True).
+        """
+        self._poll()
+        if self._state == "closed":
+            return True
+        if self._state == "half-open":
+            return self.begin_probe()
+        return False
 
     def record_fault(self) -> None:
         self.consecutive_faults += 1
-        if self.consecutive_faults >= self.threshold:
+        self._poll()
+        if self._state == "half-open":
+            # The trial task faulted: back to open, cool-down escalated.
+            self.failed_probes += 1
+            self._probe_outstanding = False
+            self._trip()
+        elif self._state == "closed" \
+                and self.consecutive_faults >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        if self.cooldown is None or self.failed_probes >= self.max_probes:
             self.tripped = True
 
     def record_success(self) -> None:
         self.consecutive_faults = 0
+        if self._state != "closed":
+            # A completion while open/half-open is the probe (or a
+            # straggler from before the trip) finishing healthy: close.
+            self._state = "closed"
+            self._probe_outstanding = False
+            self.failed_probes = 0
+            self._opened_at = None
 
 
 # ----------------------------------------------------------------------
@@ -287,7 +381,8 @@ class SupervisedPool:
                 while delayed and delayed[0][0] <= now:
                     ready.append(heapq.heappop(delayed)[2])
                 for worker in pool:
-                    if worker.inflight is None and ready:
+                    if worker.inflight is None and ready \
+                            and self.breaker.allow_dispatch():
                         self._dispatch(worker, ready)
                 if not ready and not delayed and not any(
                     w.inflight is not None for w in pool
@@ -498,9 +593,10 @@ class SweepCheckpoint:
                 "fingerprint": fingerprint,
                 "tasks": len(keys),
             }
-            self.path.write_text(
-                json.dumps(header, sort_keys=True) + "\n", encoding="utf-8"
-            )
+            with self.path.open("w", encoding="utf-8") as handle:
+                handle.write(json.dumps(header, sort_keys=True) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
         return completed
 
     def mark_done(self, index: int, key: str, cache: str) -> None:
@@ -518,8 +614,14 @@ class SweepCheckpoint:
 
     # ------------------------------------------------------------------
     def _append(self, record: dict) -> None:
+        # flush + fsync so a completion survives a host crash: losing a
+        # "done" record would only cost a bit-identical re-run, but a
+        # *torn* one must never poison the resume path (``_read``
+        # tolerates exactly that by stopping at the first bad line).
         with self.path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     def _read(self) -> List[dict]:
         records = []

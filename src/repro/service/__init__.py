@@ -1,0 +1,51 @@
+"""Sweep-as-a-service: a durable campaign queue with worker fleets.
+
+The supervised pool (:mod:`repro.harness.supervisor`) makes one sweep on
+one host fault-tolerant. This package promotes it to a *service*:
+
+* :mod:`repro.service.queue` — a write-ahead-logged persistent queue of
+  sweep cells (``cgct-queue/v1`` JSONL, fsync-on-append, atomic
+  compaction, torn-trailing-record tolerance) with expiry-based leases,
+  so a SIGKILL'd fleet's in-flight cells are safely re-issued;
+* :mod:`repro.service.campaign` — campaign specs (a declarative cell
+  grid), the :class:`CampaignService` front-end (submit / run / resume
+  / cancel / status / results), fleet re-admission with exponential
+  backoff, and graceful degradation to fewer fleets then serial;
+* :mod:`repro.service.fleet` — the per-host fleet process: a
+  :class:`~repro.harness.supervisor.SupervisedPool`-backed worker crew
+  claiming cells under heartbeat-renewed leases;
+* :mod:`repro.service.chaos` — fault injection (worker SIGKILL
+  mid-cell, stalled heartbeats, WAL corruption, disk-full result
+  store) used by ``tests/service/`` and the CI chaos-smoke job;
+* :mod:`repro.service.cli` — the ``campaign`` subcommand of
+  ``python -m repro.harness``.
+
+The content-addressed result cache (:class:`~repro.harness.cache
+.DiskCache`) is the shared result store: identical cells across
+concurrent campaigns are computed once fleet-wide, and killing the
+entire service mid-campaign then resuming produces results bit-identical
+to an uninterrupted run. See ``docs/service.md``.
+"""
+
+from repro.service.campaign import (
+    CampaignReport,
+    CampaignService,
+    campaign_cells,
+    campaign_id_for,
+    result_fingerprint,
+)
+from repro.service.fleet import Fleet, fleet_main
+from repro.service.queue import CampaignQueue, Lease, QUEUE_SCHEMA
+
+__all__ = [
+    "CampaignQueue",
+    "CampaignReport",
+    "CampaignService",
+    "Fleet",
+    "Lease",
+    "QUEUE_SCHEMA",
+    "campaign_cells",
+    "campaign_id_for",
+    "fleet_main",
+    "result_fingerprint",
+]

@@ -1,0 +1,201 @@
+"""Fault injection for the campaign service (tests + CI chaos-smoke).
+
+The service itself has **no test hooks**: chaos rides in through the
+``REPRO_SERVICE_CHAOS`` environment variable (a JSON-encoded
+:class:`ChaosPlan`), which the fleet process entry point reads and
+turns into an execute-wrapper via :func:`chaos_execute`. Faults:
+
+``kill_worker`` (N)
+    SIGKILL the executing process mid-cell, N times total across the
+    whole run (once-per-marker files under ``marker_dir`` make the
+    count exact across any number of processes). Exercises lease
+    expiry, reclaim, and the no-lost-cell invariant.
+``disk_full`` (N)
+    Raise ``OSError(ENOSPC)`` from the result-store write path, N
+    times total. ENOSPC classifies as transient, so the cell must be
+    retried and eventually succeed — graceful degradation, not loss.
+``stall_heartbeats``
+    The fleet claims cells but never renews leases, so live work is
+    reclaimed by other fleets mid-flight. Exercises the lost-lease /
+    no-double-commit path.
+``protect_pid``
+    Never SIGKILL this pid (the coordinator, when it executes cells
+    in-process during serial degradation).
+
+WAL-level faults don't need the environment route — tests call
+:func:`torn_tail` / :func:`corrupt_record` directly on ``queue.wal``
+between service incarnations.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import signal
+from dataclasses import dataclass, asdict
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.harness.parallel import TaskOutcome, _Envelope, execute_envelope
+
+#: Environment variable carrying the JSON-encoded plan into fleets.
+CHAOS_ENV = "REPRO_SERVICE_CHAOS"
+
+
+@dataclass
+class ChaosPlan:
+    """A declarative fault budget (see module docstring)."""
+
+    marker_dir: str
+    kill_worker: int = 0
+    disk_full: int = 0
+    stall_heartbeats: bool = False
+    protect_pid: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    def to_env(self, environ: Optional[dict] = None) -> None:
+        """Install the plan into *environ* (default ``os.environ``)."""
+        target = environ if environ is not None else os.environ
+        target[CHAOS_ENV] = json.dumps(asdict(self), sort_keys=True)
+
+    @staticmethod
+    def clear_env(environ: Optional[dict] = None) -> None:
+        target = environ if environ is not None else os.environ
+        target.pop(CHAOS_ENV, None)
+
+    @staticmethod
+    def from_env(environ: Optional[dict] = None) -> Optional["ChaosPlan"]:
+        target = environ if environ is not None else os.environ
+        raw = target.get(CHAOS_ENV)
+        if not raw:
+            return None
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        return ChaosPlan(**payload)
+
+
+def _take_token(marker_dir: Union[str, Path], kind: str,
+                budget: int) -> bool:
+    """Claim one of *budget* fault tokens, exactly-once across processes.
+
+    Token *i* is an ``O_EXCL``-created marker file; the first process
+    to create it owns that injection. Returns False once the budget is
+    spent — after which execution proceeds un-sabotaged, which is what
+    lets every chaos test terminate.
+    """
+    directory = Path(marker_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    for i in range(budget):
+        try:
+            fd = os.open(
+                directory / f"{kind}-{i}",
+                os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+            )
+        except FileExistsError:
+            continue
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        os.close(fd)
+        return True
+    return False
+
+
+def tokens_spent(marker_dir: Union[str, Path], kind: str) -> int:
+    """How many *kind* faults actually fired (tests assert coverage)."""
+    directory = Path(marker_dir)
+    if not directory.exists():
+        return 0
+    return sum(1 for p in directory.iterdir()
+               if p.name.startswith(f"{kind}-"))
+
+
+def chaos_execute(
+    plan: ChaosPlan,
+    inner: Callable[[_Envelope], TaskOutcome] = execute_envelope,
+) -> Callable[[_Envelope], TaskOutcome]:
+    """Wrap *inner* so it misbehaves according to *plan*."""
+
+    def execute(envelope: _Envelope) -> TaskOutcome:
+        if plan.kill_worker and os.getpid() != plan.protect_pid \
+                and _take_token(plan.marker_dir, "kill", plan.kill_worker):
+            # Mid-cell from the queue's perspective: the lease is live
+            # and the cell uncommitted. SIGKILL is not catchable, so
+            # this models a real OOM-kill / power cut exactly.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if plan.disk_full \
+                and _take_token(plan.marker_dir, "enospc", plan.disk_full):
+            raise OSError(
+                errno.ENOSPC,
+                "No space left on device (chaos: result store full)",
+            )
+        return inner(envelope)
+
+    return execute
+
+
+# ----------------------------------------------------------------------
+# WAL-level faults (direct file surgery between service incarnations)
+# ----------------------------------------------------------------------
+def torn_tail(wal: Union[str, Path], keep_bytes: int = 7) -> str:
+    """Tear the WAL's last record mid-write (crash-during-append).
+
+    Truncates the final line to its first *keep_bytes* bytes with no
+    trailing newline — exactly the state a writer killed between
+    ``write`` and ``fsync`` leaves behind. Returns the JSON text of
+    the record that was torn, so tests can assert what was lost.
+    """
+    path = Path(wal)
+    data = path.read_bytes()
+    body = data.rstrip(b"\n")
+    cut = body.rfind(b"\n") + 1
+    torn = body[cut:]
+    with open(path, "r+b") as handle:
+        handle.truncate(cut)
+        handle.seek(cut)
+        handle.write(torn[:keep_bytes])
+        handle.flush()
+        os.fsync(handle.fileno())
+    return torn.decode("utf-8", "replace")
+
+
+def corrupt_record(wal: Union[str, Path], line_no: int) -> str:
+    """Overwrite line *line_no* (0-based) with same-length garbage.
+
+    Models in-place disk damage to a record *before* the tail — the
+    case replay must skip, report via ``CampaignQueue.corrupt``, and
+    :meth:`~repro.service.queue.CampaignQueue.recover` must bundle.
+    Returns the original line's text.
+    """
+    path = Path(wal)
+    lines = path.read_bytes().split(b"\n")
+    original = lines[line_no]
+    lines[line_no] = b"\xff" * len(original)
+    with open(path, "wb") as handle:
+        handle.write(b"\n".join(lines))
+        handle.flush()
+        os.fsync(handle.fileno())
+    return original.decode("utf-8", "replace")
+
+
+def duplicate_claim(service_dir: Union[str, Path], campaign: str,
+                    index: int, owner: str, lease_s: float = 30.0) -> None:
+    """Forge a competing ``claim`` record for a cell (split-brain fleet).
+
+    Appends through the queue's own locked path so the forged claim is
+    well-formed; the previous owner's next renewal must report the
+    cell LOST and its commit must be rejected or superseded, never
+    doubled.
+    """
+    from repro.service.queue import CampaignQueue
+
+    queue = CampaignQueue(service_dir)
+    with queue._locked():  # noqa: SLF001 — the harness is the one caller
+        state = queue._require(campaign)
+        queue._append([{
+            "record": "claim", "campaign": campaign, "index": index,
+            "owner": owner, "expires": queue._clock() + lease_s,
+            "attempt": state.attempts.get(index, 0) + 1,
+            "reclaimed_from": None,
+        }])

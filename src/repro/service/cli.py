@@ -1,0 +1,291 @@
+"""``python -m repro.harness campaign ...`` — the service CLI.
+
+Subcommands::
+
+    campaign submit  --service-dir DIR [--name N] <spec flags>
+    campaign run     CAMPAIGN --service-dir DIR [--fleets N] [...]
+    campaign resume  CAMPAIGN --service-dir DIR [...]
+    campaign status  [CAMPAIGN] --service-dir DIR
+    campaign cancel  CAMPAIGN --service-dir DIR
+    campaign results CAMPAIGN --service-dir DIR [--json]
+
+``run``/``resume`` stream progress while fleets work: a follower
+thread tails the service's ``runlog/v1`` files (coordinator *and*
+per-fleet logs, which also carry the wall-span records) and prints one
+line per interesting event — cell completions with cache status, fleet
+deaths/re-admissions, degradations, quarantines. The stream is purely
+observational; all durable state is in the WAL and the result store.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.common.errors import CGCTError
+from repro.service.campaign import CampaignService
+
+#: Events worth a progress line while following a run.
+_STREAMED = {
+    "run", "fleet-start", "fleet-death", "fleet-retire", "fleet-end",
+    "degrade", "campaign-submit", "campaign-degrade-serial",
+    "campaign-end", "span",
+}
+
+
+def _spec_from_args(args) -> dict:
+    if args.matrix:
+        spec = {
+            "kind": "matrix",
+            "benchmarks": args.benchmarks or [],
+            "configs": args.configs or [],
+            "ops": args.ops, "seeds": args.seeds, "warmup": args.warmup,
+        }
+    else:
+        spec = {
+            "kind": "experiments",
+            "experiments": args.experiments or ["all"],
+            "ops": args.ops, "seeds": args.seeds, "warmup": args.warmup,
+            "quick": bool(args.quick),
+        }
+        if args.benchmarks:
+            spec["benchmarks"] = args.benchmarks
+    return spec
+
+
+def _add_spec_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--experiments", nargs="*", default=None,
+                        help="experiment ids (or 'all'); default all")
+    parser.add_argument("--matrix", action="store_true",
+                        help="benchmark x config x seed matrix campaign "
+                             "instead of paper-figure experiments")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="workloads (matrix: required; experiments: "
+                             "restriction)")
+    parser.add_argument("--configs", nargs="*", default=None,
+                        help="perf-suite machine points (matrix only)")
+    parser.add_argument("--ops", type=int, default=12_000,
+                        help="memory operations per processor")
+    parser.add_argument("--seeds", type=int, default=1,
+                        help="seeds per cell grid point")
+    parser.add_argument("--warmup", type=float, default=0.4,
+                        help="warm-up fraction")
+    parser.add_argument("--quick", action="store_true",
+                        help="quick experiment grids (experiments only)")
+
+
+def _add_run_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fleets", type=int, default=2,
+                        help="fleet processes (0 = serial in-process)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="supervised workers per fleet")
+    parser.add_argument("--lease", type=float, default=30.0,
+                        help="cell lease seconds")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="overall campaign wall-clock budget")
+    parser.add_argument("--quiet", action="store_true",
+                        help="do not stream runlog progress")
+
+
+class _LogFollower:
+    """Tails every ``*.jsonl`` runlog under the service dir, printing
+    one compact line per streamed event. Tolerates torn trailing lines
+    (a fleet may be mid-append — or mid-SIGKILL) by re-reading them on
+    the next poll."""
+
+    def __init__(self, service_dir: Path) -> None:
+        self.dir = service_dir
+        self._offsets: Dict[Path, int] = {}
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def __enter__(self) -> "_LogFollower":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=2.0)
+        self.poll()  # drain whatever landed after the last tick
+
+    def _loop(self) -> None:
+        while not self._stop.wait(0.2):
+            self.poll()
+
+    def poll(self) -> None:
+        for path in sorted(self.dir.glob("*.jsonl")):
+            try:
+                with open(path, "rb") as handle:
+                    handle.seek(self._offsets.get(path, 0))
+                    payload = handle.read()
+            except OSError:  # pragma: no cover - racing a rotation
+                continue
+            consumed = 0
+            for raw in payload.split(b"\n"):
+                end = consumed + len(raw) + 1
+                if end > len(payload):
+                    break  # torn tail: re-read next poll
+                consumed = end
+                if raw.strip():
+                    self._print(path.stem, raw)
+            self._offsets[path] = self._offsets.get(path, 0) + consumed
+
+    def _print(self, source: str, raw: bytes) -> None:
+        try:
+            record = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return
+        event = record.get("event")
+        if event not in _STREAMED:
+            return
+        if event == "span" and record.get("name") != "campaign":
+            return
+        parts = [f"[{source}] {event}"]
+        for key in ("campaign", "fleet", "index", "status", "cache",
+                    "wall_s", "attempt", "exitcode", "restarts",
+                    "readmit_in_s", "workers_after", "done",
+                    "quarantined", "result_fingerprint"):
+            if key in record and record[key] is not None:
+                parts.append(f"{key}={record[key]}")
+        print(" ".join(parts), flush=True)
+
+
+def campaign_command(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness campaign",
+        description="Durable sweep campaigns: a WAL-backed queue "
+                    "drained by supervised worker fleets.",
+    )
+    parser.add_argument("--service-dir", metavar="DIR",
+                        default="campaign-service",
+                        help="service state directory (WAL, result "
+                             "store, logs, diagnostics)")
+    # Accepted before *or* after the subcommand; SUPPRESS keeps the
+    # subparser from clobbering a value parsed by the main parser.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--service-dir", metavar="DIR",
+                        default=argparse.SUPPRESS, help=argparse.SUPPRESS)
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    p_submit = sub.add_parser("submit", parents=[common],
+                              help="enqueue a campaign")
+    p_submit.add_argument("--name", default=None,
+                          help="campaign id (default: content-addressed)")
+    _add_spec_flags(p_submit)
+
+    p_run = sub.add_parser("run", parents=[common], help="submit (if needed) and drive "
+                                       "a campaign to completion")
+    p_run.add_argument("campaign", nargs="?", default=None,
+                       help="existing campaign id (omit with spec flags "
+                            "to submit+run in one step)")
+    p_run.add_argument("--name", default=None)
+    _add_spec_flags(p_run)
+    _add_run_flags(p_run)
+
+    p_resume = sub.add_parser("resume", parents=[common], help="resume an interrupted "
+                                             "campaign (idempotent)")
+    p_resume.add_argument("campaign")
+    _add_run_flags(p_resume)
+
+    p_status = sub.add_parser("status", parents=[common], help="cell counts per campaign")
+    p_status.add_argument("campaign", nargs="?", default=None)
+
+    p_cancel = sub.add_parser("cancel", parents=[common], help="cancel a campaign")
+    p_cancel.add_argument("campaign")
+
+    p_results = sub.add_parser("results", parents=[common], help="report a campaign's "
+                                               "results + fingerprint")
+    p_results.add_argument("campaign")
+    p_results.add_argument("--json", action="store_true",
+                           help="full per-cell JSON instead of a summary")
+
+    args = parser.parse_args(argv)
+    service = CampaignService(args.service_dir)
+    try:
+        return _dispatch(service, args)
+    except CGCTError as exc:
+        print(f"error: {exc}")
+        return 2
+    finally:
+        service.close()
+
+
+def _dispatch(service: CampaignService, args) -> int:
+    if args.verb == "submit":
+        receipt = service.submit(_spec_from_args(args), campaign=args.name)
+        print(f"[campaign {receipt['campaign']}: {receipt['cells']} cells"
+              f"{' (resumed)' if receipt['resumed'] else ''}]")
+        return 0
+    if args.verb in ("run", "resume"):
+        return _run(service, args)
+    if args.verb == "status":
+        status = service.status(args.campaign)
+        rows = [status] if args.campaign else list(status.values())
+        if not rows:
+            print("[no campaigns]")
+            return 0
+        for row in rows:
+            print(f"[{row['campaign']}: {row['done']}/{row['cells']} done, "
+                  f"{row['leased']} leased, {row['pending']} pending, "
+                  f"{row['quarantined']} quarantined"
+                  f"{', cancelled' if row['cancelled'] else ''}"
+                  f"{', complete' if row['completed'] else ''}]")
+        return 0
+    if args.verb == "cancel":
+        service.cancel(args.campaign)
+        print(f"[campaign {args.campaign}: cancelled]")
+        return 0
+    if args.verb == "results":
+        report = service.results(args.campaign)
+        if args.json:
+            print(json.dumps({
+                **report.summary(),
+                "cells": [
+                    {"index": i, "key": key,
+                     "done": report.results[i] is not None}
+                    for i, key in enumerate(report.keys)
+                ],
+                "quarantined": {
+                    str(i): rec.get("reason")
+                    for i, rec in report.quarantined.items()
+                },
+            }, indent=2, sort_keys=True))
+        else:
+            s = report.summary()
+            print(f"[{s['campaign']}: {s['done']}/{s['cells']} done, "
+                  f"{s['quarantined']} quarantined, fingerprint "
+                  f"{s['result_fingerprint']}"
+                  f"{'' if s['complete'] else ' (incomplete)'}]")
+        return 0 if report.complete else 1
+    raise AssertionError(f"unhandled verb {args.verb!r}")
+
+
+def _run(service: CampaignService, args) -> int:
+    if args.verb == "run" and args.campaign is None:
+        campaign = service.submit(
+            _spec_from_args(args), campaign=args.name)["campaign"]
+    elif args.verb == "run" and args.name is not None:
+        raise CGCTError("pass either a campaign id or --name, not both")
+    else:
+        campaign = args.campaign
+    service.lease_s = args.lease
+    started = time.monotonic()
+    runner = service.resume if args.verb == "resume" else service.run
+    if args.quiet:
+        report = runner(campaign, fleets=args.fleets,
+                        workers_per_fleet=args.workers,
+                        timeout_s=args.timeout)
+    else:
+        with _LogFollower(service.dir):
+            report = runner(campaign, fleets=args.fleets,
+                            workers_per_fleet=args.workers,
+                            timeout_s=args.timeout)
+    s = report.summary()
+    print(f"[campaign {s['campaign']}: {s['done']}/{s['cells']} cells in "
+          f"{time.monotonic() - started:.1f}s, {s['quarantined']} "
+          f"quarantined, fingerprint {s['result_fingerprint']}]")
+    return 0 if report.complete else 1

@@ -1,0 +1,782 @@
+"""Write-ahead-logged persistent campaign queue.
+
+One ``queue.wal`` JSON-lines file per service directory holds every
+campaign's cells and their lifecycle. The WAL is the *only* durable
+state the service needs: fleets, the coordinator, and the CLI all talk
+to it through :class:`CampaignQueue`, which serialises cross-process
+access with an ``flock`` on a sibling lock file and replays the log
+incrementally into an in-memory view.
+
+Durability contract
+-------------------
+* every append is flushed **and fsynced** before the mutating call
+  returns — an acknowledged claim/commit survives a host crash;
+* a **torn trailing record** (writer died mid-append) is expected: the
+  next writer terminates it with a newline so later appends can never
+  concatenate into it, and replay drops the unparsable line — the
+  operation it described was never acknowledged, so nothing is lost;
+* a corrupt record *before* the tail (disk damage) is skipped and
+  reported via :attr:`CampaignQueue.corrupt`; cells are re-derivable
+  from the campaign spec, so :meth:`CampaignQueue.repair` restores any
+  lost ``cell`` records and a lost ``done``/``claim`` merely causes a
+  bit-identical re-run — never a wrong result;
+* :meth:`compact` rewrites the live state as a fresh generation-stamped
+  WAL published atomically via ``os.replace``; concurrent readers
+  detect the generation change and replay from the top.
+
+Lease protocol
+--------------
+A cell is *pending* until a fleet claims it, writing a ``claim`` record
+with ``expires = now + lease_s``. The claimant renews the lease from a
+heartbeat thread (``renew`` records); a lease is live strictly before
+``expires`` and reclaimable **at or after** it, so a SIGKILL'd fleet's
+in-flight cells become claimable again exactly one lease period after
+its last heartbeat. Claims and renewals are serialised by the file
+lock: a renewal racing a reclaim sees either its own live lease (renew
+wins) or the new owner's (the renewal reports the cell as *lost* and
+the old claimant must not commit it). Each re-claim of an expired cell
+counts an *attempt*; re-admission backs off exponentially (via
+:class:`~repro.harness.supervisor.RetryPolicy`, delay capped) and a
+cell whose lease expired ``max_attempts`` times is quarantined by
+:meth:`reap` with a ``cgct-diagnostics/v1`` bundle instead of crash-
+looping forever. ``done`` is written at most once per cell — a stale
+claimant racing the reclaim can never double-commit, and results are
+content-addressed anyway, so the losing attempt's work is simply the
+cache entry the winner hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+try:  # File locking is advisory and Unix-only; the service targets it.
+    import fcntl
+except ImportError:  # pragma: no cover - non-Unix fallback (single proc)
+    fcntl = None
+
+from repro.common.errors import ConfigurationError, HarnessError
+from repro.harness.supervisor import RetryPolicy, sweep_fingerprint
+
+#: Schema tag stamped on the WAL header record.
+QUEUE_SCHEMA = "cgct-queue/v1"
+
+
+@dataclass
+class Lease:
+    """One fleet's exclusive (but expiring) hold on a cell."""
+
+    owner: str
+    expires: float
+    attempt: int
+
+    def live(self, now: float) -> bool:
+        """Live strictly before ``expires``; reclaimable at/after it."""
+        return now < self.expires
+
+
+class _Campaign:
+    """In-memory view of one campaign, rebuilt from the WAL."""
+
+    __slots__ = (
+        "campaign", "fingerprint", "expected_cells", "spec", "cells",
+        "done", "quarantined", "leases", "attempts", "not_before",
+        "cancelled", "completed",
+    )
+
+    def __init__(self, campaign: str, fingerprint: str,
+                 expected_cells: int, spec: dict) -> None:
+        self.campaign = campaign
+        self.fingerprint = fingerprint
+        self.expected_cells = expected_cells
+        self.spec = spec
+        self.cells: Dict[int, str] = {}          # index -> cache key
+        self.done: Dict[int, dict] = {}
+        self.quarantined: Dict[int, dict] = {}
+        self.leases: Dict[int, Lease] = {}
+        self.attempts: Dict[int, int] = {}       # claims ever issued
+        self.not_before: Dict[int, float] = {}   # re-admission backoff
+        self.cancelled = False
+        self.completed = False
+
+    # ------------------------------------------------------------------
+    def pending(self, now: float) -> List[int]:
+        """Claimable cell indices (no live lease, not done/quarantined,
+        past their re-admission backoff), in index order."""
+        if self.cancelled or self.completed:
+            return []
+        out = []
+        for index in sorted(self.cells):
+            if index in self.done or index in self.quarantined:
+                continue
+            lease = self.leases.get(index)
+            if lease is not None and lease.live(now):
+                continue
+            if now < self.not_before.get(index, 0.0):
+                continue
+            out.append(index)
+        return out
+
+    def unfinished(self) -> List[int]:
+        return [
+            index for index in sorted(self.cells)
+            if index not in self.done and index not in self.quarantined
+        ]
+
+
+class CampaignQueue:
+    """The durable queue (see module docstring).
+
+    Parameters
+    ----------
+    directory:
+        Service directory; the WAL lives at ``<directory>/queue.wal``.
+    policy:
+        :class:`RetryPolicy` governing expired-lease re-admission
+        backoff (the delay a crash-looped cell waits before its next
+        claim). The policy's ``max_delay`` caps the wait.
+    max_attempts:
+        Expired-lease claims a cell may accumulate before :meth:`reap`
+        quarantines it as crash-looping.
+    clock:
+        Injectable wall-clock (tests pin lease-expiry boundaries).
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        policy: Optional[RetryPolicy] = None,
+        max_attempts: int = 5,
+        clock=time.time,
+    ) -> None:
+        self.dir = Path(directory)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        self.wal = self.dir / "queue.wal"
+        self._lock_path = self.dir / "queue.lock"
+        self.policy = policy if policy is not None else RetryPolicy(
+            backoff_base=0.25, backoff_cap=8.0, max_delay=10.0,
+        )
+        self.max_attempts = max(1, int(max_attempts))
+        self._clock = clock
+        self._offset = 0
+        self._generation: Optional[int] = None
+        self._campaigns: Dict[str, _Campaign] = {}
+        #: Corrupt (non-trailing) WAL lines skipped during replay:
+        #: ``{"line": n, "raw": text}`` — surfaced by :meth:`recover`.
+        self.corrupt: List[dict] = []
+
+    # ------------------------------------------------------------------
+    # Locking + replay
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        handle = open(self._lock_path, "a+")
+        try:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            self._refresh()
+            yield
+        finally:
+            if fcntl is not None:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    def _refresh(self) -> None:
+        """Replay WAL bytes appended since the last look (lock held)."""
+        if not self.wal.exists():
+            self._offset = 0
+            self._generation = None
+            self._campaigns.clear()
+            self.corrupt.clear()
+            return
+        with open(self.wal, "rb") as handle:
+            head = handle.readline()
+            generation = self._header_generation(head)
+            if generation != self._generation or \
+                    self._offset > os.fstat(handle.fileno()).st_size:
+                # Compacted (new generation) or truncated under us:
+                # rebuild the whole view from the top.
+                self._generation = generation
+                self._offset = 0
+                self._campaigns.clear()
+                self.corrupt.clear()
+            handle.seek(self._offset)
+            payload = handle.read()
+        consumed = 0
+        for raw in payload.split(b"\n"):
+            end = consumed + len(raw) + 1
+            if end > len(payload):
+                # Trailing bytes without a newline: a torn append (or an
+                # append racing outside the lock). Leave the offset
+                # before them; the next writer terminates the tear.
+                break
+            consumed = end
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                self.corrupt.append({
+                    "offset": self._offset + consumed - len(raw) - 1,
+                    "raw": raw.decode("utf-8", "replace"),
+                })
+                continue
+            self._apply(record)
+        self._offset += consumed
+
+    @staticmethod
+    def _header_generation(head: bytes) -> Optional[int]:
+        try:
+            record = json.loads(head.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if record.get("record") == "wal":
+            return record.get("generation")
+        return None
+
+    def _apply(self, record: dict) -> None:
+        kind = record.get("record")
+        if kind == "wal":
+            return
+        campaign_id = record.get("campaign")
+        if kind == "campaign":
+            self._campaigns.setdefault(campaign_id, _Campaign(
+                campaign_id, record.get("fingerprint", ""),
+                int(record.get("cells", 0)), record.get("spec", {}),
+            ))
+            return
+        state = self._campaigns.get(campaign_id)
+        if state is None:
+            # A record for a campaign whose header was lost to
+            # corruption: keep it visible rather than dropping silently.
+            self.corrupt.append({"orphan": record})
+            return
+        index = record.get("index")
+        if kind == "cell":
+            state.cells[index] = record["key"]
+        elif kind == "claim":
+            state.leases[index] = Lease(
+                record["owner"], float(record["expires"]),
+                int(record.get("attempt", 1)),
+            )
+            state.attempts[index] = max(
+                state.attempts.get(index, 0), int(record.get("attempt", 1)),
+            )
+        elif kind == "renew":
+            lease = state.leases.get(index)
+            if lease is not None and lease.owner == record.get("owner"):
+                lease.expires = float(record["expires"])
+        elif kind == "release":
+            lease = state.leases.get(index)
+            if lease is not None and lease.owner == record.get("owner"):
+                del state.leases[index]
+        elif kind == "backoff":
+            state.not_before[index] = float(record["not_before"])
+        elif kind == "done":
+            state.done[index] = record
+            state.leases.pop(index, None)
+        elif kind == "quarantine":
+            state.quarantined[index] = record
+            state.leases.pop(index, None)
+        elif kind == "cancel":
+            state.cancelled = True
+        elif kind == "complete":
+            state.completed = True
+        # Unknown kinds are ignored: forward compatibility.
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+    def _append(self, records: Sequence[dict]) -> None:
+        """Append records (lock held), fsync, and fold into the view."""
+        lines = [
+            json.dumps(record, sort_keys=True, default=str).encode("utf-8")
+            + b"\n"
+            for record in records
+        ]
+        header = None
+        if not self.wal.exists() or self.wal.stat().st_size == 0:
+            generation = (self._generation or 0) + 1
+            header = {
+                "record": "wal", "schema": QUEUE_SCHEMA,
+                "generation": generation,
+            }
+            lines.insert(0, json.dumps(
+                header, sort_keys=True).encode("utf-8") + b"\n")
+        # O_RDWR (not append mode): terminating a torn tail needs to
+        # *read* the last byte, which "ab" handles refuse.
+        descriptor = os.open(self.wal, os.O_RDWR | os.O_CREAT, 0o644)
+        with os.fdopen(descriptor, "r+b") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size > 0:
+                # Terminate a torn trailing record from a crashed
+                # writer so this append can never concatenate into it.
+                handle.seek(size - 1)
+                if handle.read(1) != b"\n":
+                    handle.write(b"\n")
+            handle.seek(0, os.SEEK_END)
+            for line in lines:
+                handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._offset = os.fstat(handle.fileno()).st_size
+        if header is not None:
+            self._generation = header["generation"]
+        for record in records:
+            self._apply(record)
+
+    # ------------------------------------------------------------------
+    # Campaign lifecycle
+    # ------------------------------------------------------------------
+    def submit(self, campaign: str, spec: dict,
+               keys: Sequence[str]) -> dict:
+        """Enqueue a campaign (idempotent for an identical cell list).
+
+        Re-submitting the same campaign id with the same fingerprint is
+        a resume: only ``cell`` records lost to corruption are repaired.
+        A different fingerprint under the same id is refused — a
+        campaign's cell list is immutable.
+        """
+        fingerprint = sweep_fingerprint(keys)
+        with self._locked():
+            state = self._campaigns.get(campaign)
+            if state is None:
+                records: List[dict] = [{
+                    "record": "campaign", "campaign": campaign,
+                    "fingerprint": fingerprint, "cells": len(keys),
+                    "spec": spec, "submitted": round(self._clock(), 3),
+                }]
+                records.extend(
+                    {"record": "cell", "campaign": campaign, "index": i,
+                     "key": key}
+                    for i, key in enumerate(keys)
+                )
+                self._append(records)
+                return {"campaign": campaign, "cells": len(keys),
+                        "resumed": False}
+            if state.fingerprint != fingerprint:
+                raise ConfigurationError(
+                    f"campaign {campaign!r} already exists with a "
+                    f"different cell list (fingerprint "
+                    f"{state.fingerprint} != {fingerprint}); submit "
+                    f"under a new name"
+                )
+            repaired = self._repair_locked(state, keys)
+            return {"campaign": campaign, "cells": len(keys),
+                    "resumed": True, "repaired": repaired}
+
+    def repair(self, campaign: str, keys: Sequence[str]) -> int:
+        """Re-append ``cell`` records lost to WAL corruption.
+
+        Cells are deterministically derivable from the campaign spec,
+        so a corrupt ``cell`` line never loses work — the caller
+        recomputes the key list and this restores the queue's view.
+        Returns the number of records restored.
+        """
+        with self._locked():
+            state = self._require(campaign)
+            if state.fingerprint != sweep_fingerprint(keys):
+                raise ConfigurationError(
+                    f"repair key list does not match campaign "
+                    f"{campaign!r}'s fingerprint"
+                )
+            return self._repair_locked(state, keys)
+
+    def _repair_locked(self, state: _Campaign,
+                       keys: Sequence[str]) -> int:
+        missing = [
+            (i, key) for i, key in enumerate(keys) if i not in state.cells
+        ]
+        if missing:
+            self._append([
+                {"record": "cell", "campaign": state.campaign, "index": i,
+                 "key": key}
+                for i, key in missing
+            ])
+        return len(missing)
+
+    def cancel(self, campaign: str) -> None:
+        with self._locked():
+            self._require(campaign)
+            self._append([{"record": "cancel", "campaign": campaign}])
+
+    def mark_complete(self, campaign: str) -> None:
+        with self._locked():
+            state = self._require(campaign)
+            if not state.completed:
+                self._append([{"record": "complete", "campaign": campaign}])
+
+    # ------------------------------------------------------------------
+    # Leases
+    # ------------------------------------------------------------------
+    def claim(
+        self,
+        owner: str,
+        limit: int = 1,
+        lease_s: float = 30.0,
+        campaign: Optional[str] = None,
+    ) -> List[Tuple[str, int, str]]:
+        """Claim up to *limit* pending cells for *owner*.
+
+        Returns ``(campaign, index, cache_key)`` triples. A cell whose
+        previous lease expired is re-admitted only after its
+        exponential-backoff delay (``backoff`` record), and each
+        re-claim increments the attempt count :meth:`reap` judges.
+        """
+        now = self._clock()
+        picks: List[Tuple[str, int, str]] = []
+        records: List[dict] = []
+        with self._locked():
+            targets = (
+                [self._require(campaign)] if campaign is not None
+                else [self._campaigns[c] for c in sorted(self._campaigns)]
+            )
+            for state in targets:
+                for index in state.pending(now):
+                    if len(picks) >= limit:
+                        break
+                    if state.attempts.get(index, 0) >= self.max_attempts:
+                        # Attempt budget spent: stop re-issuing the
+                        # cell — it sits unclaimed until :meth:`reap`
+                        # quarantines it (crash-loop circuit).
+                        continue
+                    attempt = state.attempts.get(index, 0) + 1
+                    stale = state.leases.get(index)
+                    records.append({
+                        "record": "claim", "campaign": state.campaign,
+                        "index": index, "owner": owner,
+                        "expires": now + lease_s, "attempt": attempt,
+                        "reclaimed_from": stale.owner if stale else None,
+                    })
+                    if stale is not None:
+                        # Re-admission backoff for the *next* expiry of
+                        # this crash-suspect cell.
+                        records.append({
+                            "record": "backoff",
+                            "campaign": state.campaign, "index": index,
+                            "not_before": now + lease_s + self.policy.delay(
+                                attempt, key=(state.campaign, index)),
+                        })
+                    picks.append((state.campaign, index,
+                                  state.cells[index]))
+                if len(picks) >= limit:
+                    break
+            if records:
+                self._append(records)
+        return picks
+
+    def renew(
+        self,
+        owner: str,
+        cells: Sequence[Tuple[str, int]],
+        lease_s: float = 30.0,
+    ) -> List[Tuple[str, int]]:
+        """Extend *owner*'s leases; returns the cells that were LOST.
+
+        A lease can be renewed as long as *owner* still holds it — even
+        slightly past expiry, provided no other fleet reclaimed it
+        first (the file lock decides the race). A lost cell must not be
+        committed by *owner*; its in-flight work is wasted but harmless
+        (the result store is content-addressed).
+        """
+        now = self._clock()
+        lost: List[Tuple[str, int]] = []
+        records: List[dict] = []
+        with self._locked():
+            for campaign_id, index in cells:
+                state = self._campaigns.get(campaign_id)
+                lease = state.leases.get(index) if state else None
+                if state is None or index in state.done \
+                        or index in state.quarantined:
+                    continue  # settled elsewhere; nothing to renew
+                if lease is None or lease.owner != owner:
+                    lost.append((campaign_id, index))
+                    continue
+                records.append({
+                    "record": "renew", "campaign": campaign_id,
+                    "index": index, "owner": owner,
+                    "expires": now + lease_s,
+                })
+            if records:
+                self._append(records)
+        return lost
+
+    def release(self, owner: str, cells: Sequence[Tuple[str, int]]) -> None:
+        """Voluntarily give claimed cells back (shutdown, degradation)."""
+        with self._locked():
+            records = []
+            for campaign_id, index in cells:
+                state = self._campaigns.get(campaign_id)
+                lease = state.leases.get(index) if state else None
+                if lease is not None and lease.owner == owner:
+                    records.append({
+                        "record": "release", "campaign": campaign_id,
+                        "index": index, "owner": owner,
+                    })
+            if records:
+                self._append(records)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def commit(self, owner: str, campaign: str, index: int, key: str,
+               cache: str) -> bool:
+        """Record a cell's completion; at most one ``done`` per cell.
+
+        Returns False (and writes nothing) when the cell is already
+        done — the no-double-commit invariant. A commit from an owner
+        whose lease was reclaimed is still accepted when it arrives
+        first: the result is content-addressed, so first-writer-wins is
+        safe and saves the reclaimer's re-run.
+        """
+        with self._locked():
+            state = self._require(campaign)
+            if index in state.done or index in state.quarantined:
+                return False
+            lease = state.leases.get(index)
+            self._append([{
+                "record": "done", "campaign": campaign, "index": index,
+                "owner": owner, "key": key, "cache": cache,
+                "stale_lease": lease is None or lease.owner != owner,
+            }])
+            return True
+
+    def quarantine(self, campaign: str, index: int, reason: str,
+                   bundle: Optional[str] = None) -> bool:
+        with self._locked():
+            state = self._require(campaign)
+            if index in state.done or index in state.quarantined:
+                return False
+            self._append([{
+                "record": "quarantine", "campaign": campaign,
+                "index": index, "reason": reason, "bundle": bundle,
+            }])
+            return True
+
+    def reap(self, bundle_dir: Optional[Union[str, Path]] = None
+             ) -> List[dict]:
+        """Quarantine crash-looping cells (``attempts >= max_attempts``).
+
+        Each reaped cell gets a ``cgct-diagnostics/v1`` bundle (when
+        *bundle_dir* is given) recording its claim history, so repeated
+        lease expiries are never silently retried forever NOR silently
+        dropped. Returns the quarantine records written.
+        """
+        now = self._clock()
+        reaped: List[dict] = []
+        with self._locked():
+            records: List[dict] = []
+            for state in self._campaigns.values():
+                if state.cancelled or state.completed:
+                    continue
+                for index in state.unfinished():
+                    lease = state.leases.get(index)
+                    if lease is not None and lease.live(now):
+                        continue
+                    if state.attempts.get(index, 0) < self.max_attempts:
+                        continue
+                    reason = (
+                        f"lease expired {state.attempts[index]} times "
+                        f"(max_attempts={self.max_attempts}); cell "
+                        f"presumed to kill its workers"
+                    )
+                    bundle = None
+                    if bundle_dir is not None:
+                        bundle = str(self._write_reap_bundle(
+                            Path(bundle_dir), state, index, reason))
+                    record = {
+                        "record": "quarantine", "campaign": state.campaign,
+                        "index": index, "reason": reason, "bundle": bundle,
+                    }
+                    records.append(record)
+                    reaped.append(record)
+            if records:
+                self._append(records)
+        return reaped
+
+    def _write_reap_bundle(self, directory: Path, state: _Campaign,
+                           index: int, reason: str) -> Path:
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"queue-{state.campaign}-cell{index}.json"
+        suffix = 1
+        while path.exists():
+            path = directory / \
+                f"queue-{state.campaign}-cell{index}-{suffix}.json"
+            suffix += 1
+        payload = {
+            "schema": "cgct-diagnostics/v1",
+            "kind": "queue-reap",
+            "campaign": state.campaign,
+            "index": index,
+            "key": state.cells.get(index),
+            "attempts": state.attempts.get(index, 0),
+            "reason": reason,
+            "spec": state.spec,
+        }
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Re-read the WAL (read-only callers: status displays)."""
+        with self._locked():
+            pass
+
+    def campaigns(self) -> List[str]:
+        self.refresh()
+        return sorted(self._campaigns)
+
+    def spec(self, campaign: str) -> dict:
+        self.refresh()
+        return dict(self._require(campaign).spec)
+
+    def keys(self, campaign: str) -> Dict[int, str]:
+        self.refresh()
+        return dict(self._require(campaign).cells)
+
+    def quarantined(self, campaign: str) -> Dict[int, dict]:
+        self.refresh()
+        return dict(self._require(campaign).quarantined)
+
+    def status(self, campaign: Optional[str] = None) -> dict:
+        """Cell counts per campaign (or one campaign's counts)."""
+        self.refresh()
+        now = self._clock()
+        if campaign is not None:
+            return self._status_one(self._require(campaign), now)
+        return {
+            name: self._status_one(state, now)
+            for name, state in sorted(self._campaigns.items())
+        }
+
+    def _status_one(self, state: _Campaign, now: float) -> dict:
+        live = sum(1 for lease in state.leases.values() if lease.live(now))
+        unfinished = state.unfinished()
+        return {
+            "campaign": state.campaign,
+            "fingerprint": state.fingerprint,
+            "cells": len(state.cells),
+            "expected_cells": state.expected_cells,
+            "done": len(state.done),
+            "quarantined": len(state.quarantined),
+            "leased": live,
+            "pending": len(unfinished) - live,
+            "cancelled": state.cancelled,
+            "completed": state.completed,
+            "drained": not unfinished,
+        }
+
+    def _require(self, campaign: str) -> _Campaign:
+        state = self._campaigns.get(campaign)
+        if state is None:
+            raise HarnessError(f"unknown campaign {campaign!r}")
+        return state
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> int:
+        """Rewrite the WAL as a snapshot of live state, atomically.
+
+        The snapshot carries a bumped generation header; concurrent
+        processes notice the new generation on their next locked
+        operation and replay from the top. Returns the new record
+        count (header included).
+        """
+        with self._locked():
+            generation = (self._generation or 0) + 1
+            records: List[dict] = [{
+                "record": "wal", "schema": QUEUE_SCHEMA,
+                "generation": generation, "compacted": True,
+            }]
+            for name in sorted(self._campaigns):
+                state = self._campaigns[name]
+                records.append({
+                    "record": "campaign", "campaign": name,
+                    "fingerprint": state.fingerprint,
+                    "cells": state.expected_cells, "spec": state.spec,
+                })
+                records.extend(
+                    {"record": "cell", "campaign": name, "index": i,
+                     "key": state.cells[i]}
+                    for i in sorted(state.cells)
+                )
+                records.extend(
+                    {"record": "claim", "campaign": name, "index": i,
+                     "owner": lease.owner, "expires": lease.expires,
+                     "attempt": lease.attempt}
+                    for i, lease in sorted(state.leases.items())
+                )
+                records.extend(
+                    {"record": "backoff", "campaign": name, "index": i,
+                     "not_before": when}
+                    for i, when in sorted(state.not_before.items())
+                )
+                records.extend(state.done[i] for i in sorted(state.done))
+                records.extend(
+                    state.quarantined[i] for i in sorted(state.quarantined)
+                )
+                if state.cancelled:
+                    records.append({"record": "cancel", "campaign": name})
+                if state.completed:
+                    records.append({"record": "complete", "campaign": name})
+            descriptor, tmp_name = tempfile.mkstemp(
+                dir=str(self.dir), suffix=".wal.tmp")
+            try:
+                with os.fdopen(descriptor, "wb") as handle:
+                    for record in records:
+                        handle.write(json.dumps(
+                            record, sort_keys=True, default=str,
+                        ).encode("utf-8") + b"\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, self.wal)
+            finally:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+            self._generation = generation
+            self._offset = self.wal.stat().st_size
+            self.corrupt.clear()
+            return len(records)
+
+    def recover(self, bundle_dir: Optional[Union[str, Path]] = None
+                ) -> dict:
+        """Replay the WAL, reporting (and bundling) corruption.
+
+        Returns ``{"corrupt": n, "bundle": path | None}``. Corrupt
+        records were already skipped by replay; the bundle preserves
+        their raw bytes for forensics, honouring the "recovered or
+        quarantined, never silently lost" invariant.
+        """
+        self.refresh()
+        bundle = None
+        if self.corrupt and bundle_dir is not None:
+            directory = Path(bundle_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / "queue-corruption.json"
+            suffix = 1
+            while path.exists():
+                path = directory / f"queue-corruption-{suffix}.json"
+                suffix += 1
+            path.write_text(json.dumps({
+                "schema": "cgct-diagnostics/v1",
+                "kind": "queue-corruption",
+                "wal": str(self.wal),
+                "generation": self._generation,
+                "records": self.corrupt,
+            }, indent=2, sort_keys=True, default=str) + "\n",
+                encoding="utf-8")
+            bundle = str(path)
+        return {"corrupt": len(self.corrupt), "bundle": bundle}

@@ -311,3 +311,185 @@ class TestRetryPolicy:
 def test_sweep_fingerprint_is_order_sensitive():
     assert sweep_fingerprint(["a", "b"]) != sweep_fingerprint(["b", "a"])
     assert sweep_fingerprint(["a", "b"]) == sweep_fingerprint(["a", "b"])
+
+
+# ----------------------------------------------------------------------
+# Retry policy: the max-delay ceiling (crash-loop re-admission cadence)
+# ----------------------------------------------------------------------
+class TestRetryPolicyMaxDelay:
+    def test_max_delay_caps_the_jittered_value(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_factor=10.0,
+                             backoff_cap=1000.0, jitter=0.25,
+                             max_delay=7.5)
+        for attempt in range(1, 12):
+            for key in range(10):
+                assert policy.delay(attempt, key=key) <= 7.5
+
+    def test_schedule_is_pinned(self):
+        """The exact delay schedule for a fixed (policy, key) — any
+        change to the derivation breaks resume determinism and must be
+        deliberate."""
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_cap=2.0, jitter=0.0, max_delay=1.0)
+        delays = [policy.delay(a) for a in range(1, 8)]
+        assert delays == [0.1, 0.2, 0.4, 0.8, 1.0, 1.0, 1.0]
+
+    def test_jittered_schedule_is_reproducible_across_instances(self):
+        first = RetryPolicy(max_delay=3.0)
+        second = RetryPolicy(max_delay=3.0)
+        schedule = [first.delay(a, key=("camp", 3)) for a in range(1, 9)]
+        assert schedule == [second.delay(a, key=("camp", 3))
+                            for a in range(1, 9)]
+        assert all(d <= 3.0 for d in schedule)
+
+    def test_invariant_band(self):
+        policy = RetryPolicy(backoff_base=0.5, backoff_factor=2.0,
+                             backoff_cap=4.0, jitter=0.25, max_delay=5.0)
+        for attempt in range(1, 10):
+            for key in range(20):
+                delay = policy.delay(attempt, key=key)
+                assert 0.5 <= delay <= 5.0
+
+
+# ----------------------------------------------------------------------
+# Circuit breaker: half-open probe semantics
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_breaker(**kwargs):
+    from repro.harness.supervisor import CircuitBreaker
+
+    clock = FakeClock()
+    kwargs.setdefault("threshold", 2)
+    kwargs.setdefault("cooldown", 10.0)
+    return CircuitBreaker(clock=clock, **kwargs), clock
+
+
+def trip(breaker):
+    while breaker.state != "open":
+        breaker.record_fault()
+
+
+class TestCircuitBreakerHalfOpen:
+    def test_legacy_default_trips_permanently(self):
+        from repro.harness.supervisor import CircuitBreaker
+
+        breaker = CircuitBreaker(threshold=2)  # cooldown=None
+        breaker.record_fault()
+        assert not breaker.tripped
+        breaker.record_fault()
+        assert breaker.tripped
+        assert breaker.state == "open"
+        assert not breaker.allow_dispatch()
+
+    def test_open_transitions_to_half_open_after_cooldown(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        assert not breaker.tripped  # cooldown set: trip is provisional
+        assert not breaker.allow_dispatch()
+        clock.now = 9.999
+        assert breaker.state == "open"
+        clock.now = 10.0
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.now = 10.0
+        assert breaker.allow_dispatch()       # the probe
+        assert not breaker.allow_dispatch()   # a second task: refused
+        assert not breaker.begin_probe()
+
+    def test_probe_success_closes_the_breaker(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.now = 10.0
+        assert breaker.allow_dispatch()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow_dispatch()
+        assert breaker.consecutive_faults == 0
+        assert breaker.failed_probes == 0
+
+    def test_probe_fault_reopens_with_escalated_cooldown(self):
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.now = 10.0
+        assert breaker.allow_dispatch()
+        breaker.record_fault()                # probe died
+        assert breaker.state == "open"
+        clock.now = 10.0 + 10.0               # base cooldown: not enough
+        assert breaker.state == "open"
+        clock.now = 10.0 + 20.0               # doubled after 1 failed probe
+        assert breaker.state == "half-open"
+
+    def test_probe_exhaustion_trips_for_good(self):
+        breaker, clock = make_breaker(max_probes=2)
+        trip(breaker)
+        for _ in range(2):
+            clock.now += 1000.0               # past any cooldown
+            assert breaker.allow_dispatch()
+            breaker.record_fault()
+        assert breaker.tripped
+        clock.now += 10000.0
+        assert breaker.state == "open"        # never half-open again
+        assert not breaker.allow_dispatch()
+
+    def test_full_cycle_open_half_open_closed(self):
+        breaker, clock = make_breaker()
+        assert breaker.state == "closed"
+        trip(breaker)
+        assert breaker.state == "open"
+        clock.now = 50.0
+        assert breaker.state == "half-open"
+        assert breaker.allow_dispatch()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        # Healthy again: faults re-trip at the same threshold.
+        trip(breaker)
+        assert breaker.state == "open"
+        assert not breaker.tripped
+
+
+# ----------------------------------------------------------------------
+# Sweep checkpoint: crash-point regression sweep
+# ----------------------------------------------------------------------
+def test_checkpoint_crash_at_any_point_resumes_a_prefix(tmp_path):
+    """Truncate the checkpoint at every byte of its tail record: begin()
+    must never raise and must report a subset of the truly completed
+    indices (re-running a completed cell is safe; resuming a phantom
+    one is not)."""
+    keys = ["k0", "k1", "k2"]
+    path = tmp_path / "sweep.ckpt"
+    checkpoint = SweepCheckpoint(path)
+    checkpoint.begin(keys)
+    checkpoint.mark_done(0, "k0", "miss")
+    checkpoint.mark_done(1, "k1", "miss")
+    full = path.read_bytes()
+    newlines = [i for i, b in enumerate(full) if b == 0x0A]
+    for cut in range(newlines[0] + 1, len(full) + 1):
+        path.write_bytes(full[:cut])
+        completed = SweepCheckpoint(path).begin(keys)
+        assert completed <= {0, 1}
+        last_full = sum(1 for n in newlines if n < cut)
+        assert len(completed) >= last_full - 1
+    # Restore and confirm the intact file still resumes fully.
+    path.write_bytes(full)
+    assert SweepCheckpoint(path).begin(keys) == {0, 1}
+
+
+def test_checkpoint_appends_are_fsynced(tmp_path, monkeypatch):
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    checkpoint = SweepCheckpoint(tmp_path / "sweep.ckpt")
+    checkpoint.begin(["k0"])          # header write
+    checkpoint.mark_done(0, "k0", "miss")
+    assert len(synced) == 2

@@ -1,0 +1,210 @@
+"""Campaign service end-to-end: determinism, chaos, degradation.
+
+The headline invariant, asserted from every angle: any schedule of
+fleets, SIGKILLs, disk faults, and resumes produces a campaign whose
+``result_fingerprint`` is bit-identical to an undisturbed serial run's.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.campaign import CampaignService
+from repro.service.chaos import ChaosPlan, chaos_execute, tokens_spent
+from repro.service.fleet import Fleet
+from repro.service.queue import CampaignQueue
+
+SPEC = {"kind": "matrix", "benchmarks": ["barnes", "ocean"],
+        "configs": ["4p-baseline", "4p-cgct"], "ops": 500, "seeds": 1}
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def reference_fingerprint(tmp_path, spec=SPEC):
+    """An undisturbed serial run in a pristine service dir."""
+    service = CampaignService(tmp_path / "reference")
+    campaign = service.submit(spec)["campaign"]
+    report = service.run(campaign, fleets=0)
+    service.close()
+    assert report.complete
+    return campaign, report.result_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _no_inherited_chaos(monkeypatch):
+    monkeypatch.delenv("REPRO_SERVICE_CHAOS", raising=False)
+
+
+# ----------------------------------------------------------------------
+# Submission + reporting
+# ----------------------------------------------------------------------
+def test_submit_is_content_addressed_and_idempotent(tmp_path):
+    service = CampaignService(tmp_path / "svc")
+    first = service.submit(SPEC)
+    again = service.submit(SPEC)
+    assert first["campaign"] == again["campaign"]
+    assert not first["resumed"] and again["resumed"]
+    assert first["cells"] == 4
+
+
+def test_serial_run_matches_fleet_run(tmp_path):
+    _, expected = reference_fingerprint(tmp_path)
+    service = CampaignService(tmp_path / "svc", lease_s=5.0, poll_s=0.05)
+    campaign = service.submit(SPEC)["campaign"]
+    report = service.run(campaign, fleets=2)
+    assert report.complete
+    assert report.result_fingerprint == expected
+    assert service.status(campaign)["completed"]
+
+
+def test_overlapping_campaigns_share_the_result_store(tmp_path):
+    """Identical cells across concurrent campaigns are computed once:
+    the second campaign's overlapping cells are cache hits."""
+    service = CampaignService(tmp_path / "svc", poll_s=0.05)
+    small = dict(SPEC, benchmarks=["barnes"])
+    big = SPEC
+    c_small = service.submit(small)["campaign"]
+    service.run(c_small, fleets=0)
+    c_big = service.submit(big)["campaign"]
+    service.run(c_big, fleets=0)
+    wal = (tmp_path / "svc" / "queue.wal").read_text().splitlines()
+    dones = [json.loads(l) for l in wal
+             if json.loads(l).get("record") == "done"
+             and json.loads(l)["campaign"] == c_big]
+    small_keys = set(service.queue.keys(c_small).values())
+    for done in dones:
+        if done["key"] in small_keys:
+            assert done["cache"] == "hit"
+    assert sum(1 for d in dones if d["cache"] == "hit") == 2
+
+
+# ----------------------------------------------------------------------
+# Kill the ENTIRE service mid-campaign; resume
+# ----------------------------------------------------------------------
+_SERVICE_SCRIPT = """
+import sys
+from repro.service.campaign import CampaignService
+spec = {spec!r}
+service = CampaignService({service_dir!r}, lease_s=1.0, poll_s=0.05)
+campaign = service.submit(spec)["campaign"]
+service.run(campaign, fleets=2, timeout_s=240)
+"""
+
+
+def test_kill_entire_service_and_resume_is_bit_identical(tmp_path):
+    _, expected = reference_fingerprint(tmp_path)
+    spec = dict(SPEC, ops=900)  # slow enough to catch mid-campaign
+    _, expected_slow = reference_fingerprint(
+        tmp_path / "slowref", spec)
+    service_dir = str(tmp_path / "svc")
+    proc = subprocess.Popen(
+        [sys.executable, "-c",
+         _SERVICE_SCRIPT.format(spec=spec, service_dir=service_dir)],
+        env={**os.environ, "PYTHONPATH": SRC},
+        start_new_session=True,  # so killpg reaches the fleets too
+    )
+    try:
+        queue = CampaignQueue(service_dir)
+        deadline = time.monotonic() + 120.0
+        campaign = None
+        while time.monotonic() < deadline:
+            names = queue.campaigns()
+            if names:
+                campaign = names[0]
+                status = queue.status(campaign)
+                if 1 <= status["done"] < status["cells"]:
+                    break
+            time.sleep(0.02)
+        else:
+            pytest.fail("service never reached mid-campaign")
+        # SIGKILL the whole process group: coordinator AND fleets.
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30.0)
+    status = queue.status(campaign)
+    assert not status["drained"]  # genuinely interrupted
+    # Resume in this process; dead fleets' leases expire and their
+    # cells re-issue. The report must match the undisturbed run's.
+    service = CampaignService(service_dir, lease_s=1.0, poll_s=0.05)
+    report = service.resume(campaign, fleets=1, timeout_s=240)
+    assert report.complete
+    assert report.result_fingerprint == expected_slow
+    assert expected_slow != expected  # different spec, different grid
+
+
+# ----------------------------------------------------------------------
+# Chaos: worker SIGKILLs, disk-full, total fleet loss
+# ----------------------------------------------------------------------
+def test_fleet_sigkills_recover_with_identical_results(tmp_path):
+    _, expected = reference_fingerprint(tmp_path)
+    plan = ChaosPlan(marker_dir=str(tmp_path / "markers"),
+                     kill_worker=2, protect_pid=os.getpid())
+    plan.to_env()
+    try:
+        service = CampaignService(tmp_path / "svc", lease_s=0.5,
+                                  poll_s=0.05)
+        campaign = service.submit(SPEC)["campaign"]
+        report = service.run(campaign, fleets=2, timeout_s=240)
+    finally:
+        ChaosPlan.clear_env()
+    assert tokens_spent(tmp_path / "markers", "kill") == 2
+    assert report.complete
+    assert report.result_fingerprint == expected
+
+
+def test_disk_full_on_result_store_is_retried_not_lost(tmp_path):
+    _, expected = reference_fingerprint(tmp_path)
+    plan = ChaosPlan(marker_dir=str(tmp_path / "markers"), disk_full=2)
+    service = CampaignService(tmp_path / "svc", poll_s=0.05)
+    campaign = service.submit(SPEC)["campaign"]
+    fleet = Fleet(tmp_path / "svc", "f1", campaign=campaign,
+                  cache_dir=service.cache_dir, retries=3,
+                  execute=chaos_execute(plan))
+    counters = fleet.run()
+    assert tokens_spent(tmp_path / "markers", "enospc") == 2
+    assert counters["committed"] == 4
+    assert counters["quarantined"] == 0
+    report = service.results(campaign)
+    assert report.complete
+    assert report.result_fingerprint == expected
+
+
+def test_all_fleets_dying_degrades_to_serial(tmp_path):
+    """Every fleet process dies on its first cell; restart budgets
+    exhaust; the service must degrade to an in-process serial drain
+    and still finish with the undisturbed fingerprint."""
+    _, expected = reference_fingerprint(tmp_path)
+    plan = ChaosPlan(marker_dir=str(tmp_path / "markers"),
+                     kill_worker=99, protect_pid=os.getpid())
+    plan.to_env()
+    try:
+        service = CampaignService(
+            tmp_path / "svc", lease_s=0.5, poll_s=0.05,
+            fleet_restart_limit=1,
+        )
+        campaign = service.submit(SPEC)["campaign"]
+        report = service.run(campaign, fleets=2, timeout_s=240)
+    finally:
+        ChaosPlan.clear_env()
+    assert report.complete
+    assert report.result_fingerprint == expected
+    events = [json.loads(l)["event"] for l in
+              (tmp_path / "svc" / "service.jsonl").read_text()
+              .splitlines()]
+    assert "fleet-retire" in events
+    assert "campaign-degrade-serial" in events
+
+
+def test_cancel_stops_a_campaign(tmp_path):
+    service = CampaignService(tmp_path / "svc", poll_s=0.05)
+    campaign = service.submit(SPEC)["campaign"]
+    service.cancel(campaign)
+    report = service.run(campaign, fleets=0)
+    assert not report.complete
+    assert report.status["cancelled"]

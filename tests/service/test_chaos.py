@@ -1,0 +1,76 @@
+"""The chaos harness itself: plans, tokens, and injection mechanics."""
+
+import errno
+import json
+import os
+
+import pytest
+
+from repro.service.chaos import (
+    CHAOS_ENV,
+    ChaosPlan,
+    _take_token,
+    chaos_execute,
+    tokens_spent,
+)
+
+
+def test_plan_round_trips_through_the_environment(tmp_path):
+    environ = {}
+    plan = ChaosPlan(marker_dir=str(tmp_path), kill_worker=3,
+                     disk_full=1, stall_heartbeats=True,
+                     protect_pid=1234)
+    plan.to_env(environ)
+    assert ChaosPlan.from_env(environ) == plan
+    ChaosPlan.clear_env(environ)
+    assert ChaosPlan.from_env(environ) is None
+
+
+def test_garbage_env_yields_no_plan():
+    assert ChaosPlan.from_env({CHAOS_ENV: "{not json"}) is None
+    assert ChaosPlan.from_env({CHAOS_ENV: ""}) is None
+    assert ChaosPlan.from_env({}) is None
+
+
+def test_tokens_are_exactly_once_across_any_claimants(tmp_path):
+    taken = sum(1 for _ in range(10)
+                if _take_token(tmp_path / "m", "kill", budget=3))
+    assert taken == 3
+    assert tokens_spent(tmp_path / "m", "kill") == 3
+    assert tokens_spent(tmp_path / "m", "enospc") == 0
+
+
+def test_disk_full_injection_raises_enospc_then_relents(tmp_path):
+    plan = ChaosPlan(marker_dir=str(tmp_path / "m"), disk_full=1)
+    seen = []
+    execute = chaos_execute(plan, inner=lambda env: seen.append(env))
+
+    class Envelope:
+        index = 0
+
+    with pytest.raises(OSError) as excinfo:
+        execute(Envelope())
+    assert excinfo.value.errno == errno.ENOSPC
+    assert seen == []
+    execute(Envelope())  # budget spent: runs clean
+    assert len(seen) == 1
+
+
+def test_protected_pid_is_never_killed(tmp_path):
+    plan = ChaosPlan(marker_dir=str(tmp_path / "m"), kill_worker=5,
+                     protect_pid=os.getpid())
+    ran = []
+    execute = chaos_execute(plan, inner=lambda env: ran.append(env))
+
+    class Envelope:
+        index = 0
+
+    execute(Envelope())  # would SIGKILL us if protection failed
+    assert len(ran) == 1
+    assert tokens_spent(tmp_path / "m", "kill") == 0
+
+
+def test_marker_records_the_injecting_pid(tmp_path):
+    assert _take_token(tmp_path / "m", "kill", budget=1)
+    content = (tmp_path / "m" / "kill-0").read_text()
+    assert int(content.strip()) == os.getpid()

@@ -1,0 +1,193 @@
+"""Lease-protocol edge cases (satellite: expiry boundaries, races).
+
+Boundary semantics under an injected clock: a lease is live *strictly
+before* ``expires`` and reclaimable *at or after* it; renewal succeeds
+past expiry as long as no reclaim happened first; a renewal racing a
+reclaim reports the cell LOST; re-claims back off exponentially and
+crash-looping cells are reaped into quarantine.
+"""
+
+import json
+
+from repro.harness.supervisor import RetryPolicy
+from repro.service.chaos import duplicate_claim
+from repro.service.queue import CampaignQueue, Lease
+
+from tests.service.test_queue import Clock, make_queue, submit_abc
+
+
+def flat_policy(delay=0.0):
+    return RetryPolicy(backoff_base=delay, backoff_factor=1.0,
+                       backoff_cap=delay, max_delay=delay, jitter=0.0)
+
+
+# ----------------------------------------------------------------------
+# The expiry boundary, exactly
+# ----------------------------------------------------------------------
+def test_lease_live_strictly_before_expiry():
+    lease = Lease("f1", expires=100.0, attempt=1)
+    assert lease.live(99.999)
+    assert not lease.live(100.0)   # reclaimable exactly at expiry
+    assert not lease.live(100.001)
+
+
+def test_reclaim_exactly_at_expiry_boundary(tmp_path):
+    clock = Clock(start=1000.0)
+    queue, _ = make_queue(tmp_path, clock=clock, policy=flat_policy())
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=10.0)
+    clock.tick(10.0 - 1e-6)
+    # One microsecond before expiry: still f1's cell.
+    assert all(i != 0 for _, i, _ in queue.claim("f2", limit=10,
+                                                 lease_s=10.0))
+    clock.tick(1e-6)
+    # Exactly at expiry: reclaimable.
+    picks = queue.claim("f2", limit=10, lease_s=10.0)
+    assert ("camp", 0) in [(c, i) for c, i, _ in picks]
+
+
+def test_double_claim_is_rejected_while_lease_is_live(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    first = queue.claim("f1", limit=3, lease_s=30.0)
+    assert len(first) == 3
+    assert queue.claim("f2", limit=3, lease_s=30.0) == []
+
+
+def test_renewal_extends_a_live_lease(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=10.0)
+    clock.tick(8.0)
+    assert queue.renew("f1", [("camp", 0)], lease_s=10.0) == []
+    clock.tick(8.0)  # 16s after claim; renewed lease still has 2s
+    assert queue.claim("f2", limit=10, lease_s=10.0)[0][1] != 0
+
+
+def test_renewal_past_expiry_succeeds_if_no_reclaim(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock, policy=flat_policy())
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=10.0)
+    clock.tick(12.0)  # expired, but nobody reclaimed
+    assert queue.renew("f1", [("camp", 0)], lease_s=10.0) == []
+    # The late renewal re-armed the lease: not claimable again.
+    assert all(i != 0 for _, i, _ in queue.claim("f2", limit=10))
+
+
+def test_renewal_racing_a_reclaim_reports_lost(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock, policy=flat_policy())
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=10.0)
+    clock.tick(10.0)
+    reclaimed = queue.claim("f2", limit=1, lease_s=10.0)
+    assert [(c, i) for c, i, _ in reclaimed] == [("camp", 0)]
+    # f1's heartbeat arrives after the reclaim: the cell is LOST to it,
+    # and f2's lease is untouched by the failed renewal.
+    assert queue.renew("f1", [("camp", 0)], lease_s=10.0) == \
+        [("camp", 0)]
+    assert all(i != 0 for _, i, _ in queue.claim("f3", limit=10))
+
+
+def test_renew_skips_settled_cells(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=2, lease_s=30.0)
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    # A settled cell is neither renewed nor reported lost.
+    assert queue.renew("f1", [("camp", 0), ("camp", 1)],
+                       lease_s=30.0) == []
+
+
+def test_forged_duplicate_claim_loses_to_no_double_commit(tmp_path):
+    """Split-brain: a second claim forged while the first is live. The
+    original owner learns via renewal; whichever commit lands second
+    is rejected."""
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=30.0)
+    duplicate_claim(tmp_path / "svc", "camp", 0, "rogue", lease_s=30.0)
+    assert queue.renew("f1", [("camp", 0)], lease_s=30.0) == \
+        [("camp", 0)]
+    assert queue.commit("rogue", "camp", 0, "key-a", "miss")
+    assert not queue.commit("f1", "camp", 0, "key-a", "miss")
+    wal = (tmp_path / "svc" / "queue.wal").read_text().splitlines()
+    assert sum(1 for l in wal
+               if json.loads(l).get("record") == "done") == 1
+
+
+# ----------------------------------------------------------------------
+# Re-admission backoff + reaping
+# ----------------------------------------------------------------------
+def test_expired_reclaim_backs_off_exponentially(tmp_path):
+    clock = Clock()
+    policy = RetryPolicy(backoff_base=4.0, backoff_factor=2.0,
+                         backoff_cap=64.0, max_delay=64.0, jitter=0.0)
+    queue, _ = make_queue(tmp_path, clock=clock, policy=policy)
+    queue.submit("camp", {}, ["key-a"])
+    queue.claim("f1", limit=1, lease_s=10.0)      # attempt 1
+    clock.tick(10.0)
+    queue.claim("f2", limit=1, lease_s=10.0)      # attempt 2, backoff 8s
+    clock.tick(10.0)
+    # Lease expired but the cell is inside its 8s re-admission window.
+    assert queue.claim("f3", limit=1, lease_s=10.0) == []
+    clock.tick(8.0)
+    picks = queue.claim("f3", limit=1, lease_s=10.0)  # attempt 3
+    assert len(picks) == 1
+    # Delay grows with the attempt count (exponential re-admission).
+    clock.tick(10.0)
+    assert queue.claim("f4", limit=1, lease_s=10.0) == []
+    clock.tick(16.0 - 1e-3)
+    assert queue.claim("f4", limit=1, lease_s=10.0) == []
+    clock.tick(1e-3)
+    assert len(queue.claim("f4", limit=1, lease_s=10.0)) == 1
+
+
+def test_backoff_delay_is_capped(tmp_path):
+    clock = Clock()
+    policy = RetryPolicy(backoff_base=4.0, backoff_factor=10.0,
+                         backoff_cap=1000.0, max_delay=12.0, jitter=0.0)
+    queue, _ = make_queue(tmp_path, clock=clock, policy=policy,
+                          max_attempts=50)
+    queue.submit("camp", {}, ["key-a"])
+    for _ in range(4):
+        assert len(queue.claim("f", limit=1, lease_s=1.0)) == 1
+        clock.tick(1.0 + 12.0)  # lease + capped delay always suffices
+    assert queue.status("camp")["pending"] == 1
+
+
+def test_crash_looping_cell_is_reaped_with_bundle(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock, policy=flat_policy(),
+                          max_attempts=3)
+    queue.submit("camp", {"kind": "test"}, ["key-a", "key-b"])
+    for _ in range(3):
+        picks = queue.claim("f", limit=1, lease_s=1.0)
+        assert picks[0][1] == 0
+        clock.tick(1.0)
+    queue.commit("f", "camp", 1, "key-b", "miss")
+    reaped = queue.reap(tmp_path / "bundles")
+    assert [r["index"] for r in reaped] == [0]
+    assert queue.status("camp")["quarantined"] == 1
+    bundle = json.loads((tmp_path / "bundles" /
+                         "queue-camp-cell0.json").read_text())
+    assert bundle["schema"] == "cgct-diagnostics/v1"
+    assert bundle["kind"] == "queue-reap"
+    assert bundle["attempts"] == 3
+    # Reaping is terminal: the cell never comes back.
+    assert queue.claim("f", limit=10, lease_s=1.0) == []
+
+
+def test_reap_spares_cells_under_live_leases(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock, policy=flat_policy(),
+                          max_attempts=2)
+    queue.submit("camp", {}, ["key-a"])
+    queue.claim("f1", limit=1, lease_s=10.0)
+    clock.tick(10.0)
+    queue.claim("f2", limit=1, lease_s=10.0)  # attempt 2, lease live
+    assert queue.reap() == []  # working right now — not crash-looping
+    clock.tick(10.0)
+    assert [r["index"] for r in queue.reap()] == [0]

@@ -1,0 +1,270 @@
+"""WAL durability and lifecycle invariants of the campaign queue.
+
+The queue's contract (``cgct-queue/v1``): every acknowledged mutation
+survives a crash, a torn trailing record is tolerated and never
+concatenated into, corruption before the tail is skipped-and-reported
+(never silently lost), compaction is atomic, and ``done`` is written at
+most once per cell.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigurationError, HarnessError
+from repro.harness.supervisor import RetryPolicy
+from repro.service.chaos import corrupt_record, torn_tail
+from repro.service.queue import QUEUE_SCHEMA, CampaignQueue
+
+
+class Clock:
+    """Hand-cranked wall clock: lease boundaries become exact."""
+
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def make_queue(tmp_path, **kwargs):
+    clock = kwargs.pop("clock", Clock())
+    queue = CampaignQueue(tmp_path / "svc", clock=clock, **kwargs)
+    return queue, clock
+
+
+def submit_abc(queue, campaign="camp"):
+    keys = ["key-a", "key-b", "key-c"]
+    queue.submit(campaign, {"kind": "test"}, keys)
+    return keys
+
+
+# ----------------------------------------------------------------------
+# Lifecycle
+# ----------------------------------------------------------------------
+def test_submit_claim_commit_drains(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    keys = submit_abc(queue)
+    picks = queue.claim("f1", limit=10, lease_s=30.0)
+    assert [(c, i) for c, i, _ in picks] == \
+        [("camp", 0), ("camp", 1), ("camp", 2)]
+    assert [k for _, _, k in picks] == keys
+    for campaign, index, key in picks:
+        assert queue.commit("f1", campaign, index, key, "miss")
+    status = queue.status("camp")
+    assert status["done"] == 3
+    assert status["drained"]
+
+
+def test_submit_is_idempotent_and_guards_fingerprint(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    keys = submit_abc(queue)
+    receipt = queue.submit("camp", {"kind": "test"}, keys)
+    assert receipt["resumed"] and receipt["repaired"] == 0
+    with pytest.raises(ConfigurationError):
+        queue.submit("camp", {"kind": "test"}, ["other-key"])
+
+
+def test_state_survives_reopen(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=30.0)
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    reopened = CampaignQueue(tmp_path / "svc", clock=clock)
+    status = reopened.status("camp")
+    assert status["cells"] == 3
+    assert status["done"] == 1
+    assert status["pending"] == 2
+
+
+def test_done_is_written_at_most_once(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=30.0)
+    assert queue.commit("f1", "camp", 0, "key-a", "miss")
+    # Second commit — from anyone — is rejected and writes nothing.
+    assert not queue.commit("f1", "camp", 0, "key-a", "hit")
+    assert not queue.commit("f2", "camp", 0, "key-a", "hit")
+    wal = (tmp_path / "svc" / "queue.wal").read_text().splitlines()
+    dones = [json.loads(l) for l in wal
+             if json.loads(l).get("record") == "done"]
+    assert len(dones) == 1
+
+
+def test_quarantine_settles_a_cell(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    assert queue.quarantine("camp", 1, "injected bug", bundle="b.json")
+    assert not queue.quarantine("camp", 1, "again")
+    assert not queue.commit("f1", "camp", 1, "key-b", "miss")
+    status = queue.status("camp")
+    assert status["quarantined"] == 1
+    assert 1 in queue.quarantined("camp")
+    # Quarantined cells never come back as pending.
+    picks = queue.claim("f1", limit=10)
+    assert all(i != 1 for _, i, _ in picks)
+
+
+def test_cancel_stops_claims(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.cancel("camp")
+    assert queue.claim("f1", limit=10) == []
+    assert queue.status("camp")["cancelled"]
+
+
+def test_unknown_campaign_raises_harness_error(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    with pytest.raises(HarnessError):
+        queue.status("nope")
+
+
+# ----------------------------------------------------------------------
+# Torn trailing record (crash mid-append)
+# ----------------------------------------------------------------------
+def test_torn_trailing_record_is_dropped_on_replay(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=30.0)
+    wal = tmp_path / "svc" / "queue.wal"
+    torn = torn_tail(wal)
+    assert json.loads(torn)["record"] == "claim"
+    reopened = CampaignQueue(tmp_path / "svc", clock=clock)
+    status = reopened.status("camp")
+    # The torn claim was never acknowledged; the cell is simply pending.
+    assert status["leased"] == 0
+    assert status["pending"] == 3
+    assert reopened.corrupt == []  # a tear is not corruption
+
+
+def test_append_after_tear_never_concatenates(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    wal = tmp_path / "svc" / "queue.wal"
+    torn_tail(wal)
+    fresh = CampaignQueue(tmp_path / "svc", clock=clock)
+    fresh.claim("f2", limit=1, lease_s=30.0)
+    lines = wal.read_bytes().split(b"\n")
+    # The torn fragment sits alone on its line; every other line parses.
+    parsed, garbage = 0, 0
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            json.loads(line)
+            parsed += 1
+        except json.JSONDecodeError:
+            garbage += 1
+    assert garbage == 1
+    assert fresh.status("camp")["leased"] == 1
+
+
+def test_tear_at_every_record_boundary_is_recoverable(tmp_path):
+    """Crash-point sweep: tearing the WAL after any prefix of appends
+    leaves a queue that reopens with a consistent (prefix) view."""
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=2, lease_s=30.0)
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    wal = tmp_path / "svc" / "queue.wal"
+    full = wal.read_bytes()
+    offsets = [i + 1 for i, b in enumerate(full) if b == 0x0A]
+    for cut in offsets:
+        for extra in (0, 3):  # clean boundary, and mid-next-record
+            wal.write_bytes(full[:cut + extra])
+            reopened = CampaignQueue(tmp_path / "svc", clock=clock)
+            reopened.refresh()  # must not raise
+            if "camp" in reopened.campaigns():
+                status = reopened.status("camp")
+                assert 0 <= status["done"] <= 1
+    wal.write_bytes(full)
+
+
+# ----------------------------------------------------------------------
+# Mid-file corruption (disk damage) + repair
+# ----------------------------------------------------------------------
+def test_corrupt_record_is_skipped_and_reported(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    keys = submit_abc(queue)
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    wal = tmp_path / "svc" / "queue.wal"
+    # Line 2 is the second 'cell' record (0=header, 1=campaign, 2..=cells)
+    original = corrupt_record(wal, 2)
+    assert json.loads(original)["record"] == "cell"
+    reopened = CampaignQueue(tmp_path / "svc", clock=clock)
+    status = reopened.status("camp")
+    assert status["cells"] == 2              # one cell record lost
+    assert status["expected_cells"] == 3     # but the loss is visible
+    assert len(reopened.corrupt) == 1
+    report = reopened.recover(tmp_path / "bundles")
+    assert report["corrupt"] == 1
+    bundle = json.loads((tmp_path / "bundles" /
+                         "queue-corruption.json").read_text())
+    assert bundle["schema"] == "cgct-diagnostics/v1"
+    assert bundle["kind"] == "queue-corruption"
+    # Cells derive from the spec: repair restores the queue's view.
+    assert reopened.repair("camp", keys) == 1
+    assert reopened.status("camp")["cells"] == 3
+
+
+def test_repair_refuses_wrong_keys(tmp_path):
+    queue, _ = make_queue(tmp_path)
+    submit_abc(queue)
+    with pytest.raises(ConfigurationError):
+        queue.repair("camp", ["x", "y", "z"])
+
+
+# ----------------------------------------------------------------------
+# Compaction
+# ----------------------------------------------------------------------
+def test_compact_preserves_state_and_bumps_generation(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=30.0)
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    queue.quarantine("camp", 2, "bad")
+    before = queue.status("camp")
+    queue.compact()
+    wal = tmp_path / "svc" / "queue.wal"
+    header = json.loads(wal.read_text().splitlines()[0])
+    assert header["record"] == "wal"
+    assert header["schema"] == QUEUE_SCHEMA
+    assert header["generation"] == 2
+    assert header["compacted"]
+    assert queue.status("camp") == before
+
+
+def test_concurrent_reader_detects_compaction(tmp_path):
+    queue, clock = make_queue(tmp_path)
+    submit_abc(queue)
+    other = CampaignQueue(tmp_path / "svc", clock=clock)
+    assert other.status("camp")["cells"] == 3
+    queue.commit("f1", "camp", 0, "key-a", "miss")
+    queue.compact()
+    queue.commit("f1", "camp", 1, "key-b", "miss")
+    # `other` replayed the old generation; its next look must rebuild
+    # from the new WAL, not mis-apply offsets into it.
+    status = other.status("camp")
+    assert status["done"] == 2
+    assert status["cells"] == 3
+
+
+def test_backoff_records_survive_compaction(tmp_path):
+    clock = Clock()
+    queue, _ = make_queue(tmp_path, clock=clock,
+                          policy=RetryPolicy(backoff_base=2.0,
+                                             backoff_cap=8.0,
+                                             max_delay=8.0, jitter=0.0))
+    submit_abc(queue)
+    queue.claim("f1", limit=1, lease_s=1.0)
+    clock.tick(1.0)  # expire
+    queue.claim("f2", limit=1, lease_s=1.0)  # reclaim → backoff record
+    clock.tick(1.0)  # expire f2's lease too
+    queue.compact()
+    reopened = CampaignQueue(tmp_path / "svc", clock=clock)
+    # Cell 0 is inside its re-admission backoff: claims skip to cell 1.
+    picks = reopened.claim("f3", limit=1, lease_s=1.0)
+    assert [(c, i) for c, i, _ in picks] == [("camp", 1)]
