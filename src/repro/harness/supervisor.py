@@ -99,7 +99,9 @@ class CircuitBreaker:
     success closes the breaker, a probe fault re-opens it with the
     cool-down doubled (capped at 8× the base), and ``max_probes``
     consecutive failed probes exhaust the breaker for good
-    (:attr:`tripped` True).
+    (:attr:`tripped` True). A half-open fault with *no* probe admitted
+    (a straggler dispatched before the trip) re-opens the breaker but
+    consumes no probe and leaves the cool-down unescalated.
     """
 
     def __init__(
@@ -163,9 +165,16 @@ class CircuitBreaker:
         self.consecutive_faults += 1
         self._poll()
         if self._state == "half-open":
-            # The trial task faulted: back to open, cool-down escalated.
-            self.failed_probes += 1
-            self._probe_outstanding = False
+            if self._probe_outstanding:
+                # The trial task faulted: back to open, cool-down
+                # escalated.
+                self.failed_probes += 1
+                self._probe_outstanding = False
+            # A fault with no probe admitted (a straggler dispatched
+            # before the trip) still re-opens, but must not burn a
+            # probe — otherwise max_probes could be exhausted, and the
+            # breaker permanently tripped, without a single trial task
+            # ever being dispatched.
             self._trip()
         elif self._state == "closed" \
                 and self.consecutive_faults >= self.threshold:

@@ -107,7 +107,8 @@ class _FleetSlot:
 
 def _fleet_entry(service_dir: str, fleet_id: str, campaign: Optional[str],
                  workers: int, lease_s: float, cache_dir: Optional[str],
-                 retries: int) -> None:
+                 retries: int, policy: Optional[RetryPolicy],
+                 max_attempts: int) -> None:
     """Module-level fleet process target (fork- and spawn-safe).
 
     Chaos injection rides in via ``REPRO_SERVICE_CHAOS`` (see
@@ -121,7 +122,8 @@ def _fleet_entry(service_dir: str, fleet_id: str, campaign: Optional[str],
     sys.exit(fleet_main(
         service_dir, fleet_id, campaign=campaign, workers=workers,
         lease_s=lease_s, cache_dir=cache_dir, execute=execute,
-        stall_heartbeats=stall, retries=retries,
+        stall_heartbeats=stall, retries=retries, policy=policy,
+        max_attempts=max_attempts,
     ))
 
 
@@ -165,11 +167,17 @@ class CampaignService:
         self.policy = policy if policy is not None else RetryPolicy(
             backoff_base=0.2, backoff_cap=5.0, max_delay=5.0,
         )
+        self.max_attempts = max(1, int(max_attempts))
         self.fleet_restart_limit = max(0, int(fleet_restart_limit))
         self.poll_s = poll_s
         self._clock = clock
+        # One retry configuration per service directory: the
+        # coordinator's queue, every fleet's queue, and the serial
+        # fallback all share *policy*/*max_attempts* so re-admission
+        # backoff and quarantine thresholds agree.
         self.queue = CampaignQueue(
-            self.dir, max_attempts=max_attempts, clock=clock,
+            self.dir, policy=self.policy, max_attempts=self.max_attempts,
+            clock=clock,
         )
         self._version = code_version()
         self._runlog: Optional[RunLog] = None
@@ -348,7 +356,8 @@ class CampaignService:
                 slot.proc = ctx.Process(
                     target=_fleet_entry,
                     args=(str(self.dir), fleet_id, campaign, workers,
-                          self.lease_s, str(self.cache_dir), retries),
+                          self.lease_s, str(self.cache_dir), retries,
+                          self.policy, self.max_attempts),
                     daemon=False,
                 )
                 slot.proc.start()
@@ -371,7 +380,8 @@ class CampaignService:
         fleet = Fleet(
             str(self.dir), f"serial@{os.getpid()}", campaign=campaign,
             workers=1, lease_s=self.lease_s, cache_dir=str(self.cache_dir),
-            retries=retries, bundle_dir=self.bundle_dir,
+            retries=retries, policy=self.policy,
+            max_attempts=self.max_attempts, bundle_dir=self.bundle_dir,
             runlog=self._ensure_runlog(), poll_s=self.poll_s,
         )
         fleet.run()

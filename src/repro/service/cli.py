@@ -57,22 +57,37 @@ def _spec_from_args(args) -> dict:
     return spec
 
 
+#: Spec flag defaults, shared by the parser and the check in ``_run``
+#: that refuses spec flags next to an explicit campaign id (a stored
+#: campaign's spec is immutable, so they would be silently ignored).
+_SPEC_DEFAULTS = {
+    "experiments": None, "matrix": False, "benchmarks": None,
+    "configs": None, "ops": 12_000, "seeds": 1, "warmup": 0.4,
+    "quick": False,
+}
+
+
 def _add_spec_flags(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--experiments", nargs="*", default=None,
+    parser.add_argument("--experiments", nargs="*",
+                        default=_SPEC_DEFAULTS["experiments"],
                         help="experiment ids (or 'all'); default all")
     parser.add_argument("--matrix", action="store_true",
                         help="benchmark x config x seed matrix campaign "
                              "instead of paper-figure experiments")
-    parser.add_argument("--benchmarks", nargs="*", default=None,
+    parser.add_argument("--benchmarks", nargs="*",
+                        default=_SPEC_DEFAULTS["benchmarks"],
                         help="workloads (matrix: required; experiments: "
                              "restriction)")
-    parser.add_argument("--configs", nargs="*", default=None,
+    parser.add_argument("--configs", nargs="*",
+                        default=_SPEC_DEFAULTS["configs"],
                         help="perf-suite machine points (matrix only)")
-    parser.add_argument("--ops", type=int, default=12_000,
+    parser.add_argument("--ops", type=int, default=_SPEC_DEFAULTS["ops"],
                         help="memory operations per processor")
-    parser.add_argument("--seeds", type=int, default=1,
+    parser.add_argument("--seeds", type=int,
+                        default=_SPEC_DEFAULTS["seeds"],
                         help="seeds per cell grid point")
-    parser.add_argument("--warmup", type=float, default=0.4,
+    parser.add_argument("--warmup", type=float,
+                        default=_SPEC_DEFAULTS["warmup"],
                         help="warm-up fraction")
     parser.add_argument("--quick", action="store_true",
                         help="quick experiment grids (experiments only)")
@@ -268,8 +283,24 @@ def _run(service: CampaignService, args) -> int:
     if args.verb == "run" and args.campaign is None:
         campaign = service.submit(
             _spec_from_args(args), campaign=args.name)["campaign"]
-    elif args.verb == "run" and args.name is not None:
-        raise CGCTError("pass either a campaign id or --name, not both")
+    elif args.verb == "run":
+        if args.name is not None:
+            raise CGCTError(
+                "pass either a campaign id or --name, not both")
+        overridden = [
+            f"--{flag}" for flag, default in _SPEC_DEFAULTS.items()
+            if getattr(args, flag) != default
+        ]
+        if overridden:
+            # A campaign's cell list is immutable, so the stored spec
+            # always wins; accepting the flags would silently run
+            # something other than what was asked for.
+            raise CGCTError(
+                f"campaign {args.campaign!r} already defines its spec; "
+                f"{', '.join(sorted(overridden))} would be ignored — "
+                f"drop them, or submit a new campaign"
+            )
+        campaign = args.campaign
     else:
         campaign = args.campaign
     service.lease_s = args.lease

@@ -87,6 +87,13 @@ class Fleet:
         :func:`~repro.harness.parallel.execute_envelope`.
     retries:
         In-batch transient retry budget per cell.
+    policy / max_attempts:
+        Service-level retry configuration, threaded from
+        :class:`~repro.service.campaign.CampaignService` so every
+        queue view of one service directory judges re-admission
+        backoff and the :meth:`~repro.service.queue.CampaignQueue
+        .reap` quarantine threshold identically. *policy* (when
+        given) also paces this fleet's in-batch transient retries.
     stall_heartbeats:
         Chaos switch: claim but never renew, so leases expire under
         live work and other fleets reclaim mid-flight.
@@ -104,6 +111,7 @@ class Fleet:
         execute: Optional[Callable[[_Envelope], TaskOutcome]] = None,
         retries: int = 1,
         policy: Optional[RetryPolicy] = None,
+        max_attempts: int = 5,
         bundle_dir: Optional[Union[str, Path]] = None,
         batch: Optional[int] = None,
         poll_s: float = 0.1,
@@ -113,7 +121,13 @@ class Fleet:
         runlog: Optional[RunLog] = None,
     ) -> None:
         self.service_dir = Path(service_dir)
-        self.queue = CampaignQueue(self.service_dir)
+        # The fleet's queue view must judge quarantine (max_attempts)
+        # and re-admission backoff (policy) exactly like the
+        # coordinator's, so both come from the same service-level
+        # configuration rather than CampaignQueue's defaults.
+        self.queue = CampaignQueue(
+            self.service_dir, policy=policy, max_attempts=max_attempts,
+        )
         self.fleet_id = fleet_id
         self.campaign = campaign
         self.workers = max(1, int(workers))
@@ -207,14 +221,19 @@ class Fleet:
     # One batch
     # ------------------------------------------------------------------
     def _execute_batch(self, picks: List[Tuple[str, int, str]]) -> None:
-        by_index: Dict[int, Tuple[str, str]] = {}
+        # Envelope indices are batch-local slots, NOT cell indices: a
+        # multi-campaign batch (``campaign=None``) routinely holds the
+        # same cell index from two campaigns, so the bare index cannot
+        # key anything. ``batch`` maps each slot back to the envelope's
+        # own (campaign, cell index, cache key).
+        batch: Dict[int, Tuple[str, int, str]] = {}
         envelopes: List[_Envelope] = []
-        for campaign, index, key in picks:
-            by_index[index] = (campaign, key)
+        for slot, (campaign, index, key) in enumerate(picks):
+            batch[slot] = (campaign, index, key)
             self._held.add((campaign, index))
             self._attempts.setdefault((campaign, index), 1)
             envelopes.append(_Envelope(
-                index, self._task_for(campaign, index), self.cache_dir,
+                slot, self._task_for(campaign, index), self.cache_dir,
                 self._version,
             ))
         stop = threading.Event()
@@ -224,9 +243,9 @@ class Fleet:
         beat.start()
         try:
             if self.workers > 1 and len(envelopes) > 1:
-                self._run_pool(envelopes, by_index)
+                self._run_pool(envelopes, batch)
             else:
-                self._run_serial(envelopes, by_index)
+                self._run_serial(envelopes, batch)
         finally:
             stop.set()
             beat.join(timeout=2.0)
@@ -250,7 +269,7 @@ class Fleet:
 
     # ------------------------------------------------------------------
     def _run_pool(self, envelopes: List[_Envelope],
-                  by_index: Dict[int, Tuple[str, str]]) -> None:
+                  batch: Dict[int, Tuple[str, int, str]]) -> None:
         breaker = CircuitBreaker(
             self.circuit_threshold, cooldown=self.breaker_cooldown,
         )
@@ -259,11 +278,11 @@ class Fleet:
         )
 
         def on_outcome(envelope: _Envelope, outcome: TaskOutcome) -> None:
-            self._commit(envelope, outcome, by_index)
+            self._commit(envelope, outcome, batch)
 
         def on_failure(envelope: _Envelope,
                        failure: TaskFailure) -> Optional[float]:
-            return self._decide_retry(envelope, failure, by_index)
+            return self._decide_retry(envelope, failure, batch)
 
         _, unfinished = pool.run(envelopes, on_outcome, on_failure)
         if unfinished:
@@ -277,13 +296,12 @@ class Fleet:
                       workers_before=old_workers,
                       workers_after=self.workers)
             self._run_serial(
-                sorted(unfinished, key=lambda e: e.index), by_index,
+                sorted(unfinished, key=lambda e: e.index), batch,
             )
 
     def _run_serial(self, envelopes: List[_Envelope],
-                    by_index: Dict[int, Tuple[str, str]]) -> None:
+                    batch: Dict[int, Tuple[str, int, str]]) -> None:
         for envelope in envelopes:
-            campaign, _ = by_index[envelope.index]
             while True:
                 try:
                     outcome = self.execute(envelope)
@@ -294,35 +312,35 @@ class Fleet:
                         traceback=traceback.format_exc(),
                         failure_class=classify_failure(exc),
                     )
-                    delay = self._decide_retry(envelope, failure, by_index)
+                    delay = self._decide_retry(envelope, failure, batch)
                     if delay is None:
                         break
                     time.sleep(delay)
                 else:
-                    self._commit(envelope, outcome, by_index)
+                    self._commit(envelope, outcome, batch)
                     break
 
     # ------------------------------------------------------------------
     def _commit(self, envelope: _Envelope, outcome: TaskOutcome,
-                by_index: Dict[int, Tuple[str, str]]) -> None:
-        campaign, key = by_index[envelope.index]
-        cell = (campaign, envelope.index)
+                batch: Dict[int, Tuple[str, int, str]]) -> None:
+        campaign, index, key = batch[envelope.index]
+        cell = (campaign, index)
         if cell in self._lost:
             # Reclaimed mid-flight (stalled heartbeat / expired lease):
             # the reclaimer owns the commit; our result is its cache hit.
             self.rejected_commits += 1
-            self._log("run", campaign=campaign, index=envelope.index,
+            self._log("run", campaign=campaign, index=index,
                       status="lost-lease", cache=outcome.cache)
             return
         accepted = self.queue.commit(
-            self.fleet_id, campaign, envelope.index, key, outcome.cache,
+            self.fleet_id, campaign, index, key, outcome.cache,
         )
         if accepted:
             self.committed += 1
         else:
             self.rejected_commits += 1
         self._held.discard(cell)
-        self._log("run", campaign=campaign, index=envelope.index,
+        self._log("run", campaign=campaign, index=index,
                   status="ok" if accepted else "duplicate",
                   cache=outcome.cache,
                   wall_s=round(outcome.wall_seconds, 4),
@@ -330,15 +348,15 @@ class Fleet:
                   attempt=self._attempts.get(cell, 1))
 
     def _decide_retry(self, envelope: _Envelope, failure: TaskFailure,
-                      by_index: Dict[int, Tuple[str, str]]
+                      batch: Dict[int, Tuple[str, int, str]]
                       ) -> Optional[float]:
-        campaign, key = by_index[envelope.index]
-        cell = (campaign, envelope.index)
+        campaign, index, key = batch[envelope.index]
+        cell = (campaign, index)
         attempt = self._attempts.get(cell, 1)
         deterministic = failure.failure_class is FailureClass.DETERMINISTIC
         will_retry = not deterministic and attempt <= self.retries \
             and cell not in self._lost
-        self._log("run", campaign=campaign, index=envelope.index,
+        self._log("run", campaign=campaign, index=index,
                   status="error", kind=failure.kind,
                   failure_class=failure.failure_class.value,
                   error=failure.describe(), attempt=attempt,
@@ -347,8 +365,10 @@ class Fleet:
             self._attempts[cell] = attempt + 1
             return self.policy.delay(attempt, key=cell)
         if deterministic:
-            bundle = self._write_failure_bundle(campaign, envelope, failure)
-            if self.queue.quarantine(campaign, envelope.index,
+            bundle = self._write_failure_bundle(
+                campaign, index, envelope, failure,
+            )
+            if self.queue.quarantine(campaign, index,
                                      failure.describe(), bundle=bundle):
                 self.quarantined += 1
         else:
@@ -359,21 +379,22 @@ class Fleet:
         self._held.discard(cell)
         return None
 
-    def _write_failure_bundle(self, campaign: str, envelope: _Envelope,
+    def _write_failure_bundle(self, campaign: str, index: int,
+                              envelope: _Envelope,
                               failure: TaskFailure) -> str:
         self.bundle_dir.mkdir(parents=True, exist_ok=True)
         path = self.bundle_dir / \
-            f"cell-{campaign}-{envelope.index}.json"
+            f"cell-{campaign}-{index}.json"
         suffix = 1
         while path.exists():
             path = self.bundle_dir / \
-                f"cell-{campaign}-{envelope.index}-{suffix}.json"
+                f"cell-{campaign}-{index}-{suffix}.json"
             suffix += 1
         payload = {
             "schema": "cgct-diagnostics/v1",
             "kind": "cell-failure",
             "campaign": campaign,
-            "index": envelope.index,
+            "index": index,
             "fleet": self.fleet_id,
             "task": envelope.task.describe(),
             "exc_type": failure.exc_type,
@@ -399,6 +420,8 @@ def fleet_main(
     execute: Optional[Callable] = None,
     stall_heartbeats: bool = False,
     retries: int = 1,
+    policy: Optional[RetryPolicy] = None,
+    max_attempts: int = 5,
 ) -> int:
     """Process entry point for one fleet (forked by the service).
 
@@ -412,7 +435,8 @@ def fleet_main(
             service_dir, f"{fleet_id}@{os.getpid()}", campaign=campaign,
             workers=workers, lease_s=lease_s, cache_dir=cache_dir,
             execute=execute, stall_heartbeats=stall_heartbeats,
-            retries=retries, runlog=runlog,
+            retries=retries, policy=policy, max_attempts=max_attempts,
+            runlog=runlog,
         )
         fleet.run()
         return 0

@@ -441,6 +441,26 @@ class TestCircuitBreakerHalfOpen:
         assert breaker.state == "open"        # never half-open again
         assert not breaker.allow_dispatch()
 
+    def test_straggler_fault_in_half_open_burns_no_probe(self):
+        """A task dispatched before the trip that faults during the
+        half-open window (no probe admitted) re-opens the breaker but
+        must not consume a probe or escalate the cool-down — otherwise
+        stragglers could exhaust ``max_probes`` and permanently trip
+        the breaker without a single trial task being dispatched."""
+        breaker, clock = make_breaker(max_probes=2)
+        trip(breaker)
+        for _ in range(5):            # far more stragglers than probes
+            clock.now += 10.0         # base cool-down, never escalated
+            assert breaker.state == "half-open"
+            breaker.record_fault()    # straggler: no probe was admitted
+            assert breaker.state == "open"
+        assert breaker.failed_probes == 0
+        assert not breaker.tripped
+        clock.now += 10.0
+        assert breaker.allow_dispatch()   # the real probe finally runs
+        breaker.record_success()
+        assert breaker.state == "closed"
+
     def test_full_cycle_open_half_open_closed(self):
         breaker, clock = make_breaker()
         assert breaker.state == "closed"

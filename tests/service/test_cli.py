@@ -1,0 +1,58 @@
+"""Campaign CLI: spec-flag validation around explicit campaign ids.
+
+A stored campaign's cell list is immutable, so ``campaign run <id>``
+must refuse spec flags (they would be silently ignored otherwise) —
+and keep accepting run flags, which do apply.
+"""
+
+from repro.service.campaign import CampaignService
+from repro.service.cli import campaign_command
+
+SPEC = {"kind": "matrix", "benchmarks": ["barnes"],
+        "configs": ["4p-cgct"], "ops": 300, "seeds": 1}
+
+
+def submit(tmp_path):
+    service = CampaignService(tmp_path / "svc")
+    campaign = service.submit(SPEC)["campaign"]
+    service.close()
+    return campaign
+
+
+def test_run_with_explicit_id_rejects_spec_flags(tmp_path, capsys):
+    campaign = submit(tmp_path)
+    rc = campaign_command([
+        "--service-dir", str(tmp_path / "svc"), "run", campaign,
+        "--ops", "999", "--seeds", "7", "--quiet",
+    ])
+    assert rc == 2
+    out = capsys.readouterr().out
+    assert "--ops" in out and "--seeds" in out
+    assert "would be ignored" in out
+    # Nothing ran: the campaign is still fully pending.
+    service = CampaignService(tmp_path / "svc")
+    assert service.status(campaign)["done"] == 0
+    service.close()
+
+
+def test_run_with_explicit_id_and_run_flags_still_works(tmp_path):
+    campaign = submit(tmp_path)
+    rc = campaign_command([
+        "--service-dir", str(tmp_path / "svc"), "run", campaign,
+        "--fleets", "0", "--quiet",
+    ])
+    assert rc == 0
+    service = CampaignService(tmp_path / "svc")
+    status = service.status(campaign)
+    assert status["done"] == status["cells"]
+    service.close()
+
+
+def test_run_rejects_campaign_id_plus_name(tmp_path, capsys):
+    campaign = submit(tmp_path)
+    rc = campaign_command([
+        "--service-dir", str(tmp_path / "svc"), "run", campaign,
+        "--name", "other", "--quiet",
+    ])
+    assert rc == 2
+    assert "not both" in capsys.readouterr().out

@@ -68,6 +68,52 @@ def test_fleet_drains_and_results_land_in_shared_store(tmp_path):
         assert store.load(key) is not None
 
 
+def test_multi_campaign_batch_keys_commits_by_cell_identity(tmp_path):
+    """A fleet serving every campaign (``campaign=None``) claims
+    batches that span campaigns sharing cell indices (both have cell
+    0); every commit must resolve its envelope's own
+    (campaign, index, key) — a ``done`` for the *other* campaign's
+    cell would durably mark it finished before it ever ran."""
+    service = CampaignService(tmp_path / "svc")
+    campaign_a = service.submit(SPEC)["campaign"]
+    campaign_b = service.submit(dict(SPEC, ops=500))["campaign"]
+    service.close()
+    assert campaign_a != campaign_b
+    fleet = Fleet(tmp_path / "svc", "f1", campaign=None,
+                  cache_dir=service.cache_dir, batch=4)
+    counters = fleet.run()
+    assert counters["committed"] == 4
+    assert counters["rejected_commits"] == 0
+    store = DiskCache(service.cache_dir)
+    for campaign in (campaign_a, campaign_b):
+        status = fleet.queue.status(campaign)
+        assert status["drained"] and status["done"] == 2
+        for key in fleet.queue.keys(campaign).values():
+            assert store.load(key) is not None
+    # Each durable ``done`` record carries its own campaign's key.
+    wal = (tmp_path / "svc" / "queue.wal").read_text().splitlines()
+    for record in (json.loads(line) for line in wal):
+        if record.get("record") == "done":
+            keys = fleet.queue.keys(record["campaign"])
+            assert record["key"] == keys[record["index"]]
+
+
+def test_retry_configuration_threads_to_every_queue_view(tmp_path):
+    """The service-level policy/max_attempts reach the coordinator's
+    queue and each fleet's queue, so one service directory has one
+    re-admission backoff and one quarantine threshold."""
+    policy = RetryPolicy(backoff_base=0.01, backoff_cap=0.02,
+                         max_delay=0.02, jitter=0.0)
+    service = CampaignService(tmp_path / "svc", policy=policy,
+                              max_attempts=3)
+    assert service.queue.policy is policy
+    assert service.queue.max_attempts == 3
+    fleet = Fleet(tmp_path / "svc", "f1", policy=policy, max_attempts=3)
+    assert fleet.queue.policy is policy
+    assert fleet.queue.max_attempts == 3
+    service.close()
+
+
 def test_deterministic_failure_quarantines_with_bundle(tmp_path):
     service, campaign = submit(tmp_path)
     fleet = Fleet(tmp_path / "svc", "f1", campaign=campaign,
@@ -115,10 +161,7 @@ def test_abandoned_cell_is_reclaimed_then_reaped(tmp_path):
         tmp_path / "svc", "f1", campaign=campaign,
         cache_dir=service.cache_dir, retries=0, lease_s=0.05,
         poll_s=0.02, execute=always_transient,
-        bundle_dir=tmp_path / "bundles",
-    )
-    fleet.queue = CampaignQueue(
-        tmp_path / "svc", max_attempts=2,
+        bundle_dir=tmp_path / "bundles", max_attempts=2,
         policy=RetryPolicy(backoff_base=0.01, backoff_factor=1.0,
                            backoff_cap=0.01, max_delay=0.01, jitter=0.0),
     )
