@@ -60,6 +60,18 @@ class SimulationError(CGCTError):
     """
 
 
+class WorkloadError(CGCTError):
+    """An on-disk workload input (an access-trace file) is malformed.
+
+    Raised by the :mod:`repro.traces` readers when a record cannot be a
+    legal trace operation — an unknown op code, a negative address or
+    gap, a processor id outside the declared machine, a truncated binary
+    tail, or a file that is not a recognized trace format at all.
+    Deterministic: the same file fails the same way every time, so the
+    supervised pool quarantines instead of retrying.
+    """
+
+
 class InvariantViolation(ProtocolError):
     """The runtime coherence sanitizer found the machine in an illegal state.
 

@@ -48,6 +48,14 @@ differentially against the golden reference model (see
 canonical machine points, parallel and checkpointable through the
 supervised pool, with failing traces shrunk to minimal reproducers.
 
+The ``traces`` subcommand ingests on-disk access traces: convert
+between CSV/binary/npz formats, profile reuse distance, sharing and the
+oracle Figure-2 broadcast mix without simulating, spatially sample
+large traces down to simulator size with a machine-readable error
+report, and replay trace files through the full simulator or a region
+sweep (see ``docs/traces.md``). Trace files also run anywhere a
+workload name does, via ``trace:<path>``.
+
 Robustness (see ``docs/robustness.md``): ``--check-invariants
 {sampled,deep}`` audits every *executed* simulation with the runtime
 coherence sanitizer (a violation aborts the run and writes a
@@ -388,6 +396,10 @@ def main(argv=None) -> int:
         from repro.service.cli import campaign_command
 
         return campaign_command(argv[1:])
+    if argv and argv[0] == "traces":
+        from repro.traces.cli import traces_command
+
+        return traces_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's tables and figures.",
@@ -396,8 +408,8 @@ def main(argv=None) -> int:
         "experiments", nargs="+",
         help=f"experiment IDs ({', '.join(EXPERIMENTS)}) or 'all'; "
              "or the 'telemetry' / 'validate' / 'perf' / 'conformance' "
-             "/ 'trace' / 'campaign' subcommands (see --help of "
-             "'python -m repro.harness <subcommand>')",
+             "/ 'trace' / 'campaign' / 'traces' subcommands (see --help "
+             "of 'python -m repro.harness <subcommand>')",
     )
     parser.add_argument("--ops", type=int, default=60_000,
                         help="memory operations per processor (default 60000)")

@@ -87,6 +87,12 @@ def cache_key(
         "config": dataclasses.asdict(config),
         "code_version": version if version is not None else code_version(),
     }
+    if benchmark.startswith("trace:"):
+        # The name embeds a *path*, not content: fold the file's digest
+        # in so editing the trace invalidates cached results.
+        from repro.traces.reader import trace_file_digest
+
+        payload["trace_digest"] = trace_file_digest(benchmark[len("trace:"):])
     text = json.dumps(payload, sort_keys=True, default=str)
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 

@@ -332,6 +332,10 @@ def get_profile(name: str) -> WorkloadProfile:
         ) from None
 
 
+#: Workload-name prefix that resolves to an on-disk access trace.
+TRACE_PREFIX = "trace:"
+
+
 def build_benchmark(
     name: str,
     num_processors: int = 4,
@@ -347,7 +351,27 @@ def build_benchmark(
     ``REPRO_WORKLOAD_CACHE`` environment variable), previously
     generated traces are memory-mapped back instead of regenerated —
     bit-identical arrays, so simulations cannot tell the difference.
+
+    ``trace:<path>`` names resolve to on-disk access traces (CSV,
+    packed binary, or saved ``.npz`` — see :mod:`repro.traces.reader`)
+    instead of a generated profile: the file's per-processor streams
+    are materialized, padded with empty traces up to
+    ``num_processors``, and truncated to ``ops_per_processor`` when
+    given. The name is a plain string, so trace-driven cells fan out
+    through worker processes, sweeps, and the conformance machinery
+    exactly like generated benchmarks; ``seed`` is ignored (a captured
+    trace has one realization) and the workload store is bypassed (the
+    trace already lives on disk).
     """
+    if name.startswith(TRACE_PREFIX):
+        from repro.traces.reader import load_workload
+
+        return load_workload(
+            name[len(TRACE_PREFIX):],
+            num_processors=num_processors,
+            ops_per_processor=ops_per_processor,
+            name=name,
+        )
     from repro.workloads.generator import profile_digest
     from repro.workloads.store import active_store, workload_key
 

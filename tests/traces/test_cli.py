@@ -1,0 +1,106 @@
+"""End-to-end tests for the ``traces`` CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.harness.__main__ import main as harness_main
+from repro.harness.runlog import read_runlog
+from repro.traces.cli import traces_command
+from repro.traces.sample import load_report
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_convert_profile_sample_run_pipeline(tmp_path, capsys):
+    """The documented four-step pipeline, through the real dispatcher."""
+    trace = tmp_path / "t.csv.gz"
+    packed = tmp_path / "t.bin"
+    sampled = tmp_path / "s.bin"
+    report = tmp_path / "report.json"
+    profile = tmp_path / "profile.json"
+    runlog = tmp_path / "runs.jsonl"
+
+    assert harness_main([
+        "traces", "convert", "bench:barnes", str(trace),
+        "--processors", "4", "--ops", "8000", "--trace-seed", "7",
+        "--runlog", str(runlog),
+    ]) == 0
+    assert harness_main([
+        "traces", "convert", str(trace), str(packed),
+        "--runlog", str(runlog),
+    ]) == 0
+    assert harness_main([
+        "traces", "profile", str(packed), "--json", str(profile),
+        "--runlog", str(runlog),
+    ]) == 0
+    assert harness_main([
+        "traces", "sample", str(packed), str(sampled),
+        "--rate", "4", "--report", str(report), "--enforce",
+        "--runlog", str(runlog),
+    ]) == 0
+    assert harness_main([
+        "traces", "run", str(sampled), "--config", "4p-cgct",
+        "--runlog", str(runlog),
+    ]) == 0
+
+    data = json.loads(profile.read_text())
+    assert data["schema"] == "cgct-trace-profile/v1"
+    assert data["accesses"] == 32_000
+    assert load_report(report)["within_bounds"]
+
+    events = [r["event"] for r in read_runlog(runlog)]
+    assert events == ["traces-convert", "traces-convert",
+                      "traces-profile", "traces-sample", "traces-run"]
+    out = capsys.readouterr().out
+    assert "within bounds" in out
+    assert "4p-cgct" in out
+
+
+def test_profile_accepts_fixture_csv(tmp_path, capsys):
+    assert traces_command([
+        "profile", str(FIXTURES / "mixed.csv"),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "8 accesses" in out
+    assert "oracle figure 2" in out
+
+
+def test_sample_enforce_fails_on_violated_bounds(tmp_path, capsys):
+    """An impossible bound must flip the exit code under --enforce."""
+    code = traces_command([
+        "sample", str(FIXTURES / "midsize.bin.gz"),
+        str(tmp_path / "s.bin"), "--rate", "4",
+        "--bound", "mean_reuse_distance=0.0000001", "--enforce",
+    ])
+    assert code == 1
+    assert "OUTSIDE bounds" in capsys.readouterr().out
+
+
+def test_cli_reports_workload_errors_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.csv"
+    bad.write_text("proc,op,address,gap\n0,FNORD,0,0\n")
+    assert traces_command(["profile", str(bad)]) == 1
+    assert "unknown op" in capsys.readouterr().err
+
+
+def test_unknown_subcommand_and_help(capsys):
+    assert traces_command(["frobnicate"]) == 2
+    assert "unknown traces subcommand" in capsys.readouterr().err
+    assert traces_command([]) == 0
+    assert "convert" in capsys.readouterr().out
+
+
+def test_run_sweep_goes_through_the_harness(tmp_path, capsys):
+    trace = tmp_path / "t.bin"
+    assert traces_command([
+        "convert", "bench:ocean", str(trace),
+        "--processors", "4", "--ops", "500",
+    ]) == 0
+    assert traces_command([
+        "run", str(trace), "--sweep", "--config", "4p-cgct",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "3 grid points" in out
+    assert "region   256 B" in out

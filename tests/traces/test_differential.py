@@ -1,0 +1,154 @@
+"""Differential tests: the oracle trace profile against the live machine.
+
+The profiler judges broadcasts with the golden may-hold model *without
+simulating*; these tests replay the same trace through the full
+:class:`Machine` and reconcile the two:
+
+* The golden holder set always over-approximates the real one. With
+  hardware prefetching disabled and caches large enough that nothing is
+  evicted (the fixtures touch a handful of lines; the paper L2 holds a
+  megabyte), the two coincide **exactly** — so the machine's
+  per-broadcast "unnecessary" classification (snoop found no remote
+  copy) must equal the golden verdict of the access that issued it,
+  broadcast for broadcast, on the baseline *and* the CGCT machine.
+* The existing conformance harness (:func:`run_differential`) must
+  accept trace-file workloads wholesale — including through the
+  ``trace:<path>`` name funnel — holding the machine to the golden
+  model's coherence invariants while a captured trace replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.conformance.differential import ConformanceProbe, run_differential
+from repro.conformance.golden import GoldenModel
+from repro.system.config import SystemConfig
+from repro.system.machine import OracleCategory
+from repro.system.simulator import Simulator
+from repro.traces.reader import load_workload
+from repro.workloads.trace import TraceOp
+
+FIXTURES = Path(__file__).parent / "fixtures"
+ALL_FIXTURES = ("pingpong", "private", "shared_ro", "mixed")
+
+NPROCS = 4  # the paper machine; fixtures are padded up to it
+
+
+def _configs():
+    baseline = replace(SystemConfig.paper_baseline(),
+                       prefetch_enabled=False)
+    cgct = replace(SystemConfig.paper_cgct(512), prefetch_enabled=False)
+    return [("baseline", baseline), ("cgct", cgct)]
+
+
+def _golden_verdicts(workload, order, line_shift):
+    """must_broadcast per access index, replaying the machine's order."""
+    model = GoldenModel(workload.num_processors)
+    ops = [t.ops.tolist() for t in workload.per_processor]
+    addresses = [t.addresses.tolist() for t in workload.per_processor]
+    cursors = [0] * workload.num_processors
+    verdicts = []
+    for proc in order:
+        k = cursors[proc]
+        cursors[proc] = k + 1
+        verdict = model.access(
+            proc, TraceOp(ops[proc][k]),
+            int(addresses[proc][k]) >> line_shift,
+        )
+        verdicts.append(verdict.must_broadcast)
+    return verdicts
+
+
+@pytest.mark.parametrize("fixture", ALL_FIXTURES)
+@pytest.mark.parametrize("config_name,config", _configs())
+def test_machine_figure2_counters_match_oracle_exactly(
+        fixture, config_name, config):
+    """No evictions + no prefetch => golden state is exact, so every
+    non-writeback broadcast's unnecessary-bit equals the golden verdict
+    of the access that issued it."""
+    workload = load_workload(FIXTURES / f"{fixture}.csv",
+                             num_processors=NPROCS)
+    order = []
+    simulator = Simulator(config, seed=0, step_observer=order.append)
+    probe = ConformanceProbe(simulator.machine, order)
+    simulator.machine.attach_event_log(probe)
+    simulator.run(workload)
+
+    assert not probe.violations
+    verdicts = _golden_verdicts(
+        workload, order, simulator.machine._line_shift)
+
+    broadcast_events = [
+        event for event in probe.events
+        if event.path == "broadcast" and event.request.value != "writeback"
+    ]
+    oracle_unnecessary = sum(
+        1 for event in broadcast_events if not verdicts[event.index])
+    stats = simulator.machine.stats
+    machine_unnecessary = (
+        stats.total_unnecessary
+        - stats.unnecessary_broadcasts[OracleCategory.WRITEBACK]
+    )
+    machine_broadcasts = (
+        stats.total_broadcasts
+        - stats.broadcasts[OracleCategory.WRITEBACK]
+    )
+    assert len(broadcast_events) == machine_broadcasts
+    assert machine_unnecessary == oracle_unnecessary
+    # And the needed side closes the books: every broadcast is one or
+    # the other.
+    assert machine_broadcasts - machine_unnecessary == sum(
+        1 for event in broadcast_events if verdicts[event.index])
+
+
+@pytest.mark.parametrize("fixture", ("pingpong", "shared_ro", "mixed"))
+@pytest.mark.parametrize("config_name,config", _configs())
+def test_conformance_harness_accepts_trace_files(
+        fixture, config_name, config):
+    """run_differential holds trace replays to the golden invariants."""
+    workload = load_workload(FIXTURES / f"{fixture}.csv",
+                             num_processors=NPROCS)
+    outcome = run_differential(
+        workload, config, f"{config_name}/{fixture}", seed=0)
+    assert outcome.ok, outcome.mismatches
+    assert outcome.accesses == len(workload)
+
+
+def test_trace_name_funnel_reaches_conformance():
+    """``trace:<path>`` names resolve through build_benchmark and flow
+    into the conformance machinery unchanged."""
+    from repro.workloads.benchmarks import build_benchmark
+
+    path = FIXTURES / "mixed.csv"
+    workload = build_benchmark(f"trace:{path}", num_processors=NPROCS)
+    assert workload.num_processors == NPROCS
+    outcome = run_differential(
+        workload, _configs()[1][1], "cgct/trace-name", seed=0)
+    assert outcome.ok, outcome.mismatches
+
+
+def test_oracle_profile_totals_match_golden_replay():
+    """The profiler's Figure-2 totals equal a golden replay over the
+    same canonical round-robin interleaving (independent code paths)."""
+    from repro.traces.profiler import profile_workload
+    from repro.traces.reader import workload_to_events
+
+    workload = load_workload(FIXTURES / "mixed.csv")
+    profile = profile_workload(workload)
+    model = GoldenModel(workload.num_processors)
+    needed = unnecessary = 0
+    for chunk in workload_to_events(workload):
+        for proc, op, address in zip(
+                chunk.procs.tolist(), chunk.ops.tolist(),
+                chunk.addresses.tolist()):
+            verdict = model.access(proc, TraceOp(op), address >> 6)
+            if verdict.must_broadcast:
+                needed += 1
+            else:
+                unnecessary += 1
+    assert profile.oracle.needed == needed
+    assert profile.oracle.unnecessary == unnecessary

@@ -1,0 +1,177 @@
+"""Golden-file tests: hand-written traces, hand-computed profiles.
+
+Every number below was derived by hand from the fixture CSVs (event
+order is file order; 64 B lines, 512 B regions):
+
+* reuse distance = distinct *other* lines touched between consecutive
+  accesses to the same line (exact LRU stack distance);
+* a region is shared when >= 2 processors touched it, write-shared when
+  additionally anyone wrote it; an upgrade is a processor's first
+  STORE/DCBZ to a region it had previously only read;
+* the oracle verdict is the golden may-hold model's ``must_broadcast``
+  *before* each access — IFETCH needs a broadcast only if a remote copy
+  may be dirty, everything else whenever any remote copy may exist.
+
+The profiler must reproduce them exactly, through every ingestion path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.traces.profiler import profile_file, profile_workload
+from repro.traces.reader import load_workload
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def test_pingpong_profile():
+    """Two processors ping-pong stores on one line, then read it."""
+    profile = profile_file(FIXTURES / "pingpong.csv")
+    assert profile.accesses == 6
+    assert profile.num_processors == 2
+    assert profile.op_counts == {"LOAD": 2, "STORE": 4}
+    # One line: every non-cold access reuses it with nothing in between.
+    assert profile.lines_touched == 1
+    assert profile.reuse.cold == 1
+    assert profile.reuse.finite == 5
+    assert profile.reuse.buckets == {0: 5}
+    assert profile.reuse.mean == 0.0
+    assert profile.reuse.max_distance == 0
+    # One region, both processors read and wrote it.
+    assert profile.regions_touched == 1
+    assert profile.regions_shared == 1
+    assert profile.regions_write_shared == 1
+    assert profile.sharer_histogram == {2: 1}
+    # Stores precede loads, so no read->write upgrades.
+    assert profile.upgrades == 0
+    # Oracle: only the very first store finds no remote copy.
+    assert profile.oracle.needed == 5
+    assert profile.oracle.unnecessary == 1
+    assert profile.oracle.fraction_unnecessary == pytest.approx(1 / 6)
+    assert profile.oracle.per_op == {"STORE": [3, 1], "LOAD": [2, 0]}
+
+
+def test_private_profile():
+    """Disjoint per-processor regions: no access ever needs a broadcast."""
+    profile = profile_file(FIXTURES / "private.csv")
+    assert profile.accesses == 6
+    assert profile.op_counts == {"LOAD": 4, "STORE": 2}
+    assert profile.lines_touched == 4
+    # e3 reuses line 0 over {0x2000}=1 line; e6 reuses 0x2000 over
+    # {0x0000, 0x2040, 0x0040}=3 lines.
+    assert profile.reuse.cold == 4
+    assert profile.reuse.finite == 2
+    assert profile.reuse.buckets == {1: 1, 2: 1}
+    assert profile.reuse.mean == pytest.approx(2.0)
+    assert profile.reuse.max_distance == 3
+    assert profile.regions_touched == 2
+    assert profile.regions_shared == 0
+    assert profile.regions_write_shared == 0
+    assert profile.sharer_histogram == {1: 2}
+    # Each processor stores into a region it had only read: 2 upgrades.
+    assert profile.upgrades == 2
+    assert profile.oracle.needed == 0
+    assert profile.oracle.unnecessary == 6
+    assert profile.oracle.fraction_unnecessary == 1.0
+    assert profile.oracle.per_op == {"LOAD": [0, 4], "STORE": [0, 2]}
+
+
+def test_shared_readonly_profile():
+    """Read-only sharing: loads must still broadcast, ifetches never do."""
+    profile = profile_file(FIXTURES / "shared_ro.csv")
+    assert profile.accesses == 5
+    assert profile.num_processors == 3
+    assert profile.op_counts == {"LOAD": 3, "IFETCH": 2}
+    assert profile.lines_touched == 2
+    assert profile.reuse.cold == 2
+    assert profile.reuse.finite == 3
+    assert profile.reuse.buckets == {0: 2, 1: 1}
+    assert profile.reuse.mean == pytest.approx(1 / 3)
+    assert profile.regions_touched == 1
+    assert profile.regions_shared == 1
+    assert profile.regions_write_shared == 0   # nobody wrote
+    assert profile.sharer_histogram == {3: 1}
+    assert profile.upgrades == 0
+    # e2/e4 loads find remote clean copies -> needed; both ifetches see
+    # no possibly-dirty remote copy -> unnecessary (the paper's IFETCH
+    # filter), as is the cold first load.
+    assert profile.oracle.needed == 2
+    assert profile.oracle.unnecessary == 3
+    assert profile.oracle.fraction_unnecessary == pytest.approx(3 / 5)
+    assert profile.oracle.per_op == {"LOAD": [2, 1], "IFETCH": [0, 2]}
+
+
+def test_mixed_profile():
+    """Upgrades, DCBZ/DCBF, and a dirty-remote instruction fetch."""
+    profile = profile_file(FIXTURES / "mixed.csv")
+    assert profile.accesses == 8
+    assert profile.op_counts == {
+        "LOAD": 3, "STORE": 2, "IFETCH": 1, "DCBZ": 1, "DCBF": 1,
+    }
+    assert profile.lines_touched == 3
+    assert profile.reuse.cold == 3
+    assert profile.reuse.finite == 5
+    assert profile.reuse.buckets == {0: 4, 1: 1}
+    assert profile.reuse.mean == pytest.approx(0.2)
+    assert profile.regions_touched == 1
+    assert profile.regions_shared == 1
+    assert profile.regions_write_shared == 1
+    # P0's DCBZ is its first write to a region it had only read.
+    assert profile.upgrades == 1
+    # Hand-traced golden verdicts:
+    #  e1 P0 LOAD  0x1000 cold                   -> unnecessary
+    #  e2 P1 STORE 0x1000 remote P0 copy         -> needed
+    #  e3 P0 IFETCH 0x1000 P1 may hold it dirty  -> needed
+    #  e4 P1 DCBF 0x1000 remote P0 copy          -> needed
+    #  e5 P0 DCBZ 0x1040 cold                    -> unnecessary
+    #  e6 P1 LOAD 0x1040 P0 holds it dirty       -> needed
+    #  e7 P0 STORE 0x1000 purged by the DCBF     -> unnecessary
+    #  e8 P1 LOAD 0x1080 cold                    -> unnecessary
+    assert profile.oracle.needed == 4
+    assert profile.oracle.unnecessary == 4
+    assert profile.oracle.fraction_unnecessary == 0.5
+    assert profile.oracle.per_op == {
+        "LOAD": [1, 2], "STORE": [1, 1], "IFETCH": [1, 0],
+        "DCBF": [1, 0], "DCBZ": [0, 1],
+    }
+
+
+def test_store_fraction_and_shared_fraction_headlines():
+    profile = profile_file(FIXTURES / "mixed.csv")
+    # STORE + DCBZ are the write ops: 3 of 8 accesses.
+    assert profile.store_fraction == pytest.approx(3 / 8)
+    assert profile.shared_region_fraction == 1.0
+
+
+@pytest.mark.parametrize(
+    "fixture", ["pingpong", "private", "shared_ro", "mixed"])
+def test_profiles_survive_format_conversion(tmp_path, fixture):
+    """Converting csv -> binary must not change a single profile field."""
+    from repro.traces.reader import read_events, write_binary, detect_format
+
+    src = FIXTURES / f"{fixture}.csv"
+    dst = tmp_path / f"{fixture}.bin"
+    info = detect_format(src)
+    write_binary(dst, read_events(src), info.num_processors)
+    assert profile_file(dst).to_dict() == profile_file(src).to_dict()
+
+
+def test_profile_chunking_invariance_on_fixtures():
+    for fixture in ("pingpong", "private", "shared_ro", "mixed"):
+        path = FIXTURES / f"{fixture}.csv"
+        one = profile_file(path, chunk_records=1)
+        big = profile_file(path, chunk_records=65_536)
+        assert one.to_dict() == big.to_dict()
+
+
+def test_round_robin_workload_profile_matches_file_order():
+    """These fixtures are written in round-robin order, so the two
+    canonical interleavings coincide and the profiles must too."""
+    for fixture in ("pingpong", "private", "shared_ro"):
+        path = FIXTURES / f"{fixture}.csv"
+        by_file = profile_file(path)
+        by_workload = profile_workload(load_workload(path))
+        assert by_file.to_dict() == by_workload.to_dict()

@@ -1,0 +1,318 @@
+"""Property tests: trace file formats are lossless, chunk-invariant,
+and reject malformed input with typed errors.
+
+Hypothesis drives random event streams through every persistence format
+(CSV, packed binary, npz — plain and gzipped) and asserts bit-identity
+on the way back; a battery of hand-broken files pins the validation
+error for every way a trace can be malformed.
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common.errors import WorkloadError
+from repro.traces import reader
+from repro.traces.reader import (
+    BINARY_MAGIC,
+    EventChunk,
+    detect_format,
+    events_to_workload,
+    load_workload,
+    read_events,
+    save_workload,
+    workload_to_events,
+    write_binary,
+    write_csv,
+)
+from repro.workloads.trace import TraceOp
+
+NPROCS = 4
+
+events_strategy = st.lists(
+    st.tuples(
+        st.integers(0, NPROCS - 1),                 # proc
+        st.sampled_from([int(op) for op in TraceOp]),
+        st.integers(0, (1 << 64) - 1),              # address
+        st.integers(0, (1 << 32) - 1),              # gap
+    ),
+    max_size=120,
+)
+
+
+def chunk_of(records) -> EventChunk:
+    procs, ops, addresses, gaps = zip(*records) if records \
+        else ((), (), (), ())
+    return EventChunk(
+        procs=np.array(procs, dtype=np.int64),
+        ops=np.array(ops, dtype=np.uint8),
+        addresses=np.array(addresses, dtype=np.uint64),
+        gaps=np.array(gaps, dtype=np.uint32),
+    )
+
+
+def assert_same_workload(a, b) -> None:
+    assert a.num_processors == b.num_processors
+    for left, right in zip(a.per_processor, b.per_processor):
+        assert np.array_equal(left.ops, right.ops)
+        assert np.array_equal(left.addresses, right.addresses)
+        assert np.array_equal(left.gaps, right.gaps)
+
+
+# ----------------------------------------------------------------------
+# Round trips
+# ----------------------------------------------------------------------
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(records=events_strategy,
+       format=st.sampled_from(["csv", "binary", "npz"]),
+       compress=st.booleans())
+def test_save_load_round_trip_is_bit_identical(
+        tmp_path, records, format, compress):
+    workload = events_to_workload(
+        [chunk_of(records)], num_processors=NPROCS)
+    suffix = {"csv": ".csv", "binary": ".bin", "npz": ".npz"}[format]
+    if compress and format != "npz":
+        suffix += ".gz"
+    path = tmp_path / f"trace{suffix}"
+    written = save_workload(workload, path, format)
+    assert written == len(workload)
+    assert_same_workload(load_workload(path), workload)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(records=events_strategy)
+def test_csv_binary_memory_round_trip_chain(tmp_path, records):
+    """memory -> csv -> binary -> memory preserves every array bit."""
+    workload = events_to_workload(
+        [chunk_of(records)], num_processors=NPROCS)
+    csv_path = tmp_path / "t.csv"
+    bin_path = tmp_path / "t.bin"
+    save_workload(workload, csv_path, "csv")
+    info = detect_format(csv_path)
+    assert info.format == "csv" and info.num_processors == NPROCS
+    write_binary(bin_path, read_events(csv_path), NPROCS)
+    assert_same_workload(load_workload(bin_path), workload)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(records=events_strategy,
+       chunk_records=st.sampled_from([1, 3, 7, 65_536]))
+def test_reader_chunk_size_is_invisible(tmp_path, records, chunk_records):
+    """Concatenating chunks is identical for every chunk size."""
+    workload = events_to_workload(
+        [chunk_of(records)], num_processors=NPROCS)
+    for format in ("csv", "binary"):
+        path = tmp_path / f"t.{format}"
+        save_workload(workload, path, format)
+        small = list(read_events(path, chunk_records=chunk_records))
+        big = list(read_events(path, chunk_records=1 << 20))
+        for field in ("procs", "ops", "addresses", "gaps"):
+            left = np.concatenate(
+                [getattr(c, field) for c in small]) if small \
+                else np.array([])
+            right = np.concatenate(
+                [getattr(c, field) for c in big]) if big \
+                else np.array([])
+            assert np.array_equal(left, right)
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=events_strategy,
+       chunk_records=st.sampled_from([1, 5, 64]))
+def test_workload_to_events_chunking_round_trips(records, chunk_records):
+    workload = events_to_workload(
+        [chunk_of(records)], num_processors=NPROCS)
+    back = events_to_workload(
+        workload_to_events(workload, chunk_records=chunk_records),
+        num_processors=NPROCS)
+    assert_same_workload(back, workload)
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(records=events_strategy)
+def test_gzip_and_plain_files_read_identically(tmp_path, records):
+    workload = events_to_workload(
+        [chunk_of(records)], num_processors=NPROCS)
+    plain = tmp_path / "t.bin"
+    zipped = tmp_path / "t.bin.gz"
+    save_workload(workload, plain, "binary")
+    save_workload(workload, zipped, "binary")
+    assert detect_format(zipped).compressed
+    assert not detect_format(plain).compressed
+    assert_same_workload(load_workload(zipped), load_workload(plain))
+
+
+# ----------------------------------------------------------------------
+# Malformed-input rejection
+# ----------------------------------------------------------------------
+def write_csv_text(path, body, processors=NPROCS):
+    header = f"# {reader.CSV_SCHEMA} processors={processors}\n" \
+             "proc,op,address,gap\n"
+    path.write_text(header + body)
+
+
+def test_csv_negative_address_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "0,LOAD,-64,0\n")
+    with pytest.raises(WorkloadError, match="address.*outside"):
+        list(read_events(path))
+
+
+def test_csv_negative_gap_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "0,LOAD,0x40,-1\n")
+    with pytest.raises(WorkloadError, match="gap.*outside"):
+        list(read_events(path))
+
+
+def test_csv_bad_processor_id_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "9,LOAD,0x40,0\n", processors=4)
+    with pytest.raises(WorkloadError, match="processor 9 outside"):
+        list(read_events(path))
+
+
+def test_csv_unknown_op_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "0,FNORD,0x40,0\n")
+    with pytest.raises(WorkloadError, match="unknown op"):
+        list(read_events(path))
+    write_csv_text(path, "0,99,0x40,0\n")
+    with pytest.raises(WorkloadError, match="unknown op code 99"):
+        list(read_events(path))
+
+
+def test_csv_field_count_and_header_rejected(tmp_path):
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "0,LOAD,0x40\n")
+    with pytest.raises(WorkloadError, match="expected 4 fields"):
+        list(read_events(path))
+    path.write_text("time,cpu,addr\n1,2,3\n")
+    with pytest.raises(WorkloadError, match="expected header"):
+        list(read_events(path))
+
+
+def test_truncated_binary_tail_rejected(tmp_path):
+    workload = events_to_workload(
+        [chunk_of([(0, 0, 64, 0), (1, 1, 128, 2)])],
+        num_processors=NPROCS)
+    path = tmp_path / "t.bin"
+    save_workload(workload, path, "binary")
+    blob = path.read_bytes()
+    path.write_bytes(blob[:-5])  # tear the last record
+    with pytest.raises(WorkloadError, match="truncated binary trace"):
+        list(read_events(path))
+
+
+def test_binary_record_count_mismatch_rejected(tmp_path):
+    path = tmp_path / "t.bin"
+    chunk = chunk_of([(0, 0, 64, 0), (1, 1, 128, 2)])
+    write_binary(path, [chunk], NPROCS)  # header says 2 via... sentinel
+    # Rewrite the header to promise 3 records while the file holds 2.
+    blob = bytearray(path.read_bytes())
+    blob[:reader._HEADER.size] = reader._HEADER.pack(
+        BINARY_MAGIC, 1, NPROCS, 3)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(WorkloadError, match="header declares 3"):
+        list(read_events(path))
+    blob[:reader._HEADER.size] = reader._HEADER.pack(
+        BINARY_MAGIC, 1, NPROCS, 1)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(WorkloadError, match="header declares"):
+        list(read_events(path))
+
+
+def test_binary_bad_op_flags_and_proc_rejected(tmp_path):
+    path = tmp_path / "t.bin"
+    record = np.zeros(1, dtype=reader.RECORD_DTYPE)
+    record["op"] = 17
+    path.write_bytes(
+        reader._HEADER.pack(BINARY_MAGIC, 1, NPROCS, 1)
+        + record.tobytes())
+    with pytest.raises(WorkloadError, match="unknown op code 17"):
+        list(read_events(path))
+    record["op"] = 0
+    record["flags"] = 5
+    path.write_bytes(
+        reader._HEADER.pack(BINARY_MAGIC, 1, NPROCS, 1)
+        + record.tobytes())
+    with pytest.raises(WorkloadError, match="reserved flags"):
+        list(read_events(path))
+    record["flags"] = 0
+    record["proc"] = NPROCS
+    path.write_bytes(
+        reader._HEADER.pack(BINARY_MAGIC, 1, NPROCS, 1)
+        + record.tobytes())
+    with pytest.raises(WorkloadError, match="outside the declared"):
+        list(read_events(path))
+
+
+def test_foreign_binary_version_rejected(tmp_path):
+    path = tmp_path / "t.bin"
+    path.write_bytes(b"CGCTTRC\x02" + b"\x00" * 16)
+    with pytest.raises(WorkloadError, match="unsupported binary trace"):
+        detect_format(path)
+
+
+def test_missing_file_and_empty_undeclared_trace_rejected(tmp_path):
+    with pytest.raises(WorkloadError, match="no such trace file"):
+        detect_format(tmp_path / "absent.bin")
+    path = tmp_path / "t.csv"
+    path.write_text("proc,op,address,gap\n")  # no width, no records
+    with pytest.raises(WorkloadError, match="no declared"):
+        load_workload(path)
+
+
+def test_npz_is_not_an_event_stream(tmp_path):
+    workload = events_to_workload(
+        [chunk_of([(0, 0, 64, 0)])], num_processors=1)
+    path = tmp_path / "t.npz"
+    save_workload(workload, path, "npz")
+    with pytest.raises(WorkloadError, match="npz"):
+        list(read_events(path))
+
+
+def test_wider_file_than_machine_rejected(tmp_path):
+    workload = events_to_workload(
+        [chunk_of([(3, 0, 64, 0)])], num_processors=NPROCS)
+    path = tmp_path / "t.bin"
+    save_workload(workload, path, "binary")
+    with pytest.raises(WorkloadError, match="outside the requested"):
+        load_workload(path, num_processors=2)
+
+
+def test_errors_are_deterministic_workload_errors(tmp_path):
+    """The supervised pool quarantines WorkloadErrors instead of
+    retrying; the classification must see them as deterministic."""
+    from repro.common.errors import classify_failure
+
+    path = tmp_path / "t.csv"
+    write_csv_text(path, "0,LOAD,-64,0\n")
+    with pytest.raises(WorkloadError) as info:
+        list(read_events(path))
+    assert classify_failure(info.value).value == "deterministic"
+
+
+# ----------------------------------------------------------------------
+# Corrupt gzip container
+# ----------------------------------------------------------------------
+def test_corrupt_gzip_payload_surfaces_as_error(tmp_path):
+    path = tmp_path / "t.bin.gz"
+    workload = events_to_workload(
+        [chunk_of([(0, 0, 64, 0)] * 100)], num_processors=NPROCS)
+    save_workload(workload, path, "binary")
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises((WorkloadError, OSError, EOFError,
+                       gzip.BadGzipFile, zlib.error)):
+        list(read_events(path))

@@ -1,0 +1,179 @@
+"""Statistical regression tests for the spatial sampler.
+
+The committed ``fixtures/midsize.bin.gz`` (a 32 000-access 4-processor
+capture of the barnes generator) pins the sampler's quality end to end:
+sampling it at the default rate must stay inside the error bounds its
+own report documents, the whole pipeline must be deterministic under a
+fixed seed and invariant to reader chunking, and the report must
+round-trip its schema. The region-alignment theorem — every surviving
+access keeps its exact golden Figure-2 verdict — is checked directly
+against the golden model.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.conformance.golden import GoldenModel
+from repro.traces import sample as sample_mod
+from repro.traces.reader import load_workload, read_events, save_workload
+from repro.traces.sample import (
+    DEFAULT_BOUNDS,
+    REPORT_SCHEMA,
+    SpatialSampler,
+    load_report,
+    sample_file,
+    save_report,
+    validate_report,
+)
+from repro.workloads.trace import TraceOp
+
+MIDSIZE = Path(__file__).parent / "fixtures" / "midsize.bin.gz"
+RATE = 4
+
+
+def test_midsize_sample_stays_within_documented_bounds(tmp_path):
+    report = sample_file(MIDSIZE, tmp_path / "s.bin", rate=RATE, seed=0)
+    assert report["within_bounds"], report["metrics"]
+    assert report["accesses"]["full"] == 32_000
+    # Keeps roughly 1/RATE of regions and accesses (hash uniformity).
+    kept = report["accesses"]["sampled"] / report["accesses"]["full"]
+    assert 0.5 / RATE < kept < 2.0 / RATE
+    for name, bound in DEFAULT_BOUNDS.items():
+        cell = report["metrics"][name]
+        assert cell["bound"] == bound
+        assert cell["rel_error"] <= bound, (name, cell)
+
+
+def test_sampling_is_deterministic_under_a_fixed_seed(tmp_path):
+    a = sample_file(MIDSIZE, tmp_path / "a.bin", rate=RATE, seed=3)
+    b = sample_file(MIDSIZE, tmp_path / "b.bin", rate=RATE, seed=3)
+    assert (tmp_path / "a.bin").read_bytes() == \
+        (tmp_path / "b.bin").read_bytes()
+    a, b = dict(a), dict(b)
+    a.pop("sample"), b.pop("sample")
+    assert a == b
+    # A different seed keeps a different region subset.
+    c = sample_file(MIDSIZE, tmp_path / "c.bin", rate=RATE, seed=4)
+    assert (tmp_path / "c.bin").read_bytes() != \
+        (tmp_path / "a.bin").read_bytes()
+
+
+def test_sampling_is_invariant_to_reader_chunking(tmp_path):
+    small = sample_file(MIDSIZE, tmp_path / "small.bin", rate=RATE,
+                        seed=0, chunk_records=997)
+    big = sample_file(MIDSIZE, tmp_path / "big.bin", rate=RATE,
+                      seed=0, chunk_records=1 << 20)
+    assert (tmp_path / "small.bin").read_bytes() == \
+        (tmp_path / "big.bin").read_bytes()
+    small, big = dict(small), dict(big)
+    small.pop("sample"), big.pop("sample")
+    assert small == big
+
+
+def test_rate_one_is_the_identity(tmp_path):
+    report = sample_file(MIDSIZE, tmp_path / "all.bin", rate=1, seed=0)
+    assert report["accesses"]["sampled"] == report["accesses"]["full"]
+    assert report["within_bounds"]
+    for cell in report["metrics"].values():
+        assert cell["rel_error"] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_keep_mask_is_region_aligned():
+    """All addresses inside one region share one keep/drop fate."""
+    sampler = SpatialSampler(RATE, seed=0, region_bytes=512)
+    regions = np.arange(200, dtype=np.uint64)
+    base = regions << np.uint64(9)
+    for offset in (0, 63, 511):
+        mask = sampler.keep_mask(base + np.uint64(offset))
+        assert np.array_equal(mask, sampler.keep_mask(base))
+    kept = int(sampler.keep_mask(base).sum())
+    assert 0 < kept < len(base)  # neither empty nor everything
+
+
+def test_surviving_accesses_keep_their_exact_golden_verdicts():
+    """Region alignment preserves every per-line history, so the golden
+    Figure-2 verdict of each surviving access is identical in the full
+    and sampled streams — only the aggregate mix changes."""
+    sampler = SpatialSampler(RATE, seed=0, region_bytes=512)
+
+    full_verdicts = []
+    keep = []
+    model = GoldenModel(4)
+    for chunk in read_events(MIDSIZE):
+        keep.extend(sampler.keep_mask(chunk.addresses).tolist())
+        for proc, op, address in zip(
+                chunk.procs.tolist(), chunk.ops.tolist(),
+                chunk.addresses.tolist()):
+            verdict = model.access(proc, TraceOp(op), address >> 6)
+            full_verdicts.append(verdict.must_broadcast)
+
+    sampled_verdicts = []
+    model = GoldenModel(4)
+    for chunk in sampler.sample_events(read_events(MIDSIZE)):
+        for proc, op, address in zip(
+                chunk.procs.tolist(), chunk.ops.tolist(),
+                chunk.addresses.tolist()):
+            verdict = model.access(proc, TraceOp(op), address >> 6)
+            sampled_verdicts.append(verdict.must_broadcast)
+
+    survivors = [v for v, k in zip(full_verdicts, keep) if k]
+    assert survivors == sampled_verdicts
+
+
+def test_report_schema_round_trips(tmp_path):
+    report = sample_file(MIDSIZE, tmp_path / "s.bin", rate=RATE, seed=0)
+    path = tmp_path / "report.json"
+    save_report(report, path)
+    assert load_report(path) == report
+    validate_report(report)
+
+
+def test_report_validation_rejects_malformed_reports(tmp_path):
+    report = sample_file(MIDSIZE, tmp_path / "s.bin", rate=RATE, seed=0)
+    with pytest.raises(WorkloadError, match="schema"):
+        validate_report({**report, "schema": "something/v9"})
+    broken = dict(report)
+    del broken["within_bounds"]
+    with pytest.raises(WorkloadError, match="within_bounds"):
+        validate_report(broken)
+    broken = json.loads(json.dumps(report))
+    del broken["metrics"]["store_fraction"]["bound"]
+    with pytest.raises(WorkloadError, match="bound"):
+        validate_report(broken)
+    path = tmp_path / "garbage.json"
+    path.write_text("{not json")
+    with pytest.raises(WorkloadError, match="unreadable"):
+        load_report(path)
+    assert report["schema"] == REPORT_SCHEMA
+
+
+def test_sampler_rejects_bad_parameters(tmp_path):
+    with pytest.raises(WorkloadError, match="rate"):
+        SpatialSampler(0)
+    with pytest.raises(WorkloadError, match="power of two"):
+        SpatialSampler(4, region_bytes=513)
+    workload = load_workload(MIDSIZE)
+    npz = tmp_path / "w.npz"
+    save_workload(workload, npz, "npz")
+    with pytest.raises(WorkloadError, match="npz"):
+        sample_file(npz, tmp_path / "out.bin", rate=4)
+
+
+def test_sample_workload_matches_file_membership():
+    """Per-processor filtering and stream filtering keep the same
+    accesses: membership depends only on the address."""
+    sampler = SpatialSampler(RATE, seed=0, region_bytes=512)
+    workload = load_workload(MIDSIZE)
+    sampled = sampler.sample_workload(workload)
+    assert sampled.name.endswith(f"~1/{RATE}")
+    for trace, original in zip(sampled.per_processor,
+                               workload.per_processor):
+        mask = sampler.keep_mask(original.addresses)
+        assert np.array_equal(trace.addresses, original.addresses[mask])
+        assert np.array_equal(trace.ops, original.ops[mask])
